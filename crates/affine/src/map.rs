@@ -1,0 +1,222 @@
+//! Quasi-affine access maps `i = M·t + o` (paper §4.4).
+
+use crate::{AffineError, IntMat, Result};
+
+/// An affine map from a `d`-dimensional iteration space to an
+/// `m`-dimensional data space: `i = M·t + o`.
+///
+/// Access maps annotate every dataflow edge between a block node and a
+/// buffer node in the ETDG. They are the compiler's *only* description of
+/// data movement — materialization is deferred until the code emitter walks
+/// the scheduled graph (§5.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineMap {
+    matrix: IntMat,
+    offset: Vec<i64>,
+}
+
+impl AffineMap {
+    /// Creates a map from an `m×d` access matrix and an `m`-vector offset.
+    pub fn new(matrix: IntMat, offset: Vec<i64>) -> Result<Self> {
+        if matrix.rows() != offset.len() {
+            return Err(AffineError::DimMismatch(format!(
+                "access matrix has {} rows but offset has {} entries",
+                matrix.rows(),
+                offset.len()
+            )));
+        }
+        Ok(AffineMap { matrix, offset })
+    }
+
+    /// The identity map on `n` dimensions (the default *contiguously linear*
+    /// access operator).
+    pub fn identity(n: usize) -> Self {
+        AffineMap {
+            matrix: IntMat::identity(n),
+            offset: vec![0; n],
+        }
+    }
+
+    /// Identity access with a constant shift (`linear` access with offset),
+    /// e.g. the `ysss[i][j][k-1]` read of the running example uses offset
+    /// `[0, 0, -1]`.
+    pub fn shifted_identity(n: usize, offset: Vec<i64>) -> Result<Self> {
+        AffineMap::new(IntMat::identity(n), offset)
+    }
+
+    /// A map that selects a subset of iteration dimensions:
+    /// `dims[j]` gives the iteration dimension feeding data dimension `j`.
+    pub fn projection(iter_dims: usize, dims: &[usize]) -> Result<Self> {
+        let mut m = IntMat::zeros(dims.len(), iter_dims);
+        for (row, &d) in dims.iter().enumerate() {
+            if d >= iter_dims {
+                return Err(AffineError::DimMismatch(format!(
+                    "projection dim {d} out of {iter_dims}"
+                )));
+            }
+            m.set(row, d, 1);
+        }
+        AffineMap::new(m, vec![0; dims.len()])
+    }
+
+    /// A strided access on dimension `dim`: data index = `stride * t_dim +
+    /// start` (the paper's *constantly strided* operator).
+    pub fn strided(iter_dims: usize, dim: usize, stride: i64, start: i64) -> Result<Self> {
+        if dim >= iter_dims {
+            return Err(AffineError::DimMismatch(format!(
+                "stride dim {dim} out of {iter_dims}"
+            )));
+        }
+        let mut m = IntMat::zeros(1, iter_dims);
+        m.set(0, dim, stride);
+        AffineMap::new(m, vec![start])
+    }
+
+    /// The access matrix `M`.
+    pub fn matrix(&self) -> &IntMat {
+        &self.matrix
+    }
+
+    /// The offset vector `o`.
+    pub fn offset(&self) -> &[i64] {
+        &self.offset
+    }
+
+    /// Iteration-space dimensionality `d`.
+    pub fn iter_dims(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Data-space dimensionality `m`.
+    pub fn data_dims(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Applies the map: `i = M·t + o`.
+    pub fn apply(&self, t: &[i64]) -> Result<Vec<i64>> {
+        let mut i = self.matrix.matvec(t)?;
+        for (x, &o) in i.iter_mut().zip(self.offset.iter()) {
+            *x = x.checked_add(o).ok_or(AffineError::Overflow)?;
+        }
+        Ok(i)
+    }
+
+    /// Composition `self ∘ inner`: first apply `inner`, then `self`.
+    ///
+    /// This is *access map fusion* (§5.1): when the single-assignment
+    /// property forces a copy chain of buffer nodes, directly-connected
+    /// buffer accesses are merged by composing access matrices and offsets.
+    pub fn compose(&self, inner: &AffineMap) -> Result<AffineMap> {
+        if self.iter_dims() != inner.data_dims() {
+            return Err(AffineError::DimMismatch(format!(
+                "compose: outer expects {} dims, inner produces {}",
+                self.iter_dims(),
+                inner.data_dims()
+            )));
+        }
+        let m = self.matrix.matmul(&inner.matrix)?;
+        let mut o = self.matrix.matvec(&inner.offset)?;
+        for (x, &extra) in o.iter_mut().zip(self.offset.iter()) {
+            *x = x.checked_add(extra).ok_or(AffineError::Overflow)?;
+        }
+        AffineMap::new(m, o)
+    }
+
+    /// Rewrites the map for a reordered iteration space: if `j = T·t`, the
+    /// access becomes `i = (M·T⁻¹)·j + o` (§5.2).
+    pub fn transform_by(&self, t: &IntMat) -> Result<AffineMap> {
+        let t_inv = t.inverse_unimodular()?;
+        let m = self.matrix.matmul(&t_inv)?;
+        AffineMap::new(m, self.offset.clone())
+    }
+
+    /// Dimensions of the *iteration* space along which the accessed data
+    /// does not change — the null space of `M` (§5.2 data-reuse analysis).
+    pub fn reuse_directions(&self) -> Vec<Vec<i64>> {
+        self.matrix.null_space()
+    }
+
+    /// True when two iteration points always touch distinct data (injective
+    /// map — no reuse at all).
+    pub fn is_injective(&self) -> bool {
+        self.matrix.null_space().is_empty()
+    }
+}
+
+impl std::fmt::Display for AffineMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "M={:?} o={:?}", self.matrix, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_shift() {
+        let id = AffineMap::identity(3);
+        assert_eq!(id.apply(&[4, 5, 6]).unwrap(), vec![4, 5, 6]);
+        // The running example's e13 map: read ysss[i][j][k-1].
+        let e13 = AffineMap::shifted_identity(3, vec![0, 0, -1]).unwrap();
+        assert_eq!(e13.apply(&[2, 3, 4]).unwrap(), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn new_rejects_mismatch() {
+        assert!(AffineMap::new(IntMat::identity(2), vec![0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn projection_selects_dims() {
+        // The e14 map from Figure 4: ws is accessed with [0 0 1] over (t3,
+        // t2, t1) reading only dim t... here dims=[1]: data dim 0 <- iter dim 1.
+        let p = AffineMap::projection(3, &[1]).unwrap();
+        assert_eq!(p.apply(&[7, 8, 9]).unwrap(), vec![8]);
+        assert!(AffineMap::projection(2, &[5]).is_err());
+    }
+
+    #[test]
+    fn strided_access() {
+        // Dilated RNN: stride-4 scan over the sequence dimension.
+        let s = AffineMap::strided(2, 1, 4, 1).unwrap();
+        assert_eq!(s.apply(&[0, 0]).unwrap(), vec![1]);
+        assert_eq!(s.apply(&[0, 3]).unwrap(), vec![13]);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let inner = AffineMap::new(
+            IntMat::from_rows(&[vec![1, 0], vec![0, 2]]).unwrap(),
+            vec![1, -1],
+        )
+        .unwrap();
+        let outer = AffineMap::new(IntMat::from_rows(&[vec![1, 1]]).unwrap(), vec![10]).unwrap();
+        let fused = outer.compose(&inner).unwrap();
+        for t in [[0i64, 0], [1, 2], [3, 5]] {
+            let two_step = outer.apply(&inner.apply(&t).unwrap()).unwrap();
+            assert_eq!(fused.apply(&t).unwrap(), two_step);
+        }
+    }
+
+    #[test]
+    fn transform_by_reorders_iteration_space() {
+        // Skew transform from the paper: j = T t with T = [[1,1],[0,1]].
+        let t = IntMat::from_rows(&[vec![1, 1], vec![0, 1]]).unwrap();
+        let access = AffineMap::identity(2);
+        let transformed = access.transform_by(&t).unwrap();
+        // For iteration t=(2,3), j = (5,3); access must still hit (2,3).
+        let j = t.matvec(&[2, 3]).unwrap();
+        assert_eq!(transformed.apply(&j).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn reuse_directions_found() {
+        // Weights read: data index = t2 only; t1/t3 are reuse directions.
+        let m = AffineMap::projection(3, &[1]).unwrap();
+        let dirs = m.reuse_directions();
+        assert_eq!(dirs.len(), 2);
+        assert!(!m.is_injective());
+        assert!(AffineMap::identity(2).is_injective());
+    }
+}

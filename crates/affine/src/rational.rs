@@ -1,0 +1,246 @@
+//! Exact rational arithmetic over `i64`, overflow-checked.
+
+use crate::{gcd, AffineError, Result};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1` as invariants.
+///
+/// All arithmetic is overflow-checked: rather than silently wrapping, ops
+/// return [`AffineError::Overflow`] so compiler analyses fail loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den`, normalizing sign and reducing.
+    pub fn new(num: i64, den: i64) -> Result<Self> {
+        if den == 0 {
+            return Err(AffineError::DivisionByZero);
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let num = num.checked_mul(sign).ok_or(AffineError::Overflow)?;
+        let den = den.checked_mul(sign).ok_or(AffineError::Overflow)?;
+        let g = gcd(num, den).max(1);
+        Ok(Rational {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// An integer as a rational.
+    pub fn from_int(n: i64) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn num(&self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i64 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// The integer value, if integral.
+    pub fn to_int(&self) -> Option<i64> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Checked addition.
+    pub fn add(&self, other: &Rational) -> Result<Rational> {
+        let a = self
+            .num
+            .checked_mul(other.den)
+            .ok_or(AffineError::Overflow)?;
+        let b = other
+            .num
+            .checked_mul(self.den)
+            .ok_or(AffineError::Overflow)?;
+        Rational::new(
+            a.checked_add(b).ok_or(AffineError::Overflow)?,
+            self.den
+                .checked_mul(other.den)
+                .ok_or(AffineError::Overflow)?,
+        )
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, other: &Rational) -> Result<Rational> {
+        self.add(&other.neg())
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, other: &Rational) -> Result<Rational> {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(AffineError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(AffineError::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn div(&self, other: &Rational) -> Result<Rational> {
+        if other.num == 0 {
+            return Err(AffineError::DivisionByZero);
+        }
+        self.mul(&Rational::new(other.den, other.num)?)
+    }
+
+    /// Negation (never overflows for reduced rationals except `i64::MIN`,
+    /// which the constructor cannot produce from valid inputs).
+    pub fn neg(&self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i64 {
+        self.num.signum()
+    }
+
+    /// Floor to an integer.
+    pub fn floor(&self) -> i64 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling to an integer.
+    pub fn ceil(&self) -> i64 {
+        -((-self.num).div_euclid(self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        // Use i128 to avoid overflow in the comparison itself.
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl std::fmt::Display for Rational {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        let r = Rational::new(4, -6).unwrap();
+        assert_eq!((r.num(), r.den()), (-2, 3));
+        assert_eq!(Rational::new(0, 5).unwrap(), Rational::ZERO);
+        assert!(Rational::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2).unwrap();
+        let b = Rational::new(1, 3).unwrap();
+        assert_eq!(a.add(&b).unwrap(), Rational::new(5, 6).unwrap());
+        assert_eq!(a.sub(&b).unwrap(), Rational::new(1, 6).unwrap());
+        assert_eq!(a.mul(&b).unwrap(), Rational::new(1, 6).unwrap());
+        assert_eq!(a.div(&b).unwrap(), Rational::new(3, 2).unwrap());
+        assert!(a.div(&Rational::ZERO).is_err());
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).unwrap().floor(), 3);
+        assert_eq!(Rational::new(7, 2).unwrap().ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).unwrap().floor(), -4);
+        assert_eq!(Rational::new(-7, 2).unwrap().ceil(), -3);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+        assert_eq!(Rational::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Rational::new(-1, 2).unwrap() < Rational::ZERO);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let big = Rational::from_int(i64::MAX);
+        assert_eq!(big.add(&Rational::ONE), Err(AffineError::Overflow));
+        assert_eq!(big.mul(&Rational::from_int(2)), Err(AffineError::Overflow));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(
+            an in -1000i64..1000, ad in 1i64..100,
+            bn in -1000i64..1000, bd in 1i64..100,
+        ) {
+            let a = Rational::new(an, ad).unwrap();
+            let b = Rational::new(bn, bd).unwrap();
+            prop_assert_eq!(a.add(&b).unwrap().sub(&b).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_floor_le_ceil(n in -10_000i64..10_000, d in 1i64..100) {
+            let r = Rational::new(n, d).unwrap();
+            prop_assert!(r.floor() <= r.ceil());
+            prop_assert!(Rational::from_int(r.floor()) <= r);
+            prop_assert!(r <= Rational::from_int(r.ceil()));
+            prop_assert!(r.ceil() - r.floor() <= 1);
+        }
+
+        #[test]
+        fn prop_mul_div_roundtrip(
+            an in -1000i64..1000, ad in 1i64..100,
+            bn in 1i64..1000, bd in 1i64..100,
+        ) {
+            let a = Rational::new(an, ad).unwrap();
+            let b = Rational::new(bn, bd).unwrap();
+            prop_assert_eq!(a.mul(&b).unwrap().div(&b).unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The multi-threaded wavefront executor.
+
+use std::collections::HashMap;
+
+use ft_core::adt::FractalTensor;
+use ft_core::interp::BufferStore;
+use ft_core::program::BufferKind;
+use ft_core::BufferId;
+use ft_etdg::RegionRead;
+use ft_passes::{CompiledProgram, ScheduledGroup};
+use ft_tensor::Tensor;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Missing or malformed input.
+    Input(String),
+    /// A runtime invariant failed (unwritten read, double write, ...).
+    Runtime(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Input(m) => write!(f, "input error: {m}"),
+            ExecError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn core_err(e: ft_core::program::CoreError) -> ExecError {
+    ExecError::Runtime(e.to_string())
+}
+
+/// Executes a compiled program on the given inputs with `threads` worker
+/// threads (1 = fully sequential but still wavefront-ordered), returning
+/// every output buffer.
+pub fn execute(
+    compiled: &CompiledProgram,
+    inputs: &HashMap<BufferId, FractalTensor>,
+    threads: usize,
+) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
+    let etdg = &compiled.etdg;
+    let mut stores: Vec<BufferStore> = Vec::with_capacity(etdg.buffers.len());
+    for (bi, buf) in etdg.buffers.iter().enumerate() {
+        match buf.kind {
+            BufferKind::Input => {
+                let ft = inputs
+                    .get(&BufferId(bi))
+                    .ok_or_else(|| ExecError::Input(format!("missing input '{}'", buf.name)))?;
+                if ft.prog_dims() != buf.dims {
+                    return Err(ExecError::Input(format!(
+                        "input '{}' dims {:?} != declared {:?}",
+                        buf.name,
+                        ft.prog_dims(),
+                        buf.dims
+                    )));
+                }
+                stores.push(BufferStore::from_fractal(ft).map_err(core_err)?);
+            }
+            _ => stores.push(BufferStore::new(&buf.dims, buf.leaf_shape.clone())),
+        }
+    }
+
+    for group in &compiled.groups {
+        run_group(compiled, group, &mut stores, threads.max(1))?;
+    }
+
+    let mut outputs = HashMap::new();
+    for (bi, buf) in etdg.buffers.iter().enumerate() {
+        if buf.kind == BufferKind::Output {
+            outputs.insert(BufferId(bi), stores[bi].to_fractal().map_err(core_err)?);
+        }
+    }
+    Ok(outputs)
+}
+
+/// One pending buffer write produced by a point task.
+struct PointWrite {
+    buffer: usize,
+    idx: Vec<i64>,
+    value: Tensor,
+}
+
+fn run_group(
+    compiled: &CompiledProgram,
+    group: &ScheduledGroup,
+    stores: &mut [BufferStore],
+    threads: usize,
+) -> Result<(), ExecError> {
+    let r = &group.reordering;
+    let (lo, hi) = r.wavefront_range();
+    for step in lo..hi {
+        // All transformed points of this wavefront step.
+        let points = points_at_step(r, step);
+        if points.is_empty() {
+            continue;
+        }
+        // Compute in parallel (reads only touch earlier steps or the
+        // per-point overlay), then apply the writes serially.
+        let chunk = points.len().div_ceil(threads);
+        let mut results: Vec<Result<Vec<PointWrite>, ExecError>> = Vec::new();
+        if threads == 1 || points.len() == 1 {
+            results.push(run_points(compiled, group, stores, &points));
+        } else {
+            let chunks: Vec<&[Vec<i64>]> = points.chunks(chunk).collect();
+            let shared: &[BufferStore] = stores;
+            let outcome = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| scope.spawn(move |_| run_points(compiled, group, shared, c)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope");
+            results = outcome;
+        }
+        for r in results {
+            for w in r? {
+                stores[w.buffer].set(&w.idx, w.value).map_err(core_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Enumerates the transformed points with a fixed wavefront coordinate.
+fn points_at_step(r: &ft_passes::Reordering, step: i64) -> Vec<Vec<i64>> {
+    let d = r.bounds.len();
+    let mut out = Vec::new();
+    let mut current = vec![0i64; d];
+    if r.sequential_dims == 0 {
+        // Pure-parallel group: one "step" covering the whole domain.
+        enumerate_from(r, 0, &mut current, &mut out);
+        return out;
+    }
+    current[0] = step;
+    enumerate_from(r, 1, &mut current, &mut out);
+    out
+}
+
+fn enumerate_from(
+    r: &ft_passes::Reordering,
+    depth: usize,
+    current: &mut Vec<i64>,
+    out: &mut Vec<Vec<i64>>,
+) {
+    if depth == r.bounds.len() {
+        out.push(current.clone());
+        return;
+    }
+    let lb = &r.bounds[depth];
+    let lo = lb.eval_lower(current);
+    let hi = lb.eval_upper_exclusive(current);
+    for v in lo..hi {
+        current[depth] = v;
+        enumerate_from(r, depth + 1, current, out);
+    }
+    current[depth] = 0;
+}
+
+/// Executes a batch of points (one worker's share of a wavefront step).
+fn run_points(
+    compiled: &CompiledProgram,
+    group: &ScheduledGroup,
+    stores: &[BufferStore],
+    points: &[Vec<i64>],
+) -> Result<Vec<PointWrite>, ExecError> {
+    let etdg = &compiled.etdg;
+    let mut writes = Vec::new();
+    for j in points {
+        let t = group
+            .reordering
+            .to_original(j)
+            .map_err(|e| ExecError::Runtime(e.to_string()))?;
+        // Per-point overlay: values produced by earlier members at this
+        // point (fused cross-nest intermediates) are forwarded without
+        // touching the stores.
+        let mut overlay: HashMap<(usize, Vec<i64>), Tensor> = HashMap::new();
+        for &member in &group.members {
+            let block = etdg.block(member);
+            if !block.domain.contains(&t) {
+                continue;
+            }
+            let mut leaves = Vec::with_capacity(block.reads.len());
+            for read in &block.reads {
+                match read {
+                    RegionRead::Fill { value, leaf_shape } => {
+                        leaves.push(Tensor::full(leaf_shape.dims(), *value));
+                    }
+                    RegionRead::Buffer { buffer, map } => {
+                        let idx = map
+                            .apply(&t)
+                            .map_err(|e| ExecError::Runtime(e.to_string()))?;
+                        if let Some(v) = overlay.get(&(buffer.0, idx.clone())) {
+                            leaves.push(v.clone());
+                        } else {
+                            leaves.push(
+                                stores[buffer.0]
+                                    .get(&idx)
+                                    .map_err(|e| {
+                                        ExecError::Runtime(format!(
+                                            "block '{}' at t={t:?}: {e}",
+                                            block.name
+                                        ))
+                                    })?
+                                    .clone(),
+                            );
+                        }
+                    }
+                }
+            }
+            let results = block
+                .udf
+                .eval(&leaves)
+                .map_err(|e| ExecError::Runtime(e.to_string()))?;
+            for (w, value) in block.writes.iter().zip(results) {
+                let idx = w
+                    .map
+                    .apply(&t)
+                    .map_err(|e| ExecError::Runtime(e.to_string()))?;
+                overlay.insert((w.buffer.0, idx.clone()), value.clone());
+                writes.push(PointWrite {
+                    buffer: w.buffer.0,
+                    idx,
+                    value,
+                });
+            }
+        }
+    }
+    Ok(writes)
+}
+
+/// Executes a single group and reports how many points ran in each
+/// wavefront step (used by tests and the parallelism examples).
+pub fn wavefront_profile(compiled: &CompiledProgram, group_idx: usize) -> Vec<(i64, usize)> {
+    let group = &compiled.groups[group_idx];
+    let r = &group.reordering;
+    let (lo, hi) = r.wavefront_range();
+    (lo..hi)
+        .map(|step| {
+            let pts = points_at_step(r, step);
+            // Only points that land in some member's domain count.
+            let live = pts
+                .iter()
+                .filter(|j| {
+                    r.to_original(j).is_ok_and(|t| {
+                        group
+                            .members
+                            .iter()
+                            .any(|&m| compiled.etdg.block(m).domain.contains(&t))
+                    })
+                })
+                .count();
+            (step, live)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_core::interp::run_program;
+    use ft_passes::compile;
+    use ft_tensor::assert_allclose;
+
+    fn rnn_inputs(n: usize, d: usize, l: usize, h: usize) -> HashMap<BufferId, FractalTensor> {
+        let xss = FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], 7), 2).unwrap();
+        let ws =
+            FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 8).mul_scalar(0.2), 1).unwrap();
+        let mut m = HashMap::new();
+        m.insert(BufferId(0), xss);
+        m.insert(BufferId(1), ws);
+        m
+    }
+
+    #[test]
+    fn compiled_wavefront_matches_interpreter() {
+        let (n, d, l, h) = (3usize, 4usize, 5usize, 8usize);
+        let p = stacked_rnn_program(n, d, l, h);
+        let inputs = rnn_inputs(n, d, l, h);
+        let expected = run_program(&p, &inputs).unwrap();
+        let compiled = compile(&p).unwrap();
+        for threads in [1usize, 4] {
+            let got = execute(&compiled, &inputs, threads).unwrap();
+            assert_eq!(got.len(), expected.len());
+            for (id, ft) in &expected {
+                let g = &got[id];
+                assert_eq!(g.prog_dims(), ft.prog_dims());
+                assert_allclose(&g.to_flat().unwrap(), &ft.to_flat().unwrap(), 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_thread_counts() {
+        let p = stacked_rnn_program(2, 3, 6, 4);
+        let inputs = rnn_inputs(2, 3, 6, 4);
+        let compiled = compile(&p).unwrap();
+        let a = execute(&compiled, &inputs, 1).unwrap();
+        let b = execute(&compiled, &inputs, 8).unwrap();
+        for (id, ft) in &a {
+            assert_eq!(ft, &b[id], "thread count changed the result");
+        }
+    }
+
+    #[test]
+    fn wavefront_width_peaks_in_the_middle() {
+        // The diagonal wavefront over (depth, time) starts and ends with a
+        // single cell and is widest in the middle — the parallelism Figure
+        // 9 visualizes with same-colour cells.
+        let (n, d, l) = (1usize, 4usize, 6usize);
+        let p = stacked_rnn_program(n, d, l, 4);
+        let compiled = compile(&p).unwrap();
+        let profile = wavefront_profile(&compiled, 0);
+        assert_eq!(profile.len(), d + l - 1);
+        let widths: Vec<usize> = profile.iter().map(|&(_, w)| w).collect();
+        assert_eq!(widths[0], 1);
+        assert_eq!(*widths.last().unwrap(), 1);
+        let max = *widths.iter().max().unwrap();
+        assert_eq!(max, d.min(l));
+        // Total cells = D * L.
+        assert_eq!(widths.iter().sum::<usize>(), d * l);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let p = stacked_rnn_program(2, 2, 2, 4);
+        let compiled = compile(&p).unwrap();
+        let err = execute(&compiled, &HashMap::new(), 1);
+        assert!(matches!(err, Err(ExecError::Input(_))));
+    }
+}

@@ -1,0 +1,31 @@
+//! # ft-backend
+//!
+//! Schedule execution for compiled FractalTensor programs.
+//!
+//! Two facilities live here:
+//!
+//! * [`exec`] — a real multi-threaded CPU executor. It walks a
+//!   [`ft_passes::CompiledProgram`] group by group; within a group it runs
+//!   the wavefront dimension sequentially and fans every iteration of the
+//!   remaining (parallel) dimensions out over crossbeam scoped threads.
+//!   Cross-nest members fused into one group forward intermediates through
+//!   a per-point overlay — the register/shared-memory forwarding a fused
+//!   macro-kernel performs on the GPU.
+//! * [`emit`] — the code emitter: walks the same schedule and renders each
+//!   launch group as a pseudo-CUDA macro-kernel (grid shape, wavefront
+//!   loop, region guards, the UDF body, and the tile-library staging
+//!   hints), demonstrating the §5.3 lowering without requiring a GPU.
+//!
+//! Executor outputs are tested bit-for-bit against the naive
+//! `ft_core::interp` oracle across the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod emit;
+pub mod exec;
+
+pub use emit::emit_program;
+pub use exec::{execute, ExecError};
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

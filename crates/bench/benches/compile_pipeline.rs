@@ -1,0 +1,53 @@
+//! Wall-clock cost of the compiler itself: parsing, coarsening and
+//! reordering each evaluation workload — the "compile once, launch many"
+//! budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_passes::compile;
+use std::hint::black_box;
+
+fn bench_compile_each_workload(c: &mut Criterion) {
+    use ft_workloads::*;
+    let cases: Vec<(&str, ft_core::Program)> = vec![
+        (
+            "stacked_rnn",
+            ft_core::builders::stacked_rnn_program(8, 8, 16, 64),
+        ),
+        ("stacked_lstm", lstm::program(lstm::LstmShape::tiny())),
+        (
+            "dilated_rnn",
+            dilated::program(dilated::DilatedShape::tiny()),
+        ),
+        ("grid_rnn", grid::program(grid::GridShape::tiny())),
+        ("b2b_gemm", b2b::program(b2b::B2bShape::tiny())),
+        (
+            "flash_attention",
+            attention::program(attention::AttnShape::tiny()),
+        ),
+        ("bigbird", bigbird::program(bigbird::BigBirdShape::tiny())),
+    ];
+    let mut g = c.benchmark_group("compile");
+    for (name, program) in &cases {
+        g.bench_function(*name, |bench| {
+            bench.iter(|| black_box(compile(program).expect("compiles")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_vs_full_pipeline(c: &mut Criterion) {
+    let program = ft_core::builders::stacked_rnn_program(16, 16, 32, 64);
+    c.bench_function("parse_only_rnn_16x16x32", |bench| {
+        bench.iter(|| black_box(ft_etdg::parse_program(&program).expect("parses")));
+    });
+    c.bench_function("full_pipeline_rnn_16x16x32", |bench| {
+        bench.iter(|| black_box(compile(&program).expect("compiles")));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compile_each_workload,
+    bench_parse_vs_full_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Wall-clock benchmarks of the tensor substrate's hot kernels (the inner
+//! loops every executor spends its time in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_tensor::{OnlineSoftmax, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn(&[n, n], 1);
+        let b = Tensor::randn(&[n, n], 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul_transb(c: &mut Criterion) {
+    let a = Tensor::randn(&[128, 128], 3);
+    let b = Tensor::randn(&[128, 128], 4);
+    c.bench_function("matmul_transb_128", |bench| {
+        bench.iter(|| black_box(a.matmul_transb(&b).unwrap()));
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let x = Tensor::randn(&[128, 512], 5);
+    c.bench_function("softmax_rows_128x512", |bench| {
+        bench.iter(|| black_box(x.softmax_rows().unwrap()));
+    });
+}
+
+fn bench_online_softmax(c: &mut Criterion) {
+    let q = Tensor::randn(&[32, 64], 6);
+    let k = Tensor::randn(&[256, 64], 7);
+    let v = Tensor::randn(&[256, 64], 8);
+    c.bench_function("online_softmax_8_blocks", |bench| {
+        bench.iter(|| {
+            let mut st = OnlineSoftmax::new(32, 64);
+            for blk in 0..8 {
+                let ks = k
+                    .slice(0, blk * 32, (blk + 1) * 32)
+                    .unwrap()
+                    .to_contiguous();
+                let vs = v
+                    .slice(0, blk * 32, (blk + 1) * 32)
+                    .unwrap()
+                    .to_contiguous();
+                let s = q.matmul_transb(&ks).unwrap();
+                st.step(&s, &vs).unwrap();
+            }
+            black_box(st.finish().unwrap())
+        });
+    });
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let x = Tensor::randn(&[256, 256], 9);
+    c.bench_function("tanh_256x256", |bench| {
+        bench.iter(|| black_box(x.tanh()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_transb,
+    bench_softmax,
+    bench_online_softmax,
+    bench_elementwise
+);
+criterion_main!(benches);

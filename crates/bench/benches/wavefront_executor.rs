@@ -1,0 +1,83 @@
+//! Real wall-clock comparison on the CPU backend: the naive lexicographic
+//! interpreter versus the compiled wavefront executor at several thread
+//! counts — the schedule-level speedup measured on actual hardware rather
+//! than the A100 model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_backend::execute;
+use ft_core::builders::stacked_rnn_program;
+use ft_core::interp::run_program;
+use ft_passes::compile;
+use std::hint::black_box;
+
+fn rnn_setup(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+) -> (
+    ft_core::Program,
+    std::collections::HashMap<ft_core::BufferId, ft_core::FractalTensor>,
+) {
+    let p = stacked_rnn_program(n, d, l, h);
+    let mut ins = std::collections::HashMap::new();
+    ins.insert(
+        ft_core::BufferId(0),
+        ft_core::FractalTensor::from_flat(&ft_tensor::Tensor::randn(&[n, l, 1, h], 1), 2)
+            .expect("xss"),
+    );
+    ins.insert(
+        ft_core::BufferId(1),
+        ft_core::FractalTensor::from_flat(
+            &ft_tensor::Tensor::randn(&[d, h, h], 2).mul_scalar(0.1),
+            1,
+        )
+        .expect("ws"),
+    );
+    (p, ins)
+}
+
+fn bench_interp_vs_wavefront(c: &mut Criterion) {
+    let (p, ins) = rnn_setup(4, 8, 16, 64);
+    let compiled = compile(&p).expect("compiles");
+    let mut g = c.benchmark_group("stacked_rnn_4x8x16_h64");
+    g.sample_size(10);
+    g.bench_function("interpreter", |bench| {
+        bench.iter(|| black_box(run_program(&p, &ins).expect("runs")));
+    });
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("wavefront", threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| black_box(execute(&compiled, &ins, t).expect("runs")));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lstm_executor(c: &mut Criterion) {
+    use ft_workloads::lstm;
+    let s = lstm::LstmShape {
+        batch: 4,
+        hidden: 32,
+        depth: 6,
+        seq: 12,
+    };
+    let p = lstm::program(s);
+    let ins = lstm::inputs(s, 1);
+    let compiled = compile(&p).expect("compiles");
+    let mut g = c.benchmark_group("stacked_lstm_4x6x12_h32");
+    g.sample_size(10);
+    g.bench_function("interpreter", |bench| {
+        bench.iter(|| black_box(run_program(&p, &ins).expect("runs")));
+    });
+    g.bench_function("wavefront_8_threads", |bench| {
+        bench.iter(|| black_box(execute(&compiled, &ins, 8).expect("runs")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp_vs_wavefront, bench_lstm_executor);
+criterion_main!(benches);

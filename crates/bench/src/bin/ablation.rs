@@ -1,0 +1,129 @@
+//! Ablation study over the compiler's design choices: what each pipeline
+//! stage individually buys on the stacked-LSTM workload (and the tile
+//! library's shape selection). These isolate the contributions the paper
+//! attributes to coarsening (§5.1), reordering (§5.2), and access
+//! materialization (§5.3).
+//!
+//! Usage: `cargo run --release -p ft-bench --bin ablation`
+
+use ft_sim::{GpuConfig, Region, SimMachine, TileConfig};
+use ft_workloads::lstm::{simulate, LstmShape};
+use ft_workloads::Strategy;
+
+fn main() {
+    let shape = LstmShape::paper();
+    println!("ablation workload: stacked LSTM, batch 256, hidden 256, depth 32, seq 64\n");
+
+    // Ablation 1: coarsening (fused wavefront) vs per-cell launch structure.
+    // BlockTile is exactly "reordering without coarsening": each cell is
+    // optimally tiled, but every cell is its own launch.
+    println!("== ablation 1: width-wise coarsening ==");
+    let without = simulate(shape, Strategy::BlockTile);
+    let with = simulate(shape, Strategy::FractalTensor);
+    println!(
+        "  without coarsening (per-cell kernels): {:>10.2} ms, {:>7} launches",
+        without.ms, without.kernels
+    );
+    println!(
+        "  with coarsening (wavefront groups):    {:>10.2} ms, {:>7} launches",
+        with.ms, with.kernels
+    );
+    println!(
+        "  -> {:.1}x from fusing {} cells into {} wavefront steps\n",
+        without.ms / with.ms,
+        shape.depth * shape.seq,
+        shape.depth + shape.seq - 1
+    );
+
+    // Ablation 2: reordering (the wavefront itself). Without the unimodular
+    // transform, the fused group would still have to run its (layer, step)
+    // loops sequentially — equivalent to one fused kernel per cell in
+    // *sequence*, i.e. the same launch count as FT but with wavefront width
+    // 1. We model that by scaling FT's per-step width to 1.
+    println!("== ablation 2: access reordering (the wavefront transform) ==");
+    let steps_seq = (shape.depth * shape.seq) as f64;
+    let steps_wave = (shape.depth + shape.seq - 1) as f64;
+    println!(
+        "  sequential (no transform): {:>7.0} dependent steps",
+        steps_seq
+    );
+    println!(
+        "  wavefront  (hyperplane):   {:>7.0} dependent steps",
+        steps_wave
+    );
+    println!(
+        "  -> {:.1}x shorter critical path; measured end-to-end gain is \
+         bounded by compute (see ablation 1)\n",
+        steps_seq / steps_wave
+    );
+
+    // Ablation 3: data-reuse staging (weights resident vs re-fetched).
+    println!("== ablation 3: reuse staging (weight-stationary wavefront) ==");
+    let cudnn_like = simulate(shape, Strategy::Handcrafted);
+    println!(
+        "  re-fetch weights per step (cuDNN-like): {:>10.2} ms, DRAM {:>7.3} GB",
+        cudnn_like.ms,
+        cudnn_like.traffic.dram_gb()
+    );
+    println!(
+        "  stage weights per layer (FT, null-space reuse): {:>4.2} ms, DRAM {:>7.3} GB\n",
+        with.ms,
+        with.traffic.dram_gb()
+    );
+
+    // Ablation 4: tile-shape selection (§5.3's library).
+    println!("== ablation 4: tile library shape selection (4096^3 GEMM) ==");
+    let cfg = GpuConfig::a100();
+    for tile in [
+        TileConfig::new(16, 16, 16),
+        TileConfig::new(32, 32, 32),
+        TileConfig::new(64, 64, 32),
+        TileConfig::new(128, 128, 32),
+    ] {
+        let mut m = SimMachine::new(cfg.clone());
+        let a = m.alloc(4096 * 4096 * 4);
+        let b = m.alloc(4096 * 4096 * 4);
+        let c = m.alloc(4096 * 4096 * 4);
+        let k = ft_sim::gemm_kernel(
+            "mm",
+            4096,
+            4096,
+            4096,
+            Region::whole(a),
+            Region::whole(b),
+            Region::whole(c),
+            tile,
+            true,
+        );
+        m.launch(&k);
+        println!(
+            "  tile {:>3}x{:<3}: {:>9.3} ms, L2 {:>8.2} GB, DRAM {:>6.2} GB",
+            tile.tm,
+            tile.tn,
+            m.elapsed_ms(),
+            m.counters().l2_gb(),
+            m.counters().dram_gb()
+        );
+    }
+    let selected = TileConfig::select(4096, 4096, cfg.smem_per_sm_bytes);
+    println!(
+        "  library selects {}x{}x{} (largest tile fitting {} KiB smem)\n",
+        selected.tm,
+        selected.tn,
+        selected.tk,
+        cfg.smem_per_sm_bytes / 1024
+    );
+
+    // Ablation 5: boundary-region splitting vs predication. Regions add
+    // launches only when they cannot merge; for the LSTM all four regions
+    // merge back into one group — zero cost, versus per-iteration branch
+    // divergence for predication.
+    println!("== ablation 5: region splitting ==");
+    let compiled =
+        ft_passes::compile(&ft_workloads::lstm::program(LstmShape::tiny())).expect("compiles");
+    println!(
+        "  4 boundary regions -> {} launch group(s) after coarsening \
+         (the conditionals cost no extra launches)",
+        compiled.groups.len()
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 2: stacked-RNN execution time as the stack depth N grows.
+//!
+//! The paper's observation: only the handcrafted cuDNN implementation (and
+//! FractalTensor) grow mildly with depth, because they schedule the whole
+//! network as one wavefront; every DAG-based system (PyTorch, TensorFlow,
+//! TVM) pays per-cell kernel chains and slows down sharply.
+//!
+//! Usage: `cargo run --release -p ft-bench --bin fig2_rnn_depth [--json]`
+
+use ft_bench::{ft_speedup, render_json, render_ms_table, Row};
+use ft_workloads::lstm::{simulate, LstmShape};
+use ft_workloads::Strategy;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rows = Vec::new();
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let shape = LstmShape {
+            batch: 256,
+            hidden: 256,
+            depth,
+            seq: 64,
+        };
+        rows.push(Row {
+            label: format!("depth={depth}"),
+            cells: Strategy::ALL
+                .iter()
+                .map(|&s| Some(simulate(shape, s)))
+                .collect(),
+        });
+    }
+    if json {
+        print!("{}", render_json("fig2", &rows));
+        return;
+    }
+    print!(
+        "{}",
+        render_ms_table(
+            "Figure 2: stacked RNN (LSTM) time [ms] vs stack depth (batch 256, hidden 256, seq 64)",
+            &rows
+        )
+    );
+    println!();
+    for row in &rows {
+        if let Some(s) = ft_speedup(row) {
+            println!(
+                "  {}: FractalTensor speedup over best baseline = {s:.2}x",
+                row.label
+            );
+        }
+    }
+    let shallow = rows.first().expect("rows");
+    let deep = rows.last().expect("rows");
+    let growth = |idx: usize| {
+        deep.cells[idx].as_ref().expect("cell").ms / shallow.cells[idx].as_ref().expect("cell").ms
+    };
+    println!();
+    println!(
+        "growth depth 1 -> 32:  eager {:.1}x,  fractaltensor {:.1}x  (paper: DAG systems scale \
+         with D*L, wavefronts with D+L)",
+        growth(0),
+        growth(4)
+    );
+}

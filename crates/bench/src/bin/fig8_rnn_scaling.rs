@@ -1,0 +1,145 @@
+//! Figure 8: RNN performance scaling for the three RNN variants across the
+//! paper's four sweeps — hidden size (middle vs large model), batch size,
+//! sequence length (32/64/128), and depth (1–32 stacked/grid, 1–6 dilated).
+//!
+//! The hypothesis under test (§6.3): an optimizer that finds the maximal
+//! exploitable data parallelism should *not* scale linearly with depth.
+//!
+//! Usage: `cargo run --release -p ft-bench --bin fig8_rnn_scaling [--json]`
+
+use ft_bench::{render_json, render_ms_table, Row};
+use ft_workloads::Strategy;
+use ft_workloads::{dilated, grid, lstm};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut out = String::new();
+    let mut emit = |title: &str, experiment: &str, rows: Vec<Row>| {
+        if json {
+            out.push_str(&render_json(experiment, &rows));
+        } else {
+            out.push_str(&render_ms_table(title, &rows));
+            out.push('\n');
+        }
+    };
+
+    // Sweep 1: depth scaling, middle (h=256) and large (h=1024) models.
+    for (model, h) in [("middle", 256usize), ("large", 1024)] {
+        let mut rows = Vec::new();
+        for depth in [1usize, 4, 8, 12, 16, 20, 24, 28, 32] {
+            let s = lstm::LstmShape {
+                batch: 256,
+                hidden: h,
+                depth,
+                seq: 64,
+            };
+            rows.push(Row {
+                label: format!("depth={depth}"),
+                cells: Strategy::ALL
+                    .iter()
+                    .map(|&st| Some(lstm::simulate(s, st)))
+                    .collect(),
+            });
+        }
+        emit(
+            &format!("Figure 8: stacked LSTM depth sweep ({model} model, hidden {h}) [ms]"),
+            &format!("fig8_lstm_depth_{model}"),
+            rows,
+        );
+    }
+
+    // Sweep 2: sequence length 32 / 64 / 128.
+    let mut rows = Vec::new();
+    for seq in [32usize, 64, 128] {
+        let s = lstm::LstmShape {
+            batch: 256,
+            hidden: 256,
+            depth: 32,
+            seq,
+        };
+        rows.push(Row {
+            label: format!("seq={seq}"),
+            cells: Strategy::ALL
+                .iter()
+                .map(|&st| Some(lstm::simulate(s, st)))
+                .collect(),
+        });
+    }
+    emit(
+        "Figure 8: stacked LSTM sequence-length sweep [ms]",
+        "fig8_lstm_seq",
+        rows,
+    );
+
+    // Sweep 3: batch / hidden (local data parallelism inside the cell).
+    let mut rows = Vec::new();
+    for (batch, h) in [(64usize, 256usize), (256, 256), (256, 1024), (1024, 256)] {
+        let s = lstm::LstmShape {
+            batch,
+            hidden: h,
+            depth: 8,
+            seq: 64,
+        };
+        rows.push(Row {
+            label: format!("batch={batch} h={h}"),
+            cells: Strategy::ALL
+                .iter()
+                .map(|&st| Some(lstm::simulate(s, st)))
+                .collect(),
+        });
+    }
+    emit(
+        "Figure 8: stacked LSTM batch/hidden sweep [ms]",
+        "fig8_lstm_bh",
+        rows,
+    );
+
+    // Sweep 4: dilated RNN depth 1..6 (dilation growth limits stacking).
+    let mut rows = Vec::new();
+    for depth in 1usize..=6 {
+        let s = dilated::DilatedShape {
+            batch: 256,
+            hidden: 256,
+            depth,
+            seq: 64,
+        };
+        rows.push(Row {
+            label: format!("layers={depth}"),
+            cells: Strategy::ALL
+                .iter()
+                .map(|&st| dilated::simulate(s, st))
+                .collect(),
+        });
+    }
+    emit(
+        "Figure 8: dilated RNN depth sweep (dilation 2^d) [ms]",
+        "fig8_dilated_depth",
+        rows,
+    );
+
+    // Sweep 5: grid RNN depth 1..32.
+    let mut rows = Vec::new();
+    for depth in [1usize, 4, 8, 16, 24, 32] {
+        let s = grid::GridShape {
+            batch: 256,
+            hidden: 256,
+            depth,
+            rows: 8,
+            cols: 8,
+        };
+        rows.push(Row {
+            label: format!("depth={depth}"),
+            cells: Strategy::ALL
+                .iter()
+                .map(|&st| grid::simulate(s, st))
+                .collect(),
+        });
+    }
+    emit(
+        "Figure 8: grid RNN depth sweep [ms]",
+        "fig8_grid_depth",
+        rows,
+    );
+
+    print!("{out}");
+}

@@ -1,0 +1,103 @@
+//! Figure 9: the dataflow structure of the three RNN variants — which
+//! cells can execute in parallel (the paper draws them in matching
+//! colours; we print each cell's wavefront step number).
+//!
+//! For each variant the map is derived from the *actual compiled
+//! schedule*: a cell's number is the wavefront step its iteration point
+//! lands on after the unimodular transform, so equal numbers = concurrent
+//! execution.
+//!
+//! Usage: `cargo run -p ft-bench --bin fig9_dataflow`
+
+use ft_passes::compile;
+use ft_workloads::{dilated, grid, lstm};
+
+/// Maps an original iteration point to its wavefront step.
+fn step_of(r: &ft_passes::Reordering, t: &[i64]) -> i64 {
+    if r.sequential_dims == 0 {
+        return 0;
+    }
+    r.hyperplane
+        .iter()
+        .zip(t.iter())
+        .map(|(a, x)| a * x)
+        .sum()
+}
+
+fn main() {
+    // (a) Stacked RNN/LSTM: the (layer, step) anti-diagonal wavefront.
+    let s = lstm::LstmShape {
+        batch: 1,
+        hidden: 4,
+        depth: 6,
+        seq: 10,
+    };
+    let c = compile(&lstm::program(s)).expect("lstm compiles");
+    let r = &c.groups[0].reordering;
+    println!("Figure 9(a): stacked RNN — wavefront step of cell (layer, time)");
+    println!("(equal numbers run concurrently; the anti-diagonals of the paper's colouring)\n");
+    print!("        ");
+    for t in 0..s.seq {
+        print!("{t:>4}");
+    }
+    println!("   <- time");
+    for d in 0..s.depth as i64 {
+        print!("layer {d}:");
+        for l in 0..s.seq as i64 {
+            print!("{:>4}", step_of(r, &[0, d, l]));
+        }
+        println!();
+    }
+
+    // (b) Dilated RNN: all layers advance together each time step (the
+    // compiled group pipelines the whole stack through one point).
+    let s = dilated::DilatedShape {
+        batch: 1,
+        hidden: 4,
+        depth: 4,
+        seq: 10,
+    };
+    let c = compile(&dilated::program(s)).expect("dilated compiles");
+    let r = &c.groups[0].reordering;
+    println!("\nFigure 9(b): dilated RNN — wavefront step of cell (layer, time)");
+    println!("(all layers share a step: the stack pipelines through each time step)\n");
+    print!("        ");
+    for t in 0..s.seq {
+        print!("{t:>4}");
+    }
+    println!("   <- time");
+    for d in 0..s.depth {
+        print!("layer {d}:");
+        for l in 0..s.seq as i64 {
+            print!("{:>4}", step_of(r, &[0, l]));
+        }
+        println!("   (dilation {})", s.dilation(d));
+    }
+
+    // (c) Grid RNN: the 3-D wavefront over (layer, row, col); print one
+    // layer's grid.
+    let s = grid::GridShape {
+        batch: 1,
+        hidden: 4,
+        depth: 3,
+        rows: 6,
+        cols: 8,
+    };
+    let c = compile(&grid::program(s)).expect("grid compiles");
+    let r = &c.groups[0].reordering;
+    println!("\nFigure 9(c): grid RNN — wavefront step of cell (row, col) in layers 0 and 2");
+    for layer in [0i64, 2] {
+        println!("\n  layer {layer}:");
+        for i in 0..s.rows as i64 {
+            print!("   ");
+            for j in 0..s.cols as i64 {
+                print!("{:>4}", step_of(r, &[0, layer, i, j]));
+            }
+            println!();
+        }
+    }
+    println!(
+        "\ntotal grid wavefront steps: {} (= depth + rows + cols - 2)",
+        c.groups[0].wavefront_steps()
+    );
+}

@@ -1,0 +1,213 @@
+//! Array access specifications: how a nest's iteration vector indexes the
+//! programmable dimensions of a buffer (§4.2's first-order access operators).
+//!
+//! Every access is quasi-affine — linear, strided, and window patterns all
+//! compile to an [`AffineMap`] (`i = M·t + o`); the `indirect` pattern is
+//! represented by an explicit index table and marked non-affine (the paper
+//! likewise excludes it from affine analysis, §7).
+
+use ft_affine::{AffineMap, IntMat};
+
+use crate::program::CoreError;
+use crate::Result;
+
+/// One buffer axis's index as an affine expression of iteration variables:
+/// `sum(coeff * t_dim) + offset`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisExpr {
+    /// `(iteration dim, coefficient)` terms.
+    pub terms: Vec<(usize, i64)>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl AxisExpr {
+    /// The plain linear access `t_dim`.
+    pub fn var(dim: usize) -> Self {
+        AxisExpr {
+            terms: vec![(dim, 1)],
+            offset: 0,
+        }
+    }
+
+    /// `t_dim + offset` (shifted linear access, e.g. the `-1` of a scan's
+    /// self-read).
+    pub fn shifted(dim: usize, offset: i64) -> Self {
+        AxisExpr {
+            terms: vec![(dim, 1)],
+            offset,
+        }
+    }
+
+    /// `stride * t_dim + start` (constantly strided access).
+    pub fn strided(dim: usize, stride: i64, start: i64) -> Self {
+        AxisExpr {
+            terms: vec![(dim, stride)],
+            offset: start,
+        }
+    }
+
+    /// `stride * t_outer + t_inner + offset` (window access: the outer dim
+    /// picks the window position, the inner dim walks within the window).
+    pub fn window(outer_dim: usize, inner_dim: usize, stride: i64, offset: i64) -> Self {
+        AxisExpr {
+            terms: vec![(outer_dim, stride), (inner_dim, 1)],
+            offset,
+        }
+    }
+
+    /// A constant index (e.g. BigBird's global attention reading block 0).
+    pub fn constant(index: i64) -> Self {
+        AxisExpr {
+            terms: Vec::new(),
+            offset: index,
+        }
+    }
+
+    /// Evaluates at an iteration point.
+    pub fn eval(&self, t: &[i64]) -> i64 {
+        self.terms.iter().map(|&(d, c)| c * t[d]).sum::<i64>() + self.offset
+    }
+}
+
+/// A full access specification: one [`AxisExpr`] per programmable dimension
+/// of the accessed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSpec {
+    /// Axis expressions, one per buffer programmable dimension.
+    pub axes: Vec<AxisExpr>,
+}
+
+impl AccessSpec {
+    /// Builds from axis expressions.
+    pub fn new(axes: Vec<AxisExpr>) -> Self {
+        AccessSpec { axes }
+    }
+
+    /// The default contiguously linear access: buffer axis `j` indexed by
+    /// iteration dim `dims[j]`.
+    pub fn linear(dims: &[usize]) -> Self {
+        AccessSpec {
+            axes: dims.iter().map(|&d| AxisExpr::var(d)).collect(),
+        }
+    }
+
+    /// Identity access on the first `n` iteration dims.
+    pub fn identity(n: usize) -> Self {
+        AccessSpec::linear(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// Returns a copy with `delta` added to the offset of `axis`.
+    pub fn with_offset(mut self, axis: usize, delta: i64) -> Self {
+        if let Some(a) = self.axes.get_mut(axis) {
+            a.offset += delta;
+        }
+        self
+    }
+
+    /// Number of buffer axes addressed.
+    pub fn data_dims(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Evaluates the full index vector at an iteration point.
+    pub fn eval(&self, t: &[i64]) -> Vec<i64> {
+        self.axes.iter().map(|a| a.eval(t)).collect()
+    }
+
+    /// Compiles to the ETDG's access-map form `i = M·t + o` over an
+    /// iteration space of `iter_dims` dimensions.
+    pub fn to_affine_map(&self, iter_dims: usize) -> Result<AffineMap> {
+        let mut m = IntMat::zeros(self.axes.len(), iter_dims);
+        let mut o = Vec::with_capacity(self.axes.len());
+        for (row, axis) in self.axes.iter().enumerate() {
+            for &(dim, coeff) in &axis.terms {
+                if dim >= iter_dims {
+                    return Err(CoreError::Access(format!(
+                        "axis {row} references iteration dim {dim} of {iter_dims}"
+                    )));
+                }
+                m.set(row, dim, m.get(row, dim) + coeff);
+            }
+            o.push(axis.offset);
+        }
+        AffineMap::new(m, o).map_err(|e| CoreError::Access(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_eval() {
+        let a = AccessSpec::linear(&[0, 2]);
+        assert_eq!(a.eval(&[5, 6, 7]), vec![5, 7]);
+    }
+
+    #[test]
+    fn shifted_access_matches_paper_e13() {
+        // Read ysss[i][j][k-1]: identity with offset [0, 0, -1].
+        let a = AccessSpec::new(vec![
+            AxisExpr::var(0),
+            AxisExpr::var(1),
+            AxisExpr::shifted(2, -1),
+        ]);
+        assert_eq!(a.eval(&[2, 3, 4]), vec![2, 3, 3]);
+        let m = a.to_affine_map(3).unwrap();
+        assert_eq!(m.offset(), &[0, 0, -1]);
+        assert_eq!(m.apply(&[2, 3, 4]).unwrap(), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn strided_access() {
+        // Dilated RNN layer with dilation 4 starting at 3.
+        let a = AccessSpec::new(vec![AxisExpr::strided(1, 4, 3)]);
+        assert_eq!(a.eval(&[0, 2]), vec![11]);
+        let m = a.to_affine_map(2).unwrap();
+        assert_eq!(m.apply(&[0, 2]).unwrap(), vec![11]);
+    }
+
+    #[test]
+    fn window_access() {
+        // BigBird windowed keys: block index = t_pos + t_win - 1.
+        let a = AccessSpec::new(vec![AxisExpr::window(0, 1, 1, -1)]);
+        assert_eq!(a.eval(&[5, 0]), vec![4]);
+        assert_eq!(a.eval(&[5, 2]), vec![6]);
+    }
+
+    #[test]
+    fn constant_access() {
+        let a = AccessSpec::new(vec![AxisExpr::constant(0), AxisExpr::var(1)]);
+        assert_eq!(a.eval(&[9, 3]), vec![0, 3]);
+    }
+
+    #[test]
+    fn with_offset_shifts() {
+        let a = AccessSpec::identity(2).with_offset(1, -1);
+        assert_eq!(a.eval(&[4, 4]), vec![4, 3]);
+    }
+
+    #[test]
+    fn to_affine_map_rejects_out_of_range_dim() {
+        let a = AccessSpec::linear(&[0, 5]);
+        assert!(a.to_affine_map(2).is_err());
+    }
+
+    #[test]
+    fn spec_and_map_agree_everywhere() {
+        let a = AccessSpec::new(vec![
+            AxisExpr::window(0, 2, 2, 1),
+            AxisExpr::strided(1, 3, -2),
+        ]);
+        let m = a.to_affine_map(3).unwrap();
+        for t0 in 0..4i64 {
+            for t1 in 0..4i64 {
+                for t2 in 0..4i64 {
+                    let t = [t0, t1, t2];
+                    assert_eq!(a.eval(&t), m.apply(&t).unwrap());
+                }
+            }
+        }
+    }
+}

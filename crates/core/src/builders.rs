@@ -1,0 +1,76 @@
+//! Canonical program builders used across the workspace's tests and docs.
+//!
+//! The six full evaluation workloads live in `ft-workloads`; this module
+//! holds the paper's *running example* (Listing 1's stacked RNN), which the
+//! ETDG parser, coarsening, and reordering test suites all exercise.
+
+use crate::access::{AccessSpec, AxisExpr};
+use crate::expr::UdfBuilder;
+use crate::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+
+/// Listing 1's stacked RNN as a single depth-3 nest over `(n, d, l)`:
+///
+/// ```text
+/// ysss = xss.map xs =>            -- batch (map)
+///   yss = ws.scanl xs, (ss, w) => -- layers (scanl, init = input sequence)
+///     ys = ss.scanl 0, (s, x) =>  -- time (scanl, init = 0)
+///       y = x @ w + s             -- UDF cell
+/// ```
+///
+/// The two scans appear as *self-reads of the output buffer* at offsets
+/// `d-1` and `l-1`, with carried initializers — precisely the access maps
+/// `e12`/`e13` of the paper's Figure 4.
+pub fn stacked_rnn_program(n: usize, d: usize, l: usize, h: usize) -> Program {
+    let mut p = Program::new("stacked_rnn");
+    let xss = p.input("xss", &[n, l], &[1, h]);
+    let ws = p.input("ws", &[d], &[h, h]);
+    let ysss = p.output("ysss", &[n, d, l], &[1, h]);
+
+    let mut b = UdfBuilder::new("rnn_cell", 3);
+    let (x, w, s) = (b.input(0), b.input(1), b.input(2));
+    let xw = b.matmul(x, w);
+    let y = b.add(xw, s);
+    let udf = b.build(&[y]);
+
+    let nest = Nest {
+        name: "stacked_rnn".into(),
+        ops: vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL],
+        extents: vec![n, d, l],
+        reads: vec![
+            // x: the previous layer's output at (n, d-1, l); layer 0 reads
+            // the input sequence xss[n][l] instead (edge e12 of Figure 4).
+            Read::carried(
+                ysss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::shifted(1, -1),
+                    AxisExpr::var(2),
+                ]),
+                CarriedInit::Buffer(
+                    xss,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2)]),
+                ),
+            ),
+            // w: the layer's weight matrix (edge e14).
+            Read::plain(ws, AccessSpec::new(vec![AxisExpr::var(1)])),
+            // s: this layer's previous step at (n, d, l-1); zeros at l = 0
+            // (edge e13).
+            Read::carried(
+                ysss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::shifted(2, -1),
+                ]),
+                CarriedInit::Zero,
+            ),
+        ],
+        writes: vec![Write {
+            buffer: ysss,
+            access: AccessSpec::identity(3),
+        }],
+        udf,
+    };
+    p.add_nest(nest).expect("stacked RNN nest is well-formed");
+    p
+}

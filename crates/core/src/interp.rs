@@ -1,0 +1,384 @@
+//! A naive lexicographic interpreter for [`Program`]s.
+//!
+//! This executes each nest exactly as written — no coarsening, no
+//! reordering — one iteration point at a time, in the order dictated by the
+//! operator vector (left operators ascend, right operators descend). It is
+//! the semantic oracle: the compiled wavefront schedules produced by
+//! `ft-passes`/`ft-backend` must compute bit-identical buffer contents.
+
+use std::collections::HashMap;
+
+use ft_tensor::{Shape, Tensor};
+
+use crate::adt::FractalTensor;
+use crate::program::{BufferId, BufferKind, CarriedInit, CoreError, Program};
+use crate::Result;
+
+/// Dense storage for one buffer: every programmable index holds an optional
+/// leaf (present once written). The `Option` enforces—and checks—the
+/// single-assignment property at runtime.
+#[derive(Debug, Clone)]
+pub struct BufferStore {
+    dims: Vec<usize>,
+    leaf_shape: Shape,
+    elems: Vec<Option<Tensor>>,
+}
+
+impl BufferStore {
+    /// Empty storage for the given programmable dims and leaf shape.
+    pub fn new(dims: &[usize], leaf_shape: Shape) -> Self {
+        let n: usize = dims.iter().product();
+        BufferStore {
+            dims: dims.to_vec(),
+            leaf_shape,
+            elems: vec![None; n],
+        }
+    }
+
+    /// Storage pre-filled from a FractalTensor (for inputs).
+    pub fn from_fractal(ft: &FractalTensor) -> Result<Self> {
+        let dims = ft.prog_dims();
+        let mut store = BufferStore::new(&dims, ft.leaf_shape());
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let leaf = ft.leaf_at(&idx)?;
+            let flat = store.flatten(&idx.iter().map(|&i| i as i64).collect::<Vec<_>>())?;
+            store.elems[flat] = Some(leaf.clone());
+            // Odometer.
+            let mut k = dims.len();
+            loop {
+                if k == 0 {
+                    return Ok(store);
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < dims[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    /// The programmable dims.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The leaf shape.
+    pub fn leaf_shape(&self) -> &Shape {
+        &self.leaf_shape
+    }
+
+    /// True when the (possibly negative) index is inside the extents.
+    pub fn in_range(&self, idx: &[i64]) -> bool {
+        idx.len() == self.dims.len()
+            && idx
+                .iter()
+                .zip(self.dims.iter())
+                .all(|(&i, &d)| i >= 0 && (i as usize) < d)
+    }
+
+    fn flatten(&self, idx: &[i64]) -> Result<usize> {
+        if !self.in_range(idx) {
+            return Err(CoreError::Interp(format!(
+                "index {idx:?} out of extents {:?}",
+                self.dims
+            )));
+        }
+        let mut flat = 0usize;
+        for (&i, &d) in idx.iter().zip(self.dims.iter()) {
+            flat = flat * d + i as usize;
+        }
+        Ok(flat)
+    }
+
+    /// Reads a leaf; errors if out of range or not yet written.
+    pub fn get(&self, idx: &[i64]) -> Result<&Tensor> {
+        let flat = self.flatten(idx)?;
+        self.elems[flat]
+            .as_ref()
+            .ok_or_else(|| CoreError::Interp(format!("read of unwritten element {idx:?}")))
+    }
+
+    /// Writes a leaf; errors on double write (single-assignment violation).
+    pub fn set(&mut self, idx: &[i64], value: Tensor) -> Result<()> {
+        let flat = self.flatten(idx)?;
+        if self.elems[flat].is_some() {
+            return Err(CoreError::Interp(format!(
+                "single-assignment violation at {idx:?}"
+            )));
+        }
+        self.elems[flat] = Some(value);
+        Ok(())
+    }
+
+    /// Converts to a FractalTensor (errors if any element is unwritten).
+    pub fn to_fractal(&self) -> Result<FractalTensor> {
+        self.build_fractal(0, &mut vec![0i64; self.dims.len()])
+    }
+
+    fn build_fractal(&self, depth: usize, idx: &mut Vec<i64>) -> Result<FractalTensor> {
+        let extent = self.dims[depth];
+        if depth + 1 == self.dims.len() {
+            let mut leaves = Vec::with_capacity(extent);
+            for i in 0..extent {
+                idx[depth] = i as i64;
+                leaves.push(self.get(idx)?.clone());
+            }
+            idx[depth] = 0;
+            FractalTensor::from_tensors(leaves)
+        } else {
+            let mut subs = Vec::with_capacity(extent);
+            for i in 0..extent {
+                idx[depth] = i as i64;
+                subs.push(self.build_fractal(depth + 1, idx)?);
+            }
+            idx[depth] = 0;
+            FractalTensor::nested(subs)
+        }
+    }
+}
+
+/// Executes a program on the given inputs, returning every `Output` buffer.
+///
+/// Inputs must be provided for every `Input` buffer and match its declared
+/// dims/leaf shape.
+pub fn run_program(
+    program: &Program,
+    inputs: &HashMap<BufferId, FractalTensor>,
+) -> Result<HashMap<BufferId, FractalTensor>> {
+    program.validate()?;
+    let mut stores: Vec<BufferStore> = Vec::with_capacity(program.buffers.len());
+    for (bi, decl) in program.buffers.iter().enumerate() {
+        let id = BufferId(bi);
+        match decl.kind {
+            BufferKind::Input => {
+                let ft = inputs
+                    .get(&id)
+                    .ok_or_else(|| CoreError::Interp(format!("missing input '{}'", decl.name)))?;
+                if ft.prog_dims() != decl.dims {
+                    return Err(CoreError::Interp(format!(
+                        "input '{}' dims {:?} != declared {:?}",
+                        decl.name,
+                        ft.prog_dims(),
+                        decl.dims
+                    )));
+                }
+                if ft.leaf_shape() != decl.leaf_shape {
+                    return Err(CoreError::Interp(format!(
+                        "input '{}' leaf shape mismatch",
+                        decl.name
+                    )));
+                }
+                stores.push(BufferStore::from_fractal(ft)?);
+            }
+            _ => stores.push(BufferStore::new(&decl.dims, decl.leaf_shape.clone())),
+        }
+    }
+
+    for nest in &program.nests {
+        run_nest(program, nest, &mut stores)?;
+    }
+
+    let mut outputs = HashMap::new();
+    for (bi, decl) in program.buffers.iter().enumerate() {
+        if decl.kind == BufferKind::Output {
+            outputs.insert(BufferId(bi), stores[bi].to_fractal()?);
+        }
+    }
+    Ok(outputs)
+}
+
+fn run_nest(
+    program: &Program,
+    nest: &crate::program::Nest,
+    stores: &mut [BufferStore],
+) -> Result<()> {
+    let d = nest.depth();
+    let extents = &nest.extents;
+    if nest.points() == 0 {
+        return Ok(());
+    }
+    // Iteration state: each dim ascends for left ops, descends for right.
+    let reversed: Vec<bool> = nest.ops.iter().map(|o| o.is_reversed()).collect();
+    let mut t: Vec<i64> = (0..d)
+        .map(|i| {
+            if reversed[i] {
+                extents[i] as i64 - 1
+            } else {
+                0
+            }
+        })
+        .collect();
+    loop {
+        step_point(program, nest, stores, &t)?;
+        // Odometer over the mixed-direction domain (innermost fastest).
+        let mut k = d;
+        let mut done = false;
+        loop {
+            if k == 0 {
+                done = true;
+                break;
+            }
+            k -= 1;
+            if reversed[k] {
+                t[k] -= 1;
+                if t[k] >= 0 {
+                    break;
+                }
+                t[k] = extents[k] as i64 - 1;
+            } else {
+                t[k] += 1;
+                if (t[k] as usize) < extents[k] {
+                    break;
+                }
+                t[k] = 0;
+            }
+        }
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+fn step_point(
+    program: &Program,
+    nest: &crate::program::Nest,
+    stores: &mut [BufferStore],
+    t: &[i64],
+) -> Result<()> {
+    let mut leaves: Vec<Tensor> = Vec::with_capacity(nest.reads.len());
+    for read in &nest.reads {
+        let idx = read.access.eval(t);
+        let store = &stores[read.buffer.0];
+        if store.in_range(&idx) {
+            leaves.push(store.get(&idx)?.clone());
+        } else {
+            match &read.init {
+                Some(CarriedInit::Zero) => {
+                    leaves.push(Tensor::zeros(store.leaf_shape().dims()));
+                }
+                Some(CarriedInit::Fill(v)) => {
+                    leaves.push(Tensor::full(store.leaf_shape().dims(), *v));
+                }
+                Some(CarriedInit::Buffer(b, spec)) => {
+                    let init_idx = spec.eval(t);
+                    leaves.push(stores[b.0].get(&init_idx)?.clone());
+                }
+                None => {
+                    return Err(CoreError::Interp(format!(
+                        "{}: read of '{}' at {idx:?} out of range with no init",
+                        nest.name,
+                        program.buffer(read.buffer).name
+                    )));
+                }
+            }
+        }
+    }
+    let results = nest.udf.eval(&leaves)?;
+    for (write, value) in nest.writes.iter().zip(results) {
+        let idx = write.access.eval(t);
+        stores[write.buffer.0].set(&idx, value)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::stacked_rnn_program;
+    use ft_tensor::assert_allclose;
+
+    #[test]
+    fn buffer_store_single_assignment() {
+        let mut s = BufferStore::new(&[2, 2], Shape::new(&[1]));
+        s.set(&[0, 1], Tensor::ones(&[1])).unwrap();
+        assert!(s.set(&[0, 1], Tensor::zeros(&[1])).is_err());
+        assert!(s.get(&[1, 1]).is_err());
+        assert!(s.get(&[2, 0]).is_err());
+        assert!(!s.in_range(&[-1, 0]));
+    }
+
+    #[test]
+    fn fractal_round_trip_through_store() {
+        let t = Tensor::randn(&[2, 3, 4], 1);
+        let ft = FractalTensor::from_flat(&t, 2).unwrap();
+        let store = BufferStore::from_fractal(&ft).unwrap();
+        let back = store.to_fractal().unwrap();
+        assert_eq!(ft, back);
+    }
+
+    /// Reference stacked RNN computed directly with the eager ADT, as in
+    /// Listing 1.
+    fn eager_stacked_rnn(xss: &FractalTensor, ws: &FractalTensor, h: usize) -> FractalTensor {
+        xss.map(|xs| {
+            // scanl over layers: state is the whole sequence.
+            let mut seq = xs.sub()?.clone();
+            let mut layers = Vec::new();
+            for wi in 0..ws.len() {
+                let w = ws.leaf(wi)?;
+                let ys = seq.scanl(Tensor::zeros(&[1, h]), |s, x| {
+                    x.leaf()?
+                        .matmul(w)
+                        .and_then(|xw| xw.add(s))
+                        .map_err(|e| CoreError::Adt(e.to_string()))
+                })?;
+                layers.push(ys.clone());
+                seq = ys;
+            }
+            FractalTensor::nested(layers)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn interpreter_matches_eager_semantics() {
+        let (n, d, l, h) = (2, 3, 4, 8);
+        let p = stacked_rnn_program(n, d, l, h);
+        let xss_flat = Tensor::randn(&[n, l, 1, h], 100);
+        let ws_flat = Tensor::randn(&[d, h, h], 200).mul_scalar(0.1);
+        let xss = FractalTensor::from_flat(&xss_flat, 2).unwrap();
+        let ws = FractalTensor::from_flat(&ws_flat, 1).unwrap();
+
+        let mut inputs = HashMap::new();
+        inputs.insert(BufferId(0), xss.clone());
+        inputs.insert(BufferId(1), ws.clone());
+        let out = run_program(&p, &inputs).unwrap();
+        let ysss = out.get(&BufferId(2)).unwrap();
+
+        let expected = eager_stacked_rnn(&xss, &ws, h);
+        assert_eq!(ysss.prog_dims(), vec![n, d, l]);
+        for ni in 0..n {
+            for di in 0..d {
+                for li in 0..l {
+                    assert_allclose(
+                        ysss.leaf_at(&[ni, di, li]).unwrap(),
+                        expected.leaf_at(&[ni, di, li]).unwrap(),
+                        1e-4,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let p = stacked_rnn_program(2, 2, 2, 4);
+        let inputs = HashMap::new();
+        assert!(run_program(&p, &inputs).is_err());
+    }
+
+    #[test]
+    fn wrong_input_dims_reported() {
+        let p = stacked_rnn_program(2, 2, 2, 4);
+        let mut inputs = HashMap::new();
+        let bad = FractalTensor::from_flat(&Tensor::randn(&[3, 2, 1, 4], 1), 2).unwrap();
+        inputs.insert(BufferId(0), bad);
+        inputs.insert(
+            BufferId(1),
+            FractalTensor::from_flat(&Tensor::randn(&[2, 4, 4], 2), 1).unwrap(),
+        );
+        assert!(run_program(&p, &inputs).is_err());
+    }
+}

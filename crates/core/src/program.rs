@@ -1,0 +1,516 @@
+//! The staged program IR: buffers, operator nests, and whole programs
+//! (the Appendix A abstract syntax, restricted to quasi-affine accesses).
+
+use ft_tensor::Shape;
+
+use crate::access::AccessSpec;
+use crate::expr::Udf;
+use crate::Result;
+
+/// Errors from the programming-model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Eager ADT misuse.
+    Adt(String),
+    /// UDF construction or evaluation error.
+    Udf(String),
+    /// Access specification error.
+    Access(String),
+    /// Program structure error.
+    Program(String),
+    /// Interpreter runtime error.
+    Interp(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Adt(m) => write!(f, "ADT error: {m}"),
+            CoreError::Udf(m) => write!(f, "UDF error: {m}"),
+            CoreError::Access(m) => write!(f, "access error: {m}"),
+            CoreError::Program(m) => write!(f, "program error: {m}"),
+            CoreError::Interp(m) => write!(f, "interpreter error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Identifies a declared buffer within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub usize);
+
+/// What role a buffer plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferKind {
+    /// Provided by the caller.
+    Input,
+    /// Produced and returned.
+    Output,
+    /// Produced and consumed internally.
+    Intermediate,
+}
+
+/// A declared FractalTensor buffer: programmable dims + static leaf shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Extents of the programmable dimensions, outermost first.
+    pub dims: Vec<usize>,
+    /// The static shape of every leaf.
+    pub leaf_shape: Shape,
+    /// Role.
+    pub kind: BufferKind,
+}
+
+/// The second-order array compute operators, one per nest level
+/// (the paper's `\vec{p}` vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Fully parallel apply-to-each.
+    Map,
+    /// Left scan (emits every prefix).
+    ScanL,
+    /// Right scan.
+    ScanR,
+    /// Left fold (only the final value is consumed downstream).
+    FoldL,
+    /// Right fold.
+    FoldR,
+    /// Associative reduce.
+    Reduce,
+}
+
+impl OpKind {
+    /// Aggregate operators carry loop dependencies; `map` does not
+    /// (Table 4).
+    pub fn is_aggregate(&self) -> bool {
+        !matches!(self, OpKind::Map)
+    }
+
+    /// True for right-to-left iteration order.
+    pub fn is_reversed(&self) -> bool {
+        matches!(self, OpKind::ScanR | OpKind::FoldR)
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::Map => "map",
+            OpKind::ScanL => "scanl",
+            OpKind::ScanR => "scanr",
+            OpKind::FoldL => "foldl",
+            OpKind::FoldR => "foldr",
+            OpKind::Reduce => "reduce",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// What a scan/fold reads on its first step, when the regular access falls
+/// outside the buffer (e.g. `ysss[i][j][k-1]` at `k = 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CarriedInit {
+    /// Read zeros of the buffer's leaf shape (Listing 1's `scanl 0, ...`).
+    Zero,
+    /// Read a constant-filled leaf (e.g. `-inf` for the running max of the
+    /// online-softmax reduce in Listing 3).
+    Fill(f32),
+    /// Read another buffer through the given access (Listing 1's outer
+    /// `scanl xs, ...` whose initial state is the input sequence).
+    Buffer(BufferId, AccessSpec),
+}
+
+/// One buffer read of a nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Read {
+    /// The buffer read.
+    pub buffer: BufferId,
+    /// How the nest's iteration vector indexes it.
+    pub access: AccessSpec,
+    /// Boundary rule: when the computed index falls outside the buffer's
+    /// programmable extent, read this instead. `None` means out-of-range
+    /// accesses are a program error.
+    pub init: Option<CarriedInit>,
+}
+
+impl Read {
+    /// A plain read with no boundary rule.
+    pub fn plain(buffer: BufferId, access: AccessSpec) -> Self {
+        Read {
+            buffer,
+            access,
+            init: None,
+        }
+    }
+
+    /// A carried read with a boundary initializer.
+    pub fn carried(buffer: BufferId, access: AccessSpec, init: CarriedInit) -> Self {
+        Read {
+            buffer,
+            access,
+            init: Some(init),
+        }
+    }
+}
+
+/// One buffer write of a nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Write {
+    /// The buffer written.
+    pub buffer: BufferId,
+    /// Where each iteration writes (must be injective over the domain, per
+    /// the single-assignment property).
+    pub access: AccessSpec,
+}
+
+/// A perfect nest of array compute operators over a rectangular iteration
+/// domain, with affine reads/writes and a UDF at the innermost level.
+///
+/// This is the block-node progenitor: the ETDG parser turns each nest into
+/// one or more block nodes (one per boundary region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nest {
+    /// Name, used in diagnostics and emitted kernels.
+    pub name: String,
+    /// Operator at each nest level, outermost first.
+    pub ops: Vec<OpKind>,
+    /// Trip count of each level.
+    pub extents: Vec<usize>,
+    /// Buffer reads, in UDF input order.
+    pub reads: Vec<Read>,
+    /// Buffer writes, in UDF output order.
+    pub writes: Vec<Write>,
+    /// The innermost math function.
+    pub udf: Udf,
+}
+
+impl Nest {
+    /// Nest depth (number of operator levels).
+    pub fn depth(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total number of iteration points.
+    pub fn points(&self) -> usize {
+        self.extents.iter().product()
+    }
+}
+
+/// A whole FractalTensor program: declared buffers plus a sequence of nests
+/// in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// All declared buffers.
+    pub buffers: Vec<BufferDecl>,
+    /// The nests, in a valid execution order.
+    pub nests: Vec<Nest>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new(name: &str) -> Self {
+        Program {
+            name: name.to_string(),
+            buffers: Vec::new(),
+            nests: Vec::new(),
+        }
+    }
+
+    /// Declares an input buffer.
+    pub fn input(&mut self, name: &str, dims: &[usize], leaf: &[usize]) -> BufferId {
+        self.declare(name, dims, leaf, BufferKind::Input)
+    }
+
+    /// Declares an output buffer.
+    pub fn output(&mut self, name: &str, dims: &[usize], leaf: &[usize]) -> BufferId {
+        self.declare(name, dims, leaf, BufferKind::Output)
+    }
+
+    /// Declares an intermediate buffer.
+    pub fn intermediate(&mut self, name: &str, dims: &[usize], leaf: &[usize]) -> BufferId {
+        self.declare(name, dims, leaf, BufferKind::Intermediate)
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        dims: &[usize],
+        leaf: &[usize],
+        kind: BufferKind,
+    ) -> BufferId {
+        self.buffers.push(BufferDecl {
+            name: name.to_string(),
+            dims: dims.to_vec(),
+            leaf_shape: Shape::new(leaf),
+            kind,
+        });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// The declaration of a buffer.
+    pub fn buffer(&self, id: BufferId) -> &BufferDecl {
+        &self.buffers[id.0]
+    }
+
+    /// Appends a nest after validating it against the declared buffers.
+    pub fn add_nest(&mut self, nest: Nest) -> Result<()> {
+        self.validate_nest(&nest)?;
+        self.nests.push(nest);
+        Ok(())
+    }
+
+    fn validate_nest(&self, nest: &Nest) -> Result<()> {
+        if nest.ops.len() != nest.extents.len() {
+            return Err(CoreError::Program(format!(
+                "{}: {} ops but {} extents",
+                nest.name,
+                nest.ops.len(),
+                nest.extents.len()
+            )));
+        }
+        if nest.ops.is_empty() {
+            return Err(CoreError::Program(format!("{}: empty nest", nest.name)));
+        }
+        nest.udf.validate()?;
+        if nest.udf.num_inputs != nest.reads.len() {
+            return Err(CoreError::Program(format!(
+                "{}: UDF takes {} inputs but nest reads {}",
+                nest.name,
+                nest.udf.num_inputs,
+                nest.reads.len()
+            )));
+        }
+        if nest.udf.outputs.len() != nest.writes.len() {
+            return Err(CoreError::Program(format!(
+                "{}: UDF yields {} outputs but nest writes {}",
+                nest.name,
+                nest.udf.outputs.len(),
+                nest.writes.len()
+            )));
+        }
+        let d = nest.depth();
+        let check_buffer = |id: BufferId, spec: &AccessSpec, what: &str| -> Result<()> {
+            let decl = self
+                .buffers
+                .get(id.0)
+                .ok_or_else(|| CoreError::Program(format!("{}: unknown buffer", nest.name)))?;
+            if spec.data_dims() != decl.dims.len() {
+                return Err(CoreError::Program(format!(
+                    "{}: {what} access has {} axes but buffer '{}' has {} dims",
+                    nest.name,
+                    spec.data_dims(),
+                    decl.name,
+                    decl.dims.len()
+                )));
+            }
+            spec.to_affine_map(d).map(|_| ())
+        };
+        for (i, r) in nest.reads.iter().enumerate() {
+            check_buffer(r.buffer, &r.access, &format!("read {i}"))?;
+            if let Some(CarriedInit::Buffer(b, spec)) = &r.init {
+                check_buffer(*b, spec, &format!("read {i} init"))?;
+            }
+        }
+        for (i, w) in nest.writes.iter().enumerate() {
+            check_buffer(w.buffer, &w.access, &format!("write {i}"))?;
+            let decl = self.buffer(w.buffer);
+            if decl.kind == BufferKind::Input {
+                return Err(CoreError::Program(format!(
+                    "{}: write {i} targets input buffer '{}'",
+                    nest.name, decl.name
+                )));
+            }
+        }
+        // Check UDF shape inference against the leaf shapes.
+        let in_shapes: Vec<Shape> = nest
+            .reads
+            .iter()
+            .map(|r| self.buffer(r.buffer).leaf_shape.clone())
+            .collect();
+        let shapes = nest.udf.infer_shapes(&in_shapes)?;
+        for (i, (w, got)) in nest.writes.iter().zip(shapes.outputs.iter()).enumerate() {
+            let want = &self.buffer(w.buffer).leaf_shape;
+            if got != want {
+                return Err(CoreError::Program(format!(
+                    "{}: write {i} produces leaf {:?} but buffer '{}' declares {:?}",
+                    nest.name,
+                    got.dims(),
+                    self.buffer(w.buffer).name,
+                    want.dims()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every writer nest index for each buffer (used by the ETDG parser).
+    pub fn writers(&self) -> Vec<Vec<usize>> {
+        let mut w = vec![Vec::new(); self.buffers.len()];
+        for (ni, nest) in self.nests.iter().enumerate() {
+            for wr in &nest.writes {
+                w[wr.buffer.0].push(ni);
+            }
+        }
+        w
+    }
+
+    /// Validates whole-program structure: every read buffer is an input or
+    /// written by some nest, every output is written, writes are unique per
+    /// buffer.
+    pub fn validate(&self) -> Result<()> {
+        let writers = self.writers();
+        for (bi, decl) in self.buffers.iter().enumerate() {
+            match decl.kind {
+                BufferKind::Input => {
+                    if !writers[bi].is_empty() {
+                        return Err(CoreError::Program(format!(
+                            "input '{}' is written by a nest",
+                            decl.name
+                        )));
+                    }
+                }
+                BufferKind::Output | BufferKind::Intermediate => {
+                    if writers[bi].is_empty() {
+                        return Err(CoreError::Program(format!(
+                            "buffer '{}' is never written",
+                            decl.name
+                        )));
+                    }
+                    if writers[bi].len() > 1 {
+                        return Err(CoreError::Program(format!(
+                            "buffer '{}' written by {} nests (single assignment)",
+                            decl.name,
+                            writers[bi].len()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::stacked_rnn_program;
+    use crate::expr::UdfBuilder;
+
+    #[test]
+    fn stacked_rnn_validates() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.nests[0].depth(), 3);
+        assert_eq!(p.nests[0].points(), 24);
+    }
+
+    #[test]
+    fn nest_validation_catches_arity_mismatch() {
+        let mut p = Program::new("bad");
+        let x = p.input("x", &[4], &[1, 8]);
+        let y = p.output("y", &[4], &[1, 8]);
+        let mut b = UdfBuilder::new("id", 1);
+        let i = b.input(0);
+        let o = b.id(i);
+        let udf = b.build(&[o]);
+        // ops/extents length mismatch.
+        let nest = Nest {
+            name: "bad".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![4, 4],
+            reads: vec![Read::plain(x, AccessSpec::identity(1))],
+            writes: vec![Write {
+                buffer: y,
+                access: AccessSpec::identity(1),
+            }],
+            udf,
+        };
+        assert!(p.add_nest(nest).is_err());
+    }
+
+    #[test]
+    fn nest_validation_catches_leaf_shape_mismatch() {
+        let mut p = Program::new("bad");
+        let x = p.input("x", &[4], &[1, 8]);
+        let y = p.output("y", &[4], &[1, 9]); // Wrong leaf shape.
+        let mut b = UdfBuilder::new("id", 1);
+        let i = b.input(0);
+        let o = b.id(i);
+        let udf = b.build(&[o]);
+        let nest = Nest {
+            name: "bad".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![4],
+            reads: vec![Read::plain(x, AccessSpec::identity(1))],
+            writes: vec![Write {
+                buffer: y,
+                access: AccessSpec::identity(1),
+            }],
+            udf,
+        };
+        assert!(p.add_nest(nest).is_err());
+    }
+
+    #[test]
+    fn program_validation_catches_double_write() {
+        let mut p = Program::new("bad");
+        let x = p.input("x", &[4], &[1, 8]);
+        let y = p.output("y", &[4], &[1, 8]);
+        let mk = || {
+            let mut b = UdfBuilder::new("id", 1);
+            let i = b.input(0);
+            let o = b.id(i);
+            b.build(&[o])
+        };
+        for _ in 0..2 {
+            p.add_nest(Nest {
+                name: "dup".into(),
+                ops: vec![OpKind::Map],
+                extents: vec![4],
+                reads: vec![Read::plain(x, AccessSpec::identity(1))],
+                writes: vec![Write {
+                    buffer: y,
+                    access: AccessSpec::identity(1),
+                }],
+                udf: mk(),
+            })
+            .unwrap();
+        }
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn program_validation_catches_unwritten_output() {
+        let mut p = Program::new("bad");
+        let _x = p.input("x", &[4], &[1, 8]);
+        let _y = p.output("y", &[4], &[1, 8]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn write_to_input_rejected() {
+        let mut p = Program::new("bad");
+        let x = p.input("x", &[4], &[1, 8]);
+        let mut b = UdfBuilder::new("id", 1);
+        let i = b.input(0);
+        let o = b.id(i);
+        let udf = b.build(&[o]);
+        let nest = Nest {
+            name: "bad".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![4],
+            reads: vec![Read::plain(x, AccessSpec::identity(1))],
+            writes: vec![Write {
+                buffer: x,
+                access: AccessSpec::identity(1),
+            }],
+            udf,
+        };
+        assert!(p.add_nest(nest).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # ft-etdg
+//!
+//! The Extended Task Dependence Graph (SOSP 2024, §4.4): a nested
+//! multi-dimensional dataflow IR giving the compiler a holistic view of
+//! parallelism and dependencies across every control and data nesting
+//! level.
+//!
+//! The four ETDG elements of the paper's Table 2 map onto:
+//!
+//! * **Buffer node** ([`BufferNode`]) — an addressable FractalTensor
+//!   instance with the single-assignment property,
+//! * **Block node** ([`BlockNode`]) — a `d`-dimensional control node
+//!   `Γ_d = (t⃗_d, 𝒫_d, G_T, p⃗_d)` for a perfect compute-operator nest,
+//! * **Operation node** ([`ft_core::Udf`] statements) — user-defined tensor
+//!   math attached at block leaves (lowered to child blocks by
+//!   `ft-passes`),
+//! * **Access map** ([`ft_affine::AffineMap`] on every edge) — the
+//!   quasi-affine `i = M·t + o` annotation.
+//!
+//! [`parse::parse_program`] extracts an ETDG from an `ft-core`
+//! [`ft_core::Program`]. Aggregate operators' "first step differs"
+//! conditionals are translated into separate data-parallel block nodes —
+//! one per boundary region — writing *disjoint* parts of the output buffer
+//! node, exactly as Figure 4's `region₀…₃` does for the running example
+//! (and §6.3's counts: stacked LSTM → 4 block nodes, grid RNN → 8).
+
+#![forbid(unsafe_code)]
+
+pub mod dot;
+pub mod graph;
+pub mod parse;
+
+pub use dot::to_dot;
+pub use graph::{BlockId, BlockNode, BufId, BufferNode, Etdg, EtdgError, RegionRead, RegionWrite};
+pub use parse::parse_program;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EtdgError>;

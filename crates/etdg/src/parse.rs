@@ -1,0 +1,564 @@
+//! Parsing `ft-core` programs into ETDGs.
+//!
+//! The central move (paper §6.3): an aggregate operator's first step reads
+//! its initializer instead of the carried value, so a depth-`d` nest with
+//! `k` carried reads hides `2^k` distinct data-flow behaviours behind
+//! conditionals. The parser makes them explicit — it splits the iteration
+//! domain into up to `2^k` *regions* and emits one block node per
+//! (non-empty) region, each with unconditional access maps. Figure 4's
+//! `region₀…₃` for the running example, the 4 block nodes of the stacked
+//! LSTM and the 8 of the grid RNN all fall out of this construction.
+
+use ft_affine::{Constraint, ConstraintSet};
+use ft_core::program::{CarriedInit, Program, Read};
+use ft_core::AccessSpec;
+
+use crate::graph::{BlockNode, BufId, BufferNode, Etdg, EtdgError, RegionRead, RegionWrite};
+use crate::Result;
+
+/// Which side of the buffer a carried access can fall off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundarySide {
+    /// Access index can be negative: boundary at small `t_dim`.
+    Low,
+    /// Access index can exceed the extent: boundary at large `t_dim`.
+    High,
+}
+
+/// A split predicate: read `read_idx` is out-of-range exactly when iteration
+/// dim `dim` is on the boundary side of `threshold`.
+#[derive(Debug, Clone)]
+struct SplitPredicate {
+    read_idx: usize,
+    dim: usize,
+    side: BoundarySide,
+    /// For `Low`: in-range iff `t_dim >= threshold`.
+    /// For `High`: in-range iff `t_dim <= threshold`.
+    threshold: i64,
+}
+
+/// Extracts the ETDG from a validated program.
+///
+/// # Examples
+///
+/// ```
+/// use ft_core::builders::stacked_rnn_program;
+/// use ft_etdg::parse_program;
+///
+/// let etdg = parse_program(&stacked_rnn_program(2, 3, 4, 512)).unwrap();
+/// // Figure 4: four regions; §4.4: depth 2, dimension 5.
+/// assert_eq!(etdg.blocks.len(), 4);
+/// assert_eq!(etdg.depth(), 2);
+/// assert_eq!(etdg.dimension(), 5);
+/// ```
+pub fn parse_program(program: &Program) -> Result<Etdg> {
+    program
+        .validate()
+        .map_err(|e| EtdgError::Parse(e.to_string()))?;
+    let buffers: Vec<BufferNode> = program
+        .buffers
+        .iter()
+        .map(|d| BufferNode {
+            name: d.name.clone(),
+            dims: d.dims.clone(),
+            leaf_shape: d.leaf_shape.clone(),
+            kind: d.kind,
+        })
+        .collect();
+
+    let mut etdg = Etdg {
+        name: program.name.clone(),
+        buffers,
+        blocks: Vec::new(),
+    };
+
+    for (ni, nest) in program.nests.iter().enumerate() {
+        let preds = split_predicates(program, nest)?;
+        let hull = ConstraintSet::from_box(
+            &vec![0i64; nest.depth()],
+            &nest.extents.iter().map(|&e| e as i64).collect::<Vec<_>>(),
+        )?;
+        // Enumerate regions: bit b of `mask` set means predicate b is on its
+        // *interior* side. All-boundary first, fully interior last, matching
+        // the paper's region numbering.
+        let nregions = 1usize << preds.len();
+        for mask in 0..nregions {
+            let mut domain = hull.clone();
+            for (b, p) in preds.iter().enumerate() {
+                let interior = mask & (1 << b) != 0;
+                let mut coeffs = vec![0i64; nest.depth()];
+                match (p.side, interior) {
+                    (BoundarySide::Low, true) => {
+                        // t_dim >= threshold.
+                        coeffs[p.dim] = 1;
+                        domain.push(Constraint::new(coeffs, -p.threshold));
+                    }
+                    (BoundarySide::Low, false) => {
+                        // t_dim <= threshold - 1.
+                        coeffs[p.dim] = -1;
+                        domain.push(Constraint::new(coeffs, p.threshold - 1));
+                    }
+                    (BoundarySide::High, true) => {
+                        // t_dim <= threshold.
+                        coeffs[p.dim] = -1;
+                        domain.push(Constraint::new(coeffs, p.threshold));
+                    }
+                    (BoundarySide::High, false) => {
+                        // t_dim >= threshold + 1.
+                        coeffs[p.dim] = 1;
+                        domain.push(Constraint::new(coeffs, -(p.threshold + 1)));
+                    }
+                }
+            }
+            if domain.is_empty()? {
+                continue;
+            }
+            let reads = region_reads(program, nest, &preds, mask)?;
+            let writes = nest
+                .writes
+                .iter()
+                .map(|w| {
+                    Ok(RegionWrite {
+                        buffer: BufId(w.buffer.0),
+                        map: w
+                            .access
+                            .to_affine_map(nest.depth())
+                            .map_err(|e| EtdgError::Parse(e.to_string()))?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let region_no = etdg.blocks.iter().filter(|b| b.src_nest == ni).count();
+            etdg.blocks.push(BlockNode {
+                name: format!("{}/region{}", nest.name, region_no),
+                ops: nest.ops.clone(),
+                extents: nest.extents.clone(),
+                domain,
+                reads,
+                writes,
+                udf: nest.udf.clone(),
+                children: Vec::new(),
+                parent: None,
+                src_nest: ni,
+            });
+        }
+    }
+    etdg.validate()?;
+    Ok(etdg)
+}
+
+/// Finds the boundary predicate of each carried read.
+fn split_predicates(program: &Program, nest: &ft_core::Nest) -> Result<Vec<SplitPredicate>> {
+    let mut preds = Vec::new();
+    for (ri, read) in nest.reads.iter().enumerate() {
+        if read.init.is_none() {
+            continue;
+        }
+        if let Some(p) = boundary_of(program, nest, ri, read)? {
+            preds.push(p);
+        }
+    }
+    Ok(preds)
+}
+
+fn boundary_of(
+    program: &Program,
+    nest: &ft_core::Nest,
+    ri: usize,
+    read: &Read,
+) -> Result<Option<SplitPredicate>> {
+    let buf = program.buffer(read.buffer);
+    let mut found: Option<SplitPredicate> = None;
+    for (axis_no, axis) in read.access.axes.iter().enumerate() {
+        let extent = buf.dims[axis_no] as i64;
+        // Range of the axis value over the rectangular hull.
+        let (mut lo, mut hi) = (axis.offset, axis.offset);
+        for &(dim, coeff) in &axis.terms {
+            let ext = nest.extents[dim] as i64;
+            if coeff >= 0 {
+                hi += coeff * (ext - 1);
+            } else {
+                lo += coeff * (ext - 1);
+            }
+        }
+        let below = lo < 0;
+        let above = hi > extent - 1;
+        if !below && !above {
+            continue;
+        }
+        if below && above {
+            return Err(EtdgError::Parse(format!(
+                "{}: read {ri} axis {axis_no} can fall off both ends; split \
+                 the nest manually",
+                nest.name
+            )));
+        }
+        // A splittable boundary must be a single-term axis with positive
+        // stride so the in-range condition is a half-space on one dim.
+        if axis.terms.len() != 1 || axis.terms[0].1 <= 0 {
+            return Err(EtdgError::Parse(format!(
+                "{}: read {ri} axis {axis_no} has a non-splittable boundary \
+                 access",
+                nest.name
+            )));
+        }
+        let (dim, stride) = axis.terms[0];
+        let pred = if below {
+            // stride*t + offset >= 0  <=>  t >= ceil(-offset / stride).
+            let threshold = (-axis.offset).div_euclid(stride)
+                + i64::from((-axis.offset).rem_euclid(stride) != 0);
+            SplitPredicate {
+                read_idx: ri,
+                dim,
+                side: BoundarySide::Low,
+                threshold,
+            }
+        } else {
+            // stride*t + offset <= extent-1  <=>  t <= floor((extent-1-offset)/stride).
+            SplitPredicate {
+                read_idx: ri,
+                dim,
+                side: BoundarySide::High,
+                threshold: (extent - 1 - axis.offset).div_euclid(stride),
+            }
+        };
+        if found.is_some() {
+            return Err(EtdgError::Parse(format!(
+                "{}: read {ri} has boundaries on two axes; unsupported",
+                nest.name
+            )));
+        }
+        found = Some(pred);
+    }
+    Ok(found)
+}
+
+/// Builds the region's reads: interior reads use the carried access map,
+/// boundary reads use their initializer.
+fn region_reads(
+    program: &Program,
+    nest: &ft_core::Nest,
+    preds: &[SplitPredicate],
+    mask: usize,
+) -> Result<Vec<RegionRead>> {
+    let d = nest.depth();
+    let spec_to_map = |spec: &AccessSpec| {
+        spec.to_affine_map(d)
+            .map_err(|e| EtdgError::Parse(e.to_string()))
+    };
+    let mut out = Vec::with_capacity(nest.reads.len());
+    for (ri, read) in nest.reads.iter().enumerate() {
+        let boundary_here = preds
+            .iter()
+            .enumerate()
+            .any(|(b, p)| p.read_idx == ri && mask & (1 << b) == 0);
+        if boundary_here {
+            match read.init.as_ref().expect("predicate implies carried read") {
+                CarriedInit::Zero => out.push(RegionRead::Fill {
+                    value: 0.0,
+                    leaf_shape: program.buffer(read.buffer).leaf_shape.clone(),
+                }),
+                CarriedInit::Fill(v) => out.push(RegionRead::Fill {
+                    value: *v,
+                    leaf_shape: program.buffer(read.buffer).leaf_shape.clone(),
+                }),
+                CarriedInit::Buffer(b, spec) => out.push(RegionRead::Buffer {
+                    buffer: BufId(b.0),
+                    map: spec_to_map(spec)?,
+                }),
+            }
+        } else {
+            out.push(RegionRead::Buffer {
+                buffer: BufId(read.buffer.0),
+                map: spec_to_map(&read.access)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a single-nest program and returns both the graph and the id of
+/// the fully-interior region (the last region of the nest) — a convenience
+/// for the pass tests that study `region₃` of the running example.
+pub fn parse_with_interior(program: &Program) -> Result<(Etdg, crate::graph::BlockId)> {
+    let etdg = parse_program(program)?;
+    let last = crate::graph::BlockId(etdg.blocks.len() - 1);
+    Ok((etdg, last))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_affine::AffineMap;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_core::expr::UdfBuilder;
+    use ft_core::{AxisExpr, Nest, OpKind, Read as CoreRead, Write};
+
+    #[test]
+    fn running_example_produces_four_regions() {
+        // Figure 4: the depth-3 (map, scanl, scanl) nest splits into
+        // region0..3 on the two scan boundaries.
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let g = parse_program(&p).unwrap();
+        assert_eq!(g.blocks.len(), 4);
+        assert_eq!(g.buffers.len(), 3);
+        // All regions share the operator vector (map, scanl, scanl).
+        for b in &g.blocks {
+            assert_eq!(b.ops, vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL]);
+        }
+    }
+
+    #[test]
+    fn running_example_depth_and_dimension() {
+        // §4.4: "The depth of the ETDG is 2 and the dimension is 5."
+        let p = stacked_rnn_program(2, 3, 4, 512);
+        let g = parse_program(&p).unwrap();
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.dimension(), 5);
+    }
+
+    #[test]
+    fn region3_access_maps_match_figure4() {
+        let (n, d, l, h) = (2i64, 3i64, 4i64, 8);
+        let p = stacked_rnn_program(n as usize, d as usize, l as usize, h);
+        let g = parse_program(&p).unwrap();
+        let region3 = &g.blocks[3];
+        // Interior region: both scans carried. Range constraints are
+        // [0,N) x [1,D) x [1,L) (Figure 4's table).
+        assert!(region3.domain.contains(&[0, 1, 1]));
+        assert!(region3.domain.contains(&[n - 1, d - 1, l - 1]));
+        assert!(!region3.domain.contains(&[0, 0, 1]));
+        assert!(!region3.domain.contains(&[0, 1, 0]));
+        // e12: read ysss at (i, j-1, k): identity matrix, offset [0,-1,0].
+        let e12 = region3.reads[0].map().unwrap();
+        assert_eq!(e12.offset(), &[0, -1, 0]);
+        assert_eq!(e12.apply(&[1, 2, 3]).unwrap(), vec![1, 1, 3]);
+        // e14: read ws at (j): single-row projection onto the layer dim.
+        let e14 = region3.reads[1].map().unwrap();
+        assert_eq!(e14.apply(&[1, 2, 3]).unwrap(), vec![2]);
+        // e13: read ysss at (i, j, k-1): identity, offset [0,0,-1].
+        let e13 = region3.reads[2].map().unwrap();
+        assert_eq!(e13.offset(), &[0, 0, -1]);
+        // e15: write ysss at (i, j, k): exact identity.
+        let e15 = &region3.writes[0].map;
+        assert_eq!(e15, &AffineMap::identity(3));
+    }
+
+    #[test]
+    fn region0_reads_inputs_and_zeros() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let g = parse_program(&p).unwrap();
+        let region0 = &g.blocks[0];
+        // (d = 0, l = 0): x comes from xss, s is zeros.
+        assert!(region0.domain.contains(&[1, 0, 0]));
+        assert!(!region0.domain.contains(&[1, 1, 0]));
+        match &region0.reads[0] {
+            RegionRead::Buffer { buffer, .. } => {
+                assert_eq!(g.buffer(*buffer).name, "xss");
+            }
+            other => panic!("expected xss read, got {other:?}"),
+        }
+        assert!(matches!(region0.reads[2], RegionRead::Fill { .. }));
+    }
+
+    #[test]
+    fn regions_partition_the_hull() {
+        let (n, d, l) = (2usize, 3usize, 4usize);
+        let p = stacked_rnn_program(n, d, l, 8);
+        let g = parse_program(&p).unwrap();
+        // Every point of the hull belongs to exactly one region.
+        for i in 0..n as i64 {
+            for j in 0..d as i64 {
+                for k in 0..l as i64 {
+                    let holders = g
+                        .blocks
+                        .iter()
+                        .filter(|b| b.domain.contains(&[i, j, k]))
+                        .count();
+                    assert_eq!(holders, 1, "point ({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    /// A three-carried-read nest (grid-RNN shaped: depth plus two grid
+    /// directions): 2^3 = 8 regions — the §6.3 count for the stacked grid
+    /// RNN.
+    #[test]
+    fn three_carried_reads_give_eight_regions() {
+        let (n, d, gi, gj) = (2usize, 2usize, 3usize, 3usize);
+        let h = 4usize;
+        let mut p = Program::new("grid_like");
+        let xss = p.input("xss", &[n, gi, gj], &[1, h]);
+        let ws = p.input("ws", &[d], &[h, h]);
+        let out = p.output("out", &[n, d, gi, gj], &[1, h]);
+        let mut b = UdfBuilder::new("cell", 5);
+        let (x, w, s1, s2) = (b.input(0), b.input(1), b.input(2), b.input(3));
+        let _ = b.input(4);
+        let xw = b.matmul(x, w);
+        let t = b.add(xw, s1);
+        let y = b.add(t, s2);
+        let udf = b.build(&[y]);
+        p.add_nest(Nest {
+            name: "grid_like".into(),
+            ops: vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL, OpKind::ScanL],
+            extents: vec![n, d, gi, gj],
+            reads: vec![
+                // Previous layer's output.
+                CoreRead::carried(
+                    out,
+                    AccessSpec::new(vec![
+                        AxisExpr::var(0),
+                        AxisExpr::shifted(1, -1),
+                        AxisExpr::var(2),
+                        AxisExpr::var(3),
+                    ]),
+                    CarriedInit::Buffer(
+                        xss,
+                        AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2), AxisExpr::var(3)]),
+                    ),
+                ),
+                CoreRead::plain(ws, AccessSpec::new(vec![AxisExpr::var(1)])),
+                // Grid state along i.
+                CoreRead::carried(
+                    out,
+                    AccessSpec::new(vec![
+                        AxisExpr::var(0),
+                        AxisExpr::var(1),
+                        AxisExpr::shifted(2, -1),
+                        AxisExpr::var(3),
+                    ]),
+                    CarriedInit::Zero,
+                ),
+                // Grid state along j.
+                CoreRead::carried(
+                    out,
+                    AccessSpec::new(vec![
+                        AxisExpr::var(0),
+                        AxisExpr::var(1),
+                        AxisExpr::var(2),
+                        AxisExpr::shifted(3, -1),
+                    ]),
+                    CarriedInit::Zero,
+                ),
+                // A plain re-read of the input keeps the UDF arity at 5 and
+                // exercises mixed plain/carried reads.
+                CoreRead::plain(
+                    xss,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2), AxisExpr::var(3)]),
+                ),
+            ],
+            writes: vec![Write {
+                buffer: out,
+                access: AccessSpec::identity(4),
+            }],
+            udf,
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        assert_eq!(g.blocks.len(), 8);
+    }
+
+    #[test]
+    fn strided_carried_read_splits_at_dilation() {
+        // Dilated-RNN-like: the scan reads l - 4 (dilation 4), so the
+        // boundary region is t_l < 4, the interior t_l >= 4.
+        let (n, l, h) = (2usize, 10usize, 4usize);
+        let mut p = Program::new("dilated_like");
+        let xs = p.input("xs", &[n, l], &[1, h]);
+        let w = p.input("w", &[1], &[h, h]);
+        let ys = p.output("ys", &[n, l], &[1, h]);
+        let mut b = UdfBuilder::new("cell", 3);
+        let (x, wt, s) = (b.input(0), b.input(1), b.input(2));
+        let xw = b.matmul(x, wt);
+        let y = b.add(xw, s);
+        let udf = b.build(&[y]);
+        p.add_nest(Nest {
+            name: "dilated_like".into(),
+            ops: vec![OpKind::Map, OpKind::ScanL],
+            extents: vec![n, l],
+            reads: vec![
+                CoreRead::plain(
+                    xs,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(1)]),
+                ),
+                CoreRead::plain(w, AccessSpec::new(vec![AxisExpr::constant(0)])),
+                CoreRead::carried(
+                    ys,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::shifted(1, -4)]),
+                    CarriedInit::Zero,
+                ),
+            ],
+            writes: vec![Write {
+                buffer: ys,
+                access: AccessSpec::identity(2),
+            }],
+            udf,
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        assert_eq!(g.blocks.len(), 2);
+        let boundary = &g.blocks[0];
+        let interior = &g.blocks[1];
+        assert!(boundary.domain.contains(&[0, 3]));
+        assert!(!boundary.domain.contains(&[0, 4]));
+        assert!(interior.domain.contains(&[0, 4]));
+        assert!(!interior.domain.contains(&[0, 3]));
+    }
+
+    #[test]
+    fn scanr_boundary_is_high_side() {
+        // A right scan reads l + 1; the boundary region is l = L-1.
+        let (n, l, h) = (2usize, 5usize, 4usize);
+        let mut p = Program::new("scanr_like");
+        let xs = p.input("xs", &[n, l], &[1, h]);
+        let ys = p.output("ys", &[n, l], &[1, h]);
+        let mut b = UdfBuilder::new("cell", 2);
+        let (x, s) = (b.input(0), b.input(1));
+        let y = b.add(x, s);
+        let udf = b.build(&[y]);
+        p.add_nest(Nest {
+            name: "scanr_like".into(),
+            ops: vec![OpKind::Map, OpKind::ScanR],
+            extents: vec![n, l],
+            reads: vec![
+                CoreRead::plain(
+                    xs,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(1)]),
+                ),
+                CoreRead::carried(
+                    ys,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::shifted(1, 1)]),
+                    CarriedInit::Zero,
+                ),
+            ],
+            writes: vec![Write {
+                buffer: ys,
+                access: AccessSpec::identity(2),
+            }],
+            udf,
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        assert_eq!(g.blocks.len(), 2);
+        let boundary = &g.blocks[0];
+        assert!(boundary.domain.contains(&[0, l as i64 - 1]));
+        assert!(!boundary.domain.contains(&[0, 0]));
+    }
+
+    #[test]
+    fn validation_and_topo_order() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let g = parse_program(&p).unwrap();
+        assert!(g.validate().is_ok());
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 4);
+        // Writers and readers are linked correctly.
+        let ysss = BufId(2);
+        assert_eq!(g.writers_of(ysss).len(), 4);
+        assert!(!g.readers_of(ysss).is_empty());
+        // A describe string mentions the graph's block count.
+        assert!(g.describe().contains("4 block node(s)"));
+    }
+
+    use ft_core::{AccessSpec, CarriedInit, Program};
+}

@@ -1,0 +1,697 @@
+//! ETDG coarsening (paper §5.1): width-wise block merging, depth-wise
+//! dimension merging, and access-map fusion.
+//!
+//! * **Vertical merge**: producer→consumer blocks at the same depth whose
+//!   per-dimension operators compose under the Table 3 rules become one
+//!   task (this is what collapses Figure 4's `region₀…₃` — and the whole
+//!   stacked RNN — into a single wavefront kernel).
+//! * **Horizontal merge**: same-shaped, unconnected blocks fuse into one
+//!   launch (BigBird's left/right global attention maps, for example).
+//! * **Depth-wise merge**: two adjacent fully-parallel dimensions flatten
+//!   into one when every access either treats both jointly row-major or is
+//!   invariant in both — the hardware-agnostic "axis fusion".
+//! * **Access-map fusion**: pure-copy blocks forced by single assignment
+//!   are eliminated by composing access matrices and offsets.
+
+use ft_affine::AffineMap;
+use ft_core::expr::OpCode;
+use ft_core::OpKind;
+use ft_etdg::{BlockId, BlockNode, Etdg, RegionRead};
+
+use crate::compose::compose_vectors;
+use crate::{PassError, Result};
+
+/// How a group came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Never merged.
+    Singleton,
+    /// Produced by at least one vertical (producer→consumer) merge.
+    Vertical,
+    /// Produced by horizontal merges only.
+    Horizontal,
+}
+
+/// A coarse task: one or more block nodes fused into a single launch group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Member blocks, producers before consumers.
+    pub members: Vec<BlockId>,
+    /// The composed operator vector governing the merged iteration space.
+    pub ops: Vec<OpKind>,
+    /// Shared extents (all members agree by the merge conditions).
+    pub extents: Vec<usize>,
+    /// How the group formed.
+    pub kind: MergeKind,
+}
+
+/// The coarsening result.
+#[derive(Debug, Clone)]
+pub struct CoarsePlan {
+    /// Launch groups in execution order.
+    pub groups: Vec<Group>,
+    /// Copy blocks removed by access-map fusion.
+    pub copies_eliminated: usize,
+}
+
+impl CoarsePlan {
+    /// Total kernel-launch groups (the control-overhead proxy the paper's
+    /// coarsening minimizes).
+    pub fn launch_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Runs width-wise coarsening over a parsed ETDG. The graph itself is left
+/// untouched (members keep their regions and access maps); the plan records
+/// which blocks execute together and under which composed operator vector.
+pub fn coarsen(etdg: &Etdg) -> Result<(Etdg, CoarsePlan)> {
+    let (etdg, copies_eliminated) = fuse_access_maps(etdg.clone())?;
+    let order = etdg.topo_order()?;
+    let mut groups: Vec<Group> = order
+        .into_iter()
+        .map(|b| {
+            let blk = etdg.block(b);
+            Group {
+                members: vec![b],
+                ops: blk.ops.clone(),
+                extents: blk.extents.clone(),
+                kind: MergeKind::Singleton,
+            }
+        })
+        .collect();
+
+    // Vertical merging to fixpoint: adjacent (producer, consumer) groups
+    // with composable operator vectors and equal extents collapse.
+    loop {
+        let mut merged_any = false;
+        'outer: for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if !connected(&etdg, &groups[i], &groups[j])
+                    && !connected(&etdg, &groups[j], &groups[i])
+                {
+                    continue;
+                }
+                let Some(ops) = compose_vectors(&groups[i].ops, &groups[j].ops) else {
+                    continue;
+                };
+                if groups[i].extents != groups[j].extents {
+                    continue;
+                }
+                // Iteration-level fusion safety: the consumer must read the
+                // shared buffer exactly where the producer wrote it at the
+                // same iteration point, so the value can be forwarded in
+                // registers/shared memory within one launch.
+                if !point_to_point(&etdg, &groups[i], &groups[j])
+                    || !point_to_point(&etdg, &groups[j], &groups[i])
+                {
+                    continue;
+                }
+                // The merged group executes at position i: group j's work
+                // moves earlier, which is illegal if j depends on a group
+                // strictly between the two.
+                if (i + 1..j).any(|k| connected(&etdg, &groups[k], &groups[j])) {
+                    continue;
+                }
+                let g2 = groups.remove(j);
+                let g1 = &mut groups[i];
+                g1.members.extend(g2.members);
+                g1.ops = ops;
+                g1.kind = MergeKind::Vertical;
+                merged_any = true;
+                break 'outer;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // Horizontal merging: unconnected same-shape groups.
+    loop {
+        let mut merged_any = false;
+        'outer: for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if connected(&etdg, &groups[i], &groups[j])
+                    || connected(&etdg, &groups[j], &groups[i])
+                {
+                    continue;
+                }
+                if groups[i].ops != groups[j].ops || groups[i].extents != groups[j].extents {
+                    continue;
+                }
+                // Group j's work moves to position i: illegal if j depends
+                // on a group strictly between the two.
+                if (i + 1..j).any(|k| connected(&etdg, &groups[k], &groups[j])) {
+                    continue;
+                }
+                let g2 = groups.remove(j);
+                let g1 = &mut groups[i];
+                g1.members.extend(g2.members);
+                if g1.kind == MergeKind::Singleton {
+                    g1.kind = MergeKind::Horizontal;
+                }
+                merged_any = true;
+                break 'outer;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // Within a group, execution must visit producers before consumers at
+    // each iteration point; block ids follow program (nest) order, so
+    // sorting restores it regardless of the merge sequence.
+    for g in groups.iter_mut() {
+        g.members.sort();
+    }
+    let plan = CoarsePlan {
+        groups,
+        copies_eliminated,
+    };
+    Ok((etdg, plan))
+}
+
+/// True when every cross-nest (producer write, consumer read) pair between
+/// the two groups uses the *same* access map — the condition for forwarding
+/// the value within one fused launch.
+fn point_to_point(etdg: &Etdg, a: &Group, b: &Group) -> bool {
+    for &ma in &a.members {
+        for w in &etdg.block(ma).writes {
+            for &mb in &b.members {
+                if etdg.block(mb).src_nest == etdg.block(ma).src_nest {
+                    continue;
+                }
+                for r in &etdg.block(mb).reads {
+                    if let RegionRead::Buffer { buffer, map } = r {
+                        if *buffer == w.buffer && *map != w.map {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// True when some member of `b` reads a buffer written by some member of
+/// `a` (cross-nest only; intra-nest region wiring is one logical task).
+fn connected(etdg: &Etdg, a: &Group, b: &Group) -> bool {
+    for &ma in &a.members {
+        for w in &etdg.block(ma).writes {
+            for &mb in &b.members {
+                if etdg.block(mb).src_nest == etdg.block(ma).src_nest {
+                    continue;
+                }
+                if etdg
+                    .block(mb)
+                    .reads
+                    .iter()
+                    .any(|r| r.buffer() == Some(w.buffer))
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Access-map fusion (§5.1): a block whose UDF is a single identity
+/// statement with an injective write map is a copy forced by single
+/// assignment. Each reader of its output has its access map composed with
+/// the copy's read map (`A_read ∘ A_copy`), and the copy block — plus its
+/// intermediate buffer — drops out of the graph.
+pub fn fuse_access_maps(mut etdg: Etdg) -> Result<(Etdg, usize)> {
+    let mut eliminated = 0usize;
+    loop {
+        let Some(copy_id) = find_copy_block(&etdg) else {
+            break;
+        };
+        let copy = etdg.block(BlockId(copy_id)).clone();
+        let RegionRead::Buffer {
+            buffer: src_buf,
+            map: src_map,
+        } = copy.reads[0].clone()
+        else {
+            break;
+        };
+        let out_buf = copy.writes[0].buffer;
+        let write_map = copy.writes[0].map.clone();
+        // The write must be plain identity so that reading `out_buf[i]`
+        // equals reading `src_buf[src_map(i)]`.
+        if write_map != AffineMap::identity(copy.dims()) {
+            break;
+        }
+        for b in etdg.blocks.iter_mut() {
+            for read in b.reads.iter_mut() {
+                if let RegionRead::Buffer { buffer, map } = read {
+                    if *buffer == out_buf {
+                        *map = src_map.compose(map).map_err(PassError::from)?;
+                        *buffer = src_buf;
+                    }
+                }
+            }
+        }
+        // Remove the copy block (ids shift down by one past it).
+        etdg.blocks.remove(copy_id);
+        for b in etdg.blocks.iter_mut() {
+            if let Some(p) = b.parent {
+                if p.0 > copy_id {
+                    b.parent = Some(BlockId(p.0 - 1));
+                }
+            }
+            for c in b.children.iter_mut() {
+                if c.0 > copy_id {
+                    *c = BlockId(c.0 - 1);
+                }
+            }
+        }
+        eliminated += 1;
+    }
+    Ok((etdg, eliminated))
+}
+
+fn find_copy_block(etdg: &Etdg) -> Option<usize> {
+    etdg.blocks.iter().position(|b| {
+        b.parent.is_none()
+            && b.reads.len() == 1
+            && b.writes.len() == 1
+            && b.udf.stmts.len() == 1
+            && matches!(b.udf.stmts[0].op, OpCode::Id)
+            && matches!(b.reads[0], RegionRead::Buffer { .. })
+            // Only whole-buffer copies (the consumer must see every element
+            // through the composition).
+            && etdg.buffer(b.writes[0].buffer).dims
+                == b.extents
+    })
+}
+
+/// Depth-wise coarsening (§5.1): merges adjacent dimensions `i` and `i+1`
+/// of a block when both are fully parallel (`map`) and every access either
+/// (a) is invariant in both, or (b) addresses them jointly row-major (axis
+/// `r` gets dim `i`, axis `r+1` gets dim `i+1`, with the buffer's axis
+/// `r+1` extent equal to dim `i+1`'s). Returns the rewritten block.
+pub fn merge_dims(etdg: &Etdg, id: BlockId, i: usize) -> Result<BlockNode> {
+    let block = etdg.block(id).clone();
+    let d = block.dims();
+    if i + 1 >= d {
+        return Err(PassError::Invalid(format!(
+            "merge_dims({i}) on a {d}-dim block"
+        )));
+    }
+    if block.ops[i] != OpKind::Map || block.ops[i + 1] != OpKind::Map {
+        return Err(PassError::Illegal(
+            "depth-wise merge requires both dimensions fully parallel".into(),
+        ));
+    }
+    let inner_extent = block.extents[i + 1] as i64;
+
+    let rewrite = |map: &AffineMap, buf_dims: &[usize]| -> Result<AffineMap> {
+        let m = map.matrix();
+        // Classify the relation of dims i, i+1 to this buffer.
+        let col_i: Vec<i64> = (0..m.rows()).map(|r| m.get(r, i)).collect();
+        let col_j: Vec<i64> = (0..m.rows()).map(|r| m.get(r, i + 1)).collect();
+        let invariant = col_i.iter().all(|&x| x == 0) && col_j.iter().all(|&x| x == 0);
+        let mut new = ft_affine::IntMat::zeros(m.rows(), d - 1);
+        // Copy all untouched columns (shift those past i+1 left by one).
+        for r in 0..m.rows() {
+            for c in 0..d {
+                if c == i || c == i + 1 {
+                    continue;
+                }
+                let nc = if c > i + 1 { c - 1 } else { c };
+                new.set(r, nc, m.get(r, c));
+            }
+        }
+        if invariant {
+            return AffineMap::new(new, map.offset().to_vec()).map_err(PassError::from);
+        }
+        // Joint row-major: find rows ri (dim i) and rj = ri+1 (dim i+1).
+        let ri = (0..m.rows()).find(|&r| m.get(r, i) == 1);
+        let (Some(ri),) = (ri,) else {
+            return Err(PassError::Illegal(
+                "depth-wise merge: access is neither invariant nor joint row-major".into(),
+            ));
+        };
+        let rj = ri + 1;
+        if rj >= m.rows()
+            || m.get(rj, i + 1) != 1
+            || col_i
+                .iter()
+                .enumerate()
+                .any(|(r, &v)| v != i64::from(r == ri))
+            || col_j
+                .iter()
+                .enumerate()
+                .any(|(r, &v)| v != i64::from(r == rj))
+            || buf_dims[rj] as i64 != inner_extent
+            || map.offset()[ri] != 0
+            || map.offset()[rj] != 0
+        {
+            return Err(PassError::Illegal(
+                "depth-wise merge: access is not joint row-major".into(),
+            ));
+        }
+        // The two buffer axes also merge: rebuild with axis rj folded into
+        // axis ri (extent product), all other axes untouched.
+        let mut merged = ft_affine::IntMat::zeros(m.rows() - 1, d - 1);
+        let mut offsets = Vec::with_capacity(m.rows() - 1);
+        for r in 0..m.rows() {
+            if r == rj {
+                continue;
+            }
+            let nr = if r > rj { r - 1 } else { r };
+            for c in 0..d - 1 {
+                merged.set(nr, c, new.get(r, c));
+            }
+            offsets.push(map.offset()[r]);
+        }
+        merged.set(ri, i, 1);
+        AffineMap::new(merged, offsets).map_err(PassError::from)
+    };
+
+    let mut out = block.clone();
+    out.ops.remove(i + 1);
+    out.extents[i] *= out.extents[i + 1];
+    out.extents.remove(i + 1);
+    out.domain = ft_affine::ConstraintSet::from_box(
+        &vec![0i64; d - 1],
+        &out.extents.iter().map(|&e| e as i64).collect::<Vec<_>>(),
+    )?;
+    out.reads = block
+        .reads
+        .iter()
+        .map(|r| match r {
+            RegionRead::Buffer { buffer, map } => Ok(RegionRead::Buffer {
+                buffer: *buffer,
+                map: rewrite(map, &etdg.buffer(*buffer).dims)?,
+            }),
+            z @ RegionRead::Fill { .. } => Ok(z.clone()),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    out.writes = block
+        .writes
+        .iter()
+        .map(|w| {
+            Ok(ft_etdg::RegionWrite {
+                buffer: w.buffer,
+                map: rewrite(&w.map, &etdg.buffer(w.buffer).dims)?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    out.name = format!("{}/dimmerged{}", block.name, i);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_core::expr::UdfBuilder;
+    use ft_core::{AccessSpec, AxisExpr, Nest, Program, Read, Write};
+    use ft_etdg::parse_program;
+
+    #[test]
+    fn running_example_collapses_to_one_group() {
+        // The four regions of the stacked RNN share (map, scanl, scanl) and
+        // are producer-consumer linked through ysss, so width-wise
+        // coarsening fuses the whole network into a single task — the
+        // "entire stacked RNN as a single operator" the paper credits for
+        // cuDNN-level performance.
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let g = parse_program(&p).unwrap();
+        let (_g2, plan) = coarsen(&g).unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members.len(), 4);
+        assert_eq!(
+            plan.groups[0].ops,
+            vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL]
+        );
+    }
+
+    /// A two-nest chain (b2b-GEMM shaped): map-only nests with matching
+    /// extents vertically merge.
+    #[test]
+    fn producer_consumer_map_nests_merge_vertically() {
+        let (n, h) = (4usize, 8usize);
+        let mut p = Program::new("b2b");
+        let a = p.input("a", &[n], &[h, h]);
+        let b1 = p.input("b1", &[n], &[h, h]);
+        let b2 = p.input("b2", &[n], &[h, h]);
+        let mid = p.intermediate("mid", &[n], &[h, h]);
+        let out = p.output("out", &[n], &[h, h]);
+        let mk_mm = |name: &str| {
+            let mut b = UdfBuilder::new(name, 2);
+            let (x, y) = (b.input(0), b.input(1));
+            let m = b.matmul(x, y);
+            b.build(&[m])
+        };
+        p.add_nest(Nest {
+            name: "gemm1".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![n],
+            reads: vec![
+                Read::plain(a, AccessSpec::identity(1)),
+                Read::plain(b1, AccessSpec::identity(1)),
+            ],
+            writes: vec![Write {
+                buffer: mid,
+                access: AccessSpec::identity(1),
+            }],
+            udf: mk_mm("gemm1"),
+        })
+        .unwrap();
+        p.add_nest(Nest {
+            name: "gemm2".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![n],
+            reads: vec![
+                Read::plain(mid, AccessSpec::identity(1)),
+                Read::plain(b2, AccessSpec::identity(1)),
+            ],
+            writes: vec![Write {
+                buffer: out,
+                access: AccessSpec::identity(1),
+            }],
+            udf: mk_mm("gemm2"),
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        let (_g2, plan) = coarsen(&g).unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].kind, MergeKind::Vertical);
+        assert_eq!(plan.groups[0].members.len(), 2);
+    }
+
+    /// Unconnected same-shape nests (BigBird's two global attentions) merge
+    /// horizontally.
+    #[test]
+    fn unconnected_same_shape_nests_merge_horizontally() {
+        let (n, h) = (4usize, 8usize);
+        let mut p = Program::new("globals");
+        let q = p.input("q", &[n], &[1, h]);
+        let k = p.input("k", &[n], &[h, h]);
+        let o1 = p.output("o1", &[n], &[1, h]);
+        let o2 = p.output("o2", &[n], &[1, h]);
+        let mk = |name: &str| {
+            let mut b = UdfBuilder::new(name, 2);
+            let (x, y) = (b.input(0), b.input(1));
+            let m = b.matmul(x, y);
+            b.build(&[m])
+        };
+        for (name, out) in [("g1", o1), ("g2", o2)] {
+            p.add_nest(Nest {
+                name: name.into(),
+                ops: vec![OpKind::Map],
+                extents: vec![n],
+                reads: vec![
+                    Read::plain(q, AccessSpec::identity(1)),
+                    Read::plain(k, AccessSpec::identity(1)),
+                ],
+                writes: vec![Write {
+                    buffer: out,
+                    access: AccessSpec::identity(1),
+                }],
+                udf: mk(name),
+            })
+            .unwrap();
+        }
+        let g = parse_program(&p).unwrap();
+        let (_g2, plan) = coarsen(&g).unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].kind, MergeKind::Horizontal);
+    }
+
+    /// Nests with conflicting operators (scanl vs scanr) must not merge.
+    #[test]
+    fn conflicting_directions_do_not_merge() {
+        let (n, l, h) = (2usize, 4usize, 4usize);
+        let mut p = Program::new("bidir");
+        let xs = p.input("xs", &[n, l], &[1, h]);
+        let fwd = p.intermediate("fwd", &[n, l], &[1, h]);
+        let bwd = p.output("bwd", &[n, l], &[1, h]);
+        let mk = |name: &str| {
+            let mut b = UdfBuilder::new(name, 2);
+            let (x, s) = (b.input(0), b.input(1));
+            let y = b.add(x, s);
+            b.build(&[y])
+        };
+        p.add_nest(Nest {
+            name: "fwd".into(),
+            ops: vec![OpKind::Map, OpKind::ScanL],
+            extents: vec![n, l],
+            reads: vec![
+                Read::plain(xs, AccessSpec::identity(2)),
+                Read::carried(
+                    fwd,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::shifted(1, -1)]),
+                    ft_core::CarriedInit::Zero,
+                ),
+            ],
+            writes: vec![Write {
+                buffer: fwd,
+                access: AccessSpec::identity(2),
+            }],
+            udf: mk("fwd"),
+        })
+        .unwrap();
+        p.add_nest(Nest {
+            name: "bwd".into(),
+            ops: vec![OpKind::Map, OpKind::ScanR],
+            extents: vec![n, l],
+            reads: vec![
+                Read::plain(fwd, AccessSpec::identity(2)),
+                Read::carried(
+                    bwd,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::shifted(1, 1)]),
+                    ft_core::CarriedInit::Zero,
+                ),
+            ],
+            writes: vec![Write {
+                buffer: bwd,
+                access: AccessSpec::identity(2),
+            }],
+            udf: mk("bwd"),
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        let (_g2, plan) = coarsen(&g).unwrap();
+        // Forward scan group and backward scan group stay separate.
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn copy_blocks_are_fused_away() {
+        let (n, h) = (4usize, 8usize);
+        let mut p = Program::new("copychain");
+        let x = p.input("x", &[n], &[1, h]);
+        let shadow = p.intermediate("shadow", &[n], &[1, h]);
+        let out = p.output("out", &[n], &[1, h]);
+        // Nest 1: pure copy (reversed order), forced by single assignment.
+        let mut cb = UdfBuilder::new("copy", 1);
+        let i = cb.input(0);
+        let o = cb.id(i);
+        let copy_udf = cb.build(&[o]);
+        p.add_nest(Nest {
+            name: "copy".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![n],
+            reads: vec![Read::plain(
+                x,
+                AccessSpec::new(vec![AxisExpr {
+                    terms: vec![(0, -1)],
+                    offset: n as i64 - 1,
+                }]),
+            )],
+            writes: vec![Write {
+                buffer: shadow,
+                access: AccessSpec::identity(1),
+            }],
+            udf: copy_udf,
+        })
+        .unwrap();
+        // Nest 2: consume the copy.
+        let mut ub = UdfBuilder::new("tanh", 1);
+        let i = ub.input(0);
+        let t = ub.tanh(i);
+        let udf = ub.build(&[t]);
+        p.add_nest(Nest {
+            name: "use".into(),
+            ops: vec![OpKind::Map],
+            extents: vec![n],
+            reads: vec![Read::plain(shadow, AccessSpec::identity(1))],
+            writes: vec![Write {
+                buffer: out,
+                access: AccessSpec::identity(1),
+            }],
+            udf,
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        let (fused, n_elim) = fuse_access_maps(g).unwrap();
+        assert_eq!(n_elim, 1);
+        assert_eq!(fused.blocks.len(), 1);
+        // The consumer now reads x directly, through the composed
+        // (reversing) map.
+        let consumer = &fused.blocks[0];
+        match &consumer.reads[0] {
+            RegionRead::Buffer { buffer, map } => {
+                assert_eq!(fused.buffer(*buffer).name, "x");
+                assert_eq!(map.apply(&[0]).unwrap(), vec![n as i64 - 1]);
+                assert_eq!(map.apply(&[n as i64 - 1]).unwrap(), vec![0]);
+            }
+            other => panic!("unexpected read {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_wise_merge_flattens_parallel_dims() {
+        // A pure-map 2-level nest over [batch, head] with joint row-major
+        // access flattens into one dimension of extent batch*head.
+        let (b_n, h_n, h) = (3usize, 4usize, 8usize);
+        let mut p = Program::new("flat");
+        let x = p.input("x", &[b_n, h_n], &[1, h]);
+        let y = p.output("y", &[b_n, h_n], &[1, h]);
+        let mut ub = UdfBuilder::new("tanh", 1);
+        let i = ub.input(0);
+        let t = ub.tanh(i);
+        let udf = ub.build(&[t]);
+        p.add_nest(Nest {
+            name: "flat".into(),
+            ops: vec![OpKind::Map, OpKind::Map],
+            extents: vec![b_n, h_n],
+            reads: vec![Read::plain(x, AccessSpec::identity(2))],
+            writes: vec![Write {
+                buffer: y,
+                access: AccessSpec::identity(2),
+            }],
+            udf,
+        })
+        .unwrap();
+        let g = parse_program(&p).unwrap();
+        let merged = merge_dims(&g, BlockId(0), 0).unwrap();
+        assert_eq!(merged.extents, vec![b_n * h_n]);
+        assert_eq!(merged.ops, vec![OpKind::Map]);
+        // The merged access addresses the flattened buffer axis directly.
+        match &merged.reads[0] {
+            RegionRead::Buffer { map, .. } => {
+                assert_eq!(map.iter_dims(), 1);
+                assert_eq!(map.data_dims(), 1);
+                assert_eq!(map.apply(&[7]).unwrap(), vec![7]);
+            }
+            other => panic!("unexpected read {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_wise_merge_rejects_aggregates_and_bad_layout() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let g = parse_program(&p).unwrap();
+        // (map, scanl) cannot merge.
+        assert!(merge_dims(&g, BlockId(3), 0).is_err());
+        assert!(merge_dims(&g, BlockId(3), 5).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Composition rules for merging array compute operators (paper Table 3).
+//!
+//! When two block nodes are merged vertically, aligned dimensions carry one
+//! operator each; this table says whether the pair can become a single
+//! dimension and which operator governs it. The governing intuitions:
+//!
+//! * `map` is neutral: composing with anything yields the other operator.
+//! * Same-direction aggregates compose to the most general same-direction
+//!   aggregate (`scan` subsumes `fold`, which subsumes `reduce`, because a
+//!   scan materializes every prefix the others only accumulate).
+//! * Opposite-direction aggregates (`scanl` with `scanr`, `foldl` with
+//!   `foldr`) do **not** compose — their dependencies run against each
+//!   other (the ✗ entry of Table 3).
+
+use ft_core::OpKind;
+
+/// Directionality class of an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// No inter-iteration order (map) or order-free aggregate (reduce).
+    Free,
+    /// Left-to-right.
+    Left,
+    /// Right-to-left.
+    Right,
+}
+
+fn dir(op: OpKind) -> Dir {
+    match op {
+        OpKind::Map | OpKind::Reduce => Dir::Free,
+        OpKind::ScanL | OpKind::FoldL => Dir::Left,
+        OpKind::ScanR | OpKind::FoldR => Dir::Right,
+    }
+}
+
+/// Strength ordering for the merge result: scan > fold > reduce > map.
+fn strength(op: OpKind) -> u8 {
+    match op {
+        OpKind::Map => 0,
+        OpKind::Reduce => 1,
+        OpKind::FoldL | OpKind::FoldR => 2,
+        OpKind::ScanL | OpKind::ScanR => 3,
+    }
+}
+
+/// Composes two array compute operators occupying the same merged
+/// dimension. Returns `None` when the pair conflicts (Table 3's ✗).
+pub fn compose_ops(a: OpKind, b: OpKind) -> Option<OpKind> {
+    let (da, db) = (dir(a), dir(b));
+    // Conflicting directions cannot merge.
+    if (da == Dir::Left && db == Dir::Right) || (da == Dir::Right && db == Dir::Left) {
+        return None;
+    }
+    // Pick the stronger pattern; direction inherited from whichever side is
+    // directional.
+    let stronger = if strength(a) >= strength(b) { a } else { b };
+    let result_dir = if da != Dir::Free { da } else { db };
+    Some(match (stronger, result_dir) {
+        (OpKind::Map, _) => OpKind::Map,
+        (OpKind::Reduce, Dir::Free) => OpKind::Reduce,
+        (OpKind::Reduce, Dir::Left) => OpKind::FoldL,
+        (OpKind::Reduce, Dir::Right) => OpKind::FoldR,
+        (OpKind::FoldL | OpKind::FoldR, Dir::Right) => OpKind::FoldR,
+        (OpKind::FoldL | OpKind::FoldR, _) => OpKind::FoldL,
+        (OpKind::ScanL | OpKind::ScanR, Dir::Right) => OpKind::ScanR,
+        (OpKind::ScanL | OpKind::ScanR, _) => OpKind::ScanL,
+    })
+}
+
+/// Composes whole operator vectors dimension by dimension (for vertically
+/// merging equal-depth block nodes). `None` when any dimension conflicts.
+pub fn compose_vectors(a: &[OpKind], b: &[OpKind]) -> Option<Vec<OpKind>> {
+    if a.len() != b.len() {
+        return None;
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| compose_ops(x, y))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OpKind::*;
+
+    #[test]
+    fn map_is_neutral() {
+        for op in [Map, ScanL, ScanR, FoldL, FoldR, Reduce] {
+            assert_eq!(compose_ops(Map, op), Some(op));
+            assert_eq!(compose_ops(op, Map), Some(op));
+        }
+    }
+
+    #[test]
+    fn same_direction_scans_compose() {
+        assert_eq!(compose_ops(ScanL, ScanL), Some(ScanL));
+        assert_eq!(compose_ops(ScanR, ScanR), Some(ScanR));
+        assert_eq!(compose_ops(ScanL, FoldL), Some(ScanL));
+        assert_eq!(compose_ops(FoldL, ScanL), Some(ScanL));
+        assert_eq!(compose_ops(FoldL, FoldL), Some(FoldL));
+    }
+
+    #[test]
+    fn opposite_directions_conflict() {
+        // Table 3's ✗ entry.
+        assert_eq!(compose_ops(ScanL, ScanR), None);
+        assert_eq!(compose_ops(ScanR, ScanL), None);
+        assert_eq!(compose_ops(FoldL, FoldR), None);
+        assert_eq!(compose_ops(ScanL, FoldR), None);
+    }
+
+    #[test]
+    fn reduce_takes_partner_direction() {
+        assert_eq!(compose_ops(Reduce, ScanL), Some(ScanL));
+        assert_eq!(compose_ops(Reduce, ScanR), Some(ScanR));
+        assert_eq!(compose_ops(Reduce, Reduce), Some(Reduce));
+        assert_eq!(compose_ops(Reduce, FoldR), Some(FoldR));
+    }
+
+    #[test]
+    fn composition_is_commutative() {
+        let all = [Map, ScanL, ScanR, FoldL, FoldR, Reduce];
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(compose_ops(a, b), compose_ops(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_is_associative_where_defined() {
+        let all = [Map, ScanL, ScanR, FoldL, FoldR, Reduce];
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    let lhs = compose_ops(a, b).and_then(|x| compose_ops(x, c));
+                    let rhs = compose_ops(b, c).and_then(|x| compose_ops(a, x));
+                    if let (Some(l), Some(r)) = (lhs, rhs) {
+                        assert_eq!(l, r, "({a}∘{b})∘{c} vs {a}∘({b}∘{c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_composition() {
+        assert_eq!(
+            compose_vectors(&[Map, ScanL, ScanL], &[Map, ScanL, ScanL]),
+            Some(vec![Map, ScanL, ScanL])
+        );
+        assert_eq!(compose_vectors(&[Map, ScanL], &[Map, ScanR]), None);
+        assert_eq!(compose_vectors(&[Map], &[Map, Map]), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! Operation-node lowering (paper §5.1, Figure 5).
+//!
+//! User-defined math functions are opaque operation nodes after parsing.
+//! Lowering decomposes each UDF statement into a child block node whose
+//! dimensions and operators reflect the statement's intrinsic iteration
+//! structure (a `[1,512] @ [512,512]` matmul is a 512-wide `map` over
+//! output columns crossed with a 512-deep `reduce` over the contraction).
+//! A subsequent *hoist* pulls a map dimension shared by every child up into
+//! the parent — producing exactly Figure 5's result for the running
+//! example: a 4-dimensional parent block plus a single 1-dimensional
+//! (reduction) child.
+
+use ft_core::expr::{OpCode, Stmt, Udf};
+use ft_core::OpKind;
+use ft_etdg::{BlockId, BlockNode, Etdg, RegionRead};
+use ft_tensor::Shape;
+
+use crate::{PassError, Result};
+
+/// The intrinsic iteration structure of one UDF statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StmtStructure {
+    /// Operators, outermost first (extent-1 dims dropped).
+    pub ops: Vec<OpKind>,
+    /// Matching extents.
+    pub extents: Vec<usize>,
+}
+
+/// Computes the intrinsic structure of a statement given its argument and
+/// result shapes.
+pub fn stmt_structure(stmt: &Stmt, arg_shapes: &[Shape], out_shape: &Shape) -> StmtStructure {
+    let mut ops = Vec::new();
+    let mut extents = Vec::new();
+    // Parallel dims: the non-trivial dims of the output.
+    for &d in out_shape.dims() {
+        if d > 1 {
+            ops.push(OpKind::Map);
+            extents.push(d);
+        }
+    }
+    // Contraction / reduction dims.
+    match stmt.op {
+        OpCode::MatMul => {
+            let k = arg_shapes[0].dims()[1];
+            if k > 1 {
+                ops.push(OpKind::Reduce);
+                extents.push(k);
+            }
+        }
+        OpCode::MatMulT => {
+            let k = arg_shapes[0].dims()[1];
+            if k > 1 {
+                ops.push(OpKind::Reduce);
+                extents.push(k);
+            }
+        }
+        OpCode::RowMax | OpCode::RowSum => {
+            let n = arg_shapes[0].dims()[1];
+            if n > 1 {
+                ops.push(OpKind::Reduce);
+                extents.push(n);
+            }
+        }
+        OpCode::Softmax => {
+            // Row-wise normalize: a reduce (max/sum) then a map over the
+            // same extent; intrinsically one reduce dim.
+            let n = arg_shapes[0].dims()[1];
+            if n > 1 {
+                ops.push(OpKind::Reduce);
+                extents.push(n);
+            }
+        }
+        _ => {}
+    }
+    StmtStructure { ops, extents }
+}
+
+/// Lowers a block's UDF: every statement becomes a child block node.
+/// Returns the new child ids.
+pub fn lower_block(etdg: &mut Etdg, id: BlockId) -> Result<Vec<BlockId>> {
+    let block = etdg.block(id).clone();
+    if !block.children.is_empty() {
+        return Err(PassError::Invalid(format!(
+            "block '{}' is already lowered",
+            block.name
+        )));
+    }
+    let in_shapes: Vec<Shape> = block
+        .reads
+        .iter()
+        .map(|r| match r {
+            RegionRead::Buffer { buffer, .. } => etdg.buffer(*buffer).leaf_shape.clone(),
+            RegionRead::Fill { leaf_shape, .. } => leaf_shape.clone(),
+        })
+        .collect();
+    let shapes = block
+        .udf
+        .infer_shapes(&in_shapes)
+        .map_err(|e| PassError::Invalid(e.to_string()))?;
+    let operand_shape = |o: &ft_core::expr::Operand| match o {
+        ft_core::expr::Operand::In(k) => in_shapes[*k].clone(),
+        ft_core::expr::Operand::Tmp(k) => shapes.stmts[*k].clone(),
+    };
+
+    let mut child_ids = Vec::new();
+    for (si, stmt) in block.udf.stmts.iter().enumerate() {
+        let arg_shapes: Vec<Shape> = stmt.args.iter().map(&operand_shape).collect();
+        let st = stmt_structure(stmt, &arg_shapes, &shapes.stmts[si]);
+        if st.ops.is_empty() {
+            continue; // Scalar-ish statements fold into the parent.
+        }
+        let domain = ft_affine::ConstraintSet::from_box(
+            &vec![0i64; st.extents.len()],
+            &st.extents.iter().map(|&e| e as i64).collect::<Vec<_>>(),
+        )?;
+        let child = BlockNode {
+            name: format!("{}/stmt{}:{:?}", block.name, si, stmt.op),
+            ops: st.ops,
+            extents: st.extents,
+            domain,
+            // Children operate on register-resident UDF temporaries; no
+            // buffer-node traffic of their own.
+            reads: Vec::new(),
+            writes: Vec::new(),
+            udf: Udf {
+                name: format!("{:?}", stmt.op),
+                stmts: vec![Stmt {
+                    op: stmt.op.clone(),
+                    args: stmt.args.clone(),
+                }],
+                outputs: vec![ft_core::expr::Operand::Tmp(0)],
+                num_inputs: block.udf.num_inputs,
+            },
+            children: Vec::new(),
+            parent: Some(id),
+            src_nest: block.src_nest,
+        };
+        etdg.blocks.push(child);
+        child_ids.push(BlockId(etdg.blocks.len() - 1));
+    }
+    etdg.blocks[id.0].children = child_ids.clone();
+    Ok(child_ids)
+}
+
+/// Hoists a map dimension shared by *every* child into the parent: if each
+/// child's outermost operator is a `map` of one common extent, the parent
+/// gains that dimension (as an innermost `map`) and the children shrink;
+/// children left zero-dimensional dissolve back into the parent.
+///
+/// On the running example this turns the lowered region into Figure 5's
+/// two-depth graph: a 4-dim parent (`map, scanl, scanl, map`) and one
+/// 1-dim reduction child.
+pub fn hoist_shared_map(etdg: &mut Etdg, id: BlockId) -> Result<bool> {
+    let children = etdg.block(id).children.clone();
+    if children.is_empty() {
+        return Ok(false);
+    }
+    let mut shared: Option<usize> = None;
+    for &c in &children {
+        let child = etdg.block(c);
+        let Some((&op, &extent)) = child.ops.first().zip(child.extents.first()) else {
+            return Ok(false);
+        };
+        if op != OpKind::Map {
+            return Ok(false);
+        }
+        match shared {
+            None => shared = Some(extent),
+            Some(e) if e == extent => {}
+            _ => return Ok(false),
+        }
+    }
+    let extent = shared.expect("children verified non-empty");
+    // Parent gains the dim.
+    {
+        let parent = &mut etdg.blocks[id.0];
+        parent.ops.push(OpKind::Map);
+        parent.extents.push(extent);
+        parent.domain = ft_affine::ConstraintSet::from_box(
+            &vec![0i64; parent.extents.len()],
+            &parent.extents.iter().map(|&e| e as i64).collect::<Vec<_>>(),
+        )?;
+    }
+    // Children lose it; empty children dissolve.
+    let mut keep = Vec::new();
+    for &c in &children {
+        let child = &mut etdg.blocks[c.0];
+        child.ops.remove(0);
+        child.extents.remove(0);
+        if child.ops.is_empty() {
+            // Fully fused into the parent: keep the parent pointer (so it is
+            // never mistaken for a root) but drop it from the child list.
+            continue;
+        }
+        child.domain = ft_affine::ConstraintSet::from_box(
+            &vec![0i64; child.extents.len()],
+            &child.extents.iter().map(|&e| e as i64).collect::<Vec<_>>(),
+        )?;
+        keep.push(c);
+    }
+    // Remove dissolved children from the graph (detach-only here; ids of
+    // kept children are stable).
+    let dissolved: Vec<BlockId> = children
+        .iter()
+        .copied()
+        .filter(|c| !keep.contains(c))
+        .collect();
+    etdg.blocks[id.0].children = keep;
+    for d in dissolved {
+        etdg.blocks[d.0].name.push_str(" (fused)");
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_etdg::parse_program;
+
+    #[test]
+    fn matmul_statement_structure() {
+        use ft_core::expr::Operand;
+        let stmt = Stmt {
+            op: OpCode::MatMul,
+            args: vec![Operand::In(0), Operand::In(1)],
+        };
+        let st = stmt_structure(
+            &stmt,
+            &[Shape::new(&[1, 512]), Shape::new(&[512, 512])],
+            &Shape::new(&[1, 512]),
+        );
+        assert_eq!(st.ops, vec![OpKind::Map, OpKind::Reduce]);
+        assert_eq!(st.extents, vec![512, 512]);
+    }
+
+    #[test]
+    fn elementwise_statement_structure() {
+        use ft_core::expr::Operand;
+        let stmt = Stmt {
+            op: OpCode::Add,
+            args: vec![Operand::In(0), Operand::In(1)],
+        };
+        let st = stmt_structure(
+            &stmt,
+            &[Shape::new(&[1, 512]), Shape::new(&[1, 512])],
+            &Shape::new(&[1, 512]),
+        );
+        assert_eq!(st.ops, vec![OpKind::Map]);
+        assert_eq!(st.extents, vec![512]);
+    }
+
+    #[test]
+    fn lowering_region3_reproduces_figure5() {
+        let p = stacked_rnn_program(2, 3, 4, 512);
+        let mut g = parse_program(&p).unwrap();
+        let region3 = BlockId(3);
+        // Lower: the UDF y = x@w + s yields a matmul child (map, reduce)
+        // and an add child (map).
+        let children = lower_block(&mut g, region3).unwrap();
+        assert_eq!(children.len(), 2);
+        assert_eq!(g.block(children[0]).ops, vec![OpKind::Map, OpKind::Reduce]);
+        assert_eq!(g.block(children[1]).ops, vec![OpKind::Map]);
+        // Hoist the shared hidden-dim map: Figure 5's two-depth result —
+        // the parent becomes 4-dimensional and a single 1-dim reduction
+        // child remains.
+        assert!(hoist_shared_map(&mut g, region3).unwrap());
+        let parent = g.block(region3);
+        assert_eq!(
+            parent.ops,
+            vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL, OpKind::Map]
+        );
+        assert_eq!(parent.extents, vec![2, 3, 4, 512]);
+        assert_eq!(parent.children.len(), 1);
+        let child = g.block(parent.children[0]);
+        assert_eq!(child.ops, vec![OpKind::Reduce]);
+        assert_eq!(child.extents, vec![512]);
+    }
+
+    #[test]
+    fn lowering_updates_metrics() {
+        let p = stacked_rnn_program(2, 3, 4, 512);
+        let mut g = parse_program(&p).unwrap();
+        // Pre-lowering metrics (Figure 4): depth 2, dimension 5.
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.dimension(), 5);
+        let region3 = BlockId(3);
+        lower_block(&mut g, region3).unwrap();
+        hoist_shared_map(&mut g, region3).unwrap();
+        // Post-Figure-5 coarsening the longest path is the 4-dim parent
+        // plus the 1-dim reduction child: still depth 2, dimension 5.
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.dimension(), 5);
+    }
+
+    #[test]
+    fn double_lowering_rejected() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let mut g = parse_program(&p).unwrap();
+        lower_block(&mut g, BlockId(3)).unwrap();
+        assert!(lower_block(&mut g, BlockId(3)).is_err());
+    }
+}

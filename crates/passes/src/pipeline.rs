@@ -1,0 +1,128 @@
+//! The end-to-end compile pipeline: parse → access-map fusion → width-wise
+//! coarsening → per-group reordering. The result is everything a backend
+//! needs to execute or emit code.
+
+use ft_core::Program;
+use ft_etdg::{parse_program, BlockId, Etdg};
+
+use crate::coarsen::{coarsen, CoarsePlan};
+use crate::reorder::{reorder_group, Reordering};
+use crate::Result;
+
+/// One launch group with its reordered schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduledGroup {
+    /// Member block nodes (region order: producers of carried values
+    /// first).
+    pub members: Vec<BlockId>,
+    /// The composed operator vector.
+    pub ops: Vec<ft_core::OpKind>,
+    /// The unimodular reordering (identity with zero sequential dims for
+    /// pure map groups).
+    pub reordering: Reordering,
+}
+
+impl ScheduledGroup {
+    /// Number of wavefront steps this group executes sequentially.
+    pub fn wavefront_steps(&self) -> i64 {
+        let (lo, hi) = self.reordering.wavefront_range();
+        hi - lo
+    }
+}
+
+/// A fully analyzed program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The coarsened graph (copies eliminated).
+    pub etdg: Etdg,
+    /// The coarsening decisions.
+    pub plan: CoarsePlan,
+    /// Scheduled groups in execution order.
+    pub groups: Vec<ScheduledGroup>,
+}
+
+impl CompiledProgram {
+    /// Summary line used by examples and the bench harness.
+    pub fn summary(&self) -> String {
+        let seqs: Vec<String> = self
+            .groups
+            .iter()
+            .map(|g| {
+                format!(
+                    "{}[{} member(s), {} step(s)]",
+                    self.etdg.block(g.members[0]).name,
+                    g.members.len(),
+                    g.wavefront_steps()
+                )
+            })
+            .collect();
+        format!(
+            "{}: {} block(s) -> {} launch group(s): {}",
+            self.etdg.name,
+            self.etdg.blocks.len(),
+            self.groups.len(),
+            seqs.join(", ")
+        )
+    }
+}
+
+/// Compiles a program through the full §5.1–§5.2 pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use ft_core::builders::stacked_rnn_program;
+/// use ft_passes::compile;
+///
+/// // Listing 1's stacked RNN: batch 2, depth 3, length 4, hidden 8.
+/// let compiled = compile(&stacked_rnn_program(2, 3, 4, 8)).unwrap();
+/// // The four boundary regions fuse into one wavefront launch group with
+/// // depth + length - 1 sequential steps.
+/// assert_eq!(compiled.groups.len(), 1);
+/// assert_eq!(compiled.groups[0].wavefront_steps(), 6);
+/// ```
+pub fn compile(program: &Program) -> Result<CompiledProgram> {
+    let parsed = parse_program(program)?;
+    let (etdg, plan) = coarsen(&parsed)?;
+    let mut groups = Vec::with_capacity(plan.groups.len());
+    for g in &plan.groups {
+        let reordering = reorder_group(&etdg, &g.members)?;
+        groups.push(ScheduledGroup {
+            members: g.members.clone(),
+            ops: g.ops.clone(),
+            reordering,
+        });
+    }
+    Ok(CompiledProgram { etdg, plan, groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::builders::stacked_rnn_program;
+
+    #[test]
+    fn stacked_rnn_compiles_to_single_wavefront_group() {
+        let (n, d, l) = (2usize, 3usize, 4usize);
+        let p = stacked_rnn_program(n, d, l, 8);
+        let c = compile(&p).unwrap();
+        assert_eq!(c.groups.len(), 1);
+        let g = &c.groups[0];
+        assert_eq!(g.members.len(), 4);
+        // Wavefront over d + l: values 0 ..= (d-1)+(l-1), i.e. d+l-1 steps.
+        assert_eq!(g.wavefront_steps(), (d + l - 1) as i64);
+        assert_eq!(g.reordering.sequential_dims, 1);
+        assert!(c.summary().contains("1 launch group"));
+    }
+
+    #[test]
+    fn wavefront_steps_scale_additively_not_multiplicatively() {
+        // The crux of Figure 2: with the wavefront schedule the sequential
+        // extent is D + L - 1, not D * L.
+        for (d, l) in [(4usize, 16usize), (16, 16), (32, 16)] {
+            let p = stacked_rnn_program(2, d, l, 4);
+            let c = compile(&p).unwrap();
+            assert_eq!(c.groups[0].wavefront_steps(), (d + l - 1) as i64);
+        }
+    }
+}

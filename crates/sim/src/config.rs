@@ -1,0 +1,96 @@
+//! Machine model parameters.
+
+/// Parameters of the simulated GPU.
+///
+/// Defaults model an NVIDIA A100-SXM4-40GB, the paper's evaluation platform:
+/// 108 SMs, 192 KiB unified L1/shared memory per SM, 40 MiB L2,
+/// ~1555 GB/s HBM2, 19.5 TFLOP/s FP32 and 156 TFLOP/s TF32 TensorCore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Streaming multiprocessor count.
+    pub num_sms: usize,
+    /// Unified shared-memory/L1 capacity per SM, bytes.
+    pub smem_per_sm_bytes: u64,
+    /// L2 capacity, bytes.
+    pub l2_bytes: u64,
+    /// DRAM (HBM) bandwidth, GB/s.
+    pub dram_bw_gbps: f64,
+    /// Aggregate L2 bandwidth, GB/s.
+    pub l2_bw_gbps: f64,
+    /// Aggregate shared-memory/L1 bandwidth, GB/s.
+    pub l1_bw_gbps: f64,
+    /// FP32 CUDA-core throughput, TFLOP/s.
+    pub fp32_tflops: f64,
+    /// TensorCore (TF32) throughput, TFLOP/s.
+    pub tensor_tflops: f64,
+    /// Fixed cost of one kernel launch, microseconds.
+    pub kernel_launch_us: f64,
+    /// Granularity of the L2 reuse model, bytes (a coarse "sector" — large
+    /// enough to keep simulation fast, small enough to capture tile reuse).
+    pub l2_chunk_bytes: u64,
+    /// L2 associativity in the reuse model.
+    pub l2_ways: usize,
+    /// Maximum thread blocks resident per SM.
+    pub max_ctas_per_sm: usize,
+}
+
+impl GpuConfig {
+    /// The paper's platform: NVIDIA A100.
+    pub fn a100() -> Self {
+        GpuConfig {
+            name: "NVIDIA A100-SXM4-40GB".into(),
+            num_sms: 108,
+            smem_per_sm_bytes: 192 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            dram_bw_gbps: 1555.0,
+            l2_bw_gbps: 4500.0,
+            l1_bw_gbps: 19_400.0,
+            fp32_tflops: 19.5,
+            tensor_tflops: 156.0,
+            kernel_launch_us: 5.0,
+            l2_chunk_bytes: 16 * 1024,
+            l2_ways: 16,
+            max_ctas_per_sm: 2,
+        }
+    }
+
+    /// FLOP/s available to a kernel, in FLOPs per microsecond.
+    pub fn flops_per_us(&self, tensor_cores: bool) -> f64 {
+        let tflops = if tensor_cores {
+            self.tensor_tflops
+        } else {
+            self.fp32_tflops
+        };
+        tflops * 1e12 / 1e6
+    }
+
+    /// Bytes per microsecond for a bandwidth in GB/s.
+    pub fn bytes_per_us(gbps: f64) -> f64 {
+        gbps * 1e9 / 1e6
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_parameters_are_sane() {
+        let c = GpuConfig::a100();
+        assert_eq!(c.num_sms, 108);
+        assert!(c.tensor_tflops > c.fp32_tflops);
+        assert!(c.l2_bytes > c.smem_per_sm_bytes);
+        // 19.5 TFLOP/s = 19.5e6 FLOP/us.
+        assert!((c.flops_per_us(false) - 19.5e6).abs() < 1.0);
+        // 1555 GB/s = 1.555e6 bytes/us.
+        assert!((GpuConfig::bytes_per_us(c.dram_bw_gbps) - 1.555e6).abs() < 1e3);
+    }
+}

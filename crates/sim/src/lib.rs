@@ -1,0 +1,37 @@
+//! # ft-sim
+//!
+//! A deterministic tile-machine simulator standing in for the paper's A100
+//! execution platform (§5.3 "access materialization" and the §6
+//! evaluation).
+//!
+//! The paper's performance claims are properties of *schedules*: how many
+//! kernels launch, how much data crosses each memory level, how well each
+//! launch fills the SMs. This crate replays emitted kernel sequences
+//! against an A100-shaped machine model and reports exactly the quantities
+//! the paper measures:
+//!
+//! * end-to-end execution time (launch overhead + a roofline
+//!   `max(compute, DRAM, L2, L1)` per kernel, scaled by occupancy), for
+//!   Figures 2, 7 and 8,
+//! * total bytes of access to GPU DRAM, L1, and L2 (Table 7), with an LRU
+//!   L2 model capturing inter-kernel reuse.
+//!
+//! The [`tile`] module is the §5.3 tile library: a TensorCore-aligned base
+//! tile composed into cache-level tiles, with kernel builders (`gemm`,
+//! attention blocks, elementwise) that compute the per-level traffic a
+//! tiled macro-kernel generates.
+//!
+//! Everything here is exact integer/float arithmetic over explicit inputs —
+//! no randomness — so every figure regenerates bit-identically.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod config;
+pub mod machine;
+pub mod tile;
+
+pub use cache::LruCache;
+pub use config::GpuConfig;
+pub use machine::{BufferHandle, Kernel, Region, SimMachine, TrafficCounters};
+pub use tile::{elementwise_kernel, gemm_kernel, TileConfig};

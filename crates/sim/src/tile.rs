@@ -1,0 +1,229 @@
+//! The tile library (paper §5.3): TensorCore-aligned base tiles composed
+//! into cache-level tiles, plus kernel builders that compute the traffic a
+//! tiled macro-kernel generates at each memory level.
+
+use crate::machine::{Kernel, Region};
+
+/// Edge of the base tile, aligned to a TensorCore MMA instruction shape.
+pub const BASE_TILE: usize = 16;
+
+/// Register-level blocking factor (elements of C each thread accumulates
+/// per smem operand read) used in the shared-memory traffic estimate.
+const REGISTER_TILE: u64 = 8;
+
+/// A CTA-level tile shape for GEMM-like kernels: `Tm x Tn` output tile with
+/// `Tk`-deep staging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Output-tile rows per CTA.
+    pub tm: usize,
+    /// Output-tile columns per CTA.
+    pub tn: usize,
+    /// Contraction-depth per staging step.
+    pub tk: usize,
+}
+
+impl TileConfig {
+    /// A tile config; edges are rounded up to multiples of the base tile.
+    pub fn new(tm: usize, tn: usize, tk: usize) -> Self {
+        let align = |x: usize| x.div_ceil(BASE_TILE) * BASE_TILE;
+        TileConfig {
+            tm: align(tm.max(1)),
+            tn: align(tn.max(1)),
+            tk: align(tk.max(1)),
+        }
+    }
+
+    /// Shared memory for double-buffered A and B tiles, bytes.
+    pub fn smem_bytes(&self) -> u64 {
+        2 * 4 * (self.tm as u64 * self.tk as u64 + self.tk as u64 * self.tn as u64)
+    }
+
+    /// True when the tile's staging fits the given shared-memory budget.
+    pub fn fits(&self, smem_budget: u64) -> bool {
+        self.smem_bytes() <= smem_budget
+    }
+
+    /// Picks the largest library tile that fits the budget and the problem
+    /// (the §5.3 "predefined tile shapes that optimize cache utilization
+    /// while maintaining a good SM occupancy").
+    pub fn select(m: usize, n: usize, smem_budget: u64) -> TileConfig {
+        const CANDIDATES: [(usize, usize, usize); 6] = [
+            (128, 128, 32),
+            (128, 64, 32),
+            (64, 128, 32),
+            (64, 64, 32),
+            (32, 32, 32),
+            (16, 16, 16),
+        ];
+        for &(tm, tn, tk) in &CANDIDATES {
+            let t = TileConfig::new(tm, tn, tk);
+            if t.fits(smem_budget) && tm <= m.max(BASE_TILE) * 2 && tn <= n.max(BASE_TILE) * 2 {
+                return t;
+            }
+        }
+        TileConfig::new(BASE_TILE, BASE_TILE, BASE_TILE)
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig::new(128, 128, 32)
+    }
+}
+
+/// Builds the kernel spec for a tiled GEMM `C[m,n] = A[m,k] @ B[k,n]`.
+///
+/// Traffic model: every CTA stripe reloads `A` once per column tile and `B`
+/// once per row tile (requests that hit L2 when the operand is resident),
+/// and the inner product streams operands from shared memory with
+/// register-level blocking.
+pub fn gemm_kernel(
+    name: &str,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Region,
+    b: Region,
+    c: Region,
+    tiles: TileConfig,
+    tensor_cores: bool,
+) -> Kernel {
+    let (mu, ku, nu) = (m as u64, k as u64, n as u64);
+    let flops = 2 * mu * ku * nu;
+    let a_reloads = n.div_ceil(tiles.tn) as u64;
+    let b_reloads = m.div_ceil(tiles.tm) as u64;
+    let mut reads = Vec::with_capacity((a_reloads + b_reloads) as usize);
+    for _ in 0..a_reloads {
+        reads.push(a);
+    }
+    for _ in 0..b_reloads {
+        reads.push(b);
+    }
+    // Each multiply-accumulate reads two operands from shared memory,
+    // amortized by the register tile.
+    let l1_extra = 2 * 4 * mu * ku * nu / REGISTER_TILE;
+    Kernel {
+        name: name.to_string(),
+        flops,
+        tensor_cores,
+        reads,
+        writes: vec![c],
+        l1_extra_bytes: l1_extra,
+        ctas: (m.div_ceil(tiles.tm) * n.div_ceil(tiles.tn)) as u64,
+        smem_per_cta: tiles.smem_bytes(),
+    }
+}
+
+/// Builds the kernel spec for an elementwise pass over `elems` f32 values.
+pub fn elementwise_kernel(
+    name: &str,
+    elems: u64,
+    reads: Vec<Region>,
+    writes: Vec<Region>,
+) -> Kernel {
+    Kernel {
+        name: name.to_string(),
+        flops: elems,
+        tensor_cores: false,
+        reads,
+        writes,
+        l1_extra_bytes: 0,
+        ctas: elems.div_ceil(1024).max(1),
+        smem_per_cta: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::machine::SimMachine;
+
+    #[test]
+    fn tile_alignment_to_base_tile() {
+        let t = TileConfig::new(100, 70, 20);
+        assert_eq!((t.tm, t.tn, t.tk), (112, 80, 32));
+        assert_eq!(t.tm % BASE_TILE, 0);
+    }
+
+    #[test]
+    fn smem_accounting() {
+        let t = TileConfig::new(128, 128, 32);
+        // 2 (double buffer) * 4 B * (128*32 + 32*128) = 64 KiB.
+        assert_eq!(t.smem_bytes(), 65536);
+        assert!(t.fits(GpuConfig::a100().smem_per_sm_bytes));
+        assert!(!t.fits(1024));
+    }
+
+    #[test]
+    fn select_prefers_large_tiles_that_fit() {
+        let budget = GpuConfig::a100().smem_per_sm_bytes;
+        let t = TileConfig::select(4096, 4096, budget);
+        assert_eq!((t.tm, t.tn), (128, 128));
+        // A tiny problem gets a tiny tile.
+        let small = TileConfig::select(16, 16, budget);
+        assert!(small.tm <= 32);
+    }
+
+    #[test]
+    fn gemm_kernel_flops_and_ctas() {
+        let mut m = SimMachine::new(GpuConfig::a100());
+        let a = m.alloc(512 * 512 * 4);
+        let b = m.alloc(512 * 512 * 4);
+        let c = m.alloc(512 * 512 * 4);
+        let k = gemm_kernel(
+            "mm",
+            512,
+            512,
+            512,
+            Region::whole(a),
+            Region::whole(b),
+            Region::whole(c),
+            TileConfig::default(),
+            true,
+        );
+        assert_eq!(k.flops, 2 * 512 * 512 * 512);
+        assert_eq!(k.ctas, 16); // (512/128)^2.
+        assert!(k.l1_extra_bytes > 0);
+    }
+
+    #[test]
+    fn larger_tiles_reduce_l2_traffic() {
+        let run = |tile: TileConfig| {
+            let mut m = SimMachine::new(GpuConfig::a100());
+            let a = m.alloc(2048 * 2048 * 4);
+            let b = m.alloc(2048 * 2048 * 4);
+            let c = m.alloc(2048 * 2048 * 4);
+            let k = gemm_kernel(
+                "mm",
+                2048,
+                2048,
+                2048,
+                Region::whole(a),
+                Region::whole(b),
+                Region::whole(c),
+                tile,
+                true,
+            );
+            m.launch(&k);
+            m.counters().l2_bytes
+        };
+        let big = run(TileConfig::new(128, 128, 32));
+        let small = run(TileConfig::new(32, 32, 32));
+        assert!(
+            small > 3 * big,
+            "32x32 tiles should reload operands far more: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn elementwise_kernel_shape() {
+        let mut m = SimMachine::new(GpuConfig::a100());
+        let x = m.alloc(1 << 20);
+        let k = elementwise_kernel("relu", 1 << 18, vec![Region::whole(x)], vec![]);
+        assert_eq!(k.flops, 1 << 18);
+        assert!(k.ctas >= 1);
+        assert!(!k.tensor_cores);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by shape-sensitive tensor operations.
+///
+/// The tensor substrate never panics on user input; every fallible operation
+/// returns [`crate::Result`]. Infallible convenience wrappers (e.g. the
+/// `std::ops` impls) panic only on programmer error and say so in their docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that had to agree did not.
+    ShapeMismatch {
+        /// Context string naming the operation.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// An index was outside the tensor's bounds.
+    IndexOutOfBounds {
+        /// The offending index vector.
+        index: Vec<usize>,
+        /// The tensor shape it was applied to.
+        shape: Vec<usize>,
+    },
+    /// An axis argument exceeded the tensor rank.
+    AxisOutOfBounds {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// A reshape asked for a different element count.
+    BadReshape {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// The operation requires a specific rank.
+    RankMismatch {
+        /// Context string naming the operation.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A slice range was empty or exceeded the dimension extent.
+    BadSlice {
+        /// Axis being sliced.
+        axis: usize,
+        /// Start of the requested range.
+        start: usize,
+        /// End of the requested range (exclusive).
+        end: usize,
+        /// Extent of that axis.
+        extent: usize,
+    },
+    /// Catch-all for invalid arguments with a descriptive message.
+    Invalid(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::AxisOutOfBounds { axis, rank } => {
+                write!(f, "axis {axis} out of bounds for rank {rank}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::BadSlice {
+                axis,
+                start,
+                end,
+                extent,
+            } => {
+                write!(
+                    f,
+                    "bad slice {start}..{end} on axis {axis} with extent {extent}"
+                )
+            }
+            TensorError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

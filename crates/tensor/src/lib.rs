@@ -1,0 +1,78 @@
+//! # ft-tensor
+//!
+//! Dense, static-shape `f32` tensors: the innermost data substrate of the
+//! FractalTensor reproduction.
+//!
+//! In the FractalTensor programming model (SOSP 2024), every *leaf* of a
+//! FractalTensor is a tensor whose shape is fully known at compile time, and
+//! all user-defined math functions operate on such leaves. This crate
+//! provides that substrate:
+//!
+//! * [`Shape`] — dimension lists with row-major stride computation,
+//! * [`Tensor`] — a reference-counted dense buffer plus a strided view
+//!   (slicing, selecting and transposing are O(1) and never copy),
+//! * elementwise math, activations, matrix multiplication, reductions and
+//!   row-wise softmax — everything the six evaluation workloads need.
+//!
+//! The crate is intentionally `f32`-only and CPU-only: numeric fidelity of
+//! the *reference semantics* is what matters here; the performance story is
+//! told by the scheduling layers above (`ft-sim` / `ft-backend`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ft_tensor::Tensor;
+//!
+//! let x = Tensor::randn(&[4, 8], 1);
+//! let w = Tensor::randn(&[8, 8], 2);
+//! let y = x.matmul(&w).unwrap().tanh();
+//! assert_eq!(y.shape().dims(), &[4, 8]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod error;
+mod linalg;
+mod ops;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use reduce::OnlineSoftmax;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Asserts that two tensors match elementwise within `tol` (relative to the
+/// larger magnitude), panicking with a useful message otherwise.
+pub fn assert_allclose(a: &Tensor, b: &Tensor, tol: f32) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let scale = 1.0f32.max(x.abs()).max(y.abs());
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "mismatch at flat index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+/// Returns the maximum relative elementwise difference between two tensors.
+pub fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let scale = 1.0f32.max(x.abs()).max(y.abs());
+            (x - y).abs() / scale
+        })
+        .fold(0.0, f32::max)
+}

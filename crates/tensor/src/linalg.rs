@@ -1,0 +1,220 @@
+//! Matrix multiplication kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Cache-blocking tile edge for the i/k loops of the GEMM microkernel.
+const BLOCK: usize = 64;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] @ [k, n] -> [m, n]`.
+    ///
+    /// Uses a blocked i-k-j loop nest so the reference implementation stays
+    /// reasonably fast even at the benchmark shapes (512×512 and up).
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let a = self.to_contiguous().to_vec();
+        let b = rhs.to_contiguous().to_vec();
+        let mut c = vec![0.0f32; m * n];
+        for i0 in (0..m).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(m);
+            for k0 in (0..k).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(k);
+                for i in i0..i1 {
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a[i * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(c, &[m, n])
+    }
+
+    /// `self @ rhs.T` without materializing the transpose:
+    /// `[m, k] @ ([n, k]).T -> [m, n]`.
+    pub fn matmul_transb(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_transb",
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transb",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let a = self.to_contiguous().to_vec();
+        let b = rhs.to_contiguous().to_vec();
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(c, &[m, n])
+    }
+
+    /// Inner product of two equal-length rank-1 tensors.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32> {
+        if self.rank() != 1 || rhs.rank() != 1 || self.numel() != rhs.numel() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Ok(self.iter().zip(rhs.iter()).map(|(a, b)| a * b).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_allclose;
+    use proptest::prelude::*;
+
+    /// Naive triple loop used as the oracle for the blocked kernel.
+    fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
+                }
+                c.set(&[i, j], acc).unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::randn(&[7, 7], 5);
+        let mut eye = Tensor::zeros(&[7, 7]);
+        for i in 0..7 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        assert_allclose(&a.matmul(&eye).unwrap(), &a, 1e-6);
+        assert_allclose(&eye.matmul(&a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let a = Tensor::randn(&[5, 9], 1);
+        let b = Tensor::randn(&[4, 9], 2);
+        let via_t = a.matmul(&b.t().unwrap().to_contiguous()).unwrap();
+        let direct = a.matmul_transb(&b).unwrap();
+        assert_allclose(&via_t, &direct, 1e-5);
+    }
+
+    #[test]
+    fn blocked_kernel_crosses_block_boundaries() {
+        // Sizes straddling the 64-wide block edge.
+        let a = Tensor::randn(&[65, 130], 11);
+        let b = Tensor::randn(&[130, 67], 12);
+        assert_allclose(&a.matmul(&b).unwrap(), &matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_on_strided_view() {
+        let a = Tensor::randn(&[6, 6], 3);
+        let sub = a.slice(0, 1, 4).unwrap(); // Non-zero offset view.
+        let b = Tensor::randn(&[6, 2], 4);
+        assert_allclose(
+            &sub.matmul(&b).unwrap(),
+            &matmul_naive(&sub.to_contiguous(), &b),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::zeros(&[4])).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_blocked_matches_naive(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..100
+        ) {
+            let a = Tensor::randn(&[m, k], seed);
+            let b = Tensor::randn(&[k, n], seed + 1);
+            assert_allclose(&a.matmul(&b).unwrap(), &matmul_naive(&a, &b), 1e-4);
+        }
+
+        #[test]
+        fn prop_matmul_distributes_over_add(seed in 0u64..100) {
+            let a = Tensor::randn(&[4, 6], seed);
+            let b = Tensor::randn(&[6, 3], seed + 1);
+            let c = Tensor::randn(&[6, 3], seed + 2);
+            let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+            let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+            assert_allclose(&lhs, &rhs, 1e-4);
+        }
+    }
+}

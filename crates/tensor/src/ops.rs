@@ -1,0 +1,230 @@
+//! Elementwise math: binary ops, unary activations, scalar ops.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map_elem(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.iter().map(f).collect(), self.dims()).expect("same numel")
+    }
+
+    /// Combines two equally-shaped tensors elementwise with `f`.
+    pub fn zip_elem(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_elem",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor::from_vec(
+            self.iter()
+                .zip(other.iter())
+                .map(|(a, b)| f(a, b))
+                .collect(),
+            self.dims(),
+        )
+        .expect("same numel"))
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_elem(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_elem(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_elem(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_elem(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum.
+    pub fn maximum(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_elem(other, f32::max)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map_elem(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map_elem(|x| x * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map_elem(|x| -x)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map_elem(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map_elem(f32::ln)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map_elem(f32::tanh)
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map_elem(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map_elem(|x| x.max(0.0))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map_elem(f32::sqrt)
+    }
+
+    /// Adds a row vector (shape `[1, n]` or `[n]`) to every row of a
+    /// `[m, n]` matrix — the only broadcast the workloads need.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "add_row_broadcast",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let n = self.dims()[1];
+        let row_flat = row.to_vec();
+        if row_flat.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.dims().to_vec(),
+                rhs: row.dims().to_vec(),
+            });
+        }
+        let m = self.dims()[0];
+        let mut data = Vec::with_capacity(m * n);
+        for (i, v) in self.iter().enumerate() {
+            data.push(v + row_flat[i % n]);
+        }
+        Tensor::from_vec(data, self.dims())
+    }
+}
+
+impl std::ops::Add for &Tensor {
+    type Output = Tensor;
+
+    /// Panics on shape mismatch; use [`Tensor::add`] for the fallible form.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs).expect("operator + shape mismatch")
+    }
+}
+
+impl std::ops::Sub for &Tensor {
+    type Output = Tensor;
+
+    /// Panics on shape mismatch; use [`Tensor::sub`] for the fallible form.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs).expect("operator - shape mismatch")
+    }
+}
+
+impl std::ops::Mul for &Tensor {
+    type Output = Tensor;
+
+    /// Panics on shape mismatch; use [`Tensor::mul`] for the fallible form.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs).expect("operator * shape mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_allclose;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binary_ops_elementwise() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().to_vec(), vec![5.0; 4]);
+        assert_eq!(a.sub(&b).unwrap().to_vec(), vec![-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().to_vec(), vec![4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.maximum(&b).unwrap().to_vec(), vec![4.0, 3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn binary_ops_reject_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn activations() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]).unwrap();
+        let s = x.sigmoid();
+        assert!((s.get(&[1]).unwrap() - 0.5).abs() < 1e-6);
+        assert!(s.get(&[0]).unwrap() < 0.5 && s.get(&[2]).unwrap() > 0.5);
+        assert_eq!(x.relu().to_vec(), vec![0.0, 0.0, 1.0]);
+        assert_eq!(x.tanh().get(&[1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ops_respect_views() {
+        // Elementwise ops over a transposed (non-contiguous) view must see
+        // the view's logical order.
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let at = a.t().unwrap();
+        let r = at.add_scalar(10.0);
+        assert_eq!(r.to_vec(), vec![11.0, 13.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn row_broadcast() {
+        let m = Tensor::zeros(&[2, 3]);
+        let row = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let r = m.add_row_broadcast(&row).unwrap();
+        assert_eq!(r.to_vec(), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let bad = Tensor::zeros(&[1, 4]);
+        assert!(m.add_row_broadcast(&bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(seed in 0u64..1000) {
+            let a = Tensor::randn(&[3, 5], seed);
+            let b = Tensor::randn(&[3, 5], seed + 1);
+            assert_allclose(&a.add(&b).unwrap(), &b.add(&a).unwrap(), 1e-6);
+        }
+
+        #[test]
+        fn prop_sigmoid_bounded(seed in 0u64..1000) {
+            let x = Tensor::randn(&[32], seed);
+            for v in x.sigmoid().iter() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn prop_exp_ln_roundtrip(seed in 0u64..1000) {
+            let x = Tensor::rand_uniform(&[16], 0.1, 5.0, seed);
+            assert_allclose(&x.ln().exp(), &x, 1e-5);
+        }
+    }
+}

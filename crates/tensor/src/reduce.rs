@@ -1,0 +1,282 @@
+//! Reductions (sum/max/min), row-wise softmax, and the online-softmax
+//! primitives used by the FlashAttention workload.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.iter().sum()
+    }
+
+    /// Maximum of all elements (`-inf` for an empty tensor).
+    pub fn max_all(&self) -> f32 {
+        self.iter().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum of all elements (`+inf` for an empty tensor).
+    pub fn min_all(&self) -> f32 {
+        self.iter().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&self) -> f32 {
+        self.sum_all() / self.numel() as f32
+    }
+
+    /// Sums along `axis`, dropping it.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, 0.0, |acc, v| acc + v)
+    }
+
+    /// Maximum along `axis`, dropping it.
+    pub fn max_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+    }
+
+    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        let extent = self.shape().dim(axis)?;
+        let out_shape = self.shape().without_axis(axis)?;
+        let mut out = Tensor::full(out_shape.dims(), init);
+        for flat in 0..out.numel() {
+            let out_idx = out.shape().unflatten_index(flat);
+            let mut acc = init;
+            for i in 0..extent {
+                let mut idx = out_idx.clone();
+                idx.insert(axis, i);
+                acc = f(acc, self.get(&idx)?);
+            }
+            out.set(&out_idx, acc)?;
+        }
+        Ok(out)
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stabilized by the
+    /// row max).
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut data = Vec::with_capacity(m * n);
+        for i in 0..m {
+            let row: Vec<f32> = (0..n)
+                .map(|j| self.get(&[i, j]).expect("in bounds"))
+                .collect();
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|v| (v - mx).exp()).collect();
+            let denom: f32 = exps.iter().sum();
+            data.extend(exps.into_iter().map(|e| e / denom));
+        }
+        Tensor::from_vec(data, &[m, n])
+    }
+
+    /// Softmax over the last axis of a rank-1 tensor.
+    pub fn softmax_1d(&self) -> Result<Tensor> {
+        if self.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax_1d",
+                expected: 1,
+                actual: self.rank(),
+            });
+        }
+        self.reshape(&[1, self.numel()])?
+            .softmax_rows()?
+            .reshape(self.dims())
+    }
+}
+
+/// Running state of the *online softmax* recurrence used by FlashAttention
+/// (Listing 3 of the paper): per-row running max `m`, running denominator
+/// `s`, and running weighted output `o`.
+///
+/// Processing score blocks left to right with [`OnlineSoftmax::step`] yields
+/// exactly `softmax(scores) @ v` at [`OnlineSoftmax::finish`], without ever
+/// materializing the full score row — the property the FlashAttention
+/// workload and its memory-traffic experiment rely on.
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    /// Running row max.
+    pub m: Vec<f32>,
+    /// Running softmax denominator (scaled to the current max).
+    pub s: Vec<f32>,
+    /// Running output accumulator, shape `[rows, dv]`.
+    pub o: Tensor,
+}
+
+impl OnlineSoftmax {
+    /// Fresh state for `rows` output rows of width `dv`.
+    pub fn new(rows: usize, dv: usize) -> Self {
+        OnlineSoftmax {
+            m: vec![f32::NEG_INFINITY; rows],
+            s: vec![0.0; rows],
+            o: Tensor::zeros(&[rows, dv]),
+        }
+    }
+
+    /// Folds in one block: `scores` is `[rows, bk]` (already scaled), `v` is
+    /// `[bk, dv]`.
+    pub fn step(&mut self, scores: &Tensor, v: &Tensor) -> Result<()> {
+        let rows = self.m.len();
+        if scores.rank() != 2 || scores.dims()[0] != rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "online_softmax_step",
+                lhs: scores.dims().to_vec(),
+                rhs: vec![rows],
+            });
+        }
+        let bk = scores.dims()[1];
+        if v.dims() != [bk, self.o.dims()[1]] {
+            return Err(TensorError::ShapeMismatch {
+                op: "online_softmax_step",
+                lhs: v.dims().to_vec(),
+                rhs: vec![bk, self.o.dims()[1]],
+            });
+        }
+        let dv = self.o.dims()[1];
+        for r in 0..rows {
+            let row: Vec<f32> = (0..bk)
+                .map(|j| scores.get(&[r, j]).expect("in bounds"))
+                .collect();
+            let block_max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let new_m = self.m[r].max(block_max);
+            let alpha = if self.m[r] == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.m[r] - new_m).exp()
+            };
+            let exps: Vec<f32> = row.iter().map(|x| (x - new_m).exp()).collect();
+            let block_sum: f32 = exps.iter().sum();
+            self.s[r] = self.s[r] * alpha + block_sum;
+            for c in 0..dv {
+                let old = self.o.get(&[r, c])?;
+                let mut acc = old * alpha;
+                for (j, e) in exps.iter().enumerate() {
+                    acc += e * v.get(&[j, c])?;
+                }
+                self.o.set(&[r, c], acc)?;
+            }
+            self.m[r] = new_m;
+        }
+        Ok(())
+    }
+
+    /// Normalizes and returns the accumulated output.
+    pub fn finish(&self) -> Result<Tensor> {
+        let (rows, dv) = (self.o.dims()[0], self.o.dims()[1]);
+        let mut out = Tensor::zeros(&[rows, dv]);
+        for r in 0..rows {
+            let denom = self.s[r];
+            for c in 0..dv {
+                out.set(&[r, c], self.o.get(&[r, c])? / denom)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_allclose;
+    use proptest::prelude::*;
+
+    #[test]
+    fn whole_tensor_reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[2, 2]).unwrap();
+        assert_eq!(t.sum_all(), 2.5);
+        assert_eq!(t.max_all(), 3.0);
+        assert_eq!(t.min_all(), -2.0);
+        assert_eq!(t.mean_all(), 0.625);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.sum_axis(0).unwrap().to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_axis(1).unwrap().to_vec(), vec![6.0, 15.0]);
+        assert_eq!(t.max_axis(1).unwrap().to_vec(), vec![3.0, 6.0]);
+        assert!(t.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::randn(&[4, 9], 7);
+        let s = t.softmax_rows().unwrap();
+        for i in 0..4 {
+            let row_sum: f32 = (0..9).map(|j| s.get(&[i, j]).unwrap()).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::randn(&[2, 5], 8);
+        let shifted = t.add_scalar(1000.0);
+        assert_allclose(
+            &t.softmax_rows().unwrap(),
+            &shifted.softmax_rows().unwrap(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn online_softmax_matches_full_softmax() {
+        let q = Tensor::randn(&[3, 8], 21);
+        let k = Tensor::randn(&[12, 8], 22);
+        let v = Tensor::randn(&[12, 4], 23);
+        let scores = q.matmul_transb(&k).unwrap();
+        let expected = scores.softmax_rows().unwrap().matmul(&v).unwrap();
+
+        let mut state = OnlineSoftmax::new(3, 4);
+        for blk in 0..3 {
+            let ks = k.slice(0, blk * 4, (blk + 1) * 4).unwrap();
+            let vs = v.slice(0, blk * 4, (blk + 1) * 4).unwrap();
+            let s = q.matmul_transb(&ks.to_contiguous()).unwrap();
+            state.step(&s, &vs.to_contiguous()).unwrap();
+        }
+        assert_allclose(&state.finish().unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn online_softmax_rejects_bad_block() {
+        let mut state = OnlineSoftmax::new(2, 4);
+        let bad_scores = Tensor::zeros(&[3, 4]);
+        let v = Tensor::zeros(&[4, 4]);
+        assert!(state.step(&bad_scores, &v).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_online_softmax_block_order_invariant(
+            seed in 0u64..200, nblocks in 1usize..5
+        ) {
+            let rows = 2;
+            let bk = 3;
+            let dv = 4;
+            let n = nblocks * bk;
+            let scores = Tensor::randn(&[rows, n], seed);
+            let v = Tensor::randn(&[n, dv], seed + 1);
+            let expected = scores.softmax_rows().unwrap().matmul(&v).unwrap();
+            let mut st = OnlineSoftmax::new(rows, dv);
+            for b in 0..nblocks {
+                let sb = scores.slice(1, b * bk, (b + 1) * bk).unwrap().to_contiguous();
+                let vb = v.slice(0, b * bk, (b + 1) * bk).unwrap().to_contiguous();
+                st.step(&sb, &vb).unwrap();
+            }
+            assert_allclose(&st.finish().unwrap(), &expected, 1e-4);
+        }
+
+        #[test]
+        fn prop_sum_axis_matches_sum_all(seed in 0u64..200) {
+            let t = Tensor::randn(&[4, 6], seed);
+            let via_axis = t.sum_axis(0).unwrap().sum_all();
+            prop_assert!((via_axis - t.sum_all()).abs() < 1e-3);
+        }
+    }
+}

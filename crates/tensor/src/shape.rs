@@ -1,0 +1,218 @@
+//! Shapes and row-major stride arithmetic.
+
+use crate::{Result, TensorError};
+
+/// The shape of a dense tensor: an ordered list of dimension extents.
+///
+/// Shapes are always interpreted row-major (the last dimension is
+/// contiguous), matching the paper's convention that the innermost static
+/// dimensions of a FractalTensor are the fastest-varying ones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list. A scalar is `&[]`.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (1 for scalars, 0 if any extent is 0).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of one axis.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfBounds {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Row-major (C order) strides, in elements.
+    pub fn row_major_strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    pub fn flatten_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let mut flat = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.dims.clone(),
+                });
+            }
+            flat = flat * d + i;
+            let _ = axis;
+        }
+        Ok(flat)
+    }
+
+    /// Converts a flat row-major offset back to a multi-dimensional index.
+    pub fn unflatten_index(&self, mut flat: usize) -> Vec<usize> {
+        let mut index = vec![0usize; self.rank()];
+        for axis in (0..self.rank()).rev() {
+            let d = self.dims[axis];
+            if d > 0 {
+                index[axis] = flat % d;
+                flat /= d;
+            }
+        }
+        index
+    }
+
+    /// Returns a shape with `axis` removed (for axis reductions / `select`).
+    pub fn without_axis(&self, axis: usize) -> Result<Shape> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfBounds {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut dims = self.dims.clone();
+        dims.remove(axis);
+        Ok(Shape { dims })
+    }
+
+    /// Returns a shape with `extent` inserted at `axis` (for `stack`).
+    pub fn with_axis(&self, axis: usize, extent: usize) -> Result<Shape> {
+        if axis > self.rank() {
+            return Err(TensorError::AxisOutOfBounds {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut dims = self.dims.clone();
+        dims.insert(axis, extent);
+        Ok(Shape { dims })
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.row_major_strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.flatten_index(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let s = Shape::new(&[3, 5, 7]);
+        for flat in 0..s.numel() {
+            let idx = s.unflatten_index(flat);
+            assert_eq!(s.flatten_index(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn flatten_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.flatten_index(&[2, 0]).is_err());
+        assert!(s.flatten_index(&[0]).is_err());
+    }
+
+    #[test]
+    fn axis_insert_remove() {
+        let s = Shape::new(&[2, 3]);
+        let t = s.with_axis(1, 9).unwrap();
+        assert_eq!(t.dims(), &[2, 9, 3]);
+        let u = t.without_axis(1).unwrap();
+        assert_eq!(u, s);
+        assert!(s.without_axis(2).is_err());
+        assert!(s.with_axis(3, 1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flatten_unflatten_roundtrip(
+            dims in proptest::collection::vec(1usize..6, 1..5),
+            seed in 0usize..1000,
+        ) {
+            let s = Shape::new(&dims);
+            let flat = seed % s.numel();
+            let idx = s.unflatten_index(flat);
+            prop_assert_eq!(s.flatten_index(&idx).unwrap(), flat);
+        }
+
+        #[test]
+        fn prop_strides_consistent_with_flatten(
+            dims in proptest::collection::vec(1usize..5, 1..4),
+        ) {
+            let s = Shape::new(&dims);
+            let strides = s.row_major_strides();
+            for flat in 0..s.numel() {
+                let idx = s.unflatten_index(flat);
+                let via_strides: usize =
+                    idx.iter().zip(strides.iter()).map(|(i, st)| i * st).sum();
+                prop_assert_eq!(via_strides, flat);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Back-to-back GEMMs (paper Table 6: K = 64, P = 64).
+//!
+//! The workload is a batch of chained products `D = (A @ B0) @ B1` with
+//! `A: [M, K]`, `B0: [K, P]`, `B1: [P, N]`. The paper's point: a DAG of two
+//! GEMM operators round-trips the `[M, P]` intermediate through DRAM, while
+//! FractalTensor's vertical coarsening fuses the chain into one launch with
+//! the intermediate staged in shared memory (as CUTLASS's handwritten
+//! b2b-GEMM does). The two map nests of the program merge under the
+//! Table 3 rules (`map ∘ map = map`), giving a fully parallel single group.
+
+use std::collections::HashMap;
+
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::program::{Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, BufferId};
+use ft_sim::{Region, TileConfig};
+use ft_tensor::Tensor;
+
+use crate::strategies::{machine, SimReport, Strategy};
+
+/// Shape of a back-to-back GEMM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct B2bShape {
+    /// Number of independent chains.
+    pub batch: usize,
+    /// Rows of `A`.
+    pub m: usize,
+    /// Contraction depth of the first GEMM (Table 6's K = 64).
+    pub k: usize,
+    /// Intermediate width (Table 6's P = 64).
+    pub p: usize,
+    /// Output width.
+    pub n: usize,
+}
+
+impl B2bShape {
+    /// Table 6 configuration.
+    pub fn paper() -> Self {
+        B2bShape {
+            batch: 64,
+            m: 512,
+            k: 64,
+            p: 64,
+            n: 64,
+        }
+    }
+
+    /// Tiny correctness shape.
+    pub fn tiny() -> Self {
+        B2bShape {
+            batch: 3,
+            m: 5,
+            k: 4,
+            p: 6,
+            n: 2,
+        }
+    }
+
+    /// FLOPs of one chain.
+    pub fn chain_flops(&self) -> u64 {
+        let (m, k, p, n) = (self.m as u64, self.k as u64, self.p as u64, self.n as u64);
+        2 * m * k * p + 2 * m * p * n
+    }
+}
+
+/// Buffer ids of [`program`]'s declarations.
+pub mod buffers {
+    use ft_core::BufferId;
+    /// Left operands `[batch]` of `[M, K]`.
+    pub const A: BufferId = BufferId(0);
+    /// First right operands `[batch]` of `[K, P]`.
+    pub const B0: BufferId = BufferId(1);
+    /// Second right operands `[batch]` of `[P, N]`.
+    pub const B1: BufferId = BufferId(2);
+    /// Intermediates `[batch]` of `[M, P]`.
+    pub const MID: BufferId = BufferId(3);
+    /// Outputs `[batch]` of `[M, N]`.
+    pub const OUT: BufferId = BufferId(4);
+}
+
+/// Builds the two-nest b2b GEMM program.
+pub fn program(s: B2bShape) -> Program {
+    let mut prog = Program::new("b2b_gemm");
+    let a = prog.input("a", &[s.batch], &[s.m, s.k]);
+    let b0 = prog.input("b0", &[s.batch], &[s.k, s.p]);
+    let b1 = prog.input("b1", &[s.batch], &[s.p, s.n]);
+    let mid = prog.intermediate("mid", &[s.batch], &[s.m, s.p]);
+    let out = prog.output("out", &[s.batch], &[s.m, s.n]);
+
+    let mk_mm = |name: &str| {
+        let mut b = UdfBuilder::new(name, 2);
+        let (x, y) = (b.input(0), b.input(1));
+        let r = b.matmul(x, y);
+        b.build(&[r])
+    };
+    prog.add_nest(Nest {
+        name: "gemm0".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![s.batch],
+        reads: vec![
+            Read::plain(a, AccessSpec::identity(1)),
+            Read::plain(b0, AccessSpec::identity(1)),
+        ],
+        writes: vec![Write {
+            buffer: mid,
+            access: AccessSpec::identity(1),
+        }],
+        udf: mk_mm("gemm0"),
+    })
+    .expect("gemm0 nest");
+    prog.add_nest(Nest {
+        name: "gemm1".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![s.batch],
+        reads: vec![
+            Read::plain(mid, AccessSpec::identity(1)),
+            Read::plain(b1, AccessSpec::identity(1)),
+        ],
+        writes: vec![Write {
+            buffer: out,
+            access: AccessSpec::identity(1),
+        }],
+        udf: mk_mm("gemm1"),
+    })
+    .expect("gemm1 nest");
+    prog
+}
+
+/// Deterministic inputs.
+pub fn inputs(s: B2bShape, seed: u64) -> HashMap<BufferId, FractalTensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        buffers::A,
+        FractalTensor::from_flat(&Tensor::randn(&[s.batch, s.m, s.k], seed), 1).expect("a"),
+    );
+    m.insert(
+        buffers::B0,
+        FractalTensor::from_flat(&Tensor::randn(&[s.batch, s.k, s.p], seed + 1), 1).expect("b0"),
+    );
+    m.insert(
+        buffers::B1,
+        FractalTensor::from_flat(&Tensor::randn(&[s.batch, s.p, s.n], seed + 2), 1).expect("b1"),
+    );
+    m
+}
+
+/// Eager reference: `map` over the batch of chained products.
+pub fn reference(a: &FractalTensor, b0: &FractalTensor, b1: &FractalTensor) -> FractalTensor {
+    let mut out = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let mid = a
+            .leaf(i)
+            .expect("a leaf")
+            .matmul(b0.leaf(i).expect("b0 leaf"))
+            .expect("gemm0");
+        out.push(mid.matmul(b1.leaf(i).expect("b1 leaf")).expect("gemm1"));
+    }
+    FractalTensor::from_tensors(out).expect("b2b output")
+}
+
+/// Simulates one strategy. All baselines exist for GEMMs: `Eager` ≈ two
+/// cuBLAS calls, `FusedOp` ≈ TVM (cannot fuse two contractions either),
+/// `BlockTile` ≈ a Triton fused kernel, `Handcrafted` ≈ CUTLASS b2b.
+pub fn simulate(s: B2bShape, strategy: Strategy) -> Option<SimReport> {
+    let mut mach = machine();
+    let fb = 4u64;
+    let (bt, m, k, p, n) = (
+        s.batch as u64,
+        s.m as u64,
+        s.k as u64,
+        s.p as u64,
+        s.n as u64,
+    );
+    let a = mach.alloc(bt * m * k * fb);
+    let b0 = mach.alloc(bt * k * p * fb);
+    let b1 = mach.alloc(bt * p * n * fb);
+    let mid = mach.alloc(bt * m * p * fb);
+    let out = mach.alloc(bt * m * n * fb);
+    let tile = TileConfig::select(s.m, s.p, mach.config().smem_per_sm_bytes);
+
+    match strategy {
+        Strategy::Eager | Strategy::FusedOp => {
+            // Two batched GEMM launches; the intermediate crosses DRAM.
+            let k1 = ft_sim::Kernel {
+                name: "batched_gemm0".into(),
+                flops: bt * 2 * m * k * p,
+                tensor_cores: true,
+                reads: vec![Region::whole(a), Region::whole(b0)],
+                writes: vec![Region::whole(mid)],
+                l1_extra_bytes: bt * m * k * p,
+                ctas: bt * (s.m.div_ceil(tile.tm) as u64).max(1),
+                smem_per_cta: tile.smem_bytes(),
+            };
+            mach.launch(&k1);
+            let k2 = ft_sim::Kernel {
+                name: "batched_gemm1".into(),
+                flops: bt * 2 * m * p * n,
+                tensor_cores: true,
+                reads: vec![Region::whole(mid), Region::whole(b1)],
+                writes: vec![Region::whole(out)],
+                l1_extra_bytes: bt * m * p * n,
+                ctas: bt * (s.m.div_ceil(tile.tm) as u64).max(1),
+                smem_per_cta: tile.smem_bytes(),
+            };
+            mach.launch(&k2);
+        }
+        Strategy::BlockTile | Strategy::Handcrafted | Strategy::FractalTensor => {
+            // Fused: the [M, P] intermediate never leaves shared memory.
+            if strategy == Strategy::FractalTensor {
+                let compiled = ft_passes::compile(&program(s)).expect("b2b compiles");
+                assert_eq!(
+                    compiled.groups.len(),
+                    1,
+                    "vertical coarsening must fuse the chain"
+                );
+            }
+            // CUTLASS-style fusion pays extra tile re-reads of B1 per M
+            // stripe; the Triton/FT versions keep both B operands staged.
+            let reload = if strategy == Strategy::Handcrafted {
+                (m.div_ceil(tile.tm as u64)).max(1)
+            } else {
+                1
+            };
+            let mut reads = vec![Region::whole(a), Region::whole(b0)];
+            for _ in 0..reload {
+                reads.push(Region::whole(b1));
+            }
+            let kf = ft_sim::Kernel {
+                name: "b2b_fused".into(),
+                flops: bt * s.chain_flops(),
+                tensor_cores: true,
+                reads,
+                writes: vec![Region::whole(out)],
+                l1_extra_bytes: bt * (m * k * p + m * p * n) + bt * m * p * fb,
+                ctas: bt * (s.m.div_ceil(tile.tm) as u64).max(1),
+                smem_per_cta: tile.smem_bytes() + (tile.tm as u64 * p * fb),
+            };
+            mach.launch(&kf);
+        }
+    }
+    Some(SimReport::from_machine(&mach))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_backend::execute;
+    use ft_core::interp::run_program;
+    use ft_passes::compile;
+    use ft_tensor::assert_allclose;
+
+    #[test]
+    fn interpreter_matches_eager_reference() {
+        let s = B2bShape::tiny();
+        let ins = inputs(s, 41);
+        let out = run_program(&program(s), &ins).unwrap();
+        let expected = reference(&ins[&buffers::A], &ins[&buffers::B0], &ins[&buffers::B1]);
+        assert_allclose(
+            &out[&buffers::OUT].to_flat().unwrap(),
+            &expected.to_flat().unwrap(),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn chain_fuses_into_one_parallel_group() {
+        let compiled = compile(&program(B2bShape::tiny())).unwrap();
+        assert_eq!(compiled.groups.len(), 1);
+        assert_eq!(compiled.groups[0].members.len(), 2);
+        // Pure map: no sequential dimension at all.
+        assert_eq!(compiled.groups[0].reordering.sequential_dims, 0);
+    }
+
+    #[test]
+    fn compiled_matches_reference() {
+        let s = B2bShape::tiny();
+        let ins = inputs(s, 43);
+        let compiled = compile(&program(s)).unwrap();
+        let got = execute(&compiled, &ins, 4).unwrap();
+        let expected = reference(&ins[&buffers::A], &ins[&buffers::B0], &ins[&buffers::B1]);
+        assert_allclose(
+            &got[&buffers::OUT].to_flat().unwrap(),
+            &expected.to_flat().unwrap(),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn fusion_removes_intermediate_dram_traffic() {
+        let s = B2bShape::paper();
+        let eager = simulate(s, Strategy::Eager).unwrap();
+        let ft = simulate(s, Strategy::FractalTensor).unwrap();
+        let cutlass = simulate(s, Strategy::Handcrafted).unwrap();
+        // The fused versions skip the DRAM round trip of `mid`.
+        assert!(ft.traffic.dram_bytes < eager.traffic.dram_bytes);
+        assert!(ft.kernels < eager.kernels);
+        // FT edges out the CUTLASS reload pattern slightly (the paper's
+        // 1.21x over cuBLAS, 1.0-1.2x band over CUTLASS).
+        assert!(ft.ms <= cutlass.ms * 1.01);
+        assert!(ft.ms < eager.ms);
+    }
+}

@@ -1,0 +1,444 @@
+//! Stacked grid RNNs (paper Table 6: batch 256, depth 32).
+//!
+//! A grid RNN lays cells on a 2-D grid; cell `(i, j)` consumes the hidden
+//! states of `(i-1, j)` and `(i, j-1)` plus the layer below's output,
+//! giving three carried dependencies per layer stack — which is why §6.3
+//! reports the stacked grid RNN parses into 8 block nodes (2³ boundary
+//! regions).
+
+use std::collections::HashMap;
+
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
+use ft_sim::{Region, TileConfig};
+use ft_tensor::Tensor;
+
+use crate::strategies::{machine, SimReport, Strategy};
+
+/// Shape of a stacked grid RNN run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    /// Batch size.
+    pub batch: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Stack depth.
+    pub depth: usize,
+    /// Grid extent along the first direction.
+    pub rows: usize,
+    /// Grid extent along the second direction.
+    pub cols: usize,
+}
+
+impl GridShape {
+    /// Table 6 configuration: batch 256, depth 32 over an 8x8 grid
+    /// (middle-model hidden 256).
+    pub fn paper() -> Self {
+        GridShape {
+            batch: 256,
+            hidden: 256,
+            depth: 32,
+            rows: 8,
+            cols: 8,
+        }
+    }
+
+    /// Tiny correctness shape.
+    pub fn tiny() -> Self {
+        GridShape {
+            batch: 2,
+            hidden: 4,
+            depth: 2,
+            rows: 3,
+            cols: 4,
+        }
+    }
+
+    /// FLOPs of one grid cell over the batch (three GEMMs).
+    pub fn cell_flops(&self) -> u64 {
+        let (n, h) = (self.batch as u64, self.hidden as u64);
+        3 * 2 * n * h * h + 4 * n * h
+    }
+}
+
+/// Buffer ids of [`program`]'s declarations.
+pub mod buffers {
+    use ft_core::BufferId;
+    /// Grid inputs `[N, R, C]` of `[1, H]`.
+    pub const XSS: BufferId = BufferId(0);
+    /// Input-transform weights `[D]`.
+    pub const W: BufferId = BufferId(1);
+    /// Row-direction recurrent weights `[D]`.
+    pub const U1: BufferId = BufferId(2);
+    /// Column-direction recurrent weights `[D]`.
+    pub const U2: BufferId = BufferId(3);
+    /// Hidden states `[N, D, R, C]` of `[1, H]` (output).
+    pub const HSSS: BufferId = BufferId(4);
+}
+
+/// Builds the stacked grid RNN program: one depth-4 nest over
+/// `(batch, layer, row, col)` with three carried reads.
+pub fn program(s: GridShape) -> Program {
+    let (n, h, d, r, c) = (s.batch, s.hidden, s.depth, s.rows, s.cols);
+    let mut p = Program::new("stacked_grid_rnn");
+    let xss = p.input("xss", &[n, r, c], &[1, h]);
+    let w = p.input("w", &[d], &[h, h]);
+    let u1 = p.input("u1", &[d], &[h, h]);
+    let u2 = p.input("u2", &[d], &[h, h]);
+    let hsss = p.output("hsss", &[n, d, r, c], &[1, h]);
+
+    // Cell: y = tanh(x@W + hi@U1 + hj@U2).
+    let mut bld = UdfBuilder::new("grid_cell", 6);
+    let (x, wm, u1m, u2m, hi, hj) = (
+        bld.input(0),
+        bld.input(1),
+        bld.input(2),
+        bld.input(3),
+        bld.input(4),
+        bld.input(5),
+    );
+    let xw = bld.matmul(x, wm);
+    let iw = bld.matmul(hi, u1m);
+    let jw = bld.matmul(hj, u2m);
+    let s1 = bld.add(xw, iw);
+    let s2 = bld.add(s1, jw);
+    let y = bld.tanh(s2);
+    let udf = bld.build(&[y]);
+
+    p.add_nest(Nest {
+        name: "stacked_grid_rnn".into(),
+        ops: vec![OpKind::Map, OpKind::FoldL, OpKind::ScanL, OpKind::ScanL],
+        extents: vec![n, d, r, c],
+        reads: vec![
+            // x: layer below at (row, col); layer 0 reads the grid input.
+            Read::carried(
+                hsss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::shifted(1, -1),
+                    AxisExpr::var(2),
+                    AxisExpr::var(3),
+                ]),
+                CarriedInit::Buffer(
+                    xss,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2), AxisExpr::var(3)]),
+                ),
+            ),
+            Read::plain(w, AccessSpec::new(vec![AxisExpr::var(1)])),
+            Read::plain(u1, AccessSpec::new(vec![AxisExpr::var(1)])),
+            Read::plain(u2, AccessSpec::new(vec![AxisExpr::var(1)])),
+            // Row-direction state.
+            Read::carried(
+                hsss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::shifted(2, -1),
+                    AxisExpr::var(3),
+                ]),
+                CarriedInit::Zero,
+            ),
+            // Column-direction state.
+            Read::carried(
+                hsss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::var(2),
+                    AxisExpr::shifted(3, -1),
+                ]),
+                CarriedInit::Zero,
+            ),
+        ],
+        writes: vec![Write {
+            buffer: hsss,
+            access: AccessSpec::identity(4),
+        }],
+        udf,
+    })
+    .expect("grid RNN nest is well-formed");
+    p
+}
+
+/// Deterministic inputs.
+pub fn inputs(s: GridShape, seed: u64) -> HashMap<BufferId, FractalTensor> {
+    let (n, h, d, r, c) = (s.batch, s.hidden, s.depth, s.rows, s.cols);
+    let scale = 1.0 / (h as f32).sqrt();
+    let mut m = HashMap::new();
+    m.insert(
+        buffers::XSS,
+        FractalTensor::from_flat(&Tensor::randn(&[n, r, c, 1, h], seed), 3).expect("xss"),
+    );
+    for (id, sd) in [(buffers::W, 1u64), (buffers::U1, 2), (buffers::U2, 3)] {
+        m.insert(
+            id,
+            FractalTensor::from_flat(&Tensor::randn(&[d, h, h], seed + sd).mul_scalar(scale), 1)
+                .expect("weights"),
+        );
+    }
+    m
+}
+
+/// Eager reference: per batch item, per layer, a row-major grid sweep.
+pub fn reference(
+    xss: &FractalTensor,
+    w: &FractalTensor,
+    u1: &FractalTensor,
+    u2: &FractalTensor,
+    s: GridShape,
+) -> FractalTensor {
+    xss.map(|grid_in| {
+        let grid_in = grid_in.sub()?;
+        let mut below: Vec<Vec<Tensor>> = (0..s.rows)
+            .map(|i| {
+                (0..s.cols)
+                    .map(|j| grid_in.get(i)?.leaf(j).cloned())
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        let mut layers = Vec::with_capacity(s.depth);
+        for d in 0..s.depth {
+            let (wm, u1m, u2m) = (w.leaf(d)?, u1.leaf(d)?, u2.leaf(d)?);
+            let mut h: Vec<Vec<Tensor>> = vec![Vec::with_capacity(s.cols); s.rows];
+            for i in 0..s.rows {
+                for j in 0..s.cols {
+                    let hi = if i > 0 {
+                        h[i - 1][j].clone()
+                    } else {
+                        Tensor::zeros(&[1, s.hidden])
+                    };
+                    let hj = if j > 0 {
+                        h[i][j - 1].clone()
+                    } else {
+                        Tensor::zeros(&[1, s.hidden])
+                    };
+                    let v = below[i][j]
+                        .matmul(wm)
+                        .and_then(|xw| hi.matmul(u1m).and_then(|a| xw.add(&a)))
+                        .and_then(|t| hj.matmul(u2m).and_then(|b| t.add(&b)))
+                        .expect("grid cell")
+                        .tanh();
+                    h[i].push(v);
+                }
+            }
+            layers.push(FractalTensor::nested(
+                h.iter()
+                    .map(|row| FractalTensor::from_tensors(row.clone()))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )?);
+            below = h;
+        }
+        FractalTensor::nested(layers)
+    })
+    .expect("reference grid RNN")
+}
+
+/// Simulates one strategy; `None` for the unsupported handcrafted library
+/// (no vendor grid-RNN kernel exists — the paper's NST case).
+pub fn simulate(s: GridShape, strategy: Strategy) -> Option<SimReport> {
+    if strategy == Strategy::Handcrafted {
+        return None;
+    }
+    let (n, h, d) = (s.batch as u64, s.hidden as u64, s.depth as u64);
+    let (r, c) = (s.rows as u64, s.cols as u64);
+    let mut m = machine();
+    let fb = 4u64;
+    let x_bytes = n * h * fb;
+    let w_bytes = h * h * fb;
+    let x_grid = m.alloc(n * r * c * h * fb);
+    let weights = m.alloc(3 * d * w_bytes);
+    let states = m.alloc(d * r * c * x_bytes);
+    let tmp = m.alloc(x_bytes);
+    let tile = TileConfig::select(n as usize, s.hidden, m.config().smem_per_sm_bytes);
+    let cellflops = s.cell_flops();
+
+    let cell_idx = |di: u64, i: u64, j: u64| (di * r * c + i * c + j) * x_bytes;
+    let x_region = |di: u64, i: u64, j: u64| {
+        if di == 0 {
+            Region::range(x_grid, (i * c + j) * x_bytes, x_bytes)
+        } else {
+            Region::range(states, cell_idx(di - 1, i, j), x_bytes)
+        }
+    };
+
+    match strategy {
+        Strategy::Eager | Strategy::FusedOp => {
+            let per_cell = if strategy == Strategy::Eager { 6 } else { 3 };
+            for di in 0..d {
+                for i in 0..r {
+                    for j in 0..c {
+                        for _ in 0..per_cell {
+                            let k = ft_sim::gemm_kernel(
+                                "grid_op",
+                                n as usize,
+                                s.hidden,
+                                s.hidden,
+                                x_region(di, i, j),
+                                Region::range(weights, di * 3 * w_bytes, w_bytes),
+                                Region::whole(tmp),
+                                tile,
+                                true,
+                            );
+                            m.launch(&k);
+                        }
+                    }
+                }
+            }
+        }
+        Strategy::BlockTile => {
+            for di in 0..d {
+                for i in 0..r {
+                    for j in 0..c {
+                        let k = ft_sim::Kernel {
+                            name: "grid_cell".into(),
+                            flops: cellflops,
+                            tensor_cores: true,
+                            reads: vec![
+                                x_region(di, i, j),
+                                Region::range(weights, di * 3 * w_bytes, 3 * w_bytes),
+                                Region::range(
+                                    states,
+                                    cell_idx(di, i.saturating_sub(1), j),
+                                    x_bytes,
+                                ),
+                                Region::range(
+                                    states,
+                                    cell_idx(di, i, j.saturating_sub(1)),
+                                    x_bytes,
+                                ),
+                            ],
+                            writes: vec![Region::range(states, cell_idx(di, i, j), x_bytes)],
+                            l1_extra_bytes: 3 * x_bytes + cellflops / 2,
+                            ctas: (n / 16).max(1),
+                            smem_per_cta: tile.smem_bytes(),
+                        };
+                        m.launch(&k);
+                    }
+                }
+            }
+        }
+        Strategy::FractalTensor => {
+            // One wavefront over layer+row+col: D + R + C - 2 steps.
+            let compiled = ft_passes::compile(&program(s)).expect("grid RNN compiles");
+            assert_eq!(compiled.groups.len(), 1);
+            let steps = compiled.groups[0].wavefront_steps() as u64;
+            for step in 0..steps {
+                // Cells with di + i + j == step.
+                let mut width = 0u64;
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                for di in 0..d.min(step + 1) {
+                    let rem = step - di;
+                    for i in 0..r.min(rem + 1) {
+                        let j = rem - i;
+                        if j >= c {
+                            continue;
+                        }
+                        width += 1;
+                        reads.push(x_region(di, i, j));
+                        writes.push(Region::range(states, cell_idx(di, i, j), x_bytes));
+                    }
+                }
+                if width == 0 {
+                    continue;
+                }
+                if step < d {
+                    reads.push(Region::range(weights, step * 3 * w_bytes, 3 * w_bytes));
+                }
+                let k = ft_sim::Kernel {
+                    name: format!("grid_wavefront_{step}"),
+                    flops: width * cellflops,
+                    tensor_cores: true,
+                    reads,
+                    writes,
+                    l1_extra_bytes: width * (3 * x_bytes + cellflops / 2),
+                    ctas: width * (n / 16).max(1),
+                    smem_per_cta: tile.smem_bytes(),
+                };
+                m.launch(&k);
+            }
+        }
+        Strategy::Handcrafted => unreachable!("filtered above"),
+    }
+    Some(SimReport::from_machine(&m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_backend::execute;
+    use ft_core::interp::run_program;
+    use ft_passes::compile;
+    use ft_tensor::assert_allclose;
+
+    #[test]
+    fn program_parses_into_eight_block_nodes() {
+        // §6.3: "the stacked Grid RNN is represented by 8 block nodes".
+        let g = ft_etdg::parse_program(&program(GridShape::tiny())).unwrap();
+        assert_eq!(g.blocks.len(), 8);
+    }
+
+    #[test]
+    fn interpreter_matches_eager_reference() {
+        let s = GridShape::tiny();
+        let ins = inputs(s, 31);
+        let out = run_program(&program(s), &ins).unwrap();
+        let expected = reference(
+            &ins[&buffers::XSS],
+            &ins[&buffers::W],
+            &ins[&buffers::U1],
+            &ins[&buffers::U2],
+            s,
+        );
+        assert_allclose(
+            &out[&buffers::HSSS].to_flat().unwrap(),
+            &expected.to_flat().unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn compiled_wavefront_matches_reference() {
+        let s = GridShape::tiny();
+        let ins = inputs(s, 33);
+        let compiled = compile(&program(s)).unwrap();
+        assert_eq!(compiled.groups.len(), 1);
+        // The 3-D wavefront: D + R + C - 2 steps.
+        assert_eq!(
+            compiled.groups[0].wavefront_steps(),
+            (s.depth + s.rows + s.cols - 2) as i64
+        );
+        let got = execute(&compiled, &ins, 4).unwrap();
+        let expected = reference(
+            &ins[&buffers::XSS],
+            &ins[&buffers::W],
+            &ins[&buffers::U1],
+            &ins[&buffers::U2],
+            s,
+        );
+        assert_allclose(
+            &got[&buffers::HSSS].to_flat().unwrap(),
+            &expected.to_flat().unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn simulation_orders_strategies() {
+        let s = GridShape {
+            batch: 64,
+            hidden: 64,
+            depth: 4,
+            rows: 4,
+            cols: 4,
+        };
+        assert!(simulate(s, Strategy::Handcrafted).is_none());
+        let eager = simulate(s, Strategy::Eager).unwrap();
+        let blocktile = simulate(s, Strategy::BlockTile).unwrap();
+        let ft = simulate(s, Strategy::FractalTensor).unwrap();
+        assert!(ft.ms < blocktile.ms);
+        assert!(blocktile.ms < eager.ms);
+    }
+}

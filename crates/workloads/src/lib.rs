@@ -1,0 +1,38 @@
+//! # ft-workloads
+//!
+//! The six DNN workloads of the paper's evaluation (Table 6), each in three
+//! forms:
+//!
+//! 1. a **FractalTensor program** (the `ft-core` staged IR), compiled
+//!    through the full ETDG pipeline and executed by `ft-backend`,
+//! 2. an **eager reference** implementation using the `FractalTensor` ADT
+//!    and plain tensor math — the semantic oracle,
+//! 3. a family of **simulator strategies** (`ft-sim` kernel sequences)
+//!    modelling how each baseline of §6 executes the same computation:
+//!    eager per-operator DAG execution (PyTorch/TensorFlow-like), adjacent-
+//!    operator fusion (TVM-like), hand-tiled single-cell block kernels
+//!    (Triton-like), a handcrafted wavefront (cuDNN-like), and the
+//!    FractalTensor schedule derived from the *actual* compiled program.
+//!
+//! | module | workload (Table 6) |
+//! |---|---|
+//! | [`lstm`] | stacked LSTM, batch 256, depth 32 |
+//! | [`dilated`] | stacked dilated RNNs, dilation 1..32 |
+//! | [`grid`] | stacked grid RNNs (2-D grid of cells) |
+//! | [`b2b`] | back-to-back GEMMs, K = P = 64 |
+//! | [`attention`] | FlashAttention (Listing 3) |
+//! | [`bigbird`] | BigBird blocked sparse attention (Listing 4) |
+//! | [`retnet`] | RetNet retention — the §7 "emerging models" extension |
+
+#![forbid(unsafe_code)]
+
+pub mod attention;
+pub mod b2b;
+pub mod bigbird;
+pub mod dilated;
+pub mod grid;
+pub mod lstm;
+pub mod retnet;
+pub mod strategies;
+
+pub use strategies::{SimReport, Strategy};

@@ -1,0 +1,584 @@
+//! Stacked LSTM (paper Listing 2; Table 6: batch 256, depth 32).
+//!
+//! The cell follows the listing: gates from `x@W + h@U + b`, then
+//! `c' = f⊙c + i⊙tanh(g)` and `h' = o⊙tanh(c')`. The FractalTensor program
+//! is one depth-3 nest over `(batch, layer, step)` whose two output buffers
+//! (`h`, `c`) are self-read at layer-1 and step-1 offsets; the parser
+//! splits it into the 4 block nodes §6.3 reports.
+
+use std::collections::HashMap;
+
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
+use ft_sim::{Region, TileConfig};
+use ft_tensor::Tensor;
+
+use crate::strategies::{machine, SimReport, Strategy};
+
+/// Shape of a stacked LSTM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmShape {
+    /// Batch size (N).
+    pub batch: usize,
+    /// Hidden width (H).
+    pub hidden: usize,
+    /// Stack depth (D).
+    pub depth: usize,
+    /// Sequence length (L).
+    pub seq: usize,
+}
+
+impl LstmShape {
+    /// Table 6 configuration: batch 256, depth 32 (hidden 256, seq 64 — the
+    /// paper's "middle" model of Figure 8).
+    pub fn paper() -> Self {
+        LstmShape {
+            batch: 256,
+            hidden: 256,
+            depth: 32,
+            seq: 64,
+        }
+    }
+
+    /// Figure 8's "large" model: hidden 1024.
+    pub fn paper_large() -> Self {
+        LstmShape {
+            hidden: 1024,
+            ..LstmShape::paper()
+        }
+    }
+
+    /// A tiny shape for correctness tests.
+    pub fn tiny() -> Self {
+        LstmShape {
+            batch: 2,
+            hidden: 4,
+            depth: 3,
+            seq: 5,
+        }
+    }
+
+    /// FLOPs of one LSTM cell over the whole batch (two GEMMs dominate).
+    pub fn cell_flops(&self) -> u64 {
+        let (n, h) = (self.batch as u64, self.hidden as u64);
+        2 * 2 * n * h * (4 * h) + 10 * n * h
+    }
+}
+
+/// Buffer ids of [`program`]'s declarations, in order.
+pub mod buffers {
+    use ft_core::BufferId;
+    /// Input sequences `[N, L]` of `[1, H]`.
+    pub const XSS: BufferId = BufferId(0);
+    /// Input weights `[D]` of `[H, 4H]`.
+    pub const WSS: BufferId = BufferId(1);
+    /// Recurrent weights `[D]` of `[H, 4H]`.
+    pub const USS: BufferId = BufferId(2);
+    /// Biases `[D]` of `[1, 4H]`.
+    pub const BSS: BufferId = BufferId(3);
+    /// Hidden states `[N, D, L]` of `[1, H]` (output).
+    pub const HSSS: BufferId = BufferId(4);
+    /// Cell states `[N, D, L]` of `[1, H]` (output).
+    pub const CSSS: BufferId = BufferId(5);
+}
+
+/// Builds the Listing 2 program.
+pub fn program(s: LstmShape) -> Program {
+    let (n, h, d, l) = (s.batch, s.hidden, s.depth, s.seq);
+    let mut p = Program::new("stacked_lstm");
+    let xss = p.input("xss", &[n, l], &[1, h]);
+    let wss = p.input("wss", &[d], &[h, 4 * h]);
+    let uss = p.input("uss", &[d], &[h, 4 * h]);
+    let bss = p.input("bss", &[d], &[1, 4 * h]);
+    let hsss = p.output("hsss", &[n, d, l], &[1, h]);
+    let csss = p.output("csss", &[n, d, l], &[1, h]);
+
+    // The cell UDF (inputs: x, W, U, b, h, c).
+    let mut bld = UdfBuilder::new("lstm_cell", 6);
+    let (x, w, u, b, hp, cp) = (
+        bld.input(0),
+        bld.input(1),
+        bld.input(2),
+        bld.input(3),
+        bld.input(4),
+        bld.input(5),
+    );
+    let xw = bld.matmul(x, w);
+    let hu = bld.matmul(hp, u);
+    let s1 = bld.add(xw, hu);
+    let g = bld.add(s1, b);
+    let gi = bld.slice(g, 1, 0, h);
+    let gf = bld.slice(g, 1, h, 2 * h);
+    let go = bld.slice(g, 1, 2 * h, 3 * h);
+    let gg = bld.slice(g, 1, 3 * h, 4 * h);
+    let i = bld.sigmoid(gi);
+    let f = bld.sigmoid(gf);
+    let o = bld.sigmoid(go);
+    let gt = bld.tanh(gg);
+    let fc = bld.mul(f, cp);
+    let ig = bld.mul(i, gt);
+    let c2 = bld.add(fc, ig);
+    let tc = bld.tanh(c2);
+    let h2 = bld.mul(o, tc);
+    let udf = bld.build(&[h2, c2]);
+
+    let nest = Nest {
+        name: "stacked_lstm".into(),
+        ops: vec![OpKind::Map, OpKind::FoldL, OpKind::ScanL],
+        extents: vec![n, d, l],
+        reads: vec![
+            // x: the layer below's hidden state; layer 0 reads the input.
+            Read::carried(
+                hsss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::shifted(1, -1),
+                    AxisExpr::var(2),
+                ]),
+                CarriedInit::Buffer(
+                    xss,
+                    AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2)]),
+                ),
+            ),
+            Read::plain(wss, AccessSpec::new(vec![AxisExpr::var(1)])),
+            Read::plain(uss, AccessSpec::new(vec![AxisExpr::var(1)])),
+            Read::plain(bss, AccessSpec::new(vec![AxisExpr::var(1)])),
+            // h, c: this layer's previous step, zero-initialized.
+            Read::carried(
+                hsss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::shifted(2, -1),
+                ]),
+                CarriedInit::Zero,
+            ),
+            Read::carried(
+                csss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::shifted(2, -1),
+                ]),
+                CarriedInit::Zero,
+            ),
+        ],
+        writes: vec![
+            Write {
+                buffer: hsss,
+                access: AccessSpec::identity(3),
+            },
+            Write {
+                buffer: csss,
+                access: AccessSpec::identity(3),
+            },
+        ],
+        udf,
+    };
+    p.add_nest(nest).expect("stacked LSTM nest is well-formed");
+    p
+}
+
+/// Deterministic inputs for a shape.
+pub fn inputs(s: LstmShape, seed: u64) -> HashMap<BufferId, FractalTensor> {
+    let (n, h, d, l) = (s.batch, s.hidden, s.depth, s.seq);
+    let scale = 1.0 / (h as f32).sqrt();
+    let mut m = HashMap::new();
+    m.insert(
+        buffers::XSS,
+        FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).expect("xss"),
+    );
+    m.insert(
+        buffers::WSS,
+        FractalTensor::from_flat(
+            &Tensor::randn(&[d, h, 4 * h], seed + 1).mul_scalar(scale),
+            1,
+        )
+        .expect("wss"),
+    );
+    m.insert(
+        buffers::USS,
+        FractalTensor::from_flat(
+            &Tensor::randn(&[d, h, 4 * h], seed + 2).mul_scalar(scale),
+            1,
+        )
+        .expect("uss"),
+    );
+    m.insert(
+        buffers::BSS,
+        FractalTensor::from_flat(&Tensor::randn(&[d, 1, 4 * h], seed + 3).mul_scalar(0.1), 1)
+            .expect("bss"),
+    );
+    m
+}
+
+/// One LSTM cell on plain tensors (shared by the eager reference).
+pub fn lstm_cell(
+    x: &Tensor,
+    w: &Tensor,
+    u: &Tensor,
+    b: &Tensor,
+    h: &Tensor,
+    c: &Tensor,
+    hidden: usize,
+) -> (Tensor, Tensor) {
+    let g = &(&x.matmul(w).expect("x@W") + &h.matmul(u).expect("h@U")) + b;
+    let i = g.slice(1, 0, hidden).expect("slice").sigmoid();
+    let f = g.slice(1, hidden, 2 * hidden).expect("slice").sigmoid();
+    let o = g.slice(1, 2 * hidden, 3 * hidden).expect("slice").sigmoid();
+    let gt = g.slice(1, 3 * hidden, 4 * hidden).expect("slice").tanh();
+    let c2 = &(&f * c) + &(&i * &gt);
+    let h2 = &o * &c2.tanh();
+    (h2, c2)
+}
+
+/// Eager reference following Listing 2 with the ADT combinators: a `map`
+/// over the batch, a `foldl` over the layers, a `scanl` over time.
+pub fn reference(
+    xss: &FractalTensor,
+    wss: &FractalTensor,
+    uss: &FractalTensor,
+    bss: &FractalTensor,
+    hidden: usize,
+) -> (FractalTensor, FractalTensor) {
+    let depth = wss.len();
+    let run = |xss: &FractalTensor, want_h: bool| {
+        xss.map(|xs| {
+            let seq = xs.sub()?.clone();
+            // foldl over layers, threading the whole sequence.
+            let mut cur = seq;
+            let mut per_layer = Vec::new();
+            for di in 0..depth {
+                let (w, u, b) = (wss.leaf(di)?, uss.leaf(di)?, bss.leaf(di)?);
+                let states = cur.scanl_state(
+                    (Tensor::zeros(&[1, hidden]), Tensor::zeros(&[1, hidden])),
+                    |(h, c), x| {
+                        let (h2, c2) = lstm_cell(x.leaf()?, w, u, b, h, c, hidden);
+                        Ok((h2, c2))
+                    },
+                )?;
+                let hs: Vec<Tensor> = states.iter().map(|(h, _)| h.clone()).collect();
+                let cs: Vec<Tensor> = states.into_iter().map(|(_, c)| c).collect();
+                per_layer.push(if want_h {
+                    FractalTensor::from_tensors(hs.clone())?
+                } else {
+                    FractalTensor::from_tensors(cs)?
+                });
+                cur = FractalTensor::from_tensors(hs)?;
+            }
+            FractalTensor::nested(per_layer)
+        })
+        .expect("reference stacked LSTM")
+    };
+    (run(xss, true), run(xss, false))
+}
+
+/// Simulates the workload under a strategy. See `DESIGN.md` for the
+/// baseline substitution rationale.
+pub fn simulate(s: LstmShape, strategy: Strategy) -> SimReport {
+    let (n, h, d, l) = (
+        s.batch as u64,
+        s.hidden as u64,
+        s.depth as u64,
+        s.seq as u64,
+    );
+    let mut m = machine();
+    let fb = 4u64; // f32 bytes.
+    let x_bytes = n * h * fb;
+    let g_bytes = n * 4 * h * fb;
+    let w_bytes = h * 4 * h * fb;
+
+    // Device allocations.
+    let x_seq = m.alloc(n * l * h * fb);
+    let wss = m.alloc(d * w_bytes);
+    let uss = m.alloc(d * w_bytes);
+    let h_states = m.alloc(n * d * l * h * fb);
+    let c_states = m.alloc(n * d * l * h * fb);
+    let tmp_g = m.alloc(g_bytes); // Reused activation scratch (framework allocator).
+    let tmp_g2 = m.alloc(g_bytes);
+
+    let gemm_tile = TileConfig::select(n as usize, 4 * s.hidden, m.config().smem_per_sm_bytes);
+    let cellflops = s.cell_flops();
+
+    let x_region = |di: u64, li: u64| {
+        if di == 0 {
+            Region::range(x_seq, (li * n * h * fb) % x_seq.bytes(), x_bytes)
+        } else {
+            Region::range(
+                h_states,
+                ((di - 1) * l + li) * x_bytes % h_states.bytes(),
+                x_bytes,
+            )
+        }
+    };
+    let state_region = |buf: ft_sim::BufferHandle, di: u64, li: u64| {
+        Region::range(buf, (di * l + li) * x_bytes % buf.bytes(), x_bytes)
+    };
+    let weight_region =
+        |buf: ft_sim::BufferHandle, di: u64| Region::range(buf, di * w_bytes, w_bytes);
+
+    match strategy {
+        Strategy::Eager | Strategy::FusedOp => {
+            // Per-cell kernels in program order; FusedOp folds the
+            // elementwise tail into the second GEMM.
+            for di in 0..d {
+                for li in 0..l {
+                    let k1 = ft_sim::gemm_kernel(
+                        "x@W",
+                        n as usize,
+                        s.hidden,
+                        4 * s.hidden,
+                        x_region(di, li),
+                        weight_region(wss, di),
+                        Region::whole(tmp_g),
+                        gemm_tile,
+                        true,
+                    );
+                    m.launch(&k1);
+                    let mut k2 = ft_sim::gemm_kernel(
+                        "h@U",
+                        n as usize,
+                        s.hidden,
+                        4 * s.hidden,
+                        state_region(h_states, di, li.wrapping_sub(1).min(li)),
+                        weight_region(uss, di),
+                        Region::whole(tmp_g2),
+                        gemm_tile,
+                        true,
+                    );
+                    if strategy == Strategy::FusedOp {
+                        // Epilogue fused: reads the other GEMM's result and
+                        // the carried c, writes h and c.
+                        k2.reads.push(Region::whole(tmp_g));
+                        k2.reads.push(state_region(c_states, di, li));
+                        k2.writes.push(state_region(h_states, di, li));
+                        k2.writes.push(state_region(c_states, di, li));
+                        k2.flops += 10 * n * h;
+                        m.launch(&k2);
+                    } else {
+                        m.launch(&k2);
+                        // Four separate elementwise kernels: gate add,
+                        // activations, c update, h update.
+                        for name in ["add_bias", "activations", "c_update", "h_update"] {
+                            let ke = ft_sim::elementwise_kernel(
+                                name,
+                                n * 4 * h,
+                                vec![Region::whole(tmp_g), Region::whole(tmp_g2)],
+                                vec![Region::whole(tmp_g)],
+                            );
+                            m.launch(&ke);
+                        }
+                        // Final state writes.
+                        let kw = ft_sim::elementwise_kernel(
+                            "write_states",
+                            2 * n * h,
+                            vec![Region::whole(tmp_g)],
+                            vec![
+                                state_region(h_states, di, li),
+                                state_region(c_states, di, li),
+                            ],
+                        );
+                        m.launch(&kw);
+                    }
+                }
+            }
+        }
+        Strategy::BlockTile => {
+            // One fused cell kernel per (layer, step); the gate tensor
+            // lives in shared memory.
+            for di in 0..d {
+                for li in 0..l {
+                    let k = ft_sim::Kernel {
+                        name: "lstm_cell".into(),
+                        flops: cellflops,
+                        tensor_cores: true,
+                        reads: vec![
+                            x_region(di, li),
+                            weight_region(wss, di),
+                            weight_region(uss, di),
+                            state_region(h_states, di, li),
+                            state_region(c_states, di, li),
+                        ],
+                        writes: vec![
+                            state_region(h_states, di, li),
+                            state_region(c_states, di, li),
+                        ],
+                        l1_extra_bytes: 2 * g_bytes + 2 * cellflops / 4,
+                        ctas: (n / 16).max(1),
+                        smem_per_cta: gemm_tile.smem_bytes(),
+                    };
+                    m.launch(&k);
+                }
+            }
+        }
+        Strategy::Handcrafted | Strategy::FractalTensor => {
+            // Wavefront over (layer, step): D + L - 1 launches, each
+            // covering every cell on the anti-diagonal. The FractalTensor
+            // variant is parameterized by the *actual* compiled schedule
+            // and keeps weights staged (reuse analysis), so repeated
+            // weight reads stay in shared memory.
+            let steps = if strategy == Strategy::FractalTensor {
+                let c = ft_passes::compile(&program(s)).expect("stacked LSTM compiles");
+                assert_eq!(c.groups.len(), 1, "one launch group expected");
+                c.groups[0].wavefront_steps() as u64
+            } else {
+                d + l - 1
+            };
+            for step in 0..steps {
+                // Cells on this anti-diagonal.
+                let width = (step + 1).min(d).min(l).min(d + l - 1 - step);
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                let lo_d = step.saturating_sub(l - 1);
+                for di in lo_d..(lo_d + width) {
+                    let li = step - di;
+                    reads.push(x_region(di, li));
+                    reads.push(state_region(h_states, di, li));
+                    reads.push(state_region(c_states, di, li));
+                    if strategy == Strategy::Handcrafted || step == di {
+                        // cuDNN re-requests weights per step (L2-resident);
+                        // FractalTensor stages them once per layer.
+                        reads.push(weight_region(wss, di));
+                        reads.push(weight_region(uss, di));
+                    }
+                    writes.push(state_region(h_states, di, li));
+                    writes.push(state_region(c_states, di, li));
+                }
+                let k = ft_sim::Kernel {
+                    name: format!("wavefront_step_{step}"),
+                    flops: width * cellflops,
+                    tensor_cores: true,
+                    reads,
+                    writes: writes.clone(),
+                    l1_extra_bytes: width * (2 * g_bytes + 2 * cellflops / 4),
+                    ctas: width * (n / 16).max(1),
+                    smem_per_cta: gemm_tile.smem_bytes(),
+                };
+                m.launch(&k);
+                if strategy == Strategy::Handcrafted {
+                    // cuDNN's non-persistent mode runs the pointwise gate
+                    // update as a second kernel per step, with the gate
+                    // tensor round-tripping device memory; FractalTensor
+                    // fuses it into the macro-kernel.
+                    let kp = ft_sim::elementwise_kernel(
+                        "cudnn_pointwise",
+                        width * 6 * n * h,
+                        vec![Region::whole(tmp_g)],
+                        writes,
+                    );
+                    m.launch(&kp);
+                }
+            }
+        }
+    }
+    SimReport::from_machine(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_backend::execute;
+    use ft_core::interp::run_program;
+    use ft_passes::compile;
+    use ft_tensor::assert_allclose;
+
+    #[test]
+    fn program_parses_into_four_block_nodes() {
+        // §6.3: "the stacked LSTM is represented by 4 block nodes".
+        let p = program(LstmShape::tiny());
+        let g = ft_etdg::parse_program(&p).unwrap();
+        assert_eq!(g.blocks.len(), 4);
+    }
+
+    #[test]
+    fn interpreter_matches_eager_reference() {
+        let s = LstmShape::tiny();
+        let p = program(s);
+        let ins = inputs(s, 42);
+        let out = run_program(&p, &ins).unwrap();
+        let (h_ref, c_ref) = reference(
+            &ins[&buffers::XSS],
+            &ins[&buffers::WSS],
+            &ins[&buffers::USS],
+            &ins[&buffers::BSS],
+            s.hidden,
+        );
+        assert_allclose(
+            &out[&buffers::HSSS].to_flat().unwrap(),
+            &h_ref.to_flat().unwrap(),
+            1e-4,
+        );
+        assert_allclose(
+            &out[&buffers::CSSS].to_flat().unwrap(),
+            &c_ref.to_flat().unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn compiled_wavefront_matches_reference() {
+        let s = LstmShape::tiny();
+        let p = program(s);
+        let ins = inputs(s, 7);
+        let compiled = compile(&p).unwrap();
+        // The whole network is one wavefront group with D + L - 1 steps.
+        assert_eq!(compiled.groups.len(), 1);
+        assert_eq!(
+            compiled.groups[0].wavefront_steps(),
+            (s.depth + s.seq - 1) as i64
+        );
+        let got = execute(&compiled, &ins, 4).unwrap();
+        let (h_ref, _) = reference(
+            &ins[&buffers::XSS],
+            &ins[&buffers::WSS],
+            &ins[&buffers::USS],
+            &ins[&buffers::BSS],
+            s.hidden,
+        );
+        assert_allclose(
+            &got[&buffers::HSSS].to_flat().unwrap(),
+            &h_ref.to_flat().unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn wavefront_beats_eager_in_simulation() {
+        let s = LstmShape {
+            batch: 64,
+            hidden: 64,
+            depth: 8,
+            seq: 16,
+        };
+        let eager = simulate(s, Strategy::Eager);
+        let ft = simulate(s, Strategy::FractalTensor);
+        let cudnn = simulate(s, Strategy::Handcrafted);
+        assert!(ft.ms < eager.ms, "ft {} vs eager {}", ft.ms, eager.ms);
+        assert!(ft.ms <= cudnn.ms * 1.05);
+        // Launch counts: eager is per-op, wavefront is per-step.
+        assert!(eager.kernels > 10 * ft.kernels);
+        assert_eq!(ft.kernels as usize, s.depth + s.seq - 1);
+    }
+
+    #[test]
+    fn eager_time_grows_multiplicatively_with_depth() {
+        // The Figure 2 phenomenon: eager scales with D*L, the wavefront
+        // with D + L.
+        let base = LstmShape {
+            batch: 32,
+            hidden: 32,
+            depth: 4,
+            seq: 16,
+        };
+        let deep = LstmShape { depth: 16, ..base };
+        let e1 = simulate(base, Strategy::Eager).ms;
+        let e2 = simulate(deep, Strategy::Eager).ms;
+        let f1 = simulate(base, Strategy::FractalTensor).ms;
+        let f2 = simulate(deep, Strategy::FractalTensor).ms;
+        // Eager grows ~4x; the wavefront grows ~(16+15)/(4+15) ≈ 1.6x.
+        assert!(e2 / e1 > 3.0, "eager ratio {}", e2 / e1);
+        assert!(f2 / f1 < 2.2, "ft ratio {}", f2 / f1);
+    }
+}

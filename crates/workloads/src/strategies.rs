@@ -1,0 +1,102 @@
+//! Execution strategies and shared simulator plumbing.
+//!
+//! Each enum variant models one §6 baseline's *execution structure* — how
+//! the same mathematical workload is cut into kernels and what crosses each
+//! memory level — per the substitution table in `DESIGN.md`.
+
+use ft_sim::{GpuConfig, SimMachine, TrafficCounters};
+
+/// An execution strategy for a workload on the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// One materialized kernel per tensor operator; every intermediate
+    /// round-trips through DRAM (PyTorch / TensorFlow DAG execution).
+    Eager,
+    /// Elementwise chains fused into the preceding GEMM, but no fusion
+    /// across loop-carried boundaries and gather/concat data movement is
+    /// materialized (TVM-like DSL scope).
+    FusedOp,
+    /// Hand-tiled single-cell kernels: intermediates of one cell stay in
+    /// shared memory, but cells launch separately and no cross-cell
+    /// wavefront exists (Triton-like block programming).
+    BlockTile,
+    /// A handcrafted wavefront over the whole network in one low-level
+    /// program (cuDNN's stacked-RNN approach; CUTLASS/cuBLAS for GEMMs,
+    /// FlashAttention-2 for attention).
+    Handcrafted,
+    /// The FractalTensor schedule: whatever the compiler pipeline actually
+    /// produced (wavefront structure, fused launch groups, reuse staging).
+    FractalTensor,
+}
+
+impl Strategy {
+    /// All strategies, for sweep loops.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Eager,
+        Strategy::FusedOp,
+        Strategy::BlockTile,
+        Strategy::Handcrafted,
+        Strategy::FractalTensor,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Eager => "PyTorch/TF (eager DAG)",
+            Strategy::FusedOp => "TVM (fused ops)",
+            Strategy::BlockTile => "Triton (block tiles)",
+            Strategy::Handcrafted => "handcrafted (cuDNN/cuBLAS/FA-2)",
+            Strategy::FractalTensor => "FractalTensor",
+        }
+    }
+
+    /// Short label for table columns.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Strategy::Eager => "eager",
+            Strategy::FusedOp => "fused",
+            Strategy::BlockTile => "blocktile",
+            Strategy::Handcrafted => "handcrafted",
+            Strategy::FractalTensor => "fractaltensor",
+        }
+    }
+}
+
+/// The outcome of simulating one workload under one strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct SimReport {
+    /// Modeled end-to-end time, milliseconds.
+    pub ms: f64,
+    /// Per-level traffic totals.
+    pub traffic: TrafficCounters,
+    /// Kernel launches issued.
+    pub kernels: u64,
+}
+
+impl SimReport {
+    /// Collects the report from a machine after a strategy ran on it.
+    pub fn from_machine(m: &SimMachine) -> Self {
+        SimReport {
+            ms: m.elapsed_ms(),
+            traffic: m.counters(),
+            kernels: m.kernels_launched(),
+        }
+    }
+}
+
+/// A fresh A100-shaped machine.
+pub fn machine() -> SimMachine {
+    SimMachine::new(GpuConfig::a100())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            Strategy::ALL.iter().map(|s| s.short()).collect();
+        assert_eq!(labels.len(), Strategy::ALL.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! BigBird blocked sparse attention (Listing 4): window + global accesses
+//! expressed as affine access operators with clamped boundaries.
+//!
+//! Shows the region split (boundary positions vs interior), validates the
+//! compiled output, and reproduces the Table 7 ② traffic ordering.
+//!
+//! Run with: `cargo run --release -p ft-examples --bin bigbird`
+
+use ft_backend::execute;
+use ft_etdg::parse_program;
+use ft_passes::compile;
+use ft_tensor::max_rel_diff;
+use ft_workloads::bigbird::{self, buffers, BigBirdShape};
+use ft_workloads::Strategy;
+
+fn main() {
+    let s = BigBirdShape {
+        heads: 4,
+        blocks: 8,
+        block: 8,
+        dh: 32,
+    };
+    println!(
+        "BigBird: {} heads, {} blocks of {} tokens, window 3 + 2 globals",
+        s.heads, s.blocks, s.block
+    );
+
+    let program = bigbird::program(s);
+    let etdg = parse_program(&program).expect("parse");
+    println!("\nregions produced by the boundary split (shifted_slide clamping):");
+    for b in &etdg.blocks {
+        println!("  {}", b.name);
+    }
+
+    let ins = bigbird::inputs(s, 3);
+    let compiled = compile(&program).expect("compile");
+    let got = execute(&compiled, &ins, 8).expect("execute");
+    let expected = bigbird::reference(&ins[&buffers::Q], &ins[&buffers::K], &ins[&buffers::V], s);
+    let diff = max_rel_diff(
+        &got[&buffers::OUT].to_flat().expect("out"),
+        &expected.to_flat().expect("ref"),
+    );
+    println!("\ncompiled vs eager reference: max rel diff {diff:.2e}");
+    assert!(diff < 1e-4);
+
+    println!("\nTable 7 (2) at the official shape — memory traffic on the A100 model:");
+    let paper = BigBirdShape::paper();
+    for (name, strat) in [
+        ("FractalTensor", Strategy::FractalTensor),
+        ("Triton", Strategy::BlockTile),
+        ("PyTorch", Strategy::Eager),
+        ("TVM", Strategy::FusedOp),
+    ] {
+        if let Some(r) = bigbird::simulate(paper, strat) {
+            println!(
+                "  {:<16} DRAM {:>7.2} GB   L1 {:>8.2} GB   L2 {:>8.2} GB   ({} kernels)",
+                name,
+                r.traffic.dram_gb(),
+                r.traffic.l1_gb(),
+                r.traffic.l2_gb(),
+                r.kernels
+            );
+        }
+    }
+    println!(
+        "\n(the paper's §6.4 reading: deferring window materialization until the\n\
+         batched GEMM stages tiles in shared memory removes the gather copies\n\
+         every DAG system pays for)"
+    );
+}

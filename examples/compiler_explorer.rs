@@ -1,0 +1,121 @@
+//! Compiler explorer: watch the FractalTensor pipeline transform a program
+//! stage by stage, ending with the emitted pseudo-CUDA macro-kernels.
+//!
+//! Run with: `cargo run -p ft-examples --bin compiler_explorer [workload]`
+//! where `workload` is one of `rnn` (default), `lstm`, `dilated`, `grid`,
+//! `b2b`, `attention`, `bigbird`.
+
+use ft_backend::emit_program;
+use ft_core::builders::stacked_rnn_program;
+use ft_core::Program;
+use ft_etdg::parse_program;
+use ft_passes::lower::{hoist_shared_map, lower_block};
+use ft_passes::{coarsen, compile, distance_vectors};
+
+fn pick_program(name: &str) -> Program {
+    match name {
+        "lstm" => ft_workloads::lstm::program(ft_workloads::lstm::LstmShape {
+            batch: 4,
+            hidden: 16,
+            depth: 4,
+            seq: 8,
+        }),
+        "dilated" => ft_workloads::dilated::program(ft_workloads::dilated::DilatedShape {
+            batch: 4,
+            hidden: 16,
+            depth: 3,
+            seq: 16,
+        }),
+        "grid" => ft_workloads::grid::program(ft_workloads::grid::GridShape {
+            batch: 4,
+            hidden: 16,
+            depth: 3,
+            rows: 4,
+            cols: 4,
+        }),
+        "b2b" => ft_workloads::b2b::program(ft_workloads::b2b::B2bShape::tiny()),
+        "attention" => ft_workloads::attention::program(ft_workloads::attention::AttnShape::tiny()),
+        "bigbird" => ft_workloads::bigbird::program(ft_workloads::bigbird::BigBirdShape::tiny()),
+        _ => stacked_rnn_program(4, 4, 8, 16),
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "rnn".into());
+    let program = pick_program(&name);
+    println!(
+        "### stage 0: program '{}' ({} nests)\n",
+        program.name,
+        program.nests.len()
+    );
+    for nest in &program.nests {
+        let ops: Vec<String> = nest.ops.iter().map(|o| o.to_string()).collect();
+        println!(
+            "  nest '{}' [{}] extents {:?}, {} reads, {} writes, UDF '{}' ({} stmts)",
+            nest.name,
+            ops.join(", "),
+            nest.extents,
+            nest.reads.len(),
+            nest.writes.len(),
+            nest.udf.name,
+            nest.udf.stmts.len()
+        );
+    }
+
+    println!("\n### stage 1: ETDG (boundary regions, access maps)\n");
+    let mut etdg = parse_program(&program).expect("parse");
+    print!("{}", etdg.describe());
+
+    println!("\n### stage 2: operation-node lowering on the last region\n");
+    let last = ft_etdg::BlockId(etdg.blocks.len() - 1);
+    if let Ok(children) = lower_block(&mut etdg, last) {
+        println!("  lowered into {} child block(s)", children.len());
+        let _ = hoist_shared_map(&mut etdg, last);
+        let blk = etdg.block(last);
+        let ops: Vec<String> = blk.ops.iter().map(|o| o.to_string()).collect();
+        println!(
+            "  after hoisting: parent p = [{}], {} child(ren) remain",
+            ops.join(", "),
+            blk.children.len()
+        );
+    }
+
+    println!("\n### stage 3: coarsening\n");
+    let parsed = parse_program(&program).expect("parse again");
+    let (fused, plan) = coarsen(&parsed).expect("coarsen");
+    println!(
+        "  {} block(s) -> {} launch group(s) ({} copies eliminated)",
+        fused.blocks.len(),
+        plan.launch_count(),
+        plan.copies_eliminated
+    );
+    for (i, g) in plan.groups.iter().enumerate() {
+        let ops: Vec<String> = g.ops.iter().map(|o| o.to_string()).collect();
+        println!(
+            "  group {i}: {} member(s), p = [{}] ({:?})",
+            g.members.len(),
+            ops.join(", "),
+            g.kind
+        );
+    }
+
+    println!("\n### stage 4: dependence analysis + reordering\n");
+    let compiled = compile(&program).expect("compile");
+    for (i, g) in compiled.groups.iter().enumerate() {
+        let dists: Vec<Vec<i64>> = g
+            .members
+            .iter()
+            .flat_map(|&m| distance_vectors(&compiled.etdg, m).expect("distances"))
+            .collect();
+        println!("  group {i}: distance vectors {:?}", dists);
+        println!(
+            "    hyperplane {:?}, reuse dims {:?}, {} wavefront step(s)",
+            g.reordering.hyperplane,
+            g.reordering.reuse_dims,
+            g.wavefront_steps()
+        );
+    }
+
+    println!("\n### stage 5: emitted macro-kernels (pseudo-CUDA)\n");
+    println!("{}", emit_program(&compiled, 192 * 1024));
+}

@@ -1,0 +1,141 @@
+//! Structural integration tests of the compiler pipeline: the paper's
+//! reported graph/schedule facts hold across workloads, and the pipeline's
+//! invariants survive composition.
+
+use ft_core::builders::stacked_rnn_program;
+use ft_etdg::parse_program;
+use ft_passes::{coarsen, compile, distance_vectors};
+use ft_workloads::{attention, b2b, bigbird, dilated, grid, lstm};
+
+#[test]
+fn paper_reported_block_counts() {
+    // §6.3: stacked LSTM -> 4 block nodes, stacked grid RNN -> 8.
+    let lstm_g = parse_program(&lstm::program(lstm::LstmShape::tiny())).unwrap();
+    assert_eq!(lstm_g.blocks.len(), 4);
+    let grid_g = parse_program(&grid::program(grid::GridShape::tiny())).unwrap();
+    assert_eq!(grid_g.blocks.len(), 8);
+}
+
+#[test]
+fn figure4_metrics_on_running_example() {
+    // §4.4: depth 2, dimension 5 for the Listing 1 ETDG at hidden 512.
+    let g = parse_program(&stacked_rnn_program(2, 3, 4, 512)).unwrap();
+    assert_eq!(g.depth(), 2);
+    assert_eq!(g.dimension(), 5);
+}
+
+#[test]
+fn every_workload_compiles_and_validates() {
+    let programs = vec![
+        lstm::program(lstm::LstmShape::tiny()),
+        dilated::program(dilated::DilatedShape::tiny()),
+        grid::program(grid::GridShape::tiny()),
+        b2b::program(b2b::B2bShape::tiny()),
+        attention::program(attention::AttnShape::tiny()),
+        bigbird::program(bigbird::BigBirdShape::tiny()),
+    ];
+    for p in programs {
+        p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let g = parse_program(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        g.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let c = compile(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert!(!c.groups.is_empty(), "{}", p.name);
+        // Every group has a consistent schedule: unimodular transform and
+        // at most one sequential dimension (the fully-permutable claim).
+        for grp in &c.groups {
+            assert!(grp.reordering.t.is_unimodular());
+            assert!(grp.reordering.sequential_dims <= 1);
+        }
+    }
+}
+
+#[test]
+fn wavefront_step_counts_match_theory() {
+    // LSTM: D + L - 1; grid: D + R + C - 2; dilated: L; attention: Nkv.
+    let lstm_c = compile(&lstm::program(lstm::LstmShape {
+        batch: 2,
+        hidden: 4,
+        depth: 5,
+        seq: 7,
+    }))
+    .unwrap();
+    assert_eq!(lstm_c.groups[0].wavefront_steps(), 11);
+
+    let grid_c = compile(&grid::program(grid::GridShape {
+        batch: 1,
+        hidden: 4,
+        depth: 3,
+        rows: 4,
+        cols: 5,
+    }))
+    .unwrap();
+    assert_eq!(grid_c.groups[0].wavefront_steps(), 10);
+
+    let dil_c = compile(&dilated::program(dilated::DilatedShape {
+        batch: 1,
+        hidden: 4,
+        depth: 3,
+        seq: 12,
+    }))
+    .unwrap();
+    assert_eq!(dil_c.groups[0].wavefront_steps(), 12);
+
+    let attn_c = compile(&attention::program(attention::AttnShape::tiny())).unwrap();
+    assert_eq!(attn_c.groups[0].wavefront_steps(), 3);
+}
+
+#[test]
+fn dependences_never_cross_a_wavefront_step_backwards() {
+    // For every workload's every group: each distance vector, pushed
+    // through T, advances the sequential dimension by >= 1 (or the group
+    // has no dependences at all).
+    let programs = vec![
+        lstm::program(lstm::LstmShape::tiny()),
+        dilated::program(dilated::DilatedShape::tiny()),
+        grid::program(grid::GridShape::tiny()),
+        attention::program(attention::AttnShape::tiny()),
+    ];
+    for p in programs {
+        let c = compile(&p).unwrap();
+        for g in &c.groups {
+            for &m in &g.members {
+                for delta in distance_vectors(&c.etdg, m).unwrap() {
+                    let td = g.reordering.t.matvec(&delta).unwrap();
+                    assert!(
+                        td[0] >= 1,
+                        "{}: distance {delta:?} -> {td:?} not carried",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn coarsening_is_idempotent_on_group_count() {
+    // Re-coarsening the fused graph must not find further merges beyond the
+    // first pass's fixpoint.
+    let p = dilated::program(dilated::DilatedShape::tiny());
+    let g = parse_program(&p).unwrap();
+    let (fused, plan1) = coarsen(&g).unwrap();
+    let (_, plan2) = coarsen(&fused).unwrap();
+    assert_eq!(plan1.launch_count(), plan2.launch_count());
+}
+
+#[test]
+fn launch_counts_shrink_monotonically_through_the_pipeline() {
+    for p in [
+        lstm::program(lstm::LstmShape::tiny()),
+        dilated::program(dilated::DilatedShape::tiny()),
+        bigbird::program(bigbird::BigBirdShape::tiny()),
+    ] {
+        let g = parse_program(&p).unwrap();
+        let (_, plan) = coarsen(&g).unwrap();
+        assert!(
+            plan.launch_count() <= g.blocks.len(),
+            "{}: coarsening must not add launches",
+            p.name
+        );
+    }
+}

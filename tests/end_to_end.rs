@@ -1,0 +1,92 @@
+//! End-to-end pipeline tests: program → ETDG → coarsen → reorder → execute,
+//! validated against the interpreter oracle, for the running example across
+//! a grid of shapes and thread counts.
+
+use std::collections::HashMap;
+
+use ft_backend::execute;
+use ft_core::adt::FractalTensor;
+use ft_core::builders::stacked_rnn_program;
+use ft_core::interp::run_program;
+use ft_core::BufferId;
+use ft_integration_tests::assert_fractal_close;
+use ft_passes::compile;
+use ft_tensor::Tensor;
+
+fn rnn_inputs(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+    seed: u64,
+) -> HashMap<BufferId, FractalTensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).unwrap(),
+    );
+    m.insert(
+        BufferId(1),
+        FractalTensor::from_flat(&Tensor::randn(&[d, h, h], seed + 1).mul_scalar(0.2), 1).unwrap(),
+    );
+    m
+}
+
+#[test]
+fn stacked_rnn_shape_grid() {
+    for (n, d, l, h) in [
+        (1usize, 1usize, 1usize, 4usize),
+        (1, 1, 8, 4),
+        (1, 8, 1, 4),
+        (3, 2, 5, 8),
+        (2, 6, 6, 16),
+    ] {
+        let p = stacked_rnn_program(n, d, l, h);
+        let ins = rnn_inputs(n, d, l, h, 7 + (n + d + l) as u64);
+        let expected = run_program(&p, &ins).unwrap();
+        let compiled = compile(&p).unwrap();
+        let got = execute(&compiled, &ins, 4).unwrap();
+        assert_fractal_close(&got[&BufferId(2)], &expected[&BufferId(2)], 1e-4);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let (n, d, l, h) = (2usize, 4, 6, 8);
+    let p = stacked_rnn_program(n, d, l, h);
+    let ins = rnn_inputs(n, d, l, h, 99);
+    let compiled = compile(&p).unwrap();
+    let base = execute(&compiled, &ins, 1).unwrap();
+    for threads in [2usize, 4, 16] {
+        let got = execute(&compiled, &ins, threads).unwrap();
+        assert_eq!(got[&BufferId(2)], base[&BufferId(2)]);
+    }
+}
+
+#[test]
+fn degenerate_single_cell_network() {
+    // 1x1x1: every region except the all-boundary one is empty; the graph
+    // still parses, compiles, and executes.
+    let p = stacked_rnn_program(1, 1, 1, 4);
+    let g = ft_etdg::parse_program(&p).unwrap();
+    assert_eq!(g.blocks.len(), 1, "only the boundary region is non-empty");
+    let ins = rnn_inputs(1, 1, 1, 4, 3);
+    let compiled = compile(&p).unwrap();
+    let got = execute(&compiled, &ins, 2).unwrap();
+    let expected = run_program(&p, &ins).unwrap();
+    assert_fractal_close(&got[&BufferId(2)], &expected[&BufferId(2)], 1e-5);
+}
+
+#[test]
+fn emitted_code_covers_every_region() {
+    let p = stacked_rnn_program(2, 3, 4, 8);
+    let compiled = compile(&p).unwrap();
+    let code = ft_backend::emit_program(&compiled, 192 * 1024);
+    for b in &compiled.etdg.blocks {
+        assert!(
+            code.contains(&b.name),
+            "emitted code must mention region '{}'",
+            b.name
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Failure injection: malformed programs and inputs must be rejected with
+//! errors at the right layer — never panics, never silent wrong answers.
+
+use std::collections::HashMap;
+
+use ft_backend::execute;
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::interp::run_program;
+use ft_core::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
+use ft_passes::compile;
+use ft_tensor::Tensor;
+
+fn identity_udf(name: &str) -> ft_core::Udf {
+    let mut b = UdfBuilder::new(name, 1);
+    let i = b.input(0);
+    let o = b.id(i);
+    b.build(&[o])
+}
+
+/// A write access that maps every iteration to index 0 violates single
+/// assignment; the interpreter detects it at the second write.
+#[test]
+fn non_injective_write_is_caught_at_runtime() {
+    let mut p = Program::new("collide");
+    let x = p.input("x", &[4], &[1, 2]);
+    let y = p.output("y", &[4], &[1, 2]);
+    p.add_nest(Nest {
+        name: "collide".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![4],
+        reads: vec![Read::plain(x, AccessSpec::identity(1))],
+        writes: vec![Write {
+            buffer: y,
+            access: AccessSpec::new(vec![AxisExpr::constant(0)]),
+        }],
+        udf: identity_udf("collide"),
+    })
+    .unwrap();
+    let mut ins = HashMap::new();
+    ins.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[4, 1, 2], 1), 1).unwrap(),
+    );
+    let err = run_program(&p, &ins);
+    assert!(err.is_err());
+    assert!(err.unwrap_err().to_string().contains("single-assignment"));
+}
+
+/// An uncarried out-of-range read is a program error, not a silent zero.
+#[test]
+fn out_of_range_read_without_init_is_an_error() {
+    let mut p = Program::new("oob");
+    let x = p.input("x", &[4], &[1, 2]);
+    let y = p.output("y", &[4], &[1, 2]);
+    p.add_nest(Nest {
+        name: "oob".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![4],
+        reads: vec![Read::plain(
+            x,
+            AccessSpec::new(vec![AxisExpr::shifted(0, 2)]), // Reads x[t+2]: falls off.
+        )],
+        writes: vec![Write {
+            buffer: y,
+            access: AccessSpec::identity(1),
+        }],
+        udf: identity_udf("oob"),
+    })
+    .unwrap();
+    let mut ins = HashMap::new();
+    ins.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[4, 1, 2], 1), 1).unwrap(),
+    );
+    assert!(run_program(&p, &ins).is_err());
+}
+
+/// A bidirectional scan over one dimension cannot be scheduled by a single
+/// hyperplane; the reorderer must refuse rather than emit a wrong order.
+#[test]
+fn opposing_scan_directions_on_one_dim_are_rejected() {
+    let mut p = Program::new("bidir_conflict");
+    let x = p.input("x", &[6], &[1, 2]);
+    let y = p.output("y", &[6], &[1, 2]);
+    let mut b = UdfBuilder::new("cell", 3);
+    let (xi, s1, s2) = (b.input(0), b.input(1), b.input(2));
+    let t = b.add(xi, s1);
+    let o = b.add(t, s2);
+    let udf = b.build(&[o]);
+    p.add_nest(Nest {
+        name: "bidir_conflict".into(),
+        ops: vec![OpKind::ScanL],
+        extents: vec![6],
+        reads: vec![
+            Read::plain(x, AccessSpec::identity(1)),
+            // Forward-carried...
+            Read::carried(
+                y,
+                AccessSpec::new(vec![AxisExpr::shifted(0, -1)]),
+                CarriedInit::Zero,
+            ),
+            // ...and backward-carried on the same dim: unsatisfiable.
+            Read::carried(
+                y,
+                AccessSpec::new(vec![AxisExpr::shifted(0, 1)]),
+                CarriedInit::Zero,
+            ),
+        ],
+        writes: vec![Write {
+            buffer: y,
+            access: AccessSpec::identity(1),
+        }],
+        udf,
+    })
+    .unwrap();
+    let err = compile(&p);
+    assert!(err.is_err(), "bidirectional dependence must not compile");
+}
+
+/// Wrong leaf shapes on inputs are rejected before any computation.
+#[test]
+fn executor_rejects_wrong_leaf_shape() {
+    let p = ft_core::builders::stacked_rnn_program(2, 2, 2, 4);
+    let compiled = compile(&p).unwrap();
+    let mut ins = HashMap::new();
+    // xss with the wrong hidden width.
+    ins.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[2, 2, 1, 8], 1), 2).unwrap(),
+    );
+    ins.insert(
+        BufferId(1),
+        FractalTensor::from_flat(&Tensor::randn(&[2, 4, 4], 2), 1).unwrap(),
+    );
+    let r = execute(&compiled, &ins, 1);
+    assert!(r.is_err());
+}
+
+/// UDF/nest arity mismatches are rejected at construction.
+#[test]
+fn nest_with_dangling_read_is_rejected() {
+    let mut p = Program::new("dangling");
+    let x = p.input("x", &[4], &[1, 2]);
+    let y = p.output("y", &[4], &[1, 2]);
+    let udf = identity_udf("id"); // Takes 1 input...
+    let r = p.add_nest(Nest {
+        name: "dangling".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![4],
+        reads: vec![
+            Read::plain(x, AccessSpec::identity(1)),
+            Read::plain(x, AccessSpec::identity(1)), // ...but two reads.
+        ],
+        writes: vec![Write {
+            buffer: y,
+            access: AccessSpec::identity(1),
+        }],
+        udf,
+    });
+    assert!(r.is_err());
+}
+
+/// Access maps referencing nonexistent iteration dims are rejected.
+#[test]
+fn access_spec_dim_overflow_is_rejected() {
+    let mut p = Program::new("dim_overflow");
+    let x = p.input("x", &[4], &[1, 2]);
+    let y = p.output("y", &[4], &[1, 2]);
+    let r = p.add_nest(Nest {
+        name: "dim_overflow".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![4],
+        reads: vec![Read::plain(
+            x,
+            AccessSpec::new(vec![AxisExpr::var(3)]), // Dim 3 of a 1-dim nest.
+        )],
+        writes: vec![Write {
+            buffer: y,
+            access: AccessSpec::identity(1),
+        }],
+        udf: identity_udf("id"),
+    });
+    assert!(r.is_err());
+}
+
+/// The emitter handles multi-group programs (the FlashAttention pipeline's
+/// reduce + normalize pair) without losing either group.
+#[test]
+fn emitter_covers_multi_group_programs() {
+    use ft_workloads::attention;
+    let compiled = compile(&attention::program(attention::AttnShape::tiny())).unwrap();
+    assert_eq!(compiled.groups.len(), 2);
+    let code = ft_backend::emit_program(&compiled, 192 * 1024);
+    assert!(code.contains("group0_kernel"));
+    assert!(code.contains("group1_kernel"));
+    assert!(code.contains("wavefront loop"));
+    assert!(code.contains("fully-parallel launch"));
+    // The -inf fill of the running max appears as a fill_tile.
+    assert!(
+        code.contains("fill_tile(-inf") || code.contains("fill_tile(-3.4"),
+        "{code}"
+    );
+}
+
+/// DOT rendering works for every workload graph.
+#[test]
+fn dot_rendering_for_all_workloads() {
+    use ft_workloads::*;
+    for p in [
+        lstm::program(lstm::LstmShape::tiny()),
+        dilated::program(dilated::DilatedShape::tiny()),
+        grid::program(grid::GridShape::tiny()),
+        b2b::program(b2b::B2bShape::tiny()),
+        attention::program(attention::AttnShape::tiny()),
+        bigbird::program(bigbird::BigBirdShape::tiny()),
+        retnet::program(retnet::RetNetShape::tiny()),
+    ] {
+        let g = ft_etdg::parse_program(&p).unwrap();
+        let dot = ft_etdg::to_dot(&g);
+        assert!(dot.starts_with("digraph"), "{}", p.name);
+        assert!(dot.ends_with("}\n"), "{}", p.name);
+    }
+}

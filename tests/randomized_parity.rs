@@ -1,0 +1,169 @@
+//! Property-based parity: for *randomized* programs of the RNN family —
+//! random extents, random carried-read wiring, random operator directions —
+//! the compiled wavefront execution must equal the naive interpreter.
+//!
+//! This is the strongest whole-pipeline invariant in the repository: any
+//! bug in region splitting, coarsening legality, hyperplane construction,
+//! Fourier–Motzkin bounds, or the executor's overlay forwarding shows up
+//! as a numeric divergence here.
+
+use std::collections::HashMap;
+
+use ft_backend::execute;
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::interp::run_program;
+use ft_core::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
+use ft_integration_tests::assert_fractal_close;
+use ft_passes::compile;
+use ft_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Builds a randomized 3-level nest over (batch, layers, time) where the
+/// carried self-read distance and the boundary initializer vary.
+fn random_rnn_program(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+    time_stride: usize,
+    zero_init_x: bool,
+) -> Program {
+    let mut p = Program::new("random_rnn");
+    let xss = p.input("xss", &[n, l], &[1, h]);
+    let ws = p.input("ws", &[d], &[h, h]);
+    let ysss = p.output("ysss", &[n, d, l], &[1, h]);
+
+    let mut b = UdfBuilder::new("cell", 3);
+    let (x, w, s) = (b.input(0), b.input(1), b.input(2));
+    let xw = b.matmul(x, w);
+    let sum = b.add(xw, s);
+    let y = b.tanh(sum);
+    let udf = b.build(&[y]);
+
+    let x_init = if zero_init_x {
+        CarriedInit::Zero
+    } else {
+        CarriedInit::Buffer(
+            xss,
+            AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2)]),
+        )
+    };
+    p.add_nest(Nest {
+        name: "random_rnn".into(),
+        ops: vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL],
+        extents: vec![n, d, l],
+        reads: vec![
+            Read::carried(
+                ysss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::shifted(1, -1),
+                    AxisExpr::var(2),
+                ]),
+                x_init,
+            ),
+            Read::plain(ws, AccessSpec::new(vec![AxisExpr::var(1)])),
+            Read::carried(
+                ysss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::shifted(2, -(time_stride as i64)),
+                ]),
+                CarriedInit::Zero,
+            ),
+        ],
+        writes: vec![Write {
+            buffer: ysss,
+            access: AccessSpec::identity(3),
+        }],
+        udf,
+    })
+    .expect("random nest is well-formed");
+    p
+}
+
+fn rnn_inputs(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+    seed: u64,
+) -> HashMap<BufferId, FractalTensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).unwrap(),
+    );
+    m.insert(
+        BufferId(1),
+        FractalTensor::from_flat(&Tensor::randn(&[d, h, h], seed + 1).mul_scalar(0.3), 1).unwrap(),
+    );
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_compiled_equals_interpreter(
+        n in 1usize..4,
+        d in 1usize..5,
+        l in 1usize..7,
+        stride in 1usize..4,
+        zero_init in proptest::bool::ANY,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(stride <= l);
+        let h = 4usize;
+        let p = random_rnn_program(n, d, l, h, stride, zero_init);
+        let ins = rnn_inputs(n, d, l, h, seed);
+        let expected = run_program(&p, &ins).unwrap();
+        let compiled = compile(&p).unwrap();
+        let got = execute(&compiled, &ins, threads).unwrap();
+        assert_fractal_close(&got[&BufferId(2)], &expected[&BufferId(2)], 1e-4);
+    }
+
+    #[test]
+    fn prop_region_count_matches_boundary_structure(
+        d in 2usize..5,
+        l in 2usize..7,
+        stride in 1usize..4,
+    ) {
+        prop_assume!(stride < l);
+        let p = random_rnn_program(2, d, l, 4, stride, true);
+        let g = ft_etdg::parse_program(&p).unwrap();
+        // Two independent boundary predicates (layer 0, time < stride):
+        // exactly four non-empty regions whenever d >= 2 and l > stride.
+        prop_assert_eq!(g.blocks.len(), 4);
+        // The regions partition the hull.
+        for i in 0..2i64 {
+            for j in 0..d as i64 {
+                for k in 0..l as i64 {
+                    let holders = g
+                        .blocks
+                        .iter()
+                        .filter(|b| b.domain.contains(&[i, j, k]))
+                        .count();
+                    prop_assert_eq!(holders, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_wavefront_steps_bounded_by_critical_path(
+        d in 1usize..6,
+        l in 1usize..8,
+    ) {
+        let p = random_rnn_program(2, d, l, 4, 1, true);
+        let c = compile(&p).unwrap();
+        prop_assert_eq!(c.groups.len(), 1);
+        // The wavefront length equals the dependence critical path
+        // (d-1) + (l-1) + 1.
+        prop_assert_eq!(c.groups[0].wavefront_steps(), (d + l - 1) as i64);
+    }
+}

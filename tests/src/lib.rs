@@ -1,0 +1,15 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use ft_core::adt::FractalTensor;
+use ft_tensor::max_rel_diff;
+
+/// Asserts two FractalTensors agree within `tol` after flattening.
+pub fn assert_fractal_close(a: &FractalTensor, b: &FractalTensor, tol: f32) {
+    assert_eq!(a.prog_dims(), b.prog_dims(), "programmable dims differ");
+    let fa = a.to_flat().expect("flatten lhs");
+    let fb = b.to_flat().expect("flatten rhs");
+    let diff = max_rel_diff(&fa, &fb);
+    assert!(diff <= tol, "max rel diff {diff} exceeds {tol}");
+}

@@ -1,0 +1,153 @@
+//! Parity across all six workloads: eager reference == interpreter ==
+//! compiled wavefront executor, on small but non-trivial shapes.
+
+use ft_backend::execute;
+use ft_core::interp::run_program;
+use ft_integration_tests::assert_fractal_close;
+use ft_passes::compile;
+use ft_workloads::{attention, b2b, bigbird, dilated, grid, lstm};
+
+#[test]
+fn lstm_three_way_parity() {
+    let s = lstm::LstmShape {
+        batch: 3,
+        hidden: 8,
+        depth: 4,
+        seq: 6,
+    };
+    let p = lstm::program(s);
+    let ins = lstm::inputs(s, 101);
+    let interp = run_program(&p, &ins).unwrap();
+    let compiled = compile(&p).unwrap();
+    let exec = execute(&compiled, &ins, 4).unwrap();
+    let (h_ref, c_ref) = lstm::reference(
+        &ins[&lstm::buffers::XSS],
+        &ins[&lstm::buffers::WSS],
+        &ins[&lstm::buffers::USS],
+        &ins[&lstm::buffers::BSS],
+        s.hidden,
+    );
+    assert_fractal_close(&interp[&lstm::buffers::HSSS], &h_ref, 1e-4);
+    assert_fractal_close(&exec[&lstm::buffers::HSSS], &h_ref, 1e-4);
+    assert_fractal_close(&exec[&lstm::buffers::CSSS], &c_ref, 1e-4);
+}
+
+#[test]
+fn dilated_three_way_parity() {
+    let s = dilated::DilatedShape {
+        batch: 2,
+        hidden: 8,
+        depth: 4,
+        seq: 17,
+    };
+    let p = dilated::program(s);
+    let ins = dilated::inputs(s, 103);
+    let out_id = dilated::buffers::layer(s.depth - 1);
+    let interp = run_program(&p, &ins).unwrap();
+    let compiled = compile(&p).unwrap();
+    let exec = execute(&compiled, &ins, 4).unwrap();
+    let expected = dilated::reference(
+        &ins[&dilated::buffers::XSS],
+        &ins[&dilated::buffers::WX],
+        &ins[&dilated::buffers::WH],
+        s,
+    );
+    assert_fractal_close(&interp[&out_id], &expected, 1e-4);
+    assert_fractal_close(&exec[&out_id], &expected, 1e-4);
+}
+
+#[test]
+fn grid_three_way_parity() {
+    let s = grid::GridShape {
+        batch: 2,
+        hidden: 6,
+        depth: 3,
+        rows: 3,
+        cols: 4,
+    };
+    let p = grid::program(s);
+    let ins = grid::inputs(s, 105);
+    let interp = run_program(&p, &ins).unwrap();
+    let compiled = compile(&p).unwrap();
+    let exec = execute(&compiled, &ins, 4).unwrap();
+    let expected = grid::reference(
+        &ins[&grid::buffers::XSS],
+        &ins[&grid::buffers::W],
+        &ins[&grid::buffers::U1],
+        &ins[&grid::buffers::U2],
+        s,
+    );
+    assert_fractal_close(&interp[&grid::buffers::HSSS], &expected, 1e-4);
+    assert_fractal_close(&exec[&grid::buffers::HSSS], &expected, 1e-4);
+}
+
+#[test]
+fn b2b_three_way_parity() {
+    let s = b2b::B2bShape {
+        batch: 4,
+        m: 8,
+        k: 6,
+        p: 5,
+        n: 7,
+    };
+    let prog = b2b::program(s);
+    let ins = b2b::inputs(s, 107);
+    let interp = run_program(&prog, &ins).unwrap();
+    let compiled = compile(&prog).unwrap();
+    let exec = execute(&compiled, &ins, 4).unwrap();
+    let expected = b2b::reference(
+        &ins[&b2b::buffers::A],
+        &ins[&b2b::buffers::B0],
+        &ins[&b2b::buffers::B1],
+    );
+    assert_fractal_close(&interp[&b2b::buffers::OUT], &expected, 1e-3);
+    assert_fractal_close(&exec[&b2b::buffers::OUT], &expected, 1e-3);
+}
+
+#[test]
+fn attention_three_way_parity() {
+    let s = attention::AttnShape {
+        batch: 2,
+        heads: 3,
+        q_blocks: 3,
+        kv_blocks: 4,
+        block: 4,
+        dh: 8,
+    };
+    let p = attention::program(s);
+    let ins = attention::inputs(s, 109);
+    let interp = run_program(&p, &ins).unwrap();
+    let compiled = compile(&p).unwrap();
+    let exec = execute(&compiled, &ins, 4).unwrap();
+    let expected = attention::reference_full(
+        &ins[&attention::buffers::Q],
+        &ins[&attention::buffers::K],
+        &ins[&attention::buffers::V],
+        s,
+    );
+    assert_fractal_close(&interp[&attention::buffers::OUT], &expected, 1e-4);
+    assert_fractal_close(&exec[&attention::buffers::OUT], &expected, 1e-4);
+}
+
+#[test]
+fn bigbird_three_way_parity() {
+    let s = bigbird::BigBirdShape {
+        heads: 3,
+        blocks: 6,
+        block: 4,
+        dh: 12,
+    };
+    let p = bigbird::program(s);
+    let ins = bigbird::inputs(s, 111);
+    let interp = run_program(&p, &ins).unwrap();
+    let compiled = compile(&p).unwrap();
+    let exec = execute(&compiled, &ins, 4).unwrap();
+    let expected = bigbird::reference(
+        &ins[&bigbird::buffers::Q],
+        &ins[&bigbird::buffers::K],
+        &ins[&bigbird::buffers::V],
+        s,
+    );
+    assert_fractal_close(&interp[&bigbird::buffers::OUT], &expected, 1e-4);
+    assert_fractal_close(&exec[&bigbird::buffers::OUT], &expected, 1e-4);
+}
