@@ -229,17 +229,18 @@ impl IntMat {
             for r in 0..n {
                 if r != col && !a[r][col].is_zero() {
                     let f = a[r][col];
-                    for c in 0..2 * n {
-                        let delta = f.mul(&a[col][c])?;
-                        a[r][c] = a[r][c].sub(&delta)?;
+                    let pivot_row = a[col].clone();
+                    for (x, p) in a[r].iter_mut().zip(&pivot_row) {
+                        let delta = f.mul(p)?;
+                        *x = x.sub(&delta)?;
                     }
                 }
             }
         }
         let mut inv = IntMat::zeros(n, n);
-        for r in 0..n {
-            for c in 0..n {
-                let v = a[r][n + c].to_int().ok_or(AffineError::Invalid(
+        for (r, row) in a.iter().enumerate().take(n) {
+            for (c, x) in row.iter().skip(n).enumerate() {
+                let v = x.to_int().ok_or(AffineError::Invalid(
                     "matrix is not unimodular: inverse is not integral".into(),
                 ))?;
                 inv.set(r, c, v);
@@ -327,9 +328,10 @@ impl IntMat {
             for r in 0..self.rows {
                 if r != row && !a[r][col].is_zero() {
                     let f = a[r][col];
-                    for c in 0..self.cols {
-                        let delta = f.mul(&a[row][c]).expect("small values");
-                        a[r][c] = a[r][c].sub(&delta).expect("small values");
+                    let pivot_row = a[row].clone();
+                    for (x, p) in a[r].iter_mut().zip(&pivot_row) {
+                        let delta = f.mul(p).expect("small values");
+                        *x = x.sub(&delta).expect("small values");
                     }
                 }
             }

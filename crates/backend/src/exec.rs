@@ -64,8 +64,14 @@ pub fn execute(
         }
     }
 
-    for group in &compiled.groups {
-        run_group(compiled, group, &mut stores, threads.max(1))?;
+    let mut root = ft_probe::span("exec", "execute");
+    if root.is_recording() {
+        root.field("program", etdg.name.as_str());
+        root.field("groups", compiled.groups.len());
+        root.field("threads", threads.max(1));
+    }
+    for (gi, group) in compiled.groups.iter().enumerate() {
+        run_group(compiled, group, gi, &mut stores, threads.max(1))?;
     }
 
     let mut outputs = HashMap::new();
@@ -84,33 +90,87 @@ struct PointWrite {
     value: Tensor,
 }
 
+/// One worker's output for a wavefront step: the pending writes plus the
+/// number of buffer reads it issued (for traffic accounting).
+struct PointBatch {
+    writes: Vec<PointWrite>,
+    reads: u64,
+}
+
+/// Per-worker timing captured only while tracing is enabled.
+struct WorkerStat {
+    worker: usize,
+    ts_us: f64,
+    dur_us: f64,
+    points: usize,
+}
+
+/// Probe thread-track ids for executor workers start here so they never
+/// collide with the per-thread tracks the collector assigns.
+const WORKER_TID_BASE: u64 = 1000;
+
 fn run_group(
     compiled: &CompiledProgram,
     group: &ScheduledGroup,
+    group_idx: usize,
     stores: &mut [BufferStore],
     threads: usize,
 ) -> Result<(), ExecError> {
     let r = &group.reordering;
     let (lo, hi) = r.wavefront_range();
+    let probe_on = ft_probe::enabled();
+    let mut gspan = ft_probe::span("exec", "launch_group");
+    if gspan.is_recording() {
+        gspan.field("group", group_idx);
+        gspan.field("name", compiled.etdg.block(group.members[0]).name.as_str());
+        gspan.field("members", group.members.len());
+        gspan.field("wavefront_steps", hi - lo);
+        gspan.field("threads", threads);
+        ft_probe::counter("exec.launch_groups", 1.0);
+    }
     for step in lo..hi {
         // All transformed points of this wavefront step.
         let points = points_at_step(r, step);
         if points.is_empty() {
             continue;
         }
+        let mut sspan = ft_probe::span("exec", "wavefront_step");
         // Compute in parallel (reads only touch earlier steps or the
         // per-point overlay), then apply the writes serially.
         let chunk = points.len().div_ceil(threads);
-        let mut results: Vec<Result<Vec<PointWrite>, ExecError>> = Vec::new();
+        let mut results: Vec<Result<PointBatch, ExecError>> = Vec::new();
+        let mut worker_stats: Vec<WorkerStat> = Vec::new();
         if threads == 1 || points.len() == 1 {
+            let t0 = probe_on.then(ft_probe::now_us);
             results.push(run_points(compiled, group, stores, &points));
+            if let Some(t0) = t0 {
+                worker_stats.push(WorkerStat {
+                    worker: 0,
+                    ts_us: t0,
+                    dur_us: ft_probe::now_us() - t0,
+                    points: points.len(),
+                });
+            }
         } else {
             let chunks: Vec<&[Vec<i64>]> = points.chunks(chunk).collect();
             let shared: &[BufferStore] = stores;
             let outcome = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|c| scope.spawn(move |_| run_points(compiled, group, shared, c)))
+                    .enumerate()
+                    .map(|(w, c)| {
+                        scope.spawn(move |_| {
+                            let t0 = probe_on.then(ft_probe::now_us);
+                            let res = run_points(compiled, group, shared, c);
+                            let stat = t0.map(|t| WorkerStat {
+                                worker: w,
+                                ts_us: t,
+                                dur_us: ft_probe::now_us() - t,
+                                points: c.len(),
+                            });
+                            (res, stat)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -118,11 +178,69 @@ fn run_group(
                     .collect::<Vec<_>>()
             })
             .expect("crossbeam scope");
-            results = outcome;
+            for (res, stat) in outcome {
+                results.push(res);
+                if let Some(s) = stat {
+                    worker_stats.push(s);
+                }
+            }
         }
-        for r in results {
-            for w in r? {
+        let mut reads_total = 0u64;
+        let mut writes_applied = 0u64;
+        for batch in results {
+            let batch = batch?;
+            reads_total += batch.reads;
+            for w in batch.writes {
                 stores[w.buffer].set(&w.idx, w.value).map_err(core_err)?;
+                writes_applied += 1;
+            }
+        }
+        if sspan.is_recording() {
+            // Busy = time inside run_points; idle = the tail each worker
+            // spends waiting for the slowest one in this step's compute
+            // window. The serial write-apply phase is charged to the step
+            // span itself, not to worker idle time.
+            let workers = worker_stats.len().max(1);
+            let busy: f64 = worker_stats.iter().map(|s| s.dur_us).sum();
+            let window_start = worker_stats
+                .iter()
+                .map(|s| s.ts_us)
+                .fold(f64::INFINITY, f64::min);
+            let window_end = worker_stats
+                .iter()
+                .map(|s| s.ts_us + s.dur_us)
+                .fold(0.0, f64::max);
+            let idle = (workers as f64 * (window_end - window_start) - busy).max(0.0);
+            sspan.field("group", group_idx);
+            sspan.field("step", step);
+            sspan.field("points", points.len());
+            sspan.field("workers", workers);
+            sspan.field("busy_us", busy);
+            sspan.field("idle_us", idle);
+            sspan.field("reads", reads_total);
+            sspan.field("writes", writes_applied);
+            ft_probe::counter("exec.wavefront_steps", 1.0);
+            ft_probe::counter("exec.points", points.len() as f64);
+            ft_probe::counter("exec.worker_busy_us", busy);
+            ft_probe::counter("exec.worker_idle_us", idle);
+            ft_probe::counter("exec.buffer_reads", reads_total as f64);
+            ft_probe::counter("exec.buffer_writes", writes_applied as f64);
+            for s in &worker_stats {
+                let tid = WORKER_TID_BASE + s.worker as u64;
+                ft_probe::set_thread_label(ft_probe::WALL_PID, tid, format!("worker-{}", s.worker));
+                ft_probe::complete_event(
+                    "exec",
+                    "worker",
+                    ft_probe::WALL_PID,
+                    tid,
+                    s.ts_us,
+                    s.dur_us,
+                    vec![
+                        ("group".to_string(), group_idx.into()),
+                        ("step".to_string(), step.into()),
+                        ("points".to_string(), s.points.into()),
+                    ],
+                );
             }
         }
     }
@@ -170,9 +288,10 @@ fn run_points(
     group: &ScheduledGroup,
     stores: &[BufferStore],
     points: &[Vec<i64>],
-) -> Result<Vec<PointWrite>, ExecError> {
+) -> Result<PointBatch, ExecError> {
     let etdg = &compiled.etdg;
     let mut writes = Vec::new();
+    let mut reads = 0u64;
     for j in points {
         let t = group
             .reordering
@@ -194,6 +313,7 @@ fn run_points(
                         leaves.push(Tensor::full(leaf_shape.dims(), *value));
                     }
                     RegionRead::Buffer { buffer, map } => {
+                        reads += 1;
                         let idx = map
                             .apply(&t)
                             .map_err(|e| ExecError::Runtime(e.to_string()))?;
@@ -233,7 +353,7 @@ fn run_points(
             }
         }
     }
-    Ok(writes)
+    Ok(PointBatch { writes, reads })
 }
 
 /// Executes a single group and reports how many points ran in each

@@ -28,7 +28,7 @@ fn bench_compile_each_workload(c: &mut Criterion) {
     ];
     let mut g = c.benchmark_group("compile");
     for (name, program) in &cases {
-        g.bench_function(*name, |bench| {
+        g.bench_function(name, |bench| {
             bench.iter(|| black_box(compile(program).expect("compiles")));
         });
     }

@@ -17,11 +17,7 @@ fn step_of(r: &ft_passes::Reordering, t: &[i64]) -> i64 {
     if r.sequential_dims == 0 {
         return 0;
     }
-    r.hyperplane
-        .iter()
-        .zip(t.iter())
-        .map(|(a, x)| a * x)
-        .sum()
+    r.hyperplane.iter().zip(t.iter()).map(|(a, x)| a * x).sum()
 }
 
 fn main() {

@@ -1,0 +1,203 @@
+//! End-to-end observability artifact generator.
+//!
+//! Runs one workload through the full stack — compile pipeline, wavefront
+//! executor, and the simulator strategy sweep — with the `ft-probe`
+//! collector enabled, then writes:
+//!
+//! * `trace.json` — a Chrome/Perfetto trace (open in
+//!   <https://ui.perfetto.dev>): pipeline-pass spans, per-launch-group and
+//!   per-wavefront-step executor spans with worker busy/idle tracks, and
+//!   per-kernel roofline events on the simulated-time process track,
+//! * `metrics.json` — the flat counter/span-aggregate report,
+//! * one JSON line per simulated strategy on stdout (shared
+//!   [`ft_probe::json_lines`] framing).
+//!
+//! Usage:
+//!
+//! ```text
+//! FT_TRACE=1 cargo run --release -p ft-bench --bin trace_report -- stacked_lstm [out_dir]
+//! ```
+//!
+//! The binary is the trace tool, so it also enables the probe itself —
+//! `FT_TRACE=1` is honored but not required. Workloads: `stacked_lstm`,
+//! `dilated`, `grid`, `b2b`, `attention`, `bigbird`, `retnet`, or `all`.
+//! Shapes are the reduced `tiny()` configurations so the CPU execution
+//! stays fast; simulator counters still reflect the full strategy sweep.
+
+use std::collections::HashMap;
+
+use ft_backend::execute;
+use ft_core::adt::FractalTensor;
+use ft_core::{BufferId, Program};
+use ft_passes::compile;
+use ft_probe::{chrome_trace, MetricsReport};
+use ft_workloads::{attention, b2b, bigbird, dilated, grid, lstm, retnet};
+use ft_workloads::{SimReport, Strategy};
+
+const WORKLOADS: &[&str] = &[
+    "stacked_lstm",
+    "dilated",
+    "grid",
+    "b2b",
+    "attention",
+    "bigbird",
+    "retnet",
+];
+const THREADS: usize = 4;
+const SEED: u64 = 7;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "stacked_lstm".to_string());
+    let out_dir = args.next().unwrap_or_else(|| "target/trace".to_string());
+
+    let names: Vec<&str> = if workload == "all" {
+        WORKLOADS.to_vec()
+    } else if WORKLOADS.contains(&workload.as_str()) {
+        vec![workload.as_str()]
+    } else {
+        eprintln!(
+            "unknown workload '{workload}'; expected one of {} or 'all'",
+            WORKLOADS.join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    // This binary *is* the trace tool: enable the probe regardless of
+    // FT_TRACE, and start from a drained collector.
+    ft_probe::enable();
+    let _ = ft_probe::take();
+
+    let mut sim_rows = Vec::new();
+    for name in &names {
+        if let Err(e) = run_workload(name, &mut sim_rows) {
+            eprintln!("workload '{name}' failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let snap = ft_probe::take();
+    let trace = chrome_trace(&snap);
+    let mut report = MetricsReport::from_snapshot(&snap)
+        .with_meta("workload", workload.as_str())
+        .with_meta("threads", THREADS as u64)
+        .with_meta("shape", "tiny");
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let trace_path = format!("{out_dir}/trace.json");
+    let metrics_path = format!("{out_dir}/metrics.json");
+    report = report.with_meta("trace_file", trace_path.as_str());
+    let trace_text = serde_json::to_string_pretty(&trace).expect("serialize trace");
+    let metrics_text = serde_json::to_string_pretty(&report.to_json()).expect("serialize metrics");
+    let wrote = std::fs::write(&trace_path, trace_text)
+        .and_then(|()| std::fs::write(&metrics_path, metrics_text));
+    if let Err(e) = wrote {
+        eprintln!("cannot write artifacts under {out_dir}: {e}");
+        std::process::exit(1);
+    }
+
+    print!("{}", ft_probe::json_lines(sim_rows));
+    eprintln!(
+        "wrote {trace_path} ({} events) and {metrics_path} ({} counters, {} span names)",
+        snap.events.len(),
+        report.counters.len(),
+        report.spans.len()
+    );
+}
+
+/// Compiles, executes, and strategy-sweeps one workload under the probe.
+fn run_workload(name: &str, sim_rows: &mut Vec<serde_json::Value>) -> Result<(), String> {
+    match name {
+        "stacked_lstm" => {
+            let s = lstm::LstmShape::tiny();
+            trace_one(name, lstm::program(s), lstm::inputs(s, SEED), |strat| {
+                Some(lstm::simulate(s, strat))
+            })
+        }
+        "dilated" => {
+            let s = dilated::DilatedShape::tiny();
+            trace_one(
+                name,
+                dilated::program(s),
+                dilated::inputs(s, SEED),
+                |strat| dilated::simulate(s, strat),
+            )
+        }
+        "grid" => {
+            let s = grid::GridShape::tiny();
+            trace_one(name, grid::program(s), grid::inputs(s, SEED), |strat| {
+                grid::simulate(s, strat)
+            })
+        }
+        "b2b" => {
+            let s = b2b::B2bShape::tiny();
+            trace_one(name, b2b::program(s), b2b::inputs(s, SEED), |strat| {
+                b2b::simulate(s, strat)
+            })
+        }
+        "attention" => {
+            let s = attention::AttnShape::tiny();
+            trace_one(
+                name,
+                attention::program(s),
+                attention::inputs(s, SEED),
+                |strat| attention::simulate(s, strat),
+            )
+        }
+        "bigbird" => {
+            let s = bigbird::BigBirdShape::tiny();
+            trace_one(
+                name,
+                bigbird::program(s),
+                bigbird::inputs(s, SEED),
+                |strat| bigbird::simulate(s, strat),
+            )
+        }
+        "retnet" => {
+            let s = retnet::RetNetShape::tiny();
+            trace_one(name, retnet::program(s), retnet::inputs(s, SEED), |strat| {
+                retnet::simulate(s, strat)
+            })
+        }
+        other => Err(format!("unhandled workload '{other}'")),
+    }
+    .map(|rows| sim_rows.extend(rows))
+}
+
+/// Compile + execute + simulate one workload; returns the per-strategy
+/// JSON rows for stdout.
+fn trace_one(
+    name: &str,
+    program: Program,
+    inputs: HashMap<BufferId, FractalTensor>,
+    simulate: impl Fn(Strategy) -> Option<SimReport>,
+) -> Result<Vec<serde_json::Value>, String> {
+    let mut wspan = ft_probe::span("trace", "workload");
+    wspan.field("workload", name);
+
+    let compiled = compile(&program).map_err(|e| format!("compile: {e}"))?;
+    let outputs = execute(&compiled, &inputs, THREADS).map_err(|e| format!("execute: {e}"))?;
+    wspan.field("outputs", outputs.len());
+
+    let mut rows = Vec::new();
+    for strat in Strategy::ALL {
+        let mut sspan = ft_probe::span("trace", "simulate");
+        sspan.field("workload", name);
+        sspan.field("strategy", strat.short());
+        if let Some(r) = simulate(strat) {
+            rows.push(serde_json::json!({
+                "workload": name,
+                "strategy": strat.short(),
+                "ms": r.ms,
+                "dram_gb": r.traffic.dram_gb(),
+                "l2_gb": r.traffic.l2_gb(),
+                "l1_gb": r.traffic.l1_gb(),
+                "kernels": r.kernels,
+            }));
+        }
+    }
+    Ok(rows)
+}

@@ -78,18 +78,20 @@ pub fn ft_speedup(row: &Row) -> Option<f64> {
 }
 
 /// Serializes rows as JSON lines (used to build `EXPERIMENTS.md`).
+///
+/// Row shape is defined here; the line framing is [`ft_probe::json_lines`],
+/// the same serializer `trace_report` uses, so every machine-readable
+/// artifact in the repo agrees.
 pub fn render_json(experiment: &str, rows: &[Row]) -> String {
-    use std::fmt::Write as _;
-    let mut s = String::new();
-    for row in rows {
-        for (strat, cell) in Strategy::ALL.iter().zip(&row.cells) {
-            if let Some(r) = cell {
-                let _ = writeln!(
-                    s,
-                    "{}",
+    let json_rows = rows.iter().flat_map(|row| {
+        Strategy::ALL
+            .iter()
+            .zip(&row.cells)
+            .filter_map(move |(strat, cell)| {
+                cell.as_ref().map(|r| {
                     serde_json::json!({
                         "experiment": experiment,
-                        "shape": row.label,
+                        "shape": &row.label,
                         "strategy": strat.short(),
                         "ms": r.ms,
                         "dram_gb": r.traffic.dram_gb(),
@@ -97,11 +99,10 @@ pub fn render_json(experiment: &str, rows: &[Row]) -> String {
                         "l1_gb": r.traffic.l1_gb(),
                         "kernels": r.kernels,
                     })
-                );
-            }
-        }
-    }
-    s
+                })
+            })
+    });
+    ft_probe::json_lines(json_rows)
 }
 
 #[cfg(test)]

@@ -198,23 +198,23 @@ impl FractalTensor {
 
     /// `map(f, xs) = [f(x0), ..., f(xm)]`: the fully parallel apply-to-each
     /// operator.
-    pub fn map<F>(&self, mut f: F) -> Result<FractalTensor>
+    pub fn map<F>(&self, f: F) -> Result<FractalTensor>
     where
         F: FnMut(Elem<'_>) -> Result<FractalTensor>,
     {
         let out = self
             .elems()
-            .map(|e| f(e))
+            .map(f)
             .collect::<Result<Vec<FractalTensor>>>()?;
         FractalTensor::nested_or_flatten(out)
     }
 
     /// `map` whose body produces a single leaf tensor.
-    pub fn map_leaf<F>(&self, mut f: F) -> Result<FractalTensor>
+    pub fn map_leaf<F>(&self, f: F) -> Result<FractalTensor>
     where
         F: FnMut(Elem<'_>) -> Result<Tensor>,
     {
-        let out = self.elems().map(|e| f(e)).collect::<Result<Vec<_>>>()?;
+        let out = self.elems().map(f).collect::<Result<Vec<_>>>()?;
         FractalTensor::from_tensors(out)
     }
 

@@ -719,7 +719,7 @@ mod tests {
         let out = b.div_col_bc(ex, sm);
         let udf = b.build(&[out]);
         let x = Tensor::randn(&[3, 7], 4);
-        let got = udf.eval(&[x.clone()]).unwrap();
+        let got = udf.eval(std::slice::from_ref(&x)).unwrap();
         assert_allclose(&got[0], &x.softmax_rows().unwrap(), 1e-5);
     }
 

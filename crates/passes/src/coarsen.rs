@@ -226,10 +226,7 @@ fn connected(etdg: &Etdg, a: &Group, b: &Group) -> bool {
 /// intermediate buffer — drops out of the graph.
 pub fn fuse_access_maps(mut etdg: Etdg) -> Result<(Etdg, usize)> {
     let mut eliminated = 0usize;
-    loop {
-        let Some(copy_id) = find_copy_block(&etdg) else {
-            break;
-        };
+    while let Some(copy_id) = find_copy_block(&etdg) {
         let copy = etdg.block(BlockId(copy_id)).clone();
         let RegionRead::Buffer {
             buffer: src_buf,

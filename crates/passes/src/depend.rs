@@ -92,20 +92,20 @@ pub fn distance_vectors(etdg: &Etdg, id: BlockId) -> Result<Vec<Vec<i64>>> {
 /// unconstrained components of `δ` are zero.
 fn solve_identity_like(m: &ft_affine::IntMat, rhs: &[i64], d: usize) -> Option<Vec<i64>> {
     let mut delta = vec![0i64; d];
-    for row in 0..m.rows() {
+    for (row, &r) in rhs.iter().enumerate().take(m.rows()) {
         let nonzeros: Vec<usize> = (0..m.cols()).filter(|&c| m.get(row, c) != 0).collect();
         match nonzeros.as_slice() {
             [] => {
-                if rhs[row] != 0 {
+                if r != 0 {
                     return None;
                 }
             }
             [c] => {
                 let coeff = m.get(row, *c);
-                if rhs[row] % coeff != 0 {
+                if r % coeff != 0 {
                     return None;
                 }
-                delta[*c] = rhs[row] / coeff;
+                delta[*c] = r / coeff;
             }
             _ => return None,
         }

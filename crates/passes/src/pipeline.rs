@@ -3,7 +3,7 @@
 //! needs to execute or emit code.
 
 use ft_core::Program;
-use ft_etdg::{parse_program, BlockId, Etdg};
+use ft_etdg::{parse_program, BlockId, Etdg, RegionRead};
 
 use crate::coarsen::{coarsen, CoarsePlan};
 use crate::reorder::{reorder_group, Reordering};
@@ -82,18 +82,87 @@ impl CompiledProgram {
 /// assert_eq!(compiled.groups[0].wavefront_steps(), 6);
 /// ```
 pub fn compile(program: &Program) -> Result<CompiledProgram> {
-    let parsed = parse_program(program)?;
-    let (etdg, plan) = coarsen(&parsed)?;
+    let mut root = ft_probe::span("compile", "compile");
+    root.field("program", program.name.as_str());
+
+    let parsed = {
+        let mut s = ft_probe::span("compile", "pass.parse");
+        let parsed = parse_program(program)?;
+        if s.is_recording() {
+            s.field("blocks", parsed.blocks.len());
+            s.field("buffers", parsed.buffers.len());
+            s.field("edges", graph_edges(&parsed));
+        }
+        parsed
+    };
+
+    let (etdg, plan) = {
+        let mut s = ft_probe::span("compile", "pass.coarsen");
+        let (blocks_before, edges_before) = (parsed.blocks.len(), graph_edges(&parsed));
+        let (etdg, plan) = coarsen(&parsed)?;
+        if s.is_recording() {
+            let (blocks_after, edges_after) = (etdg.blocks.len(), graph_edges(&etdg));
+            // Members fused into an existing group = launches eliminated.
+            let fusions: usize = plan
+                .groups
+                .iter()
+                .map(|g| g.members.len().saturating_sub(1))
+                .sum();
+            s.field("blocks_before", blocks_before);
+            s.field("blocks_after", blocks_after);
+            s.field("edges_before", edges_before);
+            s.field("edges_after", edges_after);
+            s.field("launch_groups", plan.launch_count());
+            s.field("access_map_fusions", fusions);
+            ft_probe::counter(
+                "passes.etdg_node_delta",
+                blocks_after as f64 - blocks_before as f64,
+            );
+            ft_probe::counter(
+                "passes.etdg_edge_delta",
+                edges_after as f64 - edges_before as f64,
+            );
+            ft_probe::counter("passes.access_map_fusions", fusions as f64);
+            ft_probe::counter("passes.launch_groups", plan.launch_count() as f64);
+        }
+        (etdg, plan)
+    };
+
     let mut groups = Vec::with_capacity(plan.groups.len());
-    for g in &plan.groups {
+    for (gi, g) in plan.groups.iter().enumerate() {
+        let mut s = ft_probe::span("compile", "pass.reorder");
         let reordering = reorder_group(&etdg, &g.members)?;
+        if s.is_recording() {
+            let (lo, hi) = reordering.wavefront_range();
+            s.field("group", gi);
+            s.field("members", g.members.len());
+            s.field("sequential_dims", reordering.sequential_dims);
+            s.field("wavefront_steps", hi - lo);
+        }
         groups.push(ScheduledGroup {
             members: g.members.clone(),
             ops: g.ops.clone(),
             reordering,
         });
     }
+    root.field("launch_groups", groups.len());
     Ok(CompiledProgram { etdg, plan, groups })
+}
+
+/// Buffer-touching edges of the graph: one per region read of a buffer
+/// (fills excluded) plus one per region write.
+fn graph_edges(g: &Etdg) -> usize {
+    g.blocks
+        .iter()
+        .map(|b| {
+            let reads = b
+                .reads
+                .iter()
+                .filter(|r| matches!(r, RegionRead::Buffer { .. }))
+                .count();
+            reads + b.writes.len()
+        })
+        .sum()
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! Chrome/Perfetto `trace.json` export.
+
+use serde_json::{json, Map, Value};
+
+use crate::collector::Snapshot;
+
+/// Renders a snapshot in the Chrome Trace Event format (JSON object form),
+/// loadable in `chrome://tracing` and <https://ui.perfetto.dev>.
+///
+/// * every span becomes a complete event (`"ph": "X"`) with its structured
+///   fields under `args`,
+/// * counter totals become one counter sample (`"ph": "C"`) each at the
+///   end of the trace,
+/// * process/thread tracks get metadata names: wall-clock events live in
+///   process 1 (`fractaltensor`), simulated-time events in process 2
+///   (`ft-sim (modeled time)`).
+pub fn chrome_trace(snapshot: &Snapshot) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(snapshot.events.len() + 16);
+
+    events.push(meta_event("process_name", 1, 0, "fractaltensor"));
+    events.push(meta_event("process_name", 2, 0, "ft-sim (modeled time)"));
+    for ((pid, tid), label) in &snapshot.thread_labels {
+        events.push(meta_event("thread_name", *pid, *tid, label));
+    }
+
+    let mut end_us = 0.0f64;
+    for e in &snapshot.events {
+        end_us = end_us.max(e.ts_us + e.dur_us);
+        let mut args = Map::new();
+        for (k, v) in &e.fields {
+            args.insert(k.clone(), v.to_json());
+        }
+        events.push(json!({
+            "name": &e.name,
+            "cat": e.cat,
+            "ph": "X",
+            "ts": e.ts_us,
+            "dur": e.dur_us,
+            "pid": e.pid,
+            "tid": e.tid,
+            "args": Value::Object(args),
+        }));
+    }
+
+    for (name, total) in &snapshot.counters {
+        let mut sample = Map::new();
+        sample.insert("value".to_string(), Value::from(*total));
+        events.push(json!({
+            "name": name.as_str(),
+            "ph": "C",
+            "ts": end_us,
+            "pid": 1u64,
+            "tid": 0u64,
+            "args": Value::Object(sample),
+        }));
+    }
+
+    json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms",
+    })
+}
+
+fn meta_event(kind: &str, pid: u64, tid: u64, name: &str) -> Value {
+    let mut args = Map::new();
+    args.insert("name".to_string(), Value::from(name));
+    json!({
+        "name": kind,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": Value::Object(args),
+    })
+}

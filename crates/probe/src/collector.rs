@@ -1,0 +1,358 @@
+//! The global collector: enable state, span guards, counters, snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The `pid` used for wall-clock events (pipeline passes, executor).
+pub const WALL_PID: u64 = 1;
+/// The `pid` used for simulated-time events (`ft-sim` kernel launches).
+/// These live on a separate Perfetto process track because their
+/// timestamps are modeled microseconds, not wall-clock ones.
+pub const SIM_PID: u64 = 2;
+
+/// A structured span/field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as JSON.
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            FieldValue::I64(v) => serde_json::Value::from(*v),
+            FieldValue::U64(v) => serde_json::Value::from(*v),
+            FieldValue::F64(v) => serde_json::Value::from(*v),
+            FieldValue::Bool(v) => serde_json::Value::from(*v),
+            FieldValue::Str(v) => serde_json::Value::from(v.as_str()),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+field_from!(
+    i32 => I64 as i64, i64 => I64 as i64, isize => I64 as i64,
+    u32 => U64 as u64, u64 => U64 as u64, usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded complete event (Chrome `ph: "X"` shape).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Span name.
+    pub name: String,
+    /// Category: `compile`, `exec`, `sim`, ...
+    pub cat: &'static str,
+    /// Process track ([`WALL_PID`] or [`SIM_PID`]).
+    pub pid: u64,
+    /// Thread track.
+    pub tid: u64,
+    /// Start, microseconds since the probe epoch (or simulated µs).
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Structured fields (`args` in the Chrome trace).
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A drained or cloned view of everything the collector holds.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Completed span events, in completion order.
+    pub events: Vec<Event>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, f64>,
+    /// Human labels for (pid, tid) thread tracks.
+    pub thread_labels: Vec<((u64, u64), String)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: Vec<Event>,
+    counters: BTreeMap<String, f64>,
+    thread_labels: Vec<((u64, u64), String)>,
+}
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static COLLECTOR: Mutex<Option<Inner>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the probe epoch (first use). Monotonic.
+pub fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Whether tracing is currently enabled.
+///
+/// The first call resolves the `FT_TRACE` environment variable
+/// (`1`/`true`/`on` enable); afterwards this is one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("FT_TRACE")
+        .map(|v| matches!(v.as_str(), "1" | "true" | "TRUE" | "on"))
+        .unwrap_or(false);
+    set_enabled(on);
+    on
+}
+
+fn set_enabled(on: bool) {
+    if on {
+        // Arm the epoch and the buffer before publishing the flag so a
+        // racing span sees a consistent collector.
+        epoch();
+        let mut inner = COLLECTOR.lock();
+        if inner.is_none() {
+            *inner = Some(Inner::default());
+        }
+    }
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Enables tracing (equivalent to `builder().enabled(true).install()`).
+pub fn enable() {
+    set_enabled(true);
+}
+
+/// Disables tracing. Already-recorded data is kept until [`take`].
+pub fn disable() {
+    set_enabled(false);
+}
+
+/// Configuration builder for the global probe.
+#[derive(Debug, Default)]
+pub struct ProbeBuilder {
+    enabled: bool,
+}
+
+impl ProbeBuilder {
+    /// Sets the enabled flag.
+    pub fn enabled(mut self, on: bool) -> Self {
+        self.enabled = on;
+        self
+    }
+
+    /// Applies the configuration to the global probe.
+    pub fn install(self) {
+        set_enabled(self.enabled);
+    }
+}
+
+/// Starts configuring the global probe.
+pub fn builder() -> ProbeBuilder {
+    ProbeBuilder::default()
+}
+
+/// An open span; records a complete event when dropped.
+///
+/// Obtained from [`span`]. When tracing is disabled the guard is inert:
+/// no clock is read, no allocation happens, and [`SpanGuard::field`]
+/// discards its arguments.
+#[must_use = "a span measures the scope it lives in"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    start_us: f64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// Whether this span is live (tracing was enabled when it opened).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches a key-value field.
+    pub fn field(&mut self, key: impl Into<String>, value: impl Into<FieldValue>) {
+        if let Some(a) = self.active.as_mut() {
+            a.fields.push((key.into(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let dur_us = now_us() - a.start_us;
+            record(Event {
+                name: a.name.to_string(),
+                cat: a.cat,
+                pid: WALL_PID,
+                tid: a.tid,
+                ts_us: a.start_us,
+                dur_us,
+                fields: a.fields,
+            });
+        }
+    }
+}
+
+/// Opens a span on the current thread's wall-clock track.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            cat,
+            tid: current_tid(),
+            start_us: now_us(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+/// Records an already-measured interval, e.g. on an explicit worker or
+/// simulated-time track. No-op when disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn complete_event(
+    cat: &'static str,
+    name: impl Into<String>,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    fields: Vec<(String, FieldValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        name: name.into(),
+        cat,
+        pid,
+        tid,
+        ts_us,
+        dur_us,
+        fields,
+    });
+}
+
+/// Adds `delta` to the named counter. No-op when disabled.
+pub fn counter(name: &str, delta: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = COLLECTOR.lock();
+    let inner = inner.get_or_insert_with(Inner::default);
+    *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+}
+
+/// Names a (pid, tid) track in the exported trace. No-op when disabled.
+pub fn set_thread_label(pid: u64, tid: u64, label: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = COLLECTOR.lock();
+    let inner = inner.get_or_insert_with(Inner::default);
+    let label = label.into();
+    if !inner.thread_labels.iter().any(|(k, _)| *k == (pid, tid)) {
+        inner.thread_labels.push(((pid, tid), label));
+    }
+}
+
+/// The tid the probe assigned to the calling thread.
+pub fn thread_track() -> u64 {
+    current_tid()
+}
+
+fn record(e: Event) {
+    let mut inner = COLLECTOR.lock();
+    inner.get_or_insert_with(Inner::default).events.push(e);
+}
+
+/// Clones the collector contents without draining them.
+pub fn snapshot() -> Snapshot {
+    let inner = COLLECTOR.lock();
+    match inner.as_ref() {
+        Some(i) => Snapshot {
+            events: i.events.clone(),
+            counters: i.counters.clone(),
+            thread_labels: i.thread_labels.clone(),
+        },
+        None => Snapshot::default(),
+    }
+}
+
+/// Drains and returns everything recorded so far.
+pub fn take() -> Snapshot {
+    let mut inner = COLLECTOR.lock();
+    match inner.as_mut() {
+        Some(i) => Snapshot {
+            events: std::mem::take(&mut i.events),
+            counters: std::mem::take(&mut i.counters),
+            thread_labels: std::mem::take(&mut i.thread_labels),
+        },
+        None => Snapshot::default(),
+    }
+}

@@ -1,0 +1,58 @@
+//! # ft-probe
+//!
+//! A lightweight span/counter facility for the FractalTensor reproduction:
+//! the observability layer under the compile pipeline (`ft-passes`), the
+//! wavefront executor (`ft-backend`) and the tile-machine simulator
+//! (`ft-sim`).
+//!
+//! ## Model
+//!
+//! * **Spans** are named intervals with structured key-value [`FieldValue`]
+//!   fields and monotonic microsecond timestamps, recorded as *complete*
+//!   events when the [`SpanGuard`] drops. Spans on the same thread nest by
+//!   interval containment, which is exactly how Perfetto stacks them.
+//! * **Counters** are named `f64` accumulators (`passes.access_map_fusions`,
+//!   `exec.wavefront_steps`, `sim.dram_bytes`, ...). They carry totals, not
+//!   samples — per-event detail lives on span fields.
+//! * Everything funnels into one global collector behind a `parking_lot`
+//!   mutex; the hot-path check is a single relaxed atomic load, so with
+//!   tracing disabled every probe call is a no-op costing one branch.
+//!
+//! ## Enabling
+//!
+//! Tracing is off by default. Turn it on either with the environment
+//! variable `FT_TRACE=1` (read lazily on the first probe call) or
+//! programmatically via the builder:
+//!
+//! ```
+//! ft_probe::builder().enabled(true).install();
+//! {
+//!     let mut span = ft_probe::span("compile", "pass.parse");
+//!     span.field("blocks", 4u64);
+//! }
+//! ft_probe::counter("exec.wavefront_steps", 1.0);
+//! let snap = ft_probe::take();
+//! assert_eq!(snap.events.len(), 1);
+//! ft_probe::builder().enabled(false).install();
+//! ```
+//!
+//! ## Exporters
+//!
+//! [`chrome_trace`] renders a snapshot as a Chrome/Perfetto `trace.json`
+//! (open in <https://ui.perfetto.dev> or `chrome://tracing`); the
+//! [`report`] module renders the same snapshot as a flat JSON metrics
+//! report whose row serializer `ft-bench` shares for its tables.
+
+#![forbid(unsafe_code)]
+
+mod chrome;
+mod collector;
+pub mod report;
+
+pub use chrome::chrome_trace;
+pub use collector::{
+    builder, complete_event, counter, disable, enable, enabled, now_us, set_thread_label, snapshot,
+    span, take, thread_track, Event, FieldValue, ProbeBuilder, Snapshot, SpanGuard, SIM_PID,
+    WALL_PID,
+};
+pub use report::{json_lines, MetricsReport, SpanStat};

@@ -1,0 +1,101 @@
+//! The flat JSON metrics report, and the row serializer `ft-bench` shares.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Map, Value};
+
+use crate::collector::Snapshot;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: f64,
+    /// Longest single span, microseconds.
+    pub max_us: f64,
+}
+
+/// A flat metrics view of a [`Snapshot`]: counter totals plus per-span-name
+/// aggregates. This is the machine-readable artifact `trace_report` writes
+/// next to the Perfetto trace, and the serializer behind `ft-bench`'s
+/// `--json` tables.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, f64>,
+    /// Span aggregates by `category/name`.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Free-form metadata (workload name, thread count, ...).
+    pub meta: BTreeMap<String, Value>,
+}
+
+impl MetricsReport {
+    /// Builds the report from a snapshot.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+        for e in &snapshot.events {
+            let s = spans.entry(format!("{}/{}", e.cat, e.name)).or_default();
+            s.count += 1;
+            s.total_us += e.dur_us;
+            s.max_us = s.max_us.max(e.dur_us);
+        }
+        MetricsReport {
+            counters: snapshot.counters.clone(),
+            spans,
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches a metadata entry.
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// The report as one JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), Value::from(*v));
+        }
+        let mut spans = Map::new();
+        for (k, s) in &self.spans {
+            spans.insert(
+                k.clone(),
+                json!({
+                    "count": s.count,
+                    "total_us": s.total_us,
+                    "max_us": s.max_us,
+                }),
+            );
+        }
+        let mut meta = Map::new();
+        for (k, v) in &self.meta {
+            meta.insert(k.clone(), v.clone());
+        }
+        json!({
+            "meta": Value::Object(meta),
+            "counters": Value::Object(counters),
+            "spans": Value::Object(spans),
+        })
+    }
+}
+
+/// Serializes rows as JSON lines — one compact object per line.
+///
+/// This is the single row serializer shared by `trace_report` and the
+/// `ft-bench` table binaries (`render_json`), so every machine-readable
+/// artifact in the repo has the same framing.
+pub fn json_lines<I>(rows: I) -> String
+where
+    I: IntoIterator<Item = Value>,
+{
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,226 @@
+//! Behavioral tests for the probe: span nesting under concurrency, a
+//! well-formed Chrome trace, and strict no-op behavior when disabled.
+//!
+//! The collector is global, so every test serializes on one mutex and
+//! drains the collector before and after itself.
+
+use std::sync::Mutex;
+
+use ft_probe::{chrome_trace, MetricsReport};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn isolated<T>(f: impl FnOnce() -> T) -> T {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    ft_probe::enable();
+    let _ = ft_probe::take();
+    let out = f();
+    ft_probe::disable();
+    let _ = ft_probe::take();
+    out
+}
+
+#[test]
+fn spans_nest_and_close_on_one_thread() {
+    let snap = isolated(|| {
+        {
+            let mut outer = ft_probe::span("t", "outer");
+            outer.field("k", 1u64);
+            {
+                let _inner = ft_probe::span("t", "inner");
+            }
+        }
+        ft_probe::take()
+    });
+    // Completion order: inner closes first.
+    assert_eq!(snap.events.len(), 2);
+    assert_eq!(snap.events[0].name, "inner");
+    assert_eq!(snap.events[1].name, "outer");
+    let (inner, outer) = (&snap.events[0], &snap.events[1]);
+    assert_eq!(inner.tid, outer.tid, "same thread, same track");
+    // Interval containment is what makes Perfetto stack them.
+    assert!(outer.ts_us <= inner.ts_us);
+    assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1e-3);
+    assert_eq!(
+        outer.fields,
+        vec![("k".to_string(), ft_probe::FieldValue::U64(1))]
+    );
+}
+
+#[test]
+fn concurrent_threads_get_disjoint_tracks_with_nested_spans() {
+    const THREADS: usize = 8;
+    const DEPTH: usize = 5;
+    let snap = isolated(|| {
+        std::thread::scope(|s| {
+            for i in 0..THREADS {
+                s.spawn(move || {
+                    fn nest(level: usize, worker: usize) {
+                        if level == 0 {
+                            return;
+                        }
+                        let mut sp = ft_probe::span("t", "level");
+                        sp.field("worker", worker);
+                        sp.field("level", level);
+                        nest(level - 1, worker);
+                    }
+                    nest(DEPTH, i);
+                });
+            }
+        });
+        ft_probe::take()
+    });
+    assert_eq!(snap.events.len(), THREADS * DEPTH);
+    // Each thread owns a distinct tid, and within a tid the spans nest by
+    // containment (deeper spans start later and end earlier).
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<&ft_probe::Event>> = Default::default();
+    for e in &snap.events {
+        by_tid.entry(e.tid).or_default().push(e);
+    }
+    assert_eq!(by_tid.len(), THREADS, "one track per worker thread");
+    for events in by_tid.values() {
+        assert_eq!(events.len(), DEPTH);
+        let mut sorted = events.clone();
+        sorted.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        for pair in sorted.windows(2) {
+            let (parent, child) = (pair[0], pair[1]);
+            assert!(parent.ts_us <= child.ts_us);
+            assert!(
+                child.ts_us + child.dur_us <= parent.ts_us + parent.dur_us + 1e-3,
+                "child must close before its parent"
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_parses_back_with_well_formed_events() {
+    let snap = isolated(|| {
+        {
+            let mut sp = ft_probe::span("compile", "pass.parse");
+            sp.field("blocks", 4u64);
+            sp.field("label", "lstm");
+        }
+        ft_probe::complete_event(
+            "sim",
+            "kernel.gemm",
+            ft_probe::SIM_PID,
+            0,
+            125.0,
+            40.0,
+            vec![("dram_bytes".into(), 4096u64.into())],
+        );
+        ft_probe::counter("sim.dram_bytes", 4096.0);
+        ft_probe::set_thread_label(ft_probe::WALL_PID, ft_probe::thread_track(), "main");
+        ft_probe::take()
+    });
+
+    let trace = chrome_trace(&snap);
+    let text = serde_json::to_string_pretty(&trace).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    let mut saw_complete = 0;
+    let mut saw_counter = 0;
+    let mut saw_meta = 0;
+    for e in events {
+        let ph = e["ph"].as_str().unwrap();
+        match ph {
+            "X" => {
+                saw_complete += 1;
+                assert!(e["ts"].as_f64().unwrap() >= 0.0);
+                assert!(e["dur"].as_f64().unwrap() >= 0.0);
+                assert!(e["name"].as_str().is_some());
+                assert!(e["pid"].as_u64().is_some());
+                assert!(e["tid"].as_u64().is_some());
+            }
+            "C" => {
+                saw_counter += 1;
+                assert!(e["args"]["value"].as_f64().is_some());
+            }
+            "M" => saw_meta += 1,
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(saw_complete, 2);
+    assert_eq!(saw_counter, 1);
+    assert!(saw_meta >= 3, "two process names + one thread name");
+
+    // The sim event kept its explicit pid and simulated timestamps.
+    let sim = events
+        .iter()
+        .find(|e| e["name"] == "kernel.gemm")
+        .expect("sim event present");
+    assert_eq!(sim["pid"].as_u64(), Some(ft_probe::SIM_PID));
+    assert_eq!(sim["ts"].as_f64(), Some(125.0));
+    assert_eq!(sim["args"]["dram_bytes"].as_u64(), Some(4096));
+}
+
+#[test]
+fn metrics_report_aggregates_spans_and_counters() {
+    let snap = isolated(|| {
+        for _ in 0..3 {
+            let _sp = ft_probe::span("exec", "wavefront_step");
+        }
+        ft_probe::counter("exec.wavefront_steps", 3.0);
+        ft_probe::counter("exec.wavefront_steps", 2.0);
+        ft_probe::take()
+    });
+    let report = MetricsReport::from_snapshot(&snap).with_meta("workload", "unit");
+    assert_eq!(report.counters["exec.wavefront_steps"], 5.0);
+    assert_eq!(report.spans["exec/wavefront_step"].count, 3);
+    let j = report.to_json();
+    assert_eq!(j["meta"]["workload"], "unit");
+    assert_eq!(j["counters"]["exec.wavefront_steps"], 5.0);
+    assert_eq!(j["spans"]["exec/wavefront_step"]["count"], 3);
+    // Round-trips through the serializer.
+    let back: serde_json::Value = serde_json::from_str(&j.to_string()).unwrap();
+    assert_eq!(back, j);
+}
+
+#[test]
+fn disabled_probe_records_nothing_and_spans_are_inert() {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    ft_probe::disable();
+    let _ = ft_probe::take();
+
+    {
+        let mut sp = ft_probe::span("t", "ignored");
+        assert!(!sp.is_recording());
+        sp.field("k", 1u64);
+    }
+    ft_probe::counter("ignored.counter", 10.0);
+    ft_probe::complete_event("t", "ignored", 1, 0, 0.0, 1.0, vec![]);
+    ft_probe::set_thread_label(1, 0, "ignored");
+
+    let snap = ft_probe::take();
+    assert!(snap.events.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.thread_labels.is_empty());
+}
+
+#[test]
+fn builder_and_env_style_toggling() {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    ft_probe::builder().enabled(true).install();
+    assert!(ft_probe::enabled());
+    ft_probe::builder().enabled(false).install();
+    assert!(!ft_probe::enabled());
+    let _ = ft_probe::take();
+}
+
+#[test]
+fn json_lines_rows_share_one_framing() {
+    let rows = vec![
+        serde_json::json!({ "a": 1, "b": "x" }),
+        serde_json::json!({ "a": 2, "b": "y" }),
+    ];
+    let text = ft_probe::json_lines(rows);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for (i, line) in lines.iter().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["a"], (i + 1) as u64);
+    }
+}

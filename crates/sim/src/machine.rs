@@ -229,6 +229,50 @@ impl SimMachine {
             l1_us,
             total_us: cfg.kernel_launch_us + compute_us.max(dram_us).max(l2_us).max(l1_us),
         };
+        if ft_probe::enabled() {
+            // The kernel's roofline breakdown, placed on the simulated
+            // timeline (SIM_PID) so wall-clock spans and modeled time stay
+            // on separate tracks in the trace viewer.
+            let bound = if timing.launch_us >= compute_us.max(dram_us).max(l2_us).max(l1_us) {
+                "launch"
+            } else if compute_us >= dram_us.max(l2_us).max(l1_us) {
+                "compute"
+            } else if dram_us >= l2_us.max(l1_us) {
+                "dram"
+            } else if l2_us >= l1_us {
+                "l2"
+            } else {
+                "l1"
+            };
+            ft_probe::complete_event(
+                "sim",
+                format!("kernel.{}", k.name),
+                ft_probe::SIM_PID,
+                0,
+                self.elapsed_us,
+                timing.total_us,
+                vec![
+                    ("flops".to_string(), k.flops.into()),
+                    ("dram_bytes".to_string(), dram_bytes.into()),
+                    ("l2_bytes".to_string(), l2_request_bytes.into()),
+                    ("l1_bytes".to_string(), l1_bytes.into()),
+                    ("launch_us".to_string(), timing.launch_us.into()),
+                    ("compute_us".to_string(), compute_us.into()),
+                    ("dram_us".to_string(), dram_us.into()),
+                    ("l2_us".to_string(), l2_us.into()),
+                    ("l1_us".to_string(), l1_us.into()),
+                    ("occupancy".to_string(), occupancy.into()),
+                    ("ctas".to_string(), k.ctas.into()),
+                    ("bound".to_string(), bound.into()),
+                ],
+            );
+            ft_probe::counter("sim.kernels", 1.0);
+            ft_probe::counter("sim.flops", k.flops as f64);
+            ft_probe::counter("sim.dram_bytes", dram_bytes as f64);
+            ft_probe::counter("sim.l2_bytes", l2_request_bytes as f64);
+            ft_probe::counter("sim.l1_bytes", l1_bytes as f64);
+            ft_probe::counter(&format!("sim.bound.{bound}"), 1.0);
+        }
         self.elapsed_us += timing.total_us;
         self.kernels_launched += 1;
         if self.keep_log {

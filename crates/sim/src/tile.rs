@@ -78,6 +78,7 @@ impl Default for TileConfig {
 /// once per row tile (requests that hit L2 when the operand is resident),
 /// and the inner product streams operands from shared memory with
 /// register-level blocking.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_kernel(
     name: &str,
     m: usize,

@@ -1,0 +1,101 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::thread::scope` API surface used by the
+//! wavefront executor, implemented on top of `std::thread::scope`
+//! (stabilized in Rust 1.63, so the crossbeam dependency is pure
+//! compatibility shim here).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::marker::PhantomData;
+
+    /// A scope handle passed to [`scope`]'s closure; `spawn` borrows from
+    /// the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope itself
+        /// (crossbeam convention) so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    f(&Scope {
+                        inner,
+                        _marker: PhantomData,
+                    })
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam (which collects panics from unjoined threads into
+    /// the `Err` variant), the std backing propagates panics on join — the
+    /// executor joins every handle explicitly, so the observable behavior
+    /// matches.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                _marker: PhantomData,
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_environment() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_argument() {
+            let r = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 7);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `name in strategy` bindings,
+//! * integer/`usize` range strategies (`1i64..5`), `proptest::bool::ANY`,
+//!   and `proptest::collection::vec(elem, len_range)`,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
+//!   `prop_assume!`.
+//!
+//! Cases are generated from a deterministic xorshift RNG, so failures
+//! reproduce across runs. **No shrinking** is performed — a failing case
+//! panics with the generated inputs printed, which is enough for the
+//! repo's CI-style usage (the real crate's shrinker is a debugging
+//! nicety, not a correctness requirement).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Per-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Per-case result used by the macro plumbing.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic xorshift64* generator used for case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator (zero is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The stub generates directly (no value trees / no
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// A strategy returning a fixed value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.len, rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+/// Runs one `proptest!`-defined property: generation loop, rejection
+/// budget, and failure reporting. Called by the macro, not directly.
+pub fn run_property(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<TestCaseResult, String>,
+) {
+    // Seed from the test name so distinct properties explore distinct
+    // streams but each property is reproducible run-to-run.
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let mut rng = TestRng::new(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest '{name}' failed after {accepted} passing case(s): {msg}");
+            }
+            Err(inputs) => {
+                panic!(
+                    "proptest '{name}' failed after {accepted} passing case(s); inputs: {inputs}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. See crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            @impl ($cfg)
+            $( $(#[$meta])* fn $name($($arg in $strat),*) $body )*
+        }
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            @impl ($crate::ProptestConfig::default())
+            $( $(#[$meta])* fn $name($($arg in $strat),*) $body )*
+        }
+    };
+    (
+        @impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                    // Catch plain assert!/panic! too so generated inputs
+                    // are reported alongside the panic.
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                        $(&$arg),*
+                    );
+                    let outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| -> $crate::TestCaseResult {
+                            $body
+                            Ok(())
+                        }),
+                    );
+                    match outcome {
+                        Ok(r) => Ok(r),
+                        Err(_) => Err(inputs),
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{:?}` != `{:?}` ({} == {})",
+                        l,
+                        r,
+                        stringify!($left),
+                        stringify!($right)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{:?}` == `{:?}` ({} != {})",
+                        l,
+                        r,
+                        stringify!($left),
+                        stringify!($right)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case, drawing a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_strategy_respects_lengths(
+            v in crate::collection::vec(1i64..4, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (1..4).contains(&e)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u8..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+
+        #[test]
+        fn bools_vary(b in crate::bool::ANY) {
+            // Either value is fine; just exercise the strategy.
+            let _ = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0i64..3) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors the tiny API subset it actually uses: a seedable,
+//! deterministic RNG (`rngs::StdRng`), the [`SeedableRng`] constructor
+//! trait, and the [`RngExt`] sampling extension (`rng.random::<f32>()`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for test-data generation, *not* cryptographic. Streams are stable
+//! across runs and platforms, which is exactly what `Tensor::randn(seed)`
+//! relies on.
+
+#![forbid(unsafe_code)]
+
+/// Types constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of uniformly-distributed primitive values.
+pub trait RandomValue: Sized {
+    /// Draws one value from the generator.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// Extension trait providing `rng.random::<T>()`.
+pub trait RngExt {
+    /// Draws a uniformly-distributed value of type `T`.
+    fn random<T: RandomValue>(&mut self) -> T;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RandomValue, RngExt, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// The next raw 32-bit output.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn random<T: RandomValue>(&mut self) -> T {
+            T::sample(self)
+        }
+    }
+}
+
+impl RandomValue for f32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl RandomValue for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandomValue for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl RandomValue for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for bool {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! No crate in this workspace currently derives `Serialize`/`Deserialize`;
+//! serialization goes through the vendored `serde_json::Value` tree
+//! directly. This stub exists so manifests declaring a `serde` dependency
+//! (with the inert `derive` feature) resolve offline. The traits are
+//! deliberately minimal markers — implement conversions to
+//! `serde_json::Value` instead of implementing these.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types (stub — see crate docs).
+pub trait Serialize {}
+
+/// Marker for deserializable types (stub — see crate docs).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for owned-deserializable types (stub — see crate docs).
+pub trait DeserializeOwned: Sized {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

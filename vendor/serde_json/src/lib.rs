@@ -1,0 +1,512 @@
+//! Offline vendored stand-in for the `serde_json` crate.
+//!
+//! Implements the `Value`-centric subset the workspace uses: the
+//! [`Value`] tree, a strict JSON parser ([`from_str`]), compact and
+//! pretty serializers ([`to_string`], [`to_string_pretty`]), indexing
+//! (`v["key"]`, `v[0]`), literal comparisons (`v["k"] == "x"`), and a
+//! [`json!`] macro covering object/array/expression forms.
+//!
+//! Unsupported relative to the real crate: `Serialize`/`Deserialize`
+//! generic entry points (build `Value`s via `From`/`json!` instead) and
+//! nested `json!` object literals inside array positions.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+
+pub use parse::{from_str, Error, FromJson};
+
+/// Object representation: sorted keys for deterministic output.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: integer-preserving like the real crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::UInt(u) => Some(u),
+            Number::Float(f) if f.fract() == 0.0 && (0.0..1.9e19).contains(&f) => Some(f as u64),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) => {
+                if x == x.trunc() && x.abs() < 1e16 {
+                    // Match serde_json: floats serialize with a decimal
+                    // point so they round-trip as floats.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted keys).
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key-value map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn write_compact(&self, f: &mut impl fmt::Write) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(a) => {
+                f.write_char('[')?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    v.write_compact(f)?;
+                }
+                f.write_char(']')
+            }
+            Value::Object(m) => {
+                f.write_char('{')?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_char(':')?;
+                    v.write_compact(f)?;
+                }
+                f.write_char('}')
+            }
+        }
+    }
+
+    fn write_pretty(&self, f: &mut impl fmt::Write, indent: usize) -> fmt::Result {
+        const PAD: &str = "  ";
+        match self {
+            Value::Array(a) if !a.is_empty() => {
+                f.write_str("[\n")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",\n")?;
+                    }
+                    for _ in 0..=indent {
+                        f.write_str(PAD)?;
+                    }
+                    v.write_pretty(f, indent + 1)?;
+                }
+                f.write_char('\n')?;
+                for _ in 0..indent {
+                    f.write_str(PAD)?;
+                }
+                f.write_char(']')
+            }
+            Value::Object(m) if !m.is_empty() => {
+                f.write_str("{\n")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",\n")?;
+                    }
+                    for _ in 0..=indent {
+                        f.write_str(PAD)?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(": ")?;
+                    v.write_pretty(f, indent + 1)?;
+                }
+                f.write_char('\n')?;
+                for _ in 0..indent {
+                    f.write_str(PAD)?;
+                }
+                f.write_char('}')
+            }
+            other => other.write_compact(f),
+        }
+    }
+}
+
+fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            self.write_pretty(f, 0)
+        } else {
+            self.write_compact(f)
+        }
+    }
+}
+
+/// Serializes a value compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    Ok(format!("{value:#}"))
+}
+
+// ---------------------------------------------------------------------
+// Conversions.
+// ---------------------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(Number::Float(x))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Self {
+        Value::Number(Number::Float(x as f64))
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self {
+                Value::Number(Number::Int(x as i64))
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self {
+                match i64::try_from(x) {
+                    Ok(i) => Value::Number(Number::Int(i)),
+                    Err(_) => Value::Number(Number::UInt(x as u64)),
+                }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Indexing (missing members yield Null, like the real crate).
+// ---------------------------------------------------------------------
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Literal comparisons: assert_eq!(v["k"], "x"), v["n"] == 3, ...
+// ---------------------------------------------------------------------
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+eq_num!(i32, i64, u32, u64, usize, f64);
+
+/// Builds a [`Value`] from a literal.
+///
+/// Supports `json!(null)`, `json!({ "k": expr, ... })` (values are plain
+/// Rust expressions convertible via `Into<Value>`), `json!([expr, ...])`,
+/// and `json!(expr)`. Nested object literals must be built separately —
+/// a deliberate simplification versus the real crate's TT muncher.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($elem)),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trip() {
+        let v = json!({ "a": 1, "b": "two", "c": 2.5, "d": true, "e": json!(null) });
+        let s = v.to_string();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["a"], 1);
+        assert_eq!(back["b"], "two");
+        assert_eq!(back["c"], 2.5);
+        assert_eq!(back["d"], true);
+        assert!(back["e"].is_null());
+        assert!(back["missing"].is_null());
+    }
+
+    #[test]
+    fn arrays_and_indexing() {
+        let v = json!([1, 2, 3]);
+        assert_eq!(v[1], 2);
+        assert_eq!(v.as_array().unwrap().len(), 3);
+        let s = v.to_string();
+        assert_eq!(s, "[1,2,3]");
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(json!(2.0).to_string(), "2.0");
+        assert_eq!(json!(7u64).to_string(), "7");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let v = json!("a\"b\\c\nd\te\u{1}");
+        let back: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "xs": json!([1, 2]), "name": "t" });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

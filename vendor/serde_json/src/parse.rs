@@ -1,0 +1,280 @@
+//! A strict recursive-descent JSON parser for [`Value`].
+
+use std::fmt;
+
+use crate::{Map, Number, Value};
+
+/// Parse/serialize error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types deserializable from a parsed [`Value`] (the stub's stand-in for
+/// `serde::de::DeserializeOwned`).
+pub trait FromJson: Sized {
+    /// Converts the parsed tree into `Self`.
+    fn from_value(v: Value) -> Result<Self, Error>;
+}
+
+impl FromJson for Value {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Ok(v)
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::new("trailing characters", p.pos));
+    }
+    T::from_value(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("expected '{lit}'"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(out)),
+                _ => return Err(Error::new("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut out = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            out.insert(key, v);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(out)),
+                _ => return Err(Error::new("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8", start))?,
+            );
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            // Surrogate pair.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate", self.pos));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        out.push(c.ok_or_else(|| Error::new("invalid codepoint", self.pos))?);
+                    }
+                    _ => return Err(Error::new("invalid escape", self.pos)),
+                },
+                _ => return Err(Error::new("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| Error::new("truncated \\u escape", self.pos))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::new("invalid hex digit", self.pos))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid utf-8 in number", start))?;
+        let n = if is_float {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::new("invalid number", start))?,
+            )
+        } else if let Ok(i) = text.parse::<i64>() {
+            Number::Int(i)
+        } else if let Ok(u) = text.parse::<u64>() {
+            Number::UInt(u)
+        } else {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::new("invalid number", start))?,
+            )
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, {"b": null}], "c": "x\ny"}"#).unwrap();
+        assert_eq!(v["a"][1], 2.5);
+        assert!(v["a"][2]["b"].is_null());
+        assert_eq!(v["c"], "x\ny");
+    }
+
+    #[test]
+    fn unicode_escapes_including_surrogate_pairs() {
+        let v: Value = from_str(r#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v, "A\u{e9}\u{1F600}");
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+}
