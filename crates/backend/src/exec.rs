@@ -1,14 +1,30 @@
-//! The multi-threaded wavefront executor.
+//! The multi-threaded wavefront executor on a persistent worker pool.
+//!
+//! One [`ft_pool::WorkerPool`] is spawned per [`execute`] call and parked
+//! between wavefront steps; each step publishes one job that every
+//! participant drains through an atomic chunk cursor (dynamic load
+//! balancing — wavefront widths vary wildly across steps, so static
+//! chunking strands workers). Points are enumerated into a reusable flat
+//! `i64` arena, and each launch group's access maps are partially
+//! evaluated once into a [`GroupPlan`](crate::plan::GroupPlan) so the
+//! per-point inner loop does strength-reduced flat index arithmetic with a
+//! dense scratch-slot table for cross-member forwarding — no hashing, no
+//! per-point allocation of index vectors.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ft_core::adt::FractalTensor;
 use ft_core::interp::BufferStore;
 use ft_core::program::BufferKind;
 use ft_core::BufferId;
-use ft_etdg::RegionRead;
-use ft_passes::{CompiledProgram, ScheduledGroup};
+use ft_passes::{CompiledProgram, Reordering};
+use ft_pool::WorkerPool;
 use ft_tensor::Tensor;
+use parking_lot::{Mutex, RwLock};
+
+use crate::plan::{affine_flat, matvec_flat, GroupPlan, MemberPlan, ReadPlan};
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,9 +46,17 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-fn core_err(e: ft_core::program::CoreError) -> ExecError {
+pub(crate) fn core_err(e: ft_core::program::CoreError) -> ExecError {
     ExecError::Runtime(e.to_string())
 }
+
+/// Target chunks per participant: small enough to amortize cursor traffic,
+/// large enough that an unlucky tail chunk cannot dominate a step.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Probe thread-track ids for executor workers start here so they never
+/// collide with the per-thread tracks the collector assigns.
+const WORKER_TID_BASE: u64 = 1000;
 
 /// Executes a compiled program on the given inputs with `threads` worker
 /// threads (1 = fully sequential but still wavefront-ordered), returning
@@ -42,83 +66,190 @@ pub fn execute(
     inputs: &HashMap<BufferId, FractalTensor>,
     threads: usize,
 ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
-    let etdg = &compiled.etdg;
-    let mut stores: Vec<BufferStore> = Vec::with_capacity(etdg.buffers.len());
-    for (bi, buf) in etdg.buffers.iter().enumerate() {
-        match buf.kind {
-            BufferKind::Input => {
-                let ft = inputs
-                    .get(&BufferId(bi))
-                    .ok_or_else(|| ExecError::Input(format!("missing input '{}'", buf.name)))?;
-                if ft.prog_dims() != buf.dims {
-                    return Err(ExecError::Input(format!(
-                        "input '{}' dims {:?} != declared {:?}",
-                        buf.name,
-                        ft.prog_dims(),
-                        buf.dims
-                    )));
-                }
-                stores.push(BufferStore::from_fractal(ft).map_err(core_err)?);
-            }
-            _ => stores.push(BufferStore::new(&buf.dims, buf.leaf_shape.clone())),
-        }
-    }
-
-    let mut root = ft_probe::span("exec", "execute");
-    if root.is_recording() {
-        root.field("program", etdg.name.as_str());
-        root.field("groups", compiled.groups.len());
-        root.field("threads", threads.max(1));
-    }
-    for (gi, group) in compiled.groups.iter().enumerate() {
-        run_group(compiled, group, gi, &mut stores, threads.max(1))?;
-    }
-
-    let mut outputs = HashMap::new();
-    for (bi, buf) in etdg.buffers.iter().enumerate() {
-        if buf.kind == BufferKind::Output {
-            outputs.insert(BufferId(bi), stores[bi].to_fractal().map_err(core_err)?);
-        }
-    }
-    Ok(outputs)
+    Executor::new().threads(threads).run(compiled, inputs)
 }
 
-/// One pending buffer write produced by a point task.
-struct PointWrite {
-    buffer: usize,
-    idx: Vec<i64>,
+/// Builder-style executor configuration.
+///
+/// [`Executor::default`] picks the worker count from the `FT_THREADS`
+/// environment variable, falling back to the machine's available
+/// parallelism (see [`ft_pool::default_threads`]).
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            threads: ft_pool::default_threads(),
+        }
+    }
+}
+
+impl Executor {
+    /// An executor with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the compiled program, returning every output buffer.
+    pub fn run(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<BufferId, FractalTensor>,
+    ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
+        let threads = self.threads;
+        let etdg = &compiled.etdg;
+        let mut stores: Vec<BufferStore> = Vec::with_capacity(etdg.buffers.len());
+        for (bi, buf) in etdg.buffers.iter().enumerate() {
+            match buf.kind {
+                BufferKind::Input => {
+                    let ft = inputs
+                        .get(&BufferId(bi))
+                        .ok_or_else(|| ExecError::Input(format!("missing input '{}'", buf.name)))?;
+                    if ft.prog_dims() != buf.dims {
+                        return Err(ExecError::Input(format!(
+                            "input '{}' dims {:?} != declared {:?}",
+                            buf.name,
+                            ft.prog_dims(),
+                            buf.dims
+                        )));
+                    }
+                    stores.push(BufferStore::from_fractal(ft).map_err(core_err)?);
+                }
+                _ => stores.push(BufferStore::new(&buf.dims, buf.leaf_shape.clone())),
+            }
+        }
+
+        let mut root = ft_probe::span("exec", "execute");
+        if root.is_recording() {
+            root.field("program", etdg.name.as_str());
+            root.field("groups", compiled.groups.len());
+            root.field("threads", threads);
+        }
+
+        // The pool and the job closure live for the whole execute() call;
+        // per-step state flows through `shared` behind cheap locks that
+        // are only ever contended in the direction step-publish -> drain.
+        let pool = WorkerPool::new(threads);
+        let shared = Arc::new(ExecShared {
+            stores: RwLock::new(stores),
+            step: RwLock::new(StepCtx::default()),
+            cursor: AtomicUsize::new(0),
+            outs: (0..threads)
+                .map(|_| Mutex::new(WorkerOut::default()))
+                .collect(),
+            probe_on: ft_probe::enabled(),
+        });
+        let job: ft_pool::Job = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |worker| worker_body(&shared, worker))
+        };
+
+        for (gi, group) in compiled.groups.iter().enumerate() {
+            run_group(compiled, group, gi, &pool, &shared, &job)?;
+        }
+
+        let stores = shared.stores.read();
+        let mut outputs = HashMap::new();
+        for (bi, buf) in etdg.buffers.iter().enumerate() {
+            if buf.kind == BufferKind::Output {
+                outputs.insert(BufferId(bi), stores[bi].to_fractal().map_err(core_err)?);
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+/// Per-step inputs published to the pool.
+#[derive(Default)]
+struct StepCtx {
+    plan: Option<Arc<GroupPlan>>,
+    /// Flat point arena: `npoints` transformed points of `plan.dims` each.
+    points: Vec<i64>,
+    npoints: usize,
+    /// Points per cursor chunk.
+    chunk: usize,
+}
+
+/// State shared between the publishing thread and the pool participants.
+struct ExecShared {
+    stores: RwLock<Vec<BufferStore>>,
+    step: RwLock<StepCtx>,
+    cursor: AtomicUsize,
+    outs: Vec<Mutex<WorkerOut>>,
+    probe_on: bool,
+}
+
+/// One pending write: the value plus its index window in `writes_idx`.
+struct WriteRec {
+    buffer: u32,
+    rows: u32,
     value: Tensor,
 }
 
-/// One worker's output for a wavefront step: the pending writes plus the
-/// number of buffer reads it issued (for traffic accounting).
-struct PointBatch {
-    writes: Vec<PointWrite>,
+/// One participant's output for a wavefront step.
+#[derive(Default)]
+struct WorkerOut {
+    /// Flat arena of write indices, windows in `writes` order.
+    writes_idx: Vec<i64>,
+    writes: Vec<WriteRec>,
+    /// Buffer reads issued (for traffic accounting).
     reads: u64,
-}
-
-/// Per-worker timing captured only while tracing is enabled.
-struct WorkerStat {
-    worker: usize,
-    ts_us: f64,
-    dur_us: f64,
+    /// Points processed.
     points: usize,
+    err: Option<ExecError>,
+    /// `(start_us, dur_us)`, captured only while tracing is enabled.
+    stat: Option<(f64, f64)>,
 }
 
-/// Probe thread-track ids for executor workers start here so they never
-/// collide with the per-thread tracks the collector assigns.
-const WORKER_TID_BASE: u64 = 1000;
+/// Reusable per-worker scratch sized by the group plan.
+struct Scratch {
+    /// Original-space point `t = T⁻¹·j`.
+    t: Vec<i64>,
+    /// One access index (plan's `max_rows`).
+    idx: Vec<i64>,
+    /// Dense per-point forwarding table: one value per member write.
+    slot_vals: Vec<Option<Tensor>>,
+    /// Flat per-slot written indices (windows at `plan.slot_offsets`).
+    slot_idx: Vec<i64>,
+    slot_set: Vec<bool>,
+    /// UDF input staging.
+    leaves: Vec<Tensor>,
+}
+
+impl Scratch {
+    fn new(plan: &GroupPlan) -> Self {
+        Scratch {
+            t: vec![0; plan.dims],
+            idx: vec![0; plan.max_rows],
+            slot_vals: vec![None; plan.slots()],
+            slot_idx: vec![0; plan.slot_idx_len],
+            slot_set: vec![false; plan.slots()],
+            leaves: Vec::new(),
+        }
+    }
+}
 
 fn run_group(
     compiled: &CompiledProgram,
-    group: &ScheduledGroup,
+    group: &ft_passes::ScheduledGroup,
     group_idx: usize,
-    stores: &mut [BufferStore],
-    threads: usize,
+    pool: &WorkerPool,
+    shared: &ExecShared,
+    job: &ft_pool::Job,
 ) -> Result<(), ExecError> {
     let r = &group.reordering;
+    let threads = pool.threads();
     let (lo, hi) = r.wavefront_range();
-    let probe_on = ft_probe::enabled();
+    let plan = Arc::new(GroupPlan::build(compiled, group)?);
     let mut gspan = ft_probe::span("exec", "launch_group");
     if gspan.is_recording() {
         gspan.field("group", group_idx);
@@ -126,119 +257,101 @@ fn run_group(
         gspan.field("members", group.members.len());
         gspan.field("wavefront_steps", hi - lo);
         gspan.field("threads", threads);
+        gspan.field("scratch_slots", plan.slots());
         ft_probe::counter("exec.launch_groups", 1.0);
     }
     for step in lo..hi {
-        // All transformed points of this wavefront step.
-        let points = points_at_step(r, step);
-        if points.is_empty() {
+        // Publish the step: refill the point arena (no job is in flight,
+        // so the write locks are uncontended).
+        let (npoints, nchunks) = {
+            let mut ctx = shared.step.write();
+            ctx.plan = Some(Arc::clone(&plan));
+            let mut arena = std::mem::take(&mut ctx.points);
+            let npoints = points_into(r, step, &mut arena);
+            ctx.points = arena;
+            ctx.npoints = npoints;
+            ctx.chunk = npoints.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+            (npoints, npoints.div_ceil(ctx.chunk.max(1)))
+        };
+        if npoints == 0 {
             continue;
         }
         let mut sspan = ft_probe::span("exec", "wavefront_step");
+        shared.cursor.store(0, Ordering::SeqCst);
         // Compute in parallel (reads only touch earlier steps or the
-        // per-point overlay), then apply the writes serially.
-        let chunk = points.len().div_ceil(threads);
-        let mut results: Vec<Result<PointBatch, ExecError>> = Vec::new();
-        let mut worker_stats: Vec<WorkerStat> = Vec::new();
-        if threads == 1 || points.len() == 1 {
-            let t0 = probe_on.then(ft_probe::now_us);
-            results.push(run_points(compiled, group, stores, &points));
-            if let Some(t0) = t0 {
-                worker_stats.push(WorkerStat {
-                    worker: 0,
-                    ts_us: t0,
-                    dur_us: ft_probe::now_us() - t0,
-                    points: points.len(),
-                });
-            }
+        // per-point scratch slots), then apply the writes serially.
+        if threads == 1 || nchunks == 1 {
+            worker_body(shared, 0);
         } else {
-            let chunks: Vec<&[Vec<i64>]> = points.chunks(chunk).collect();
-            let shared: &[BufferStore] = stores;
-            let outcome = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .enumerate()
-                    .map(|(w, c)| {
-                        scope.spawn(move |_| {
-                            let t0 = probe_on.then(ft_probe::now_us);
-                            let res = run_points(compiled, group, shared, c);
-                            let stat = t0.map(|t| WorkerStat {
-                                worker: w,
-                                ts_us: t,
-                                dur_us: ft_probe::now_us() - t,
-                                points: c.len(),
-                            });
-                            (res, stat)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope");
-            for (res, stat) in outcome {
-                results.push(res);
-                if let Some(s) = stat {
-                    worker_stats.push(s);
-                }
-            }
+            pool.run(Arc::clone(job));
         }
         let mut reads_total = 0u64;
         let mut writes_applied = 0u64;
-        for batch in results {
-            let batch = batch?;
-            reads_total += batch.reads;
-            for w in batch.writes {
-                stores[w.buffer].set(&w.idx, w.value).map_err(core_err)?;
-                writes_applied += 1;
+        let mut worker_stats: Vec<(usize, f64, f64, usize)> = Vec::new();
+        {
+            let mut stores = shared.stores.write();
+            for w in 0..threads {
+                let out = std::mem::take(&mut *shared.outs[w].lock());
+                if let Some(e) = out.err {
+                    return Err(e);
+                }
+                reads_total += out.reads;
+                if let Some((ts, dur)) = out.stat {
+                    worker_stats.push((w, ts, dur, out.points));
+                }
+                let mut off = 0usize;
+                for rec in out.writes {
+                    let rows = rec.rows as usize;
+                    let idx = &out.writes_idx[off..off + rows];
+                    off += rows;
+                    stores[rec.buffer as usize]
+                        .set(idx, rec.value)
+                        .map_err(core_err)?;
+                    writes_applied += 1;
+                }
             }
         }
         if sspan.is_recording() {
-            // Busy = time inside run_points; idle = the tail each worker
-            // spends waiting for the slowest one in this step's compute
-            // window. The serial write-apply phase is charged to the step
-            // span itself, not to worker idle time.
+            // Busy = time inside the worker body; idle = the tail each
+            // worker spends waiting for the slowest one in this step's
+            // compute window. The serial write-apply phase is charged to
+            // the step span itself, not to worker idle time.
             let workers = worker_stats.len().max(1);
-            let busy: f64 = worker_stats.iter().map(|s| s.dur_us).sum();
+            let busy: f64 = worker_stats.iter().map(|s| s.2).sum();
             let window_start = worker_stats
                 .iter()
-                .map(|s| s.ts_us)
+                .map(|s| s.1)
                 .fold(f64::INFINITY, f64::min);
-            let window_end = worker_stats
-                .iter()
-                .map(|s| s.ts_us + s.dur_us)
-                .fold(0.0, f64::max);
+            let window_end = worker_stats.iter().map(|s| s.1 + s.2).fold(0.0, f64::max);
             let idle = (workers as f64 * (window_end - window_start) - busy).max(0.0);
             sspan.field("group", group_idx);
             sspan.field("step", step);
-            sspan.field("points", points.len());
+            sspan.field("points", npoints);
             sspan.field("workers", workers);
             sspan.field("busy_us", busy);
             sspan.field("idle_us", idle);
             sspan.field("reads", reads_total);
             sspan.field("writes", writes_applied);
             ft_probe::counter("exec.wavefront_steps", 1.0);
-            ft_probe::counter("exec.points", points.len() as f64);
+            ft_probe::counter("exec.points", npoints as f64);
             ft_probe::counter("exec.worker_busy_us", busy);
             ft_probe::counter("exec.worker_idle_us", idle);
             ft_probe::counter("exec.buffer_reads", reads_total as f64);
             ft_probe::counter("exec.buffer_writes", writes_applied as f64);
-            for s in &worker_stats {
-                let tid = WORKER_TID_BASE + s.worker as u64;
-                ft_probe::set_thread_label(ft_probe::WALL_PID, tid, format!("worker-{}", s.worker));
+            for &(w, ts, dur, points) in &worker_stats {
+                let tid = WORKER_TID_BASE + w as u64;
+                ft_probe::set_thread_label(ft_probe::WALL_PID, tid, format!("worker-{w}"));
                 ft_probe::complete_event(
                     "exec",
                     "worker",
                     ft_probe::WALL_PID,
                     tid,
-                    s.ts_us,
-                    s.dur_us,
+                    ts,
+                    dur,
                     vec![
                         ("group".to_string(), group_idx.into()),
                         ("step".to_string(), step.into()),
-                        ("points".to_string(), s.points.into()),
+                        ("points".to_string(), points.into()),
                     ],
                 );
             }
@@ -247,29 +360,153 @@ fn run_group(
     Ok(())
 }
 
-/// Enumerates the transformed points with a fixed wavefront coordinate.
-fn points_at_step(r: &ft_passes::Reordering, step: i64) -> Vec<Vec<i64>> {
+/// One participant's share of a wavefront step: drain chunks off the
+/// shared cursor until the arena is exhausted.
+fn worker_body(shared: &ExecShared, worker: usize) {
+    let ctx = shared.step.read();
+    let Some(plan) = ctx.plan.as_deref() else {
+        return;
+    };
+    let stores = shared.stores.read();
+    let t0 = shared.probe_on.then(ft_probe::now_us);
+    let mut out = WorkerOut::default();
+    let mut scratch = Scratch::new(plan);
+    let d = plan.dims;
+    'chunks: loop {
+        let c = shared.cursor.fetch_add(1, Ordering::SeqCst);
+        let start = c.saturating_mul(ctx.chunk);
+        if start >= ctx.npoints {
+            break;
+        }
+        let end = (start + ctx.chunk).min(ctx.npoints);
+        for p in start..end {
+            let j = &ctx.points[p * d..p * d + d];
+            out.points += 1;
+            if let Err(e) = run_point(plan, &stores, j, &mut scratch, &mut out) {
+                out.err = Some(e);
+                break 'chunks;
+            }
+        }
+    }
+    if let Some(ts) = t0 {
+        out.stat = Some((ts, ft_probe::now_us() - ts));
+    }
+    *shared.outs[worker].lock() = out;
+}
+
+/// Executes every group member at one transformed point.
+fn run_point(
+    plan: &GroupPlan,
+    stores: &[BufferStore],
+    j: &[i64],
+    s: &mut Scratch,
+    out: &mut WorkerOut,
+) -> Result<(), ExecError> {
+    matvec_flat(&plan.t_inv, plan.dims, plan.dims, j, &mut s.t);
+    s.slot_set.fill(false);
+    for member in &plan.members {
+        if !member.domain.contains(&s.t) {
+            continue;
+        }
+        eval_member(plan, member, stores, j, s, out)?;
+    }
+    Ok(())
+}
+
+fn eval_member(
+    plan: &GroupPlan,
+    member: &MemberPlan,
+    stores: &[BufferStore],
+    j: &[i64],
+    s: &mut Scratch,
+    out: &mut WorkerOut,
+) -> Result<(), ExecError> {
+    s.leaves.clear();
+    for read in &member.reads {
+        match read {
+            ReadPlan::Fill { value, dims } => s.leaves.push(Tensor::full(dims, *value)),
+            ReadPlan::Buffer {
+                buffer,
+                mat,
+                off,
+                rows,
+                candidates,
+            } => {
+                out.reads += 1;
+                affine_flat(mat, off, *rows, plan.dims, j, &mut s.idx);
+                let mut forwarded = None;
+                for &(slot, same_map) in candidates {
+                    if !s.slot_set[slot] {
+                        continue;
+                    }
+                    let so = plan.slot_offsets[slot];
+                    if same_map || s.slot_idx[so..so + rows] == s.idx[..*rows] {
+                        forwarded = Some(slot);
+                        break;
+                    }
+                }
+                if let Some(slot) = forwarded {
+                    s.leaves
+                        .push(s.slot_vals[slot].as_ref().expect("set slot").clone());
+                } else {
+                    let v = stores[*buffer].get(&s.idx[..*rows]).map_err(|e| {
+                        ExecError::Runtime(format!("block '{}' at t={:?}: {e}", member.name, s.t))
+                    })?;
+                    s.leaves.push(v.clone());
+                }
+            }
+        }
+    }
+    let results = member
+        .udf
+        .eval(&s.leaves)
+        .map_err(|e| ExecError::Runtime(e.to_string()))?;
+    for (w, value) in member.writes.iter().zip(results) {
+        affine_flat(&w.mat, &w.off, w.rows, plan.dims, j, &mut s.idx);
+        let so = plan.slot_offsets[w.slot];
+        s.slot_idx[so..so + w.rows].copy_from_slice(&s.idx[..w.rows]);
+        out.writes_idx.extend_from_slice(&s.idx[..w.rows]);
+        out.writes.push(WriteRec {
+            buffer: w.buffer as u32,
+            rows: w.rows as u32,
+            value: value.clone(),
+        });
+        s.slot_vals[w.slot] = Some(value);
+        s.slot_set[w.slot] = true;
+    }
+    Ok(())
+}
+
+/// Enumerates the transformed points with a fixed wavefront coordinate
+/// into the flat arena `out` (stride = the reordering's dimensionality),
+/// returning the point count. Shared by the executor, the reference
+/// executor, and [`wavefront_profile`] so none of them allocate
+/// per-point `Vec`s.
+pub(crate) fn points_into(r: &Reordering, step: i64, out: &mut Vec<i64>) -> usize {
+    out.clear();
     let d = r.bounds.len();
-    let mut out = Vec::new();
     let mut current = vec![0i64; d];
+    let mut count = 0usize;
     if r.sequential_dims == 0 {
         // Pure-parallel group: one "step" covering the whole domain.
-        enumerate_from(r, 0, &mut current, &mut out);
-        return out;
+        enumerate_from(r, 0, &mut current, out, &mut count);
+    } else {
+        current[0] = step;
+        enumerate_from(r, 1, &mut current, out, &mut count);
     }
-    current[0] = step;
-    enumerate_from(r, 1, &mut current, &mut out);
-    out
+    count
 }
 
 fn enumerate_from(
-    r: &ft_passes::Reordering,
+    r: &Reordering,
     depth: usize,
     current: &mut Vec<i64>,
-    out: &mut Vec<Vec<i64>>,
+    out: &mut Vec<i64>,
+    count: &mut usize,
 ) {
     if depth == r.bounds.len() {
-        out.push(current.clone());
+        out.extend_from_slice(current);
+        *count += 1;
         return;
     }
     let lb = &r.bounds[depth];
@@ -277,104 +514,36 @@ fn enumerate_from(
     let hi = lb.eval_upper_exclusive(current);
     for v in lo..hi {
         current[depth] = v;
-        enumerate_from(r, depth + 1, current, out);
+        enumerate_from(r, depth + 1, current, out, count);
     }
     current[depth] = 0;
 }
 
-/// Executes a batch of points (one worker's share of a wavefront step).
-fn run_points(
-    compiled: &CompiledProgram,
-    group: &ScheduledGroup,
-    stores: &[BufferStore],
-    points: &[Vec<i64>],
-) -> Result<PointBatch, ExecError> {
-    let etdg = &compiled.etdg;
-    let mut writes = Vec::new();
-    let mut reads = 0u64;
-    for j in points {
-        let t = group
-            .reordering
-            .to_original(j)
-            .map_err(|e| ExecError::Runtime(e.to_string()))?;
-        // Per-point overlay: values produced by earlier members at this
-        // point (fused cross-nest intermediates) are forwarded without
-        // touching the stores.
-        let mut overlay: HashMap<(usize, Vec<i64>), Tensor> = HashMap::new();
-        for &member in &group.members {
-            let block = etdg.block(member);
-            if !block.domain.contains(&t) {
-                continue;
-            }
-            let mut leaves = Vec::with_capacity(block.reads.len());
-            for read in &block.reads {
-                match read {
-                    RegionRead::Fill { value, leaf_shape } => {
-                        leaves.push(Tensor::full(leaf_shape.dims(), *value));
-                    }
-                    RegionRead::Buffer { buffer, map } => {
-                        reads += 1;
-                        let idx = map
-                            .apply(&t)
-                            .map_err(|e| ExecError::Runtime(e.to_string()))?;
-                        if let Some(v) = overlay.get(&(buffer.0, idx.clone())) {
-                            leaves.push(v.clone());
-                        } else {
-                            leaves.push(
-                                stores[buffer.0]
-                                    .get(&idx)
-                                    .map_err(|e| {
-                                        ExecError::Runtime(format!(
-                                            "block '{}' at t={t:?}: {e}",
-                                            block.name
-                                        ))
-                                    })?
-                                    .clone(),
-                            );
-                        }
-                    }
-                }
-            }
-            let results = block
-                .udf
-                .eval(&leaves)
-                .map_err(|e| ExecError::Runtime(e.to_string()))?;
-            for (w, value) in block.writes.iter().zip(results) {
-                let idx = w
-                    .map
-                    .apply(&t)
-                    .map_err(|e| ExecError::Runtime(e.to_string()))?;
-                overlay.insert((w.buffer.0, idx.clone()), value.clone());
-                writes.push(PointWrite {
-                    buffer: w.buffer.0,
-                    idx,
-                    value,
-                });
-            }
-        }
-    }
-    Ok(PointBatch { writes, reads })
-}
-
 /// Executes a single group and reports how many points ran in each
-/// wavefront step (used by tests and the parallelism examples).
+/// wavefront step (used by tests and the parallelism examples). Reuses
+/// one point arena and one back-transform buffer across all steps.
 pub fn wavefront_profile(compiled: &CompiledProgram, group_idx: usize) -> Vec<(i64, usize)> {
     let group = &compiled.groups[group_idx];
     let r = &group.reordering;
+    let d = r.bounds.len();
+    let mut t_inv = Vec::with_capacity(d * d);
+    for i in 0..d {
+        t_inv.extend_from_slice(r.t_inv.row(i));
+    }
     let (lo, hi) = r.wavefront_range();
+    let mut arena = Vec::new();
+    let mut t = vec![0i64; d];
     (lo..hi)
         .map(|step| {
-            let pts = points_at_step(r, step);
+            let npoints = points_into(r, step, &mut arena);
             // Only points that land in some member's domain count.
-            let live = pts
-                .iter()
-                .filter(|j| {
-                    r.to_original(j).is_ok_and(|t| {
-                        group
-                            .members
-                            .iter()
-                            .any(|&m| compiled.etdg.block(m).domain.contains(&t))
-                    })
+            let live = (0..npoints)
+                .filter(|&p| {
+                    matvec_flat(&t_inv, d, d, &arena[p * d..p * d + d], &mut t);
+                    group
+                        .members
+                        .iter()
+                        .any(|&m| compiled.etdg.block(m).domain.contains(&t))
                 })
                 .count();
             (step, live)
@@ -385,6 +554,7 @@ pub fn wavefront_profile(compiled: &CompiledProgram, group_idx: usize) -> Vec<(i
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::execute_reference;
     use ft_core::builders::stacked_rnn_program;
     use ft_core::interp::run_program;
     use ft_passes::compile;
@@ -424,9 +594,41 @@ mod tests {
         let inputs = rnn_inputs(2, 3, 6, 4);
         let compiled = compile(&p).unwrap();
         let a = execute(&compiled, &inputs, 1).unwrap();
-        let b = execute(&compiled, &inputs, 8).unwrap();
-        for (id, ft) in &a {
-            assert_eq!(ft, &b[id], "thread count changed the result");
+        for threads in [2usize, 7, 8] {
+            let b = execute(&compiled, &inputs, threads).unwrap();
+            for (id, ft) in &a {
+                assert_eq!(ft, &b[id], "thread count {threads} changed the result");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_matches_reference_executor() {
+        let p = stacked_rnn_program(2, 4, 5, 8);
+        let inputs = rnn_inputs(2, 4, 5, 8);
+        let compiled = compile(&p).unwrap();
+        let pooled = execute(&compiled, &inputs, 4).unwrap();
+        let reference = execute_reference(&compiled, &inputs, 4).unwrap();
+        assert_eq!(pooled.len(), reference.len());
+        for (id, ft) in &reference {
+            assert_eq!(ft, &pooled[id], "pool diverged from reference executor");
+        }
+    }
+
+    #[test]
+    fn builder_api_picks_thread_count() {
+        let p = stacked_rnn_program(2, 2, 3, 4);
+        let inputs = rnn_inputs(2, 2, 3, 4);
+        let compiled = compile(&p).unwrap();
+        let a = Executor::new().threads(3).run(&compiled, &inputs).unwrap();
+        let b = execute(&compiled, &inputs, 1).unwrap();
+        for (id, ft) in &b {
+            assert_eq!(ft, &a[id]);
+        }
+        // Zero clamps to one rather than hanging or panicking.
+        let c = Executor::new().threads(0).run(&compiled, &inputs).unwrap();
+        for (id, ft) in &b {
+            assert_eq!(ft, &c[id]);
         }
     }
 
@@ -447,6 +649,26 @@ mod tests {
         assert_eq!(max, d.min(l));
         // Total cells = D * L.
         assert_eq!(widths.iter().sum::<usize>(), d * l);
+    }
+
+    #[test]
+    fn point_arena_matches_domain_enumeration() {
+        let p = stacked_rnn_program(2, 3, 4, 4);
+        let compiled = compile(&p).unwrap();
+        let r = &compiled.groups[0].reordering;
+        let d = r.bounds.len();
+        let mut arena = Vec::new();
+        let (lo, hi) = r.wavefront_range();
+        let mut total = 0usize;
+        for step in lo..hi {
+            let n = points_into(r, step, &mut arena);
+            assert_eq!(arena.len(), n * d);
+            for pt in arena.chunks(d) {
+                assert_eq!(pt[0], step, "arena point off its wavefront step");
+            }
+            total += n;
+        }
+        assert_eq!(total, r.domain.enumerate().unwrap().len());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Per-group access plans: everything the per-point inner loop needs,
+//! precomputed once at launch-group entry.
+//!
+//! The executor's hot loop used to do, per point, a `T⁻¹·j` matvec through
+//! `Reordering::to_original` (allocating), one `AffineMap::apply` per read
+//! and write (allocating), and a `HashMap<(usize, Vec<i64>), Tensor>`
+//! overlay lookup keyed by freshly cloned index vectors. The plan folds
+//! the group's unimodular reordering into every member's access maps
+//! (`i = (M·T⁻¹)·j + o`, flattened row-major), assigns each member write a
+//! dense *scratch slot*, and resolves at plan time which earlier slots a
+//! read could forward from — including whether the composed maps are
+//! identical, in which case the per-point index comparison is skipped
+//! entirely. At run time the inner loop is nothing but flat `i64`
+//! multiply-adds into reusable scratch buffers.
+
+use ft_affine::ConstraintSet;
+use ft_core::expr::Udf;
+use ft_etdg::RegionRead;
+use ft_passes::{CompiledProgram, ScheduledGroup};
+
+use crate::exec::ExecError;
+
+/// One buffer read, partially evaluated against the group reordering.
+pub(crate) enum ReadPlan {
+    /// A constant-fill read (no buffer touched).
+    Fill {
+        /// Fill value.
+        value: f32,
+        /// Leaf dims of the produced tensor.
+        dims: Vec<usize>,
+    },
+    /// A buffer read through the composed map `i = (M·T⁻¹)·j + o`.
+    Buffer {
+        /// Buffer index.
+        buffer: usize,
+        /// Flattened `rows × dims` composed access matrix.
+        mat: Vec<i64>,
+        /// Offset vector (`rows` entries).
+        off: Vec<i64>,
+        /// Data-space rank of the access.
+        rows: usize,
+        /// Scratch slots of earlier member writes to the same buffer that
+        /// this read may forward from, latest-written first. The flag is
+        /// true when the write's composed map is identical to this read's,
+        /// so a populated slot is a guaranteed hit with no index compare.
+        candidates: Vec<(usize, bool)>,
+    },
+}
+
+/// One buffer write, partially evaluated against the group reordering.
+pub(crate) struct WritePlan {
+    /// Buffer index.
+    pub buffer: usize,
+    /// Flattened `rows × dims` composed access matrix.
+    pub mat: Vec<i64>,
+    /// Offset vector.
+    pub off: Vec<i64>,
+    /// Data-space rank of the access.
+    pub rows: usize,
+    /// Dense scratch slot forwarding this value to later members.
+    pub slot: usize,
+}
+
+/// One group member with its reads/writes pre-transformed.
+pub(crate) struct MemberPlan {
+    /// Diagnostic block name (for runtime error messages).
+    pub name: String,
+    /// Exact iteration domain in the *original* space.
+    pub domain: ConstraintSet,
+    /// The member's UDF.
+    pub udf: Udf,
+    /// Reads in UDF input order.
+    pub reads: Vec<ReadPlan>,
+    /// Writes in UDF output order.
+    pub writes: Vec<WritePlan>,
+}
+
+/// The full access plan for one launch group.
+pub(crate) struct GroupPlan {
+    /// Transformed-space dimensionality.
+    pub dims: usize,
+    /// Flattened `dims × dims` inverse transform (for `t = T⁻¹·j`, needed
+    /// by domain guards and error messages).
+    pub t_inv: Vec<i64>,
+    /// Members in region order.
+    pub members: Vec<MemberPlan>,
+    /// Start of each slot's index window in the flat slot-index scratch.
+    pub slot_offsets: Vec<usize>,
+    /// Total length of the flat slot-index scratch.
+    pub slot_idx_len: usize,
+    /// Largest data-space rank over all accesses (sizes the index scratch).
+    pub max_rows: usize,
+}
+
+impl GroupPlan {
+    /// Number of scratch slots (one per member write).
+    pub fn slots(&self) -> usize {
+        self.slot_offsets.len()
+    }
+
+    /// Builds the plan for `group` of `compiled`.
+    pub fn build(compiled: &CompiledProgram, group: &ScheduledGroup) -> Result<Self, ExecError> {
+        let r = &group.reordering;
+        let d = r.t_inv.rows();
+        let mut t_inv = Vec::with_capacity(d * d);
+        for i in 0..d {
+            t_inv.extend_from_slice(r.t_inv.row(i));
+        }
+
+        let mut members = Vec::with_capacity(group.members.len());
+        let mut slot_offsets = Vec::new();
+        let mut slot_idx_len = 0usize;
+        let mut max_rows = 0usize;
+        // (buffer, mat, off, slot) of every write planned so far — the
+        // forwarding candidates for subsequent members' reads.
+        let mut planned_writes: Vec<(usize, Vec<i64>, Vec<i64>, usize)> = Vec::new();
+
+        for &m in &group.members {
+            let block = compiled.etdg.block(m);
+            let mut reads = Vec::with_capacity(block.reads.len());
+            for read in &block.reads {
+                match read {
+                    RegionRead::Fill { value, leaf_shape } => reads.push(ReadPlan::Fill {
+                        value: *value,
+                        dims: leaf_shape.dims().to_vec(),
+                    }),
+                    RegionRead::Buffer { buffer, map } => {
+                        let (mat, off, rows) = flatten_map(group, map)?;
+                        max_rows = max_rows.max(rows);
+                        let candidates = planned_writes
+                            .iter()
+                            .rev()
+                            .filter(|(b, ..)| *b == buffer.0)
+                            .map(|(_, wmat, woff, slot)| (*slot, *wmat == mat && *woff == off))
+                            .collect();
+                        reads.push(ReadPlan::Buffer {
+                            buffer: buffer.0,
+                            mat,
+                            off,
+                            rows,
+                            candidates,
+                        });
+                    }
+                }
+            }
+            let mut writes = Vec::with_capacity(block.writes.len());
+            for w in &block.writes {
+                let (mat, off, rows) = flatten_map(group, &w.map)?;
+                max_rows = max_rows.max(rows);
+                let slot = slot_offsets.len();
+                slot_offsets.push(slot_idx_len);
+                slot_idx_len += rows;
+                planned_writes.push((w.buffer.0, mat.clone(), off.clone(), slot));
+                writes.push(WritePlan {
+                    buffer: w.buffer.0,
+                    mat,
+                    off,
+                    rows,
+                    slot,
+                });
+            }
+            members.push(MemberPlan {
+                name: block.name.clone(),
+                domain: block.domain.clone(),
+                udf: block.udf.clone(),
+                reads,
+                writes,
+            });
+        }
+        Ok(GroupPlan {
+            dims: d,
+            t_inv,
+            members,
+            slot_offsets,
+            slot_idx_len,
+            max_rows,
+        })
+    }
+}
+
+/// Composes an access map with the group reordering and flattens it.
+fn flatten_map(
+    group: &ScheduledGroup,
+    map: &ft_affine::AffineMap,
+) -> Result<(Vec<i64>, Vec<i64>, usize), ExecError> {
+    let composed = group
+        .reordering
+        .transform_map(map)
+        .map_err(|e| ExecError::Runtime(e.to_string()))?;
+    let m = composed.matrix();
+    let rows = m.rows();
+    let mut mat = Vec::with_capacity(rows * m.cols());
+    for i in 0..rows {
+        mat.extend_from_slice(m.row(i));
+    }
+    Ok((mat, composed.offset().to_vec(), rows))
+}
+
+/// `out[r] = Σ_c mat[r·d + c]·x[c]` — the flat matvec of the hot loop.
+#[inline]
+pub(crate) fn matvec_flat(mat: &[i64], rows: usize, d: usize, x: &[i64], out: &mut [i64]) {
+    for r in 0..rows {
+        let row = &mat[r * d..r * d + d];
+        let mut acc = 0i64;
+        for (m, v) in row.iter().zip(x.iter()) {
+            acc += m * v;
+        }
+        out[r] = acc;
+    }
+}
+
+/// `out[r] = off[r] + Σ_c mat[r·d + c]·x[c]` — one strength-reduced access.
+#[inline]
+pub(crate) fn affine_flat(
+    mat: &[i64],
+    off: &[i64],
+    rows: usize,
+    d: usize,
+    x: &[i64],
+    out: &mut [i64],
+) {
+    matvec_flat(mat, rows, d, x, out);
+    for (o, &b) in out[..rows].iter_mut().zip(off.iter()) {
+        *o += b;
+    }
+}

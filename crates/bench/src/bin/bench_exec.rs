@@ -1,0 +1,221 @@
+//! Executor benchmark: persistent worker-pool executor vs the pre-PR
+//! per-step-spawn reference executor, plus the packed GEMM kernels.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin bench_exec            # full run
+//! cargo run --release -p ft-bench --bin bench_exec -- --smoke # RNN only, 2 reps
+//! cargo run --release -p ft-bench --bin bench_exec -- --json  # print JSON
+//! cargo run --release -p ft-bench --bin bench_exec -- --out results/BENCH_exec.json
+//! ```
+//!
+//! Workloads: the stacked RNN from the paper's §2 running example
+//! (depth 8, seq 64 — the acceptance workload), plus tiny attention and
+//! BigBird programs for schedule diversity. Each executor runs at thread
+//! counts 1/2/4/8; wall-clock is the mean over `reps` after one warm-up.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ft_backend::{execute, execute_reference};
+use ft_core::builders::stacked_rnn_program;
+use ft_core::{BufferId, FractalTensor};
+use ft_passes::{compile, CompiledProgram};
+use ft_tensor::Tensor;
+use ft_workloads::{attention, bigbird};
+use serde_json::{json, Value};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+struct ExecRow {
+    workload: String,
+    threads: usize,
+    pool_ms: f64,
+    reference_ms: f64,
+}
+
+struct GemmRow {
+    kernel: String,
+    shape: [usize; 3],
+    ms: f64,
+}
+
+struct Workload {
+    name: String,
+    compiled: CompiledProgram,
+    inputs: HashMap<BufferId, FractalTensor>,
+}
+
+fn stacked_rnn() -> Workload {
+    let (n, d, l, h) = (4usize, 8usize, 64usize, 32usize);
+    let program = stacked_rnn_program(n, d, l, h);
+    let xss = FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], 7), 2).unwrap();
+    let ws = FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 8).mul_scalar(0.2), 1).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(BufferId(0), xss);
+    inputs.insert(BufferId(1), ws);
+    Workload {
+        name: format!("stacked_rnn d={d} l={l}"),
+        compiled: compile(&program).unwrap(),
+        inputs,
+    }
+}
+
+fn attention_tiny() -> Workload {
+    let s = attention::AttnShape::tiny();
+    let program = attention::program(s);
+    Workload {
+        name: "attention tiny".into(),
+        compiled: compile(&program).unwrap(),
+        inputs: attention::inputs(s, 11),
+    }
+}
+
+fn bigbird_tiny() -> Workload {
+    let s = bigbird::BigBirdShape::tiny();
+    let program = bigbird::program(s);
+    Workload {
+        name: "bigbird tiny".into(),
+        compiled: compile(&program).unwrap(),
+        inputs: bigbird::inputs(s, 13),
+    }
+}
+
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // Warm-up.
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn bench_workload(w: &Workload, reps: usize, rows: &mut Vec<ExecRow>) {
+    for &threads in THREADS {
+        let pool_ms = time_ms(reps, || {
+            std::hint::black_box(execute(&w.compiled, &w.inputs, threads).unwrap());
+        });
+        let reference_ms = time_ms(reps, || {
+            std::hint::black_box(execute_reference(&w.compiled, &w.inputs, threads).unwrap());
+        });
+        eprintln!(
+            "{:24} threads={threads}  pool {pool_ms:8.3} ms   reference {reference_ms:8.3} ms   ({:.2}x)",
+            w.name,
+            reference_ms / pool_ms
+        );
+        rows.push(ExecRow {
+            workload: w.name.clone(),
+            threads,
+            pool_ms,
+            reference_ms,
+        });
+    }
+}
+
+fn bench_gemm(reps: usize, rows: &mut Vec<GemmRow>) {
+    let (m, k, n) = (512usize, 512usize, 512usize);
+    let a = Tensor::randn(&[m, k], 1);
+    let b = Tensor::randn(&[k, n], 2);
+    let bt = Tensor::randn(&[n, k], 3);
+    let ms = time_ms(reps, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    eprintln!("matmul                   {m}x{k}x{n}  {ms:8.3} ms");
+    rows.push(GemmRow {
+        kernel: "matmul".into(),
+        shape: [m, k, n],
+        ms,
+    });
+    let ms = time_ms(reps, || {
+        std::hint::black_box(a.matmul_transb(&bt).unwrap());
+    });
+    eprintln!("matmul_transb            {m}x{k}x{n}  {ms:8.3} ms");
+    rows.push(GemmRow {
+        kernel: "matmul_transb".into(),
+        shape: [m, k, n],
+        ms,
+    });
+    let pool = ft_pool::WorkerPool::new(ft_pool::default_threads());
+    let ms = time_ms(reps, || {
+        std::hint::black_box(a.matmul_mt(&b, &pool).unwrap());
+    });
+    eprintln!(
+        "matmul_mt ({}T)           {m}x{k}x{n}  {ms:8.3} ms",
+        pool.threads()
+    );
+    rows.push(GemmRow {
+        kernel: format!("matmul_mt t={}", pool.threads()),
+        shape: [m, k, n],
+        ms,
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let reps = if smoke { 2 } else { 5 };
+
+    let mut workloads = vec![stacked_rnn()];
+    if !smoke {
+        workloads.push(attention_tiny());
+        workloads.push(bigbird_tiny());
+    }
+
+    let mut exec_rows = Vec::new();
+    for w in &workloads {
+        bench_workload(w, reps, &mut exec_rows);
+    }
+    let mut gemm_rows = Vec::new();
+    bench_gemm(reps, &mut gemm_rows);
+
+    let exec: Vec<Value> = exec_rows
+        .iter()
+        .map(|r| {
+            json!({
+                "workload": r.workload.as_str(),
+                "threads": r.threads as u64,
+                "pool_ms": r.pool_ms,
+                "reference_ms": r.reference_ms,
+                "speedup": r.reference_ms / r.pool_ms,
+            })
+        })
+        .collect();
+    let gemm: Vec<Value> = gemm_rows
+        .iter()
+        .map(|r| {
+            json!({
+                "kernel": r.kernel.as_str(),
+                "shape": &[r.shape[0] as u64, r.shape[1] as u64, r.shape[2] as u64][..],
+                "ms": r.ms,
+            })
+        })
+        .collect();
+    let report = json!({
+        "bench": "exec",
+        "smoke": smoke,
+        "reps": reps as u64,
+        "host_parallelism": std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        "exec": exec,
+        "gemm": gemm,
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).unwrap();
+            }
+        }
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("wrote {path}");
+    }
+    if json {
+        println!("{rendered}");
+    }
+}

@@ -1,0 +1,285 @@
+//! # ft-pool
+//!
+//! A persistent worker pool: threads are spawned once and parked on a
+//! condvar between jobs, so dispatching a job costs a wake-up instead of a
+//! thread spawn. This is the execution substrate shared by the wavefront
+//! executor in `ft-backend` (one pool per `execute()`, one job per
+//! wavefront step) and the parallel packed GEMM in `ft-tensor` (one job
+//! per matrix product).
+//!
+//! A job is an `Arc<dyn Fn(usize)>` invoked once per participant with its
+//! participant index; the calling thread takes part as participant 0, so a
+//! pool built for `threads` participants spawns only `threads - 1` OS
+//! threads and `threads == 1` degenerates to a plain call with no
+//! synchronization at all. Jobs split their work internally, typically
+//! with an [`AtomicUsize`](std::sync::atomic::AtomicUsize) chunk cursor
+//! the participants drain for dynamic load balancing.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A unit of work: called once per participant with the participant index
+/// (`0..pool.threads()`); index 0 is the thread that called [`WorkerPool::run`].
+pub type Job = Arc<dyn Fn(usize) + Send + Sync + 'static>;
+
+struct State {
+    /// Bumped once per published job; workers compare against the last
+    /// epoch they executed to detect fresh work.
+    epoch: u64,
+    job: Option<Job>,
+    /// Spawned workers that have not yet finished the current epoch.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when a job is published or the pool shuts down.
+    work: Condvar,
+    /// Signaled when the last active worker finishes an epoch.
+    done: Condvar,
+}
+
+/// A pool of parked worker threads (see the crate docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run` calls from different threads.
+    gate: Mutex<()>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool with `threads` participants (clamped to at least 1):
+    /// the caller plus `threads - 1` parked worker threads.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ft-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            gate: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Number of participants (including the caller of [`run`](Self::run)).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` on every participant and returns when all are done.
+    ///
+    /// Panics if the job panicked on any participant (mirroring the join
+    /// behavior of scoped threads).
+    pub fn run(&self, job: Job) {
+        let _gate = self.gate.lock();
+        let workers = self.handles.len();
+        if workers > 0 {
+            let mut st = self.shared.state.lock();
+            st.job = Some(Arc::clone(&job));
+            st.epoch += 1;
+            st.active = workers;
+            drop(st);
+            self.shared.work.notify_all();
+        }
+        let local = catch_unwind(AssertUnwindSafe(|| job(0)));
+        drop(job);
+        let mut poisoned = local.is_err();
+        if workers > 0 {
+            let mut st = self.shared.state.lock();
+            while st.active > 0 {
+                st = self.shared.done.wait(st);
+            }
+            st.job = None;
+            poisoned |= std::mem::take(&mut st.panicked);
+        }
+        if poisoned {
+            panic!("worker pool job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    if let Some(job) = st.job.clone() {
+                        seen = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| job(worker)));
+        drop(job);
+        let mut st = shared.state.lock();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// The worker count used when none is specified: the `FT_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("FT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A process-wide pool sized by [`default_threads`], for callers that want
+/// parallelism without managing a pool lifetime (e.g. one-off GEMMs).
+/// Created lazily on first use; jobs from different threads serialize.
+pub fn global() -> &'static WorkerPool {
+    use std::sync::OnceLock;
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkerPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_participant_runs_once_per_job() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..10 {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            pool.run(Arc::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        pool.run(Arc::new(move |w| {
+            assert_eq!(w, 0);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn chunk_cursor_covers_all_items() {
+        let pool = WorkerPool::new(3);
+        let n = 1000usize;
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let (c, s) = (Arc::clone(&cursor), Arc::clone(&sum));
+        pool.run(Arc::new(move |_| loop {
+            let i = c.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                break;
+            }
+            s.fetch_add(i, Ordering::SeqCst);
+        }));
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn workers_stay_alive_across_many_jobs() {
+        let pool = WorkerPool::new(2);
+        let total = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let t = Arc::clone(&total);
+            pool.run(Arc::new(move |_| {
+                t.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(Arc::new(|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            }));
+        }));
+        assert!(r.is_err());
+        // The pool survives a panicked job.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&ok);
+        pool.run(Arc::new(move |_| {
+            o.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn ft_threads_env_overrides_default() {
+        // Can't mutate the environment safely in-process across tests;
+        // just check the fallback is sane.
+        assert!(default_threads() >= 1);
+        assert!(global().threads() >= 1);
+    }
+}

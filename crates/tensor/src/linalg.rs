@@ -1,97 +1,170 @@
 //! Matrix multiplication kernels.
+//!
+//! Two regimes share one entry point:
+//!
+//! * **Small products** (per-point UDF shapes like `[1, h] @ [h, h]`) run a
+//!   direct i-k-j loop over *borrowed* contiguous slices — no packing, and
+//!   crucially no operand copies, so the executor's inner loop stays off
+//!   the allocator.
+//! * **Large products** run a packed, register-blocked GEMM: A is packed
+//!   into `MR`-row k-major panels, B into `NR`-column panels (zero-padded
+//!   at the edges), and an `MR`×`NR` microkernel accumulates over a
+//!   `KC`-deep k-block with all bounds checks hoisted via `chunks_exact`.
+//!
+//! `matmul_transb` reuses the same kernels — packing B from rows instead
+//! of columns is the only difference — and [`Tensor::matmul_mt`] fans the
+//! row panels of the packed path out over an [`ft_pool::WorkerPool`],
+//! bit-identical to the single-threaded result because every element sees
+//! the same accumulation order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ft_pool::WorkerPool;
 
 use crate::{Result, Tensor, TensorError};
 
-/// Cache-blocking tile edge for the i/k loops of the GEMM microkernel.
-const BLOCK: usize = 64;
+/// Microkernel register-block height (rows of A per panel).
+const MR: usize = 4;
+/// Microkernel register-block width (columns of B per panel).
+const NR: usize = 8;
+/// k-dimension cache-block depth: one packed A panel (`MR * KC` floats)
+/// and one packed B panel (`NR * KC`) stay resident in L1/L2.
+const KC: usize = 256;
+/// Row-block granularity for the multi-threaded row-panel fan-out.
+const MC: usize = 64;
+/// Flop threshold below which packing costs more than it saves.
+const PACK_MIN_FLOPS: usize = 32 * 1024;
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] @ [k, n] -> [m, n]`.
-    ///
-    /// Uses a blocked i-k-j loop nest so the reference implementation stays
-    /// reasonably fast even at the benchmark shapes (512×512 and up).
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: if self.rank() != 2 {
-                    self.rank()
-                } else {
-                    rhs.rank()
-                },
-            });
-        }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
-        if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.dims().to_vec(),
-                rhs: rhs.dims().to_vec(),
-            });
-        }
-        let a = self.to_contiguous().to_vec();
-        let b = rhs.to_contiguous().to_vec();
-        let mut c = vec![0.0f32; m * n];
-        for i0 in (0..m).step_by(BLOCK) {
-            let i1 = (i0 + BLOCK).min(m);
-            for k0 in (0..k).step_by(BLOCK) {
-                let k1 = (k0 + BLOCK).min(k);
-                for i in i0..i1 {
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                            *cv += aik * bv;
-                        }
-                    }
-                }
+        let (m, k, n) = check_mm("matmul", self, rhs, false)?;
+        let a_owned;
+        let a: &[f32] = match self.contiguous_slice() {
+            Some(s) => s,
+            None => {
+                a_owned = self.to_vec();
+                &a_owned
             }
+        };
+        let b_owned;
+        let b: &[f32] = match rhs.contiguous_slice() {
+            Some(s) => s,
+            None => {
+                b_owned = rhs.to_vec();
+                &b_owned
+            }
+        };
+        let mut c = vec![0.0f32; m * n];
+        if use_packed(m, k, n) {
+            let bp = pack_b_all(b, k, n, false);
+            let mut ap = Vec::new();
+            for i0 in (0..m).step_by(MC) {
+                let mc = MC.min(m - i0);
+                row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
+            }
+        } else {
+            small_mm(a, b, m, k, n, &mut c);
         }
         Tensor::from_vec(c, &[m, n])
     }
 
     /// `self @ rhs.T` without materializing the transpose:
     /// `[m, k] @ ([n, k]).T -> [m, n]`.
+    ///
+    /// Large shapes go through the same packed kernel as [`Tensor::matmul`]
+    /// — packing B's panels from contiguous rows of `rhs` instead of
+    /// strided columns, which is the cache-friendly direction here.
     pub fn matmul_transb(&self, rhs: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul_transb",
-                expected: 2,
-                actual: if self.rank() != 2 {
-                    self.rank()
-                } else {
-                    rhs.rank()
-                },
-            });
-        }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
-        if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_transb",
-                lhs: self.dims().to_vec(),
-                rhs: rhs.dims().to_vec(),
-            });
-        }
-        let a = self.to_contiguous().to_vec();
-        let b = rhs.to_contiguous().to_vec();
-        let mut c = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in a_row.iter().zip(b_row.iter()) {
-                    acc += av * bv;
-                }
-                c[i * n + j] = acc;
+        let (m, k, n) = check_mm("matmul_transb", self, rhs, true)?;
+        let a_owned;
+        let a: &[f32] = match self.contiguous_slice() {
+            Some(s) => s,
+            None => {
+                a_owned = self.to_vec();
+                &a_owned
             }
+        };
+        let b_owned;
+        let b: &[f32] = match rhs.contiguous_slice() {
+            Some(s) => s,
+            None => {
+                b_owned = rhs.to_vec();
+                &b_owned
+            }
+        };
+        let mut c = vec![0.0f32; m * n];
+        if use_packed(m, k, n) {
+            let bp = pack_b_all(b, k, n, true);
+            let mut ap = Vec::new();
+            for i0 in (0..m).step_by(MC) {
+                let mc = MC.min(m - i0);
+                row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
+            }
+        } else {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    *cv = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                }
+            }
+        }
+        Tensor::from_vec(c, &[m, n])
+    }
+
+    /// [`Tensor::matmul`] with the row panels of the packed kernel fanned
+    /// out over `pool`. Bit-identical to the single-threaded product: row
+    /// blocks are independent and every element accumulates in the same
+    /// order, so only the wall-clock changes.
+    pub fn matmul_mt(&self, rhs: &Tensor, pool: &WorkerPool) -> Result<Tensor> {
+        let (m, k, n) = check_mm("matmul", self, rhs, false)?;
+        if pool.threads() == 1 || !use_packed(m, k, n) || m <= MC {
+            return self.matmul(rhs);
+        }
+        let (a_buf, a_off) = self.shared_contiguous();
+        let b_owned;
+        let b: &[f32] = match rhs.contiguous_slice() {
+            Some(s) => s,
+            None => {
+                b_owned = rhs.to_vec();
+                &b_owned
+            }
+        };
+        let bp = Arc::new(pack_b_all(b, k, n, false));
+        let nblocks = m.div_ceil(MC);
+        let slots: Arc<Vec<Mutex<Vec<f32>>>> =
+            Arc::new((0..nblocks).map(|_| Mutex::new(Vec::new())).collect());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let job = {
+            let (a_buf, bp, slots, cursor) = (
+                Arc::clone(&a_buf),
+                Arc::clone(&bp),
+                Arc::clone(&slots),
+                Arc::clone(&cursor),
+            );
+            move |_worker: usize| {
+                let a = &a_buf[a_off..a_off + m * k];
+                let mut ap = Vec::new();
+                loop {
+                    let blk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if blk >= nblocks {
+                        break;
+                    }
+                    let i0 = blk * MC;
+                    let mc = MC.min(m - i0);
+                    let mut cblk = vec![0.0f32; mc * n];
+                    row_block(a, k, i0, mc, n, &bp, &mut ap, &mut cblk);
+                    *slots[blk].lock().expect("matmul_mt slot") = cblk;
+                }
+            }
+        };
+        pool.run(Arc::new(job));
+        let mut c = Vec::with_capacity(m * n);
+        for slot in slots.iter() {
+            c.extend_from_slice(&slot.lock().expect("matmul_mt slot"));
         }
         Tensor::from_vec(c, &[m, n])
     }
@@ -105,7 +178,174 @@ impl Tensor {
                 rhs: rhs.dims().to_vec(),
             });
         }
+        if let (Some(a), Some(b)) = (self.contiguous_slice(), rhs.contiguous_slice()) {
+            return Ok(a.iter().zip(b).map(|(x, y)| x * y).sum());
+        }
         Ok(self.iter().zip(rhs.iter()).map(|(a, b)| a * b).sum())
+    }
+}
+
+/// Validates ranks/shapes and returns `(m, k, n)`. When `transb` is set,
+/// `rhs` is `[n, k]` instead of `[k, n]`.
+fn check_mm(
+    op: &'static str,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    transb: bool,
+) -> Result<(usize, usize, usize)> {
+    if lhs.rank() != 2 || rhs.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: if lhs.rank() != 2 {
+                lhs.rank()
+            } else {
+                rhs.rank()
+            },
+        });
+    }
+    let (m, k) = (lhs.dims()[0], lhs.dims()[1]);
+    let (k2, n) = if transb {
+        (rhs.dims()[1], rhs.dims()[0])
+    } else {
+        (rhs.dims()[0], rhs.dims()[1])
+    };
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: lhs.dims().to_vec(),
+            rhs: rhs.dims().to_vec(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+fn use_packed(m: usize, k: usize, n: usize) -> bool {
+    m >= MR && n >= NR && m * k * n >= PACK_MIN_FLOPS
+}
+
+/// Direct i-k-j product over borrowed slices; the fast path for per-point
+/// UDF shapes where packing overhead would dominate.
+fn small_mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Packs every k-block of B up front. Block `kb` holds `n.div_ceil(NR)`
+/// column panels; panel `p` stores `bp[p * kc * NR + kk * NR + jr] =
+/// B[k0 + kk, p * NR + jr]`, zero-padded past column `n`. With `transb`,
+/// B is `[n, k]` and the same layout is filled from its rows.
+fn pack_b_all(b: &[f32], k: usize, n: usize, transb: bool) -> Vec<Vec<f32>> {
+    let npanels = n.div_ceil(NR);
+    let mut blocks = Vec::with_capacity(k.div_ceil(KC));
+    for k0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - k0);
+        let mut buf = vec![0.0f32; npanels * kc * NR];
+        for p in 0..npanels {
+            let j0 = p * NR;
+            let nr = NR.min(n - j0);
+            let panel = &mut buf[p * kc * NR..(p + 1) * kc * NR];
+            for kk in 0..kc {
+                let dst = &mut panel[kk * NR..kk * NR + nr];
+                if transb {
+                    for (jr, d) in dst.iter_mut().enumerate() {
+                        *d = b[(j0 + jr) * k + k0 + kk];
+                    }
+                } else {
+                    dst.copy_from_slice(&b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + nr]);
+                }
+            }
+        }
+        blocks.push(buf);
+    }
+    blocks
+}
+
+/// Packs rows `i0 .. i0 + mc` of A for one k-block into `MR`-row panels:
+/// `ap[p * kc * MR + kk * MR + ir] = A[i0 + p * MR + ir, k0 + kk]`,
+/// zero-padded past row `mc`.
+fn pack_a(a: &[f32], lda: usize, i0: usize, mc: usize, k0: usize, kc: usize, buf: &mut Vec<f32>) {
+    let npanels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(npanels * kc * MR, 0.0);
+    for p in 0..npanels {
+        let mr = MR.min(mc - p * MR);
+        let panel = &mut buf[p * kc * MR..(p + 1) * kc * MR];
+        for ir in 0..mr {
+            let row = &a[(i0 + p * MR + ir) * lda + k0..][..kc];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * MR + ir] = v;
+            }
+        }
+    }
+}
+
+/// `MR`×`NR` register-blocked microkernel: `acc += ap' * bp` over one
+/// k-block. `chunks_exact` + fixed-size array conversions pin every width
+/// at compile time so the accumulator lives in registers and the inner
+/// loops vectorize without bounds checks.
+fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: [f32; MR] = a_col.try_into().expect("MR-wide panel");
+        let b: [f32; NR] = b_row.try_into().expect("NR-wide panel");
+        for (row, &aik) in acc.iter_mut().zip(a.iter()) {
+            for (d, &bv) in row.iter_mut().zip(b.iter()) {
+                *d += aik * bv;
+            }
+        }
+    }
+}
+
+/// Computes one `mc`-row block of C (`cblk`, `mc * n`, zero-initialized)
+/// against the prepacked B blocks, packing A per k-block into the caller's
+/// reusable `ap` buffer. Accumulation order per element is fixed (k-blocks
+/// ascending, k ascending within a block) regardless of how row blocks are
+/// distributed, which is what makes `matmul_mt` bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn row_block(
+    a: &[f32],
+    k: usize,
+    i0: usize,
+    mc: usize,
+    n: usize,
+    b_blocks: &[Vec<f32>],
+    ap: &mut Vec<f32>,
+    cblk: &mut [f32],
+) {
+    let row_panels = mc.div_ceil(MR);
+    let col_panels = n.div_ceil(NR);
+    for (kb, bp) in b_blocks.iter().enumerate() {
+        let k0 = kb * KC;
+        let kc = KC.min(k - k0);
+        pack_a(a, k, i0, mc, k0, kc, ap);
+        for rp in 0..row_panels {
+            let a_panel = &ap[rp * kc * MR..(rp + 1) * kc * MR];
+            let mr = MR.min(mc - rp * MR);
+            for cp in 0..col_panels {
+                let b_panel = &bp[cp * kc * NR..(cp + 1) * kc * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(a_panel, b_panel, &mut acc);
+                let j0 = cp * NR;
+                let nr = NR.min(n - j0);
+                for (ir, row) in acc.iter().enumerate().take(mr) {
+                    let dst = &mut cblk[(rp * MR + ir) * n + j0..][..nr];
+                    for (d, &v) in dst.iter_mut().zip(row.iter()) {
+                        *d += v;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -115,7 +355,7 @@ mod tests {
     use crate::assert_allclose;
     use proptest::prelude::*;
 
-    /// Naive triple loop used as the oracle for the blocked kernel.
+    /// Naive triple loop used as the oracle for the packed kernel.
     fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
         let n = b.dims()[1];
@@ -169,11 +409,30 @@ mod tests {
     }
 
     #[test]
-    fn blocked_kernel_crosses_block_boundaries() {
-        // Sizes straddling the 64-wide block edge.
+    fn packed_kernel_crosses_panel_boundaries() {
+        // Sizes straddling the MR/NR register blocks and the MC row block.
         let a = Tensor::randn(&[65, 130], 11);
         let b = Tensor::randn(&[130, 67], 12);
+        assert!(use_packed(65, 130, 67));
         assert_allclose(&a.matmul(&b).unwrap(), &matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn packed_kernel_crosses_kc_boundary() {
+        // k > KC exercises multi-block accumulation.
+        let a = Tensor::randn(&[17, KC + 3], 21);
+        let b = Tensor::randn(&[KC + 3, 11], 22);
+        assert!(use_packed(17, KC + 3, 11));
+        assert_allclose(&a.matmul(&b).unwrap(), &matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn packed_transb_crosses_panel_boundaries() {
+        let a = Tensor::randn(&[37, 70], 31);
+        let b = Tensor::randn(&[43, 70], 32);
+        assert!(use_packed(37, 70, 43));
+        let via_t = a.matmul(&b.t().unwrap().to_contiguous()).unwrap();
+        assert_allclose(&a.matmul_transb(&b).unwrap(), &via_t, 1e-3);
     }
 
     #[test]
@@ -189,6 +448,43 @@ mod tests {
     }
 
     #[test]
+    fn packed_matmul_on_strided_views() {
+        // Both operands are offset/strided views large enough for the
+        // packed path, so the borrow-or-materialize fallback is exercised.
+        let a = Tensor::randn(&[80, 96], 41).slice(0, 8, 73).unwrap();
+        let bt = Tensor::randn(&[40, 96], 42).t().unwrap();
+        assert!(use_packed(a.dims()[0], a.dims()[1], bt.dims()[1]));
+        assert_allclose(
+            &a.matmul(&bt).unwrap(),
+            &matmul_naive(&a.to_contiguous(), &bt.to_contiguous()),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn matmul_mt_bitwise_matches_single_threaded() {
+        let pool = WorkerPool::new(4);
+        for &(m, k, n) in &[(200, 130, 67), (129, KC + 5, 40)] {
+            let a = Tensor::randn(&[m, k], 51);
+            let b = Tensor::randn(&[k, n], 52);
+            let st = a.matmul(&b).unwrap();
+            let mt = a.matmul_mt(&b, &pool).unwrap();
+            assert_eq!(st.to_vec(), mt.to_vec(), "{m}x{k}x{n} diverged");
+        }
+    }
+
+    #[test]
+    fn matmul_mt_small_falls_back() {
+        let pool = WorkerPool::new(2);
+        let a = Tensor::randn(&[3, 5], 61);
+        let b = Tensor::randn(&[5, 4], 62);
+        assert_eq!(
+            a.matmul(&b).unwrap().to_vec(),
+            a.matmul_mt(&b, &pool).unwrap().to_vec()
+        );
+    }
+
+    #[test]
     fn dot_product() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
         let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
@@ -199,12 +495,33 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
-        fn prop_blocked_matches_naive(
+        fn prop_small_matches_naive(
             m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..100
         ) {
             let a = Tensor::randn(&[m, k], seed);
             let b = Tensor::randn(&[k, n], seed + 1);
             assert_allclose(&a.matmul(&b).unwrap(), &matmul_naive(&a, &b), 1e-4);
+        }
+
+        #[test]
+        fn prop_packed_matches_naive(
+            m in 4usize..80, k in 8usize..90, n in 8usize..80, seed in 0u64..100
+        ) {
+            // Shapes biased to straddle MR/NR/MC panel edges; only some
+            // clear the flop threshold, so both paths get coverage.
+            let a = Tensor::randn(&[m, k], seed);
+            let b = Tensor::randn(&[k, n], seed + 1);
+            assert_allclose(&a.matmul(&b).unwrap(), &matmul_naive(&a, &b), 1e-3);
+        }
+
+        #[test]
+        fn prop_transb_matches_naive_oracle(
+            m in 1usize..70, k in 1usize..90, n in 1usize..70, seed in 0u64..100
+        ) {
+            let a = Tensor::randn(&[m, k], seed);
+            let b = Tensor::randn(&[n, k], seed + 1);
+            let oracle = matmul_naive(&a, &b.t().unwrap().to_contiguous());
+            assert_allclose(&a.matmul_transb(&b).unwrap(), &oracle, 1e-3);
         }
 
         #[test]

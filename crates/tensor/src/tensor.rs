@@ -165,6 +165,28 @@ impl Tensor {
         self.strides == self.shape.row_major_strides()
     }
 
+    /// Borrows the elements as one row-major slice when the view is
+    /// contiguous (possibly at a non-zero offset). Returns `None` for
+    /// strided views; callers fall back to [`Tensor::to_contiguous`].
+    pub fn contiguous_slice(&self) -> Option<&[f32]> {
+        if self.is_contiguous() {
+            Some(&self.data[self.offset..self.offset + self.numel()])
+        } else {
+            None
+        }
+    }
+
+    /// Shares the backing buffer without copying when the view is
+    /// contiguous, otherwise materializes one. Returns the buffer and the
+    /// element offset the view starts at.
+    pub(crate) fn shared_contiguous(&self) -> (Arc<Vec<f32>>, usize) {
+        if self.is_contiguous() {
+            (Arc::clone(&self.data), self.offset)
+        } else {
+            (Arc::new(self.to_vec()), 0)
+        }
+    }
+
     /// Reads one element.
     pub fn get(&self, index: &[usize]) -> Result<f32> {
         Ok(self.data[self.element_offset(index)?])

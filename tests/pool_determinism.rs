@@ -1,0 +1,200 @@
+//! Thread-count determinism and pool-vs-interpreter parity for the
+//! persistent worker-pool executor.
+//!
+//! The executor's wavefront points are single-assignment, so the order the
+//! pool's workers claim chunks — and the order their write batches are
+//! applied — must not leak into the numbers. Every workload here is run at
+//! several thread counts (including 7, which never divides the step sizes
+//! evenly, and 8, which oversubscribes this host) and the outputs compared
+//! *bit for bit* against the single-threaded run. The proptest then wires
+//! random RNN-family programs through both the pool executor and the naive
+//! `ft_core` interpreter.
+
+use std::collections::HashMap;
+
+use ft_backend::{execute, execute_reference};
+use ft_core::adt::FractalTensor;
+use ft_core::builders::stacked_rnn_program;
+use ft_core::expr::UdfBuilder;
+use ft_core::interp::run_program;
+use ft_core::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
+use ft_integration_tests::assert_fractal_close;
+use ft_passes::{compile, CompiledProgram};
+use ft_tensor::Tensor;
+use ft_workloads::{attention, bigbird};
+use proptest::prelude::*;
+
+/// Asserts two output maps are bitwise identical (not just close).
+fn assert_bitwise_equal(
+    a: &HashMap<BufferId, FractalTensor>,
+    b: &HashMap<BufferId, FractalTensor>,
+    ctx: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{ctx}: output buffer sets differ");
+    for (id, fa) in a {
+        let fb = &b[id];
+        let va = fa.to_flat().expect("flatten lhs").to_vec();
+        let vb = fb.to_flat().expect("flatten rhs").to_vec();
+        assert_eq!(
+            va.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{ctx}: buffer {id:?} diverged"
+        );
+    }
+}
+
+fn check_thread_determinism(
+    compiled: &CompiledProgram,
+    inputs: &HashMap<BufferId, FractalTensor>,
+    name: &str,
+) {
+    let baseline = execute(compiled, inputs, 1).unwrap();
+    for threads in [2usize, 7, 8] {
+        let got = execute(compiled, inputs, threads).unwrap();
+        assert_bitwise_equal(&baseline, &got, &format!("{name} threads={threads}"));
+    }
+    // The reference executor shares the same single-assignment argument.
+    let reference = execute_reference(compiled, inputs, 7).unwrap();
+    assert_bitwise_equal(&baseline, &reference, &format!("{name} reference"));
+}
+
+#[test]
+fn stacked_rnn_deterministic_across_thread_counts() {
+    let p = stacked_rnn_program(3, 4, 9, 8);
+    let xss = FractalTensor::from_flat(&Tensor::randn(&[3, 9, 1, 8], 5), 2).unwrap();
+    let ws = FractalTensor::from_flat(&Tensor::randn(&[4, 8, 8], 6).mul_scalar(0.2), 1).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(BufferId(0), xss);
+    inputs.insert(BufferId(1), ws);
+    check_thread_determinism(&compile(&p).unwrap(), &inputs, "stacked_rnn");
+}
+
+#[test]
+fn attention_deterministic_across_thread_counts() {
+    let s = attention::AttnShape::tiny();
+    let p = attention::program(s);
+    let inputs = attention::inputs(s, 17);
+    check_thread_determinism(&compile(&p).unwrap(), &inputs, "attention");
+}
+
+#[test]
+fn bigbird_deterministic_across_thread_counts() {
+    let s = bigbird::BigBirdShape::tiny();
+    let p = bigbird::program(s);
+    let inputs = bigbird::inputs(s, 19);
+    check_thread_determinism(&compile(&p).unwrap(), &inputs, "bigbird");
+}
+
+/// Randomized RNN-family program: random extents, carried-read stride, and
+/// boundary initializer (same family as `randomized_parity.rs`).
+fn random_rnn_program(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+    time_stride: usize,
+    zero_init_x: bool,
+) -> Program {
+    let mut p = Program::new("random_rnn_pool");
+    let xss = p.input("xss", &[n, l], &[1, h]);
+    let ws = p.input("ws", &[d], &[h, h]);
+    let ysss = p.output("ysss", &[n, d, l], &[1, h]);
+
+    let mut b = UdfBuilder::new("cell", 3);
+    let (x, w, s) = (b.input(0), b.input(1), b.input(2));
+    let xw = b.matmul(x, w);
+    let sum = b.add(xw, s);
+    let y = b.tanh(sum);
+    let udf = b.build(&[y]);
+
+    let x_init = if zero_init_x {
+        CarriedInit::Zero
+    } else {
+        CarriedInit::Buffer(
+            xss,
+            AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(2)]),
+        )
+    };
+    p.add_nest(Nest {
+        name: "random_rnn_pool".into(),
+        ops: vec![OpKind::Map, OpKind::ScanL, OpKind::ScanL],
+        extents: vec![n, d, l],
+        reads: vec![
+            Read::carried(
+                ysss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::shifted(1, -1),
+                    AxisExpr::var(2),
+                ]),
+                x_init,
+            ),
+            Read::plain(ws, AccessSpec::new(vec![AxisExpr::var(1)])),
+            Read::carried(
+                ysss,
+                AccessSpec::new(vec![
+                    AxisExpr::var(0),
+                    AxisExpr::var(1),
+                    AxisExpr::shifted(2, -(time_stride as i64)),
+                ]),
+                CarriedInit::Zero,
+            ),
+        ],
+        writes: vec![Write {
+            buffer: ysss,
+            access: AccessSpec::identity(3),
+        }],
+        udf,
+    })
+    .expect("random nest is well-formed");
+    p
+}
+
+fn rnn_inputs(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+    seed: u64,
+) -> HashMap<BufferId, FractalTensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).unwrap(),
+    );
+    m.insert(
+        BufferId(1),
+        FractalTensor::from_flat(&Tensor::randn(&[d, h, h], seed + 1).mul_scalar(0.3), 1).unwrap(),
+    );
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pool executor agrees with the interpreter at every thread
+    /// count, and the thread counts agree with each other bit for bit.
+    #[test]
+    fn prop_pool_matches_interpreter_across_threads(
+        n in 1usize..4,
+        d in 1usize..5,
+        l in 1usize..7,
+        stride in 1usize..4,
+        zero_init in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(stride <= l);
+        let h = 4usize;
+        let p = random_rnn_program(n, d, l, h, stride, zero_init);
+        let ins = rnn_inputs(n, d, l, h, seed);
+        let expected = run_program(&p, &ins).unwrap();
+        let compiled = compile(&p).unwrap();
+        let single = execute(&compiled, &ins, 1).unwrap();
+        assert_fractal_close(&single[&BufferId(2)], &expected[&BufferId(2)], 1e-4);
+        for threads in [2usize, 7] {
+            let got = execute(&compiled, &ins, threads).unwrap();
+            assert_bitwise_equal(&single, &got, &format!("random threads={threads}"));
+        }
+    }
+}
