@@ -33,6 +33,41 @@ pub enum ExecError {
     Input(String),
     /// A runtime invariant failed (unwritten read, double write, ...).
     Runtime(String),
+    /// A worker panicked during a wavefront step; the original panic
+    /// payload is preserved in `message`.
+    WorkerPanic {
+        /// Launch group index.
+        group: usize,
+        /// Wavefront step at which the panic surfaced.
+        step: i64,
+        /// The panic payload (stringified).
+        message: String,
+    },
+    /// A guard-mode check tripped (`FT_GUARD=1` / [`Executor::guard`]):
+    /// an access-map evaluation left its buffer's range, or a step output
+    /// contained a non-finite value.
+    Guard {
+        /// Launch group index.
+        group: usize,
+        /// Wavefront step of the offending point.
+        step: i64,
+        /// Block (member) name.
+        block: String,
+        /// What tripped, with the buffer and point spelled out.
+        detail: String,
+    },
+    /// Scratch-slot forwarding invariant broken: a populated slot carried
+    /// no value for the member reading it.
+    Forwarding {
+        /// Launch group index.
+        group: usize,
+        /// Block (member) name.
+        block: String,
+        /// Buffer the read targeted.
+        buffer: String,
+        /// Original-space wavefront point.
+        point: Vec<i64>,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -40,14 +75,126 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Input(m) => write!(f, "input error: {m}"),
             ExecError::Runtime(m) => write!(f, "runtime error: {m}"),
+            ExecError::WorkerPanic {
+                group,
+                step,
+                message,
+            } => write!(
+                f,
+                "worker panic in group {group} at wavefront step {step}: {message}"
+            ),
+            ExecError::Guard {
+                group,
+                step,
+                block,
+                detail,
+            } => write!(
+                f,
+                "guard trip in group {group} step {step}, block '{block}': {detail}"
+            ),
+            ExecError::Forwarding {
+                group,
+                block,
+                buffer,
+                point,
+            } => write!(
+                f,
+                "forwarding slot for buffer '{buffer}' empty in group {group}, \
+                 block '{block}' at point {point:?}"
+            ),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
 
+impl ExecError {
+    /// The `(group, step)` the error is attributed to, when known.
+    pub fn location(&self) -> Option<(usize, i64)> {
+        match self {
+            ExecError::WorkerPanic { group, step, .. } | ExecError::Guard { group, step, .. } => {
+                Some((*group, *step))
+            }
+            _ => None,
+        }
+    }
+}
+
 pub(crate) fn core_err(e: ft_core::program::CoreError) -> ExecError {
     ExecError::Runtime(e.to_string())
+}
+
+/// A fault-injection plan for the executor — the chaos-testing hook of the
+/// robustness layer. **Test/bench-only API**: an armed `FaultPlan`
+/// deliberately breaks execution so the degradation machinery can be
+/// exercised; never attach one on a production path.
+///
+/// All three fault classes leave [`execute_reference`](crate::execute_reference)
+/// untouched, so a fallback after an injected fault reproduces the clean
+/// output bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Panic the first worker that picks up work at `(group, step)`.
+    pub panic_at: Option<(usize, i64)>,
+    /// Shift the first offset component of `(group, member, read)`'s
+    /// access map by a delta: `(group, member, read, delta)`.
+    pub corrupt_read: Option<(usize, usize, usize, i64)>,
+    /// Overwrite the first UDF output with NaN at every point of
+    /// `(group, step)`.
+    pub poison_nan_at: Option<(usize, i64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects a worker panic at the given group/step.
+    pub fn panic_at(mut self, group: usize, step: i64) -> Self {
+        self.panic_at = Some((group, step));
+        self
+    }
+
+    /// Corrupts one read's access-map offset by `delta`.
+    pub fn corrupt_read(mut self, group: usize, member: usize, read: usize, delta: i64) -> Self {
+        self.corrupt_read = Some((group, member, read, delta));
+        self
+    }
+
+    /// Poisons the first UDF output with NaN at the given group/step.
+    pub fn poison_nan_at(mut self, group: usize, step: i64) -> Self {
+        self.poison_nan_at = Some((group, step));
+        self
+    }
+}
+
+/// Why (and where) a run degraded to the reference executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Launch group the failure was attributed to, when known.
+    pub group: Option<usize>,
+    /// Wavefront step of the failure, when known.
+    pub step: Option<i64>,
+    /// The error the pooled executor hit before falling back.
+    pub error: ExecError,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degraded to reference executor: {}", self.error)
+    }
+}
+
+/// The result of [`Executor::run_report`]: outputs plus an optional
+/// degradation report when the pooled executor fell back.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Every output buffer.
+    pub outputs: HashMap<BufferId, FractalTensor>,
+    /// `Some` when the pooled path failed and the result was recomputed by
+    /// the single-threaded reference executor.
+    pub degraded: Option<Degradation>,
 }
 
 /// Target chunks per participant: small enough to amortize cursor traffic,
@@ -73,18 +220,20 @@ pub fn execute(
 ///
 /// [`Executor::default`] picks the worker count from the `FT_THREADS`
 /// environment variable, falling back to the machine's available
-/// parallelism (see [`ft_pool::default_threads`]).
-#[derive(Debug, Clone)]
+/// parallelism (see [`ft_pool::default_threads`]); guard mode defaults on
+/// when `FT_GUARD=1`, and fallback when `FT_FALLBACK=1`.
+#[derive(Debug, Clone, Default)]
 pub struct Executor {
-    threads: usize,
+    threads: Option<usize>,
+    guard: Option<bool>,
+    fallback: Option<bool>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
-impl Default for Executor {
-    fn default() -> Self {
-        Executor {
-            threads: ft_pool::default_threads(),
-        }
-    }
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| v.trim() == "1")
+        .unwrap_or(false)
 }
 
 impl Executor {
@@ -95,17 +244,107 @@ impl Executor {
 
     /// Overrides the worker count (clamped to at least 1).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = Some(threads.max(1));
         self
     }
 
-    /// Runs the compiled program, returning every output buffer.
+    /// Enables guard mode: bounds-check every access-map evaluation against
+    /// its buffer's range and scan step outputs for NaN/Inf, turning silent
+    /// corruption into typed [`ExecError::Guard`]s. Also enabled by
+    /// `FT_GUARD=1`.
+    pub fn guard(mut self, on: bool) -> Self {
+        self.guard = Some(on);
+        self
+    }
+
+    /// Enables graceful degradation: when the pooled executor fails for
+    /// any non-input reason (worker panic, guard trip, runtime error), the
+    /// program is transparently re-run by the single-threaded reference
+    /// executor and the result is returned together with a
+    /// [`Degradation`] report instead of an `Err`. Also enabled by
+    /// `FT_FALLBACK=1`.
+    pub fn fallback(mut self, on: bool) -> Self {
+        self.fallback = Some(on);
+        self
+    }
+
+    /// Attaches a fault-injection plan (test/bench-only; see [`FaultPlan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(ft_pool::default_threads)
+    }
+
+    fn guard_on(&self) -> bool {
+        self.guard.unwrap_or_else(|| env_flag("FT_GUARD"))
+    }
+
+    fn fallback_on(&self) -> bool {
+        self.fallback.unwrap_or_else(|| env_flag("FT_FALLBACK"))
+    }
+
+    /// Runs the compiled program, returning every output buffer. With
+    /// [`fallback`](Self::fallback) enabled, a pooled-executor failure is
+    /// repaired transparently; use [`run_report`](Self::run_report) to
+    /// observe whether that happened.
     pub fn run(
         &self,
         compiled: &CompiledProgram,
         inputs: &HashMap<BufferId, FractalTensor>,
     ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
-        let threads = self.threads;
+        self.run_report(compiled, inputs).map(|o| o.outputs)
+    }
+
+    /// Runs the compiled program, returning outputs plus a degradation
+    /// report when the pooled path failed and fallback repaired it.
+    pub fn run_report(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<BufferId, FractalTensor>,
+    ) -> Result<ExecOutcome, ExecError> {
+        match self.run_pooled(compiled, inputs) {
+            Ok(outputs) => Ok(ExecOutcome {
+                outputs,
+                degraded: None,
+            }),
+            // Missing/malformed inputs fail identically everywhere;
+            // degrading cannot repair them.
+            Err(e @ ExecError::Input(_)) => Err(e),
+            Err(e) => {
+                if !self.fallback_on() {
+                    return Err(e);
+                }
+                ft_probe::counter("exec.fallbacks", 1.0);
+                let mut span = ft_probe::span("exec", "fallback");
+                if span.is_recording() {
+                    span.field("error", e.to_string());
+                }
+                let outputs = crate::reference::execute_reference(compiled, inputs, 1)?;
+                let (group, step) = match e.location() {
+                    Some((g, s)) => (Some(g), Some(s)),
+                    None => (None, None),
+                };
+                Ok(ExecOutcome {
+                    outputs,
+                    degraded: Some(Degradation {
+                        group,
+                        step,
+                        error: e,
+                    }),
+                })
+            }
+        }
+    }
+
+    /// The pooled wavefront execution (no fallback handling).
+    fn run_pooled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<BufferId, FractalTensor>,
+    ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
         let etdg = &compiled.etdg;
         let mut stores: Vec<BufferStore> = Vec::with_capacity(etdg.buffers.len());
         for (bi, buf) in etdg.buffers.iter().enumerate() {
@@ -128,6 +367,14 @@ impl Executor {
             }
         }
 
+        // The pool and the job closure live for the whole execute() call;
+        // per-step state flows through `shared` behind cheap locks that
+        // are only ever contended in the direction step-publish -> drain.
+        // The pool may degrade to fewer participants than requested, so
+        // size everything by its effective count.
+        let pool = WorkerPool::new(self.effective_threads());
+        let threads = pool.threads();
+
         let mut root = ft_probe::span("exec", "execute");
         if root.is_recording() {
             root.field("program", etdg.name.as_str());
@@ -135,10 +382,6 @@ impl Executor {
             root.field("threads", threads);
         }
 
-        // The pool and the job closure live for the whole execute() call;
-        // per-step state flows through `shared` behind cheap locks that
-        // are only ever contended in the direction step-publish -> drain.
-        let pool = WorkerPool::new(threads);
         let shared = Arc::new(ExecShared {
             stores: RwLock::new(stores),
             step: RwLock::new(StepCtx::default()),
@@ -147,6 +390,8 @@ impl Executor {
                 .map(|_| Mutex::new(WorkerOut::default()))
                 .collect(),
             probe_on: ft_probe::enabled(),
+            guard: self.guard_on(),
+            fault: self.fault.clone(),
         });
         let job: ft_pool::Job = {
             let shared = Arc::clone(&shared);
@@ -177,6 +422,10 @@ struct StepCtx {
     npoints: usize,
     /// Points per cursor chunk.
     chunk: usize,
+    /// Launch group index (error attribution).
+    group: usize,
+    /// Wavefront step (error attribution, fault matching).
+    step: i64,
 }
 
 /// State shared between the publishing thread and the pool participants.
@@ -186,6 +435,18 @@ struct ExecShared {
     cursor: AtomicUsize,
     outs: Vec<Mutex<WorkerOut>>,
     probe_on: bool,
+    /// Guard mode: bounds-check accesses, NaN/Inf-scan outputs.
+    guard: bool,
+    /// Armed fault plan (test/bench only).
+    fault: Option<Arc<FaultPlan>>,
+}
+
+/// Per-point evaluation context threaded through the worker body.
+struct PointEnv<'a> {
+    group: usize,
+    step: i64,
+    guard: bool,
+    fault: Option<&'a FaultPlan>,
 }
 
 /// One pending write: the value plus its index window in `writes_idx`.
@@ -249,7 +510,15 @@ fn run_group(
     let r = &group.reordering;
     let threads = pool.threads();
     let (lo, hi) = r.wavefront_range();
-    let plan = Arc::new(GroupPlan::build(compiled, group)?);
+    let mut plan = GroupPlan::build(compiled, group)?;
+    if let Some(fault) = shared.fault.as_deref() {
+        if let Some((g, member, read, delta)) = fault.corrupt_read {
+            if g == group_idx {
+                plan.corrupt_read_offset(member, read, delta);
+            }
+        }
+    }
+    let plan = Arc::new(plan);
     let mut gspan = ft_probe::span("exec", "launch_group");
     if gspan.is_recording() {
         gspan.field("group", group_idx);
@@ -271,6 +540,8 @@ fn run_group(
             ctx.points = arena;
             ctx.npoints = npoints;
             ctx.chunk = npoints.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+            ctx.group = group_idx;
+            ctx.step = step;
             (npoints, npoints.div_ceil(ctx.chunk.max(1)))
         };
         if npoints == 0 {
@@ -279,11 +550,22 @@ fn run_group(
         let mut sspan = ft_probe::span("exec", "wavefront_step");
         shared.cursor.store(0, Ordering::SeqCst);
         // Compute in parallel (reads only touch earlier steps or the
-        // per-point scratch slots), then apply the writes serially.
-        if threads == 1 || nchunks == 1 {
-            worker_body(shared, 0);
+        // per-point scratch slots), then apply the writes serially. A
+        // panicking participant surfaces as a typed error rather than an
+        // abort: the pool preserves the payload, and the inline path is
+        // wrapped the same way.
+        let panicked = if threads == 1 || nchunks == 1 {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_body(shared, 0))).err()
         } else {
-            pool.run(Arc::clone(job));
+            pool.try_run(Arc::clone(job)).err()
+        };
+        if let Some(payload) = panicked {
+            ft_probe::counter("exec.worker_panics", 1.0);
+            return Err(ExecError::WorkerPanic {
+                group: group_idx,
+                step,
+                message: ft_pool::panic_message(&payload),
+            });
         }
         let mut reads_total = 0u64;
         let mut writes_applied = 0u64;
@@ -367,6 +649,12 @@ fn worker_body(shared: &ExecShared, worker: usize) {
     let Some(plan) = ctx.plan.as_deref() else {
         return;
     };
+    let env = PointEnv {
+        group: ctx.group,
+        step: ctx.step,
+        guard: shared.guard,
+        fault: shared.fault.as_deref(),
+    };
     let stores = shared.stores.read();
     let t0 = shared.probe_on.then(ft_probe::now_us);
     let mut out = WorkerOut::default();
@@ -378,11 +666,24 @@ fn worker_body(shared: &ExecShared, worker: usize) {
         if start >= ctx.npoints {
             break;
         }
+        // Injected worker panic: whichever participant claims the first
+        // chunk of the targeted step dies mid-drain, exactly like a UDF
+        // or allocator blowing up on real work.
+        if c == 0 {
+            if let Some(fault) = env.fault {
+                if fault.panic_at == Some((env.group, env.step)) {
+                    panic!(
+                        "injected fault: worker panic at group {} step {}",
+                        env.group, env.step
+                    );
+                }
+            }
+        }
         let end = (start + ctx.chunk).min(ctx.npoints);
         for p in start..end {
             let j = &ctx.points[p * d..p * d + d];
             out.points += 1;
-            if let Err(e) = run_point(plan, &stores, j, &mut scratch, &mut out) {
+            if let Err(e) = run_point(plan, &stores, j, &mut scratch, &mut out, &env) {
                 out.err = Some(e);
                 break 'chunks;
             }
@@ -401,6 +702,7 @@ fn run_point(
     j: &[i64],
     s: &mut Scratch,
     out: &mut WorkerOut,
+    env: &PointEnv<'_>,
 ) -> Result<(), ExecError> {
     matvec_flat(&plan.t_inv, plan.dims, plan.dims, j, &mut s.t);
     s.slot_set.fill(false);
@@ -408,7 +710,7 @@ fn run_point(
         if !member.domain.contains(&s.t) {
             continue;
         }
-        eval_member(plan, member, stores, j, s, out)?;
+        eval_member(plan, member, stores, j, s, out, env)?;
     }
     Ok(())
 }
@@ -420,6 +722,7 @@ fn eval_member(
     j: &[i64],
     s: &mut Scratch,
     out: &mut WorkerOut,
+    env: &PointEnv<'_>,
 ) -> Result<(), ExecError> {
     s.leaves.clear();
     for read in &member.reads {
@@ -434,6 +737,19 @@ fn eval_member(
             } => {
                 out.reads += 1;
                 affine_flat(mat, off, *rows, plan.dims, j, &mut s.idx);
+                if env.guard && !stores[*buffer].in_range(&s.idx[..*rows]) {
+                    return Err(ExecError::Guard {
+                        group: env.group,
+                        step: env.step,
+                        block: member.name.clone(),
+                        detail: format!(
+                            "read of buffer '{}' out of range at index {:?} (point t={:?})",
+                            plan.buffer_names[*buffer],
+                            &s.idx[..*rows],
+                            s.t
+                        ),
+                    });
+                }
                 let mut forwarded = None;
                 for &(slot, same_map) in candidates {
                     if !s.slot_set[slot] {
@@ -446,8 +762,15 @@ fn eval_member(
                     }
                 }
                 if let Some(slot) = forwarded {
-                    s.leaves
-                        .push(s.slot_vals[slot].as_ref().expect("set slot").clone());
+                    let Some(v) = s.slot_vals[slot].as_ref() else {
+                        return Err(ExecError::Forwarding {
+                            group: env.group,
+                            block: member.name.clone(),
+                            buffer: plan.buffer_names[*buffer].clone(),
+                            point: s.t.clone(),
+                        });
+                    };
+                    s.leaves.push(v.clone());
                 } else {
                     let v = stores[*buffer].get(&s.idx[..*rows]).map_err(|e| {
                         ExecError::Runtime(format!("block '{}' at t={:?}: {e}", member.name, s.t))
@@ -457,12 +780,44 @@ fn eval_member(
             }
         }
     }
-    let results = member
+    let mut results = member
         .udf
         .eval(&s.leaves)
         .map_err(|e| ExecError::Runtime(e.to_string()))?;
+    if let Some(fault) = env.fault {
+        if fault.poison_nan_at == Some((env.group, env.step)) {
+            if let Some(first) = results.first_mut() {
+                *first = Tensor::full(first.dims(), f32::NAN);
+            }
+        }
+    }
+    if env.guard {
+        for value in &results {
+            if value.iter().any(|x| !x.is_finite()) {
+                return Err(ExecError::Guard {
+                    group: env.group,
+                    step: env.step,
+                    block: member.name.clone(),
+                    detail: format!("non-finite value in step output at point t={:?}", s.t),
+                });
+            }
+        }
+    }
     for (w, value) in member.writes.iter().zip(results) {
         affine_flat(&w.mat, &w.off, w.rows, plan.dims, j, &mut s.idx);
+        if env.guard && !stores[w.buffer].in_range(&s.idx[..w.rows]) {
+            return Err(ExecError::Guard {
+                group: env.group,
+                step: env.step,
+                block: member.name.clone(),
+                detail: format!(
+                    "write to buffer '{}' out of range at index {:?} (point t={:?})",
+                    plan.buffer_names[w.buffer],
+                    &s.idx[..w.rows],
+                    s.t
+                ),
+            });
+        }
         let so = plan.slot_offsets[w.slot];
         s.slot_idx[so..so + w.rows].copy_from_slice(&s.idx[..w.rows]);
         out.writes_idx.extend_from_slice(&s.idx[..w.rows]);

@@ -26,6 +26,9 @@
 //! `ft_core::interp` oracle across the workspace.
 
 #![forbid(unsafe_code)]
+// Fault paths must degrade into typed errors, never panic-crash: non-test
+// code in this crate is unwrap/expect-free (CI's chaos job checks --lib).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod emit;
 pub mod exec;
@@ -33,7 +36,7 @@ mod plan;
 pub mod reference;
 
 pub use emit::emit_program;
-pub use exec::{execute, ExecError, Executor};
+pub use exec::{execute, Degradation, ExecError, ExecOutcome, Executor, FaultPlan};
 pub use reference::execute_reference;
 
 /// Convenience alias.

@@ -90,6 +90,8 @@ pub(crate) struct GroupPlan {
     pub slot_idx_len: usize,
     /// Largest data-space rank over all accesses (sizes the index scratch).
     pub max_rows: usize,
+    /// Buffer names by index (guard-mode and degradation diagnostics).
+    pub buffer_names: Vec<String>,
 }
 
 impl GroupPlan {
@@ -174,7 +176,30 @@ impl GroupPlan {
             slot_offsets,
             slot_idx_len,
             max_rows,
+            buffer_names: compiled
+                .etdg
+                .buffers
+                .iter()
+                .map(|b| b.name.clone())
+                .collect(),
         })
+    }
+
+    /// Fault-injection hook: shifts the first offset component of one
+    /// member's read plan by `delta`, modelling a corrupted access map.
+    /// Out-of-range `member`/`read` coordinates are ignored. Test/bench
+    /// only — never reachable without an explicit
+    /// [`FaultPlan`](crate::exec::FaultPlan).
+    pub fn corrupt_read_offset(&mut self, member: usize, read: usize, delta: i64) {
+        if let Some(ReadPlan::Buffer { off, .. }) = self
+            .members
+            .get_mut(member)
+            .and_then(|m| m.reads.get_mut(read))
+        {
+            if let Some(o) = off.first_mut() {
+                *o += delta;
+            }
+        }
     }
 }
 

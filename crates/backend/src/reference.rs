@@ -52,8 +52,8 @@ pub fn execute_reference(
         }
     }
 
-    for group in &compiled.groups {
-        run_group(compiled, group, &mut stores, threads.max(1))?;
+    for (gi, group) in compiled.groups.iter().enumerate() {
+        run_group(compiled, group, gi, &mut stores, threads.max(1))?;
     }
 
     let mut outputs = HashMap::new();
@@ -75,6 +75,7 @@ struct PointWrite {
 fn run_group(
     compiled: &CompiledProgram,
     group: &ScheduledGroup,
+    group_idx: usize,
     stores: &mut [BufferStore],
     threads: usize,
 ) -> Result<(), ExecError> {
@@ -99,6 +100,13 @@ fn run_group(
         } else {
             let chunks: Vec<&[Vec<i64>]> = points.chunks(chunk).collect();
             let shared: &[BufferStore] = stores;
+            // A panicking worker or scope surfaces as a typed error with
+            // its original payload, never an abort.
+            let panic_err = |payload: &ft_pool::PanicPayload| ExecError::WorkerPanic {
+                group: group_idx,
+                step,
+                message: ft_pool::panic_message(payload),
+            };
             let outcome = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
@@ -106,11 +114,13 @@ fn run_group(
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
+                    .map(|h| h.join().map_err(|p| panic_err(&p)))
                     .collect::<Vec<_>>()
             })
-            .expect("crossbeam scope");
-            results.extend(outcome);
+            .map_err(|p| panic_err(&p))?;
+            for joined in outcome {
+                results.push(joined?);
+            }
         }
         for batch in results {
             for w in batch? {

@@ -179,6 +179,11 @@ fn trace_one(
     wspan.field("workload", name);
 
     let compiled = compile(&program).map_err(|e| format!("compile: {e}"))?;
+    // Legality check between compile and execute; its span and `verify.*`
+    // counters land in trace.json / metrics.json alongside the executor's.
+    let vreport = ft_verify::verify(&compiled).map_err(|e| format!("verify: {e}"))?;
+    wspan.field("verify_maps", vreport.maps);
+    wspan.field("verify_points", vreport.points);
     let outputs = execute(&compiled, &inputs, THREADS).map_err(|e| format!("execute: {e}"))?;
     wspan.field("outputs", outputs.len());
 

@@ -276,6 +276,12 @@ impl Program {
         if nest.ops.is_empty() {
             return Err(CoreError::Program(format!("{}: empty nest", nest.name)));
         }
+        if let Some(level) = nest.extents.iter().position(|&e| e == 0) {
+            return Err(CoreError::Program(format!(
+                "{}: nest level {level} has zero extent",
+                nest.name
+            )));
+        }
         nest.udf.validate()?;
         if nest.udf.num_inputs != nest.reads.len() {
             return Err(CoreError::Program(format!(

@@ -31,7 +31,9 @@ pub mod graph;
 pub mod parse;
 
 pub use dot::to_dot;
-pub use graph::{BlockId, BlockNode, BufId, BufferNode, Etdg, EtdgError, RegionRead, RegionWrite};
+pub use graph::{
+    sample_points, BlockId, BlockNode, BufId, BufferNode, Etdg, EtdgError, RegionRead, RegionWrite,
+};
 pub use parse::parse_program;
 
 /// Convenience alias.

@@ -14,10 +14,29 @@
 //! synchronization at all. Jobs split their work internally, typically
 //! with an [`AtomicUsize`](std::sync::atomic::AtomicUsize) chunk cursor
 //! the participants drain for dynamic load balancing.
+//!
+//! ## Robustness
+//!
+//! * A job panic on any participant is caught and its *original payload*
+//!   is preserved: [`WorkerPool::try_run`] returns it as
+//!   `Err(Box<dyn Any>)`, and [`WorkerPool::run`] re-raises it with
+//!   [`std::panic::resume_unwind`], so callers see the real failure
+//!   message instead of a generic "job panicked".
+//! * If an OS thread cannot be spawned the pool degrades to however many
+//!   workers did start (at minimum the calling thread) instead of
+//!   aborting; [`WorkerPool::threads`] reports the effective count.
+//! * [`WorkerPool::inject_fault`] arms a one-shot panic on a chosen
+//!   participant at a chosen future job — the fault-injection hook used by
+//!   the chaos test suite (test/bench-only API; never call it in
+//!   production paths).
 
 #![forbid(unsafe_code)]
+// Fault paths must degrade into typed errors, never panic-crash: non-test
+// code in this crate is unwrap/expect-free (CI's chaos job checks --lib).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -27,6 +46,9 @@ use parking_lot::{Condvar, Mutex};
 /// (`0..pool.threads()`); index 0 is the thread that called [`WorkerPool::run`].
 pub type Job = Arc<dyn Fn(usize) + Send + Sync + 'static>;
 
+/// A caught panic payload (what `std::thread::JoinHandle::join` returns).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
 struct State {
     /// Bumped once per published job; workers compare against the last
     /// epoch they executed to detect fresh work.
@@ -34,7 +56,10 @@ struct State {
     job: Option<Job>,
     /// Spawned workers that have not yet finished the current epoch.
     active: usize,
-    panicked: bool,
+    /// First panic payload caught during the current epoch.
+    payload: Option<PanicPayload>,
+    /// One-shot injected fault: `(epoch, participant)` that must panic.
+    fault: Option<(u64, usize)>,
     shutdown: bool,
 }
 
@@ -57,7 +82,9 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Builds a pool with `threads` participants (clamped to at least 1):
-    /// the caller plus `threads - 1` parked worker threads.
+    /// the caller plus `threads - 1` parked worker threads. If the OS
+    /// refuses to spawn a worker, the pool degrades to the participants
+    /// that did start rather than failing.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
@@ -65,21 +92,26 @@ impl WorkerPool {
                 epoch: 0,
                 job: None,
                 active: 0,
-                panicked: false,
+                payload: None,
+                fault: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let handles = (1..threads)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ft-pool-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+        let mut handles = Vec::with_capacity(threads - 1);
+        for w in 1..threads {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("ft-pool-{w}"))
+                .spawn(move || worker_loop(&shared, w))
+            {
+                Ok(h) => handles.push(h),
+                // Graceful degradation: run with the workers we got.
+                Err(_) => break,
+            }
+        }
+        let threads = handles.len() + 1;
         WorkerPool {
             shared,
             handles,
@@ -93,34 +125,71 @@ impl WorkerPool {
         self.threads
     }
 
-    /// Runs `job` on every participant and returns when all are done.
-    ///
-    /// Panics if the job panicked on any participant (mirroring the join
-    /// behavior of scoped threads).
-    pub fn run(&self, job: Job) {
+    /// Arms a one-shot injected panic: participant `participant` panics at
+    /// the start of the job published `jobs_from_now` publishes from now
+    /// (clamped to at least the next one). **Test/bench-only API** — the
+    /// fault-injection hook driving the chaos suite.
+    pub fn inject_fault(&self, jobs_from_now: u64, participant: usize) {
+        let mut st = self.shared.state.lock();
+        st.fault = Some((st.epoch + jobs_from_now.max(1), participant));
+    }
+
+    /// Runs `job` on every participant, returning the original panic
+    /// payload if the job panicked on any of them (the local participant's
+    /// payload wins when several panicked). The pool stays usable after a
+    /// failed job.
+    pub fn try_run(&self, job: Job) -> Result<(), PanicPayload> {
         let _gate = self.gate.lock();
         let workers = self.handles.len();
-        if workers > 0 {
+        let inject_local = {
             let mut st = self.shared.state.lock();
-            st.job = Some(Arc::clone(&job));
             st.epoch += 1;
-            st.active = workers;
-            drop(st);
+            st.payload = None;
+            if workers > 0 {
+                st.job = Some(Arc::clone(&job));
+                st.active = workers;
+            }
+            let inject = st.fault == Some((st.epoch, 0));
+            if inject {
+                st.fault = None;
+            }
+            inject
+        };
+        if workers > 0 {
             self.shared.work.notify_all();
         }
-        let local = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let local = catch_unwind(AssertUnwindSafe(|| {
+            if inject_local {
+                panic!("injected pool fault: participant 0");
+            }
+            job(0)
+        }));
         drop(job);
-        let mut poisoned = local.is_err();
+        let mut worker_payload = None;
         if workers > 0 {
             let mut st = self.shared.state.lock();
             while st.active > 0 {
                 st = self.shared.done.wait(st);
             }
             st.job = None;
-            poisoned |= std::mem::take(&mut st.panicked);
+            worker_payload = st.payload.take();
         }
-        if poisoned {
-            panic!("worker pool job panicked");
+        match local {
+            Err(p) => Err(p),
+            Ok(()) => match worker_payload {
+                Some(p) => Err(p),
+                None => Ok(()),
+            },
+        }
+    }
+
+    /// Runs `job` on every participant and returns when all are done.
+    ///
+    /// Re-raises the job's own panic (payload preserved) if it panicked on
+    /// any participant, mirroring the join behavior of scoped threads.
+    pub fn run(&self, job: Job) {
+        if let Err(payload) = self.try_run(job) {
+            resume_unwind(payload);
         }
     }
 }
@@ -141,7 +210,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared, worker: usize) {
     let mut seen = 0u64;
     loop {
-        let job = {
+        let (job, inject) = {
             let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
@@ -150,22 +219,45 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 if st.epoch != seen {
                     if let Some(job) = st.job.clone() {
                         seen = st.epoch;
-                        break job;
+                        let inject = st.fault == Some((st.epoch, worker));
+                        if inject {
+                            st.fault = None;
+                        }
+                        break (job, inject);
                     }
                 }
                 st = shared.work.wait(st);
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(|| job(worker)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected pool fault: participant {worker}");
+            }
+            job(worker)
+        }));
         drop(job);
         let mut st = shared.state.lock();
-        if result.is_err() {
-            st.panicked = true;
+        if let Err(p) = result {
+            if st.payload.is_none() {
+                st.payload = Some(p);
+            }
         }
         st.active -= 1;
         if st.active == 0 {
             shared.done.notify_all();
         }
+    }
+}
+
+/// Renders a caught panic payload as a string (panics raised with a string
+/// message — the overwhelmingly common case — come through verbatim).
+pub fn panic_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -273,6 +365,71 @@ mod tests {
             o.fetch_add(1, Ordering::SeqCst);
         }));
         assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panic_payload_is_preserved() {
+        // The original panic message must survive the pool round trip —
+        // both through try_run and through run's resume_unwind.
+        let pool = WorkerPool::new(3);
+        let err = pool
+            .try_run(Arc::new(|w| {
+                if w == 2 {
+                    panic!("boom-42 on worker {w}");
+                }
+            }))
+            .expect_err("job panicked");
+        assert_eq!(panic_message(&err), "boom-42 on worker 2");
+
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(Arc::new(|w| {
+                if w == 1 {
+                    panic!("resumed payload");
+                }
+            }));
+        }))
+        .expect_err("run re-raises");
+        assert_eq!(panic_message(&caught), "resumed payload");
+    }
+
+    #[test]
+    fn local_participant_panic_is_preserved() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run(Arc::new(|w| {
+                if w == 0 {
+                    panic!("local boom");
+                }
+            }))
+            .expect_err("job panicked");
+        assert_eq!(panic_message(&err), "local boom");
+    }
+
+    #[test]
+    fn injected_fault_fires_once_then_clears() {
+        let pool = WorkerPool::new(2);
+        pool.inject_fault(1, 1);
+        let err = pool
+            .try_run(Arc::new(|_| {}))
+            .expect_err("fault injected on worker 1");
+        assert!(panic_message(&err).contains("injected pool fault"));
+        // One-shot: the next job runs clean.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        pool.try_run(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }))
+        .expect("clean job");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn injected_fault_on_local_participant() {
+        let pool = WorkerPool::new(1);
+        pool.inject_fault(1, 0);
+        let err = pool.try_run(Arc::new(|_| {})).expect_err("local fault");
+        assert!(panic_message(&err).contains("participant 0"));
+        pool.try_run(Arc::new(|_| {})).expect("recovered");
     }
 
     #[test]

@@ -1,0 +1,846 @@
+//! # ft-verify
+//!
+//! Schedule-legality verification for compiled FractalTensor programs.
+//!
+//! The paper's transformations (§5.1–§5.3) are *provably safe* by
+//! construction: the reordering matrix is unimodular, its Lamport-hyperplane
+//! first row carries every dependence distance vector (Table 4), and fused
+//! access maps stay inside their buffers' ranges. This crate re-checks
+//! those invariants on the *output* of the pipeline, so a bug anywhere in
+//! parsing, coarsening, or reordering — or a hand-mutated schedule — is
+//! rejected with a structured [`VerifyError`] naming the offending group,
+//! block, and buffer instead of corrupting an execution downstream.
+//!
+//! Four invariants are checked per [`ScheduledGroup`]:
+//!
+//! 1. **Unimodularity** — `T` is square with determinant ±1 and `T·T⁻¹ = I`
+//!    (the stored inverse actually inverts the stored transform).
+//! 2. **Dependence carrying** — row 0 of `T` has a strictly positive dot
+//!    product with every dependence distance vector of every member, and a
+//!    group with dependences has a sequential dimension at all.
+//! 3. **Access-map range** — every read/write map evaluates in-bounds over
+//!    the member's enumerated iteration domain, and the fused map
+//!    `i = (M·T⁻¹)·j + o` agrees with the original map at every point
+//!    (`j = T·t`), i.e. the executor's partially-evaluated plan computes
+//!    the same indices the semantics demand.
+//! 4. **Wavefront order** — every value read from a group-internal buffer
+//!    was written at an earlier wavefront step, or at the same step by an
+//!    earlier member at the same point (the scratch-slot forwarding case);
+//!    with complete domain enumeration, reads of never-written indices are
+//!    also rejected.
+//!
+//! Blocks that belong to no launch group (pure `Map` nests executed
+//! through the interpreter path) still get invariant 3's range half: their
+//! original access maps are enumerated and bounds-checked the same way.
+//!
+//! Domains are enumerated exhaustively up to [`POINT_CAP`] points per
+//! member and sampled beyond that ([`VerifyReport::complete`] records
+//! which); order violations are always detectable on the sampled subset,
+//! unwritten-read detection needs the complete enumeration.
+
+#![forbid(unsafe_code)]
+// VerifyError carries full diagnostic context (points, indices, buffer
+// dims) by value; it is built once on the cold rejection path, so the
+// large-Err cost never matters.
+#![allow(clippy::result_large_err)]
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use ft_affine::{AffineMap, IntMat};
+use ft_etdg::{sample_points, BlockId, BlockNode, BufId, RegionRead};
+use ft_passes::{compile, distance_vectors, CompiledProgram, ScheduledGroup};
+
+/// Per-member domain enumeration cap: domains up to this many points are
+/// checked exhaustively, larger ones are strided-sampled.
+pub const POINT_CAP: usize = 4096;
+
+/// Whether an access is a read or a write (diagnostic context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A region read.
+    Read,
+    /// A region write.
+    Write,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// A schedule-legality violation. Every variant names the launch group and
+/// lead block so the diagnostic can be traced back to the source nest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// `compile()` itself failed (only from [`compile_verified`]).
+    Compile(String),
+    /// The schedule is malformed in a way that precedes the legality
+    /// checks (dimension mismatches, affine arithmetic failures, ...).
+    Structural {
+        /// Launch group index (`None` for a block outside every group).
+        group: Option<usize>,
+        /// Lead block name.
+        block: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The transform matrix is not unimodular.
+    NotUnimodular {
+        /// Launch group index.
+        group: usize,
+        /// Lead block name.
+        block: String,
+        /// The offending determinant (0 when it could not be computed).
+        det: i64,
+    },
+    /// The stored inverse does not invert the stored transform.
+    InverseMismatch {
+        /// Launch group index.
+        group: usize,
+        /// Lead block name.
+        block: String,
+    },
+    /// The group carries dependences but has no sequential dimension.
+    SequentialMissing {
+        /// Launch group index.
+        group: usize,
+        /// Lead block name.
+        block: String,
+        /// How many distance vectors the group carries.
+        distances: usize,
+    },
+    /// Row 0 of the transform fails to carry a dependence distance vector
+    /// (`row₀·δ < 1` — iterations that must be ordered land on the same or
+    /// an earlier wavefront step).
+    UncarriedDistance {
+        /// Launch group index.
+        group: usize,
+        /// Block whose dependence is dropped.
+        block: String,
+        /// Row 0 of the transform (the hyperplane schedule).
+        hyperplane: Vec<i64>,
+        /// The distance vector that is not carried.
+        distance: Vec<i64>,
+        /// The offending dot product.
+        dot: i64,
+    },
+    /// An access map leaves its buffer's range somewhere in the domain.
+    MapOutOfRange {
+        /// Launch group index; `None` when the block belongs to no launch
+        /// group and executes through the interpreter path.
+        group: Option<usize>,
+        /// Block issuing the access.
+        block: String,
+        /// Buffer accessed.
+        buffer: String,
+        /// Read or write.
+        kind: AccessKind,
+        /// Original-space iteration point.
+        point: Vec<i64>,
+        /// The out-of-range index the map produced.
+        index: Vec<i64>,
+        /// The buffer's declared extents.
+        dims: Vec<usize>,
+    },
+    /// The fused map `(M·T⁻¹)·j + o` disagrees with the original map — the
+    /// executor's partially-evaluated plan would touch the wrong data.
+    FusedMapMismatch {
+        /// Launch group index.
+        group: usize,
+        /// Block issuing the access.
+        block: String,
+        /// Buffer accessed.
+        buffer: String,
+        /// Original-space iteration point.
+        point: Vec<i64>,
+        /// Index from the original map.
+        original: Vec<i64>,
+        /// Index from the fused map at `j = T·t`.
+        fused: Vec<i64>,
+    },
+    /// A read observes a value its writer has not produced yet in
+    /// wavefront order (same or later step, and not forwardable from an
+    /// earlier member at the same point).
+    WavefrontOrder {
+        /// Launch group index.
+        group: usize,
+        /// Reading block.
+        block: String,
+        /// Buffer read.
+        buffer: String,
+        /// Original-space point of the read.
+        point: Vec<i64>,
+        /// Buffer index read.
+        index: Vec<i64>,
+        /// Step the value is written at.
+        write_step: i64,
+        /// Step the read executes at.
+        read_step: i64,
+    },
+    /// A read of a group-internal buffer index that no member ever writes
+    /// (reported only under complete domain enumeration).
+    UnwrittenRead {
+        /// Launch group index.
+        group: usize,
+        /// Reading block.
+        block: String,
+        /// Buffer read.
+        buffer: String,
+        /// Original-space point of the read.
+        point: Vec<i64>,
+        /// Buffer index read.
+        index: Vec<i64>,
+    },
+}
+
+/// Pass A's write table: `(buffer id, data-space index)` mapped to the
+/// `(wavefront step, member position, original point)` that produces it.
+type WriterTable = HashMap<(usize, Vec<i64>), (i64, usize, Vec<i64>)>;
+
+/// Renders an optional group index for diagnostics.
+fn group_label(group: &Option<usize>) -> String {
+    match group {
+        Some(gi) => format!("group {gi}"),
+        None => "ungrouped".to_string(),
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Compile(m) => write!(f, "compile failed: {m}"),
+            VerifyError::Structural {
+                group,
+                block,
+                detail,
+            } => write!(
+                f,
+                "{} ('{block}'): malformed schedule: {detail}",
+                group_label(group)
+            ),
+            VerifyError::NotUnimodular { group, block, det } => write!(
+                f,
+                "group {group} ('{block}'): transform is not unimodular (det = {det})"
+            ),
+            VerifyError::InverseMismatch { group, block } => write!(
+                f,
+                "group {group} ('{block}'): stored inverse does not invert the transform"
+            ),
+            VerifyError::SequentialMissing {
+                group,
+                block,
+                distances,
+            } => write!(
+                f,
+                "group {group} ('{block}'): carries {distances} dependence distance vector(s) \
+                 but has no sequential dimension"
+            ),
+            VerifyError::UncarriedDistance {
+                group,
+                block,
+                hyperplane,
+                distance,
+                dot,
+            } => write!(
+                f,
+                "group {group} ('{block}'): hyperplane {hyperplane:?} does not carry distance \
+                 vector {distance:?} (dot = {dot}, need >= 1)"
+            ),
+            VerifyError::MapOutOfRange {
+                group,
+                block,
+                buffer,
+                kind,
+                point,
+                index,
+                dims,
+            } => write!(
+                f,
+                "{}, block '{block}': {kind} of buffer '{buffer}' out of range at \
+                 point {point:?}: index {index:?} vs dims {dims:?}",
+                group_label(group)
+            ),
+            VerifyError::FusedMapMismatch {
+                group,
+                block,
+                buffer,
+                point,
+                original,
+                fused,
+            } => write!(
+                f,
+                "group {group}, block '{block}': fused access map for buffer '{buffer}' \
+                 disagrees with the original at point {point:?}: {fused:?} != {original:?}"
+            ),
+            VerifyError::WavefrontOrder {
+                group,
+                block,
+                buffer,
+                point,
+                index,
+                write_step,
+                read_step,
+            } => write!(
+                f,
+                "group {group}, block '{block}': reads buffer '{buffer}'[{index:?}] at point \
+                 {point:?} on step {read_step} but it is written on step {write_step}"
+            ),
+            VerifyError::UnwrittenRead {
+                group,
+                block,
+                buffer,
+                point,
+                index,
+            } => write!(
+                f,
+                "group {group}, block '{block}': reads buffer '{buffer}'[{index:?}] at point \
+                 {point:?} but no member ever writes that index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statistics from a successful verification pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Launch groups checked.
+    pub groups: usize,
+    /// Access maps validated (reads + writes, per member).
+    pub maps: usize,
+    /// Dependence distance vectors checked against the hyperplane.
+    pub distances: usize,
+    /// Iteration points enumerated across all members.
+    pub points: usize,
+    /// Legality-check wall time in microseconds.
+    pub wall_us: f64,
+    /// True when every member domain was enumerated exhaustively (points
+    /// within [`POINT_CAP`]); false when sampling bounded the sweep.
+    pub complete: bool,
+}
+
+/// Compiles a program and verifies the resulting schedule in one step.
+pub fn compile_verified(
+    program: &ft_core::Program,
+) -> Result<(CompiledProgram, VerifyReport), VerifyError> {
+    let compiled = compile(program).map_err(|e| VerifyError::Compile(e.to_string()))?;
+    let report = verify(&compiled)?;
+    Ok((compiled, report))
+}
+
+/// Verifies every scheduled group of a compiled program, returning
+/// statistics on success and the first violation found otherwise.
+///
+/// Stats flow into ft-probe (`verify.*` counters plus a
+/// `verify/legality_check` span) so `trace_report` surfaces them.
+pub fn verify(compiled: &CompiledProgram) -> Result<VerifyReport, VerifyError> {
+    let t0 = Instant::now();
+    let mut span = ft_probe::span("verify", "legality_check");
+    let mut report = VerifyReport {
+        complete: true,
+        ..VerifyReport::default()
+    };
+    let outcome = check_all(compiled, &mut report);
+    report.wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    if span.is_recording() {
+        span.field("program", compiled.etdg.name.as_str());
+        span.field("groups", report.groups);
+        span.field("maps", report.maps);
+        span.field("distances", report.distances);
+        span.field("points", report.points);
+        span.field("complete", report.complete);
+        if let Err(e) = &outcome {
+            span.field("violation", e.to_string());
+        }
+    }
+    ft_probe::counter("verify.groups", report.groups as f64);
+    ft_probe::counter("verify.maps", report.maps as f64);
+    ft_probe::counter("verify.distances", report.distances as f64);
+    ft_probe::counter("verify.points", report.points as f64);
+    ft_probe::counter("verify.wall_us", report.wall_us);
+    if outcome.is_err() {
+        ft_probe::counter("verify.violations", 1.0);
+    }
+    outcome.map(|()| report)
+}
+
+fn check_all(compiled: &CompiledProgram, report: &mut VerifyReport) -> Result<(), VerifyError> {
+    for (gi, group) in compiled.groups.iter().enumerate() {
+        check_group(compiled, gi, group, report)?;
+        report.groups += 1;
+    }
+    check_ungrouped(compiled, report)
+}
+
+/// Range-checks the access maps of blocks that belong to no launch group.
+/// Such blocks execute through the interpreter path — no reordering, no
+/// fused maps, so invariants 1, 2, and 4 are vacuous — but a map that
+/// walks out of its buffer must still be rejected before execution.
+fn check_ungrouped(
+    compiled: &CompiledProgram,
+    report: &mut VerifyReport,
+) -> Result<(), VerifyError> {
+    let etdg = &compiled.etdg;
+    let grouped: HashSet<BlockId> = compiled
+        .groups
+        .iter()
+        .flat_map(|g| g.members.iter().copied())
+        .collect();
+    for (bi, block) in etdg.blocks.iter().enumerate() {
+        if grouped.contains(&BlockId(bi)) {
+            continue;
+        }
+        let total: usize = block.extents.iter().product();
+        if total > POINT_CAP {
+            report.complete = false;
+        }
+        let accesses: Vec<(BufId, &AffineMap, AccessKind)> = block
+            .reads
+            .iter()
+            .filter_map(|rd| match rd {
+                RegionRead::Buffer { buffer, map } => Some((*buffer, map, AccessKind::Read)),
+                _ => None,
+            })
+            .chain(
+                block
+                    .writes
+                    .iter()
+                    .map(|w| (w.buffer, &w.map, AccessKind::Write)),
+            )
+            .collect();
+        report.maps += accesses.len();
+        for t in sample_points(&block.domain, &block.extents, POINT_CAP) {
+            report.points += 1;
+            for (buffer, map, kind) in &accesses {
+                let idx = map.apply(&t).map_err(|e| VerifyError::Structural {
+                    group: None,
+                    block: block.name.clone(),
+                    detail: e.to_string(),
+                })?;
+                let buf = etdg.buffer(*buffer);
+                if !buf.in_domain(&idx) {
+                    return Err(VerifyError::MapOutOfRange {
+                        group: None,
+                        block: block.name.clone(),
+                        buffer: buf.name.clone(),
+                        kind: *kind,
+                        point: t.clone(),
+                        index: idx,
+                        dims: buf.dims.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_group(
+    compiled: &CompiledProgram,
+    gi: usize,
+    group: &ScheduledGroup,
+    report: &mut VerifyReport,
+) -> Result<(), VerifyError> {
+    let etdg = &compiled.etdg;
+    let r = &group.reordering;
+    let lead = etdg.block(group.members[0]).name.clone();
+    let structural = |detail: String| VerifyError::Structural {
+        group: Some(gi),
+        block: lead.clone(),
+        detail,
+    };
+
+    // 1. Unimodularity and inverse coherence.
+    if !r.t.is_unimodular() {
+        return Err(VerifyError::NotUnimodular {
+            group: gi,
+            block: lead,
+            det: r.t.det().unwrap_or(0),
+        });
+    }
+    let d = r.t.rows();
+    let prod =
+        r.t.matmul(&r.t_inv)
+            .map_err(|e| structural(e.to_string()))?;
+    if prod != IntMat::identity(d) {
+        return Err(VerifyError::InverseMismatch {
+            group: gi,
+            block: lead,
+        });
+    }
+
+    // 2. Every dependence distance vector is carried by row 0.
+    let mut distances: Vec<Vec<i64>> = Vec::new();
+    for &m in &group.members {
+        for delta in distance_vectors(etdg, m).map_err(|e| structural(e.to_string()))? {
+            if !distances.contains(&delta) {
+                distances.push(delta);
+            }
+        }
+    }
+    if !distances.is_empty() {
+        if r.sequential_dims == 0 {
+            return Err(VerifyError::SequentialMissing {
+                group: gi,
+                block: lead,
+                distances: distances.len(),
+            });
+        }
+        let row0 = r.t.row(0).to_vec();
+        for delta in &distances {
+            if delta.len() != row0.len() {
+                return Err(structural(format!(
+                    "distance vector {delta:?} has {} entries but the transform has {} columns",
+                    delta.len(),
+                    row0.len()
+                )));
+            }
+            let dot: i64 = row0.iter().zip(delta.iter()).map(|(a, b)| a * b).sum();
+            report.distances += 1;
+            if dot < 1 {
+                return Err(VerifyError::UncarriedDistance {
+                    group: gi,
+                    block: lead,
+                    hyperplane: row0,
+                    distance: delta.clone(),
+                    dot,
+                });
+            }
+        }
+    }
+
+    // 3 + 4. Per-point map range / fused-map consistency, and the
+    // wavefront write-before-read order over group-internal buffers.
+    let member_set: HashSet<_> = group.members.iter().copied().collect();
+    let group_owns = |b: BufId| -> bool {
+        let writers = etdg.writers_of(b);
+        !writers.is_empty() && writers.iter().all(|w| member_set.contains(w))
+    };
+    let step_of = |t: &[i64]| -> Result<i64, VerifyError> {
+        if r.sequential_dims == 0 {
+            return Ok(0);
+        }
+        let j = r.t.matvec(t).map_err(|e| structural(e.to_string()))?;
+        Ok(j[0])
+    };
+
+    // Pass A: validate writes and record (buffer, index) -> writer.
+    let mut complete = true;
+    let mut written: WriterTable = HashMap::new();
+    for (mi, &m) in group.members.iter().enumerate() {
+        let block = etdg.block(m);
+        let total: usize = block.extents.iter().product();
+        if total > POINT_CAP {
+            complete = false;
+        }
+        report.maps += block.writes.len();
+        let fused: Vec<AffineMap> = block
+            .writes
+            .iter()
+            .map(|w| r.transform_map(&w.map))
+            .collect::<Result<_, _>>()
+            .map_err(|e| structural(e.to_string()))?;
+        for t in sample_points(&block.domain, &block.extents, POINT_CAP) {
+            report.points += 1;
+            let step = step_of(&t)?;
+            for (w, fmap) in block.writes.iter().zip(fused.iter()) {
+                let idx = check_access(
+                    compiled,
+                    gi,
+                    block,
+                    w.buffer,
+                    &w.map,
+                    fmap,
+                    r,
+                    &t,
+                    AccessKind::Write,
+                )?;
+                written
+                    .entry((w.buffer.0, idx))
+                    .or_insert((step, mi, t.clone()));
+            }
+        }
+    }
+
+    // Pass B: validate reads and their ordering against the write table.
+    for (mi, &m) in group.members.iter().enumerate() {
+        let block = etdg.block(m);
+        report.maps += block
+            .reads
+            .iter()
+            .filter(|rd| matches!(rd, RegionRead::Buffer { .. }))
+            .count();
+        let fused: Vec<Option<AffineMap>> = block
+            .reads
+            .iter()
+            .map(|rd| rd.map().map(|m| r.transform_map(m)).transpose())
+            .collect::<Result<_, _>>()
+            .map_err(|e| structural(e.to_string()))?;
+        for t in sample_points(&block.domain, &block.extents, POINT_CAP) {
+            report.points += 1;
+            let read_step = step_of(&t)?;
+            for (rd, fmap) in block.reads.iter().zip(fused.iter()) {
+                let (RegionRead::Buffer { buffer, map }, Some(fmap)) = (rd, fmap) else {
+                    continue;
+                };
+                let idx = check_access(
+                    compiled,
+                    gi,
+                    block,
+                    *buffer,
+                    map,
+                    fmap,
+                    r,
+                    &t,
+                    AccessKind::Read,
+                )?;
+                if !group_owns(*buffer) {
+                    // Produced by an earlier group (or an input): ordered
+                    // by group execution order, not by this wavefront.
+                    continue;
+                }
+                match written.get(&(buffer.0, idx.clone())) {
+                    Some((write_step, w_mi, w_t)) => {
+                        let ordered = *write_step < read_step
+                            || (*write_step == read_step && w_t == &t && *w_mi < mi);
+                        if !ordered {
+                            return Err(VerifyError::WavefrontOrder {
+                                group: gi,
+                                block: block.name.clone(),
+                                buffer: etdg.buffer(*buffer).name.clone(),
+                                point: t.clone(),
+                                index: idx,
+                                write_step: *write_step,
+                                read_step,
+                            });
+                        }
+                    }
+                    None if complete => {
+                        return Err(VerifyError::UnwrittenRead {
+                            group: gi,
+                            block: block.name.clone(),
+                            buffer: etdg.buffer(*buffer).name.clone(),
+                            point: t.clone(),
+                            index: idx,
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+    if !complete {
+        report.complete = false;
+    }
+    Ok(())
+}
+
+/// Evaluates one access at one point, checking range and fused-map
+/// consistency; returns the data-space index.
+#[allow(clippy::too_many_arguments)]
+fn check_access(
+    compiled: &CompiledProgram,
+    gi: usize,
+    block: &BlockNode,
+    buffer: BufId,
+    map: &AffineMap,
+    fused: &AffineMap,
+    r: &ft_passes::Reordering,
+    t: &[i64],
+    kind: AccessKind,
+) -> Result<Vec<i64>, VerifyError> {
+    let etdg = &compiled.etdg;
+    let structural = |detail: String| VerifyError::Structural {
+        group: Some(gi),
+        block: block.name.clone(),
+        detail,
+    };
+    let idx = map.apply(t).map_err(|e| structural(e.to_string()))?;
+    let buf = etdg.buffer(buffer);
+    if !buf.in_domain(&idx) {
+        return Err(VerifyError::MapOutOfRange {
+            group: Some(gi),
+            block: block.name.clone(),
+            buffer: buf.name.clone(),
+            kind,
+            point: t.to_vec(),
+            index: idx,
+            dims: buf.dims.clone(),
+        });
+    }
+    let j = r.t.matvec(t).map_err(|e| structural(e.to_string()))?;
+    let fidx = fused.apply(&j).map_err(|e| structural(e.to_string()))?;
+    if fidx != idx {
+        return Err(VerifyError::FusedMapMismatch {
+            group: gi,
+            block: block.name.clone(),
+            buffer: buf.name.clone(),
+            point: t.to_vec(),
+            original: idx,
+            fused: fidx,
+        });
+    }
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_affine::IntMat;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_etdg::RegionRead;
+
+    fn compiled_rnn() -> CompiledProgram {
+        compile(&stacked_rnn_program(2, 3, 4, 4)).unwrap()
+    }
+
+    #[test]
+    fn stacked_rnn_schedule_is_legal() {
+        let report = verify(&compiled_rnn()).unwrap();
+        assert_eq!(report.groups, 1);
+        assert!(report.distances >= 1, "wavefront group must carry deps");
+        assert!(report.maps > 0);
+        assert!(report.points > 0);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn compile_verified_round_trips() {
+        let (compiled, report) = compile_verified(&stacked_rnn_program(2, 2, 3, 4)).unwrap();
+        assert_eq!(compiled.groups.len(), 1);
+        assert!(report.groups == 1);
+    }
+
+    #[test]
+    fn non_unimodular_transform_is_rejected() {
+        let mut c = compiled_rnn();
+        let d = c.groups[0].reordering.t.rows();
+        c.groups[0].reordering.t = IntMat::zeros(d, d);
+        match verify(&c) {
+            Err(VerifyError::NotUnimodular { group: 0, det, .. }) => assert_eq!(det, 0),
+            other => panic!("expected NotUnimodular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_inverse_is_rejected() {
+        let mut c = compiled_rnn();
+        let d = c.groups[0].reordering.t.rows();
+        // Keep T unimodular but break the stored inverse.
+        let mut wrong = IntMat::identity(d);
+        wrong.set(0, d - 1, 7);
+        c.groups[0].reordering.t_inv = wrong;
+        match verify(&c) {
+            Err(VerifyError::InverseMismatch { group: 0, .. }) => {}
+            Err(VerifyError::NotUnimodular { .. }) => {
+                panic!("transform itself should still be unimodular")
+            }
+            other => panic!("expected InverseMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncarried_distance_is_rejected() {
+        let mut c = compiled_rnn();
+        let d = c.groups[0].reordering.t.rows();
+        // The identity schedule orders by the first original dimension
+        // only; the stacked RNN's wavefront carries dependences in two
+        // dimensions, so at least one distance vector must be dropped.
+        c.groups[0].reordering.t = IntMat::identity(d);
+        c.groups[0].reordering.t_inv = IntMat::identity(d);
+        match verify(&c) {
+            Err(VerifyError::UncarriedDistance { group: 0, dot, .. }) => assert!(dot < 1),
+            other => panic!("expected UncarriedDistance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_map_is_rejected_naming_the_buffer() {
+        let mut c = compiled_rnn();
+        // Push an input-buffer read of the first member far out of range
+        // (an input read carries no dependence, so the only possible
+        // finding is the range violation itself).
+        let inputs: Vec<bool> = c
+            .etdg
+            .buffers
+            .iter()
+            .map(|b| b.kind == ft_core::program::BufferKind::Input)
+            .collect();
+        let m = c.groups[0].members[0];
+        let block = &mut c.etdg.blocks[m.0];
+        let read = block
+            .reads
+            .iter_mut()
+            .find_map(|rd| match rd {
+                RegionRead::Buffer { buffer, map } if inputs[buffer.0] => Some(map),
+                _ => None,
+            })
+            .expect("member reads an input buffer");
+        let mut off = read.offset().to_vec();
+        off[0] += 1_000_000;
+        *read = AffineMap::new(read.matrix().clone(), off).unwrap();
+        match verify(&c) {
+            Err(VerifyError::MapOutOfRange {
+                group: Some(0),
+                buffer,
+                index,
+                ..
+            }) => {
+                assert!(!buffer.is_empty());
+                assert!(index[0] >= 1_000_000);
+            }
+            other => panic!("expected MapOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ungrouped_blocks_still_get_range_checks() {
+        // Strip the schedule entirely: every block now executes through
+        // the interpreter path, and the verifier must still enumerate and
+        // bounds-check its original access maps.
+        let mut c = compiled_rnn();
+        c.groups.clear();
+        let report = verify(&c).unwrap();
+        assert_eq!(report.groups, 0);
+        assert!(report.maps > 0, "ungrouped maps must still be counted");
+        assert!(report.points > 0);
+
+        // And a corrupted map in an ungrouped block is rejected with the
+        // group-free diagnostic.
+        let block = &mut c.etdg.blocks[0];
+        let read = block
+            .reads
+            .iter_mut()
+            .find_map(|rd| match rd {
+                RegionRead::Buffer { map, .. } => Some(map),
+                _ => None,
+            })
+            .expect("block has a buffer read");
+        let mut off = read.offset().to_vec();
+        off[0] += 1_000_000;
+        *read = AffineMap::new(read.matrix().clone(), off).unwrap();
+        match verify(&c) {
+            Err(VerifyError::MapOutOfRange { group: None, .. }) => {}
+            other => panic!("expected ungrouped MapOutOfRange, got {other:?}"),
+        }
+        let msg = verify(&c).unwrap_err().to_string();
+        assert!(msg.contains("ungrouped"), "{msg}");
+    }
+
+    #[test]
+    fn report_displays_violations_with_context() {
+        let mut c = compiled_rnn();
+        let d = c.groups[0].reordering.t.rows();
+        c.groups[0].reordering.t = IntMat::zeros(d, d);
+        let e = verify(&c).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("group 0"), "diagnostic names the group: {msg}");
+        assert!(msg.contains("unimodular"), "diagnostic says why: {msg}");
+    }
+}

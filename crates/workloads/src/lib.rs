@@ -35,4 +35,4 @@ pub mod lstm;
 pub mod retnet;
 pub mod strategies;
 
-pub use strategies::{SimReport, Strategy};
+pub use strategies::{mutated_inputs, mutated_program, MutationClass, SimReport, Strategy};

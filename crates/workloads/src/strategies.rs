@@ -4,7 +4,14 @@
 //! the same mathematical workload is cut into kernels and what crosses each
 //! memory level — per the substitution table in `DESIGN.md`.
 
+use std::collections::HashMap;
+
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::program::{CarriedInit, CoreError, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
 use ft_sim::{GpuConfig, SimMachine, TrafficCounters};
+use ft_tensor::Tensor;
 
 /// An execution strategy for a workload on the simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +94,179 @@ impl SimReport {
 /// A fresh A100-shaped machine.
 pub fn machine() -> SimMachine {
     SimMachine::new(GpuConfig::a100())
+}
+
+/// Classes of deliberate program corruption for robustness property tests.
+///
+/// Each class yields a malformed program that must surface as a typed
+/// `Err` somewhere along construct → compile → verify → execute — never a
+/// panic and never a silent wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationClass {
+    /// The output buffer's leaf shape disagrees with what the UDF
+    /// produces (caught at nest construction).
+    ShapeMismatch,
+    /// An uncarried read whose access-map offset walks off the end of its
+    /// buffer (caught by the verifier's range check or at execution).
+    OutOfRangeOffset,
+    /// A nest level with zero extent (caught at nest construction).
+    EmptyDimension,
+    /// Forward- and backward-carried reads on one dimension — a
+    /// dependence cycle no single hyperplane can order (caught by the
+    /// reorderer during compilation).
+    DependenceCycle,
+}
+
+impl MutationClass {
+    /// All mutation classes, for sweep loops and property tests.
+    pub const ALL: [MutationClass; 4] = [
+        MutationClass::ShapeMismatch,
+        MutationClass::OutOfRangeOffset,
+        MutationClass::EmptyDimension,
+        MutationClass::DependenceCycle,
+    ];
+
+    /// Diagnostic label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutationClass::ShapeMismatch => "shape_mismatch",
+            MutationClass::OutOfRangeOffset => "out_of_range_offset",
+            MutationClass::EmptyDimension => "empty_dimension",
+            MutationClass::DependenceCycle => "dependence_cycle",
+        }
+    }
+}
+
+fn scan_udf(name: &str, inputs: usize) -> ft_core::Udf {
+    let mut b = UdfBuilder::new(name, inputs);
+    let mut acc = b.input(0);
+    for i in 1..inputs {
+        let x = b.input(i);
+        acc = b.add(acc, x);
+    }
+    let o = b.id(acc);
+    b.build(&[o])
+}
+
+/// Builds a length-`l` scan program corrupted according to `class`.
+/// `magnitude` (clamped to ≥ 1) scales how far the corrupted access
+/// overshoots. A typed construction error counts as the mutation being
+/// caught early; an `Ok` program must then fail in compile, verify, or
+/// execute.
+pub fn mutated_program(
+    class: MutationClass,
+    l: usize,
+    magnitude: usize,
+) -> Result<Program, CoreError> {
+    let l = l.max(2);
+    let magnitude = magnitude.max(1) as i64;
+    let mut p = Program::new("mutated");
+    match class {
+        MutationClass::ShapeMismatch => {
+            let x = p.input("x", &[l], &[1, 2]);
+            // The identity UDF forwards leaf [1, 2]; declaring [1, 4]
+            // must be rejected when the nest is validated.
+            let y = p.output("y", &[l], &[1, 4]);
+            p.add_nest(Nest {
+                name: "shape_mismatch".into(),
+                ops: vec![OpKind::Map],
+                extents: vec![l],
+                reads: vec![Read::plain(x, AccessSpec::identity(1))],
+                writes: vec![Write {
+                    buffer: y,
+                    access: AccessSpec::identity(1),
+                }],
+                udf: scan_udf("shape_mismatch", 1),
+            })?;
+        }
+        MutationClass::OutOfRangeOffset => {
+            let x = p.input("x", &[l], &[1, 2]);
+            let y = p.output("y", &[l], &[1, 2]);
+            // tanh keeps the block from being a pure copy — coarsening
+            // would otherwise fuse it away before anything can inspect
+            // the corrupted map.
+            let udf = {
+                let mut b = UdfBuilder::new("oob_offset", 1);
+                let x = b.input(0);
+                let t = b.tanh(x);
+                b.build(&[t])
+            };
+            p.add_nest(Nest {
+                name: "oob_offset".into(),
+                ops: vec![OpKind::Map],
+                extents: vec![l],
+                // Reads x[t + l·magnitude]: out of range at every point.
+                reads: vec![Read::plain(
+                    x,
+                    AccessSpec::new(vec![AxisExpr::shifted(0, l as i64 * magnitude)]),
+                )],
+                writes: vec![Write {
+                    buffer: y,
+                    access: AccessSpec::identity(1),
+                }],
+                udf,
+            })?;
+        }
+        MutationClass::EmptyDimension => {
+            let x = p.input("x", &[l], &[1, 2]);
+            let y = p.output("y", &[l], &[1, 2]);
+            p.add_nest(Nest {
+                name: "empty_dim".into(),
+                ops: vec![OpKind::Map],
+                extents: vec![0],
+                reads: vec![Read::plain(x, AccessSpec::identity(1))],
+                writes: vec![Write {
+                    buffer: y,
+                    access: AccessSpec::identity(1),
+                }],
+                udf: scan_udf("empty_dim", 1),
+            })?;
+        }
+        MutationClass::DependenceCycle => {
+            let x = p.input("x", &[l], &[1, 2]);
+            let y = p.output("y", &[l], &[1, 2]);
+            // A shift of `l` or more leaves the iteration domain entirely
+            // (every carried read resolves to its initializer), which
+            // dissolves the cycle — clamp so the mutation is never vacuous.
+            let shift = magnitude.min(l as i64 - 1);
+            p.add_nest(Nest {
+                name: "dep_cycle".into(),
+                ops: vec![OpKind::ScanL],
+                extents: vec![l],
+                reads: vec![
+                    Read::plain(x, AccessSpec::identity(1)),
+                    // Forward-carried...
+                    Read::carried(
+                        y,
+                        AccessSpec::new(vec![AxisExpr::shifted(0, -shift)]),
+                        CarriedInit::Zero,
+                    ),
+                    // ...and backward-carried on the same dim.
+                    Read::carried(
+                        y,
+                        AccessSpec::new(vec![AxisExpr::shifted(0, shift)]),
+                        CarriedInit::Zero,
+                    ),
+                ],
+                writes: vec![Write {
+                    buffer: y,
+                    access: AccessSpec::identity(1),
+                }],
+                udf: scan_udf("dep_cycle", 3),
+            })?;
+        }
+    }
+    Ok(p)
+}
+
+/// Inputs matching [`mutated_program`]'s single `x` input buffer.
+pub fn mutated_inputs(l: usize, seed: u64) -> HashMap<BufferId, FractalTensor> {
+    let l = l.max(2);
+    let x = FractalTensor::from_flat(&Tensor::randn(&[l, 1, 2], seed), 1)
+        .expect("well-formed input tensor");
+    let mut m = HashMap::new();
+    m.insert(BufferId(0), x);
+    m
 }
 
 #[cfg(test)]

@@ -1,0 +1,253 @@
+//! Fault-injection chaos suite for the wavefront executor.
+//!
+//! Every injected fault class — a worker panic at each wavefront step, a
+//! corrupted access-map offset, NaN poisoning of step outputs — must
+//! surface as a typed [`ExecError`] when fallback is off, and as a clean
+//! result **bit-identical to the reference executor** plus a degradation
+//! report when fallback is on. Zero process aborts across the suite.
+
+use std::collections::HashMap;
+
+use ft_backend::{execute_reference, ExecError, Executor, FaultPlan};
+use ft_core::adt::FractalTensor;
+use ft_core::builders::stacked_rnn_program;
+use ft_core::BufferId;
+use ft_etdg::RegionRead;
+use ft_passes::{compile, CompiledProgram};
+use ft_tensor::Tensor;
+
+struct Chaos {
+    compiled: CompiledProgram,
+    inputs: HashMap<BufferId, FractalTensor>,
+    reference: HashMap<BufferId, FractalTensor>,
+}
+
+fn setup() -> Chaos {
+    let p = stacked_rnn_program(2, 3, 5, 4);
+    let compiled = compile(&p).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[2, 5, 1, 4], 11), 2).unwrap(),
+    );
+    inputs.insert(
+        BufferId(1),
+        FractalTensor::from_flat(&Tensor::randn(&[3, 4, 4], 12).mul_scalar(0.3), 1).unwrap(),
+    );
+    let reference = execute_reference(&compiled, &inputs, 1).unwrap();
+    Chaos {
+        compiled,
+        inputs,
+        reference,
+    }
+}
+
+fn assert_bitwise_equal(
+    a: &HashMap<BufferId, FractalTensor>,
+    b: &HashMap<BufferId, FractalTensor>,
+    ctx: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{ctx}: output buffer sets differ");
+    for (id, fa) in a {
+        let va = fa.to_flat().unwrap().to_vec();
+        let vb = b[id].to_flat().unwrap().to_vec();
+        assert_eq!(
+            va.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{ctx}: buffer {id:?} diverged from reference"
+        );
+    }
+}
+
+/// The first (member, read) coordinate of group 0 that targets a buffer
+/// (fills cannot be corrupted).
+fn first_buffer_read(c: &CompiledProgram) -> (usize, usize) {
+    for (mi, &m) in c.groups[0].members.iter().enumerate() {
+        for (ri, read) in c.etdg.block(m).reads.iter().enumerate() {
+            if matches!(read, RegionRead::Buffer { .. }) {
+                return (mi, ri);
+            }
+        }
+    }
+    panic!("group 0 has no buffer reads");
+}
+
+#[test]
+fn worker_panic_at_every_step_with_fallback_matches_reference() {
+    let c = setup();
+    let (lo, hi) = c.compiled.groups[0].reordering.wavefront_range();
+    for step in lo..hi {
+        let outcome = Executor::new()
+            .threads(4)
+            .fallback(true)
+            .fault_plan(FaultPlan::new().panic_at(0, step))
+            .run_report(&c.compiled, &c.inputs)
+            .unwrap_or_else(|e| panic!("step {step}: fallback did not repair: {e}"));
+        let deg = outcome
+            .degraded
+            .unwrap_or_else(|| panic!("step {step}: injected panic did not degrade"));
+        assert_eq!(deg.group, Some(0), "step {step}");
+        assert_eq!(deg.step, Some(step), "step {step}");
+        assert!(
+            matches!(deg.error, ExecError::WorkerPanic { .. }),
+            "step {step}: wrong error class: {}",
+            deg.error
+        );
+        assert_bitwise_equal(
+            &outcome.outputs,
+            &c.reference,
+            &format!("panic at step {step}"),
+        );
+    }
+}
+
+#[test]
+fn worker_panic_without_fallback_is_a_typed_error() {
+    let c = setup();
+    let (lo, _) = c.compiled.groups[0].reordering.wavefront_range();
+    // threads=1 exercises the inline caller path, threads=4 the pool path.
+    for threads in [1usize, 4] {
+        let err = Executor::new()
+            .threads(threads)
+            .fault_plan(FaultPlan::new().panic_at(0, lo))
+            .run(&c.compiled, &c.inputs)
+            .expect_err("injected panic must error without fallback");
+        match err {
+            ExecError::WorkerPanic {
+                group,
+                step,
+                message,
+            } => {
+                assert_eq!(group, 0);
+                assert_eq!(step, lo);
+                assert!(
+                    message.contains("injected fault"),
+                    "payload lost: {message}"
+                );
+            }
+            other => panic!("threads={threads}: expected WorkerPanic, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_access_map_without_fallback_is_a_typed_error() {
+    let c = setup();
+    let (mi, ri) = first_buffer_read(&c.compiled);
+    for guard in [false, true] {
+        let err = Executor::new()
+            .threads(2)
+            .guard(guard)
+            .fault_plan(FaultPlan::new().corrupt_read(0, mi, ri, 10_000))
+            .run(&c.compiled, &c.inputs)
+            .expect_err("corrupted map must error");
+        match (guard, &err) {
+            (true, ExecError::Guard { detail, .. }) => {
+                assert!(detail.contains("out of range"), "{detail}");
+            }
+            (false, ExecError::Runtime(_)) | (false, ExecError::Guard { .. }) => {}
+            _ => panic!("guard={guard}: unexpected error class: {err}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_access_map_with_fallback_matches_reference() {
+    let c = setup();
+    let (mi, ri) = first_buffer_read(&c.compiled);
+    let outcome = Executor::new()
+        .threads(2)
+        .guard(true)
+        .fallback(true)
+        .fault_plan(FaultPlan::new().corrupt_read(0, mi, ri, 10_000))
+        .run_report(&c.compiled, &c.inputs)
+        .expect("fallback must repair the corrupted map");
+    assert!(outcome.degraded.is_some(), "corruption must degrade");
+    assert_bitwise_equal(&outcome.outputs, &c.reference, "corrupted map");
+}
+
+#[test]
+fn nan_poison_with_guard_is_a_typed_error() {
+    let c = setup();
+    let (lo, _) = c.compiled.groups[0].reordering.wavefront_range();
+    let err = Executor::new()
+        .threads(2)
+        .guard(true)
+        .fault_plan(FaultPlan::new().poison_nan_at(0, lo))
+        .run(&c.compiled, &c.inputs)
+        .expect_err("guard must catch the NaN");
+    match err {
+        ExecError::Guard { detail, step, .. } => {
+            assert!(detail.contains("non-finite"), "{detail}");
+            assert_eq!(step, lo);
+        }
+        other => panic!("expected Guard, got {other}"),
+    }
+}
+
+#[test]
+fn nan_poison_with_guard_and_fallback_matches_reference() {
+    let c = setup();
+    let (lo, hi) = c.compiled.groups[0].reordering.wavefront_range();
+    for step in [lo, (lo + hi) / 2] {
+        let outcome = Executor::new()
+            .threads(4)
+            .guard(true)
+            .fallback(true)
+            .fault_plan(FaultPlan::new().poison_nan_at(0, step))
+            .run_report(&c.compiled, &c.inputs)
+            .expect("fallback must repair the poisoned step");
+        let deg = outcome.degraded.expect("poison must degrade");
+        assert_eq!(deg.step, Some(step));
+        assert_bitwise_equal(
+            &outcome.outputs,
+            &c.reference,
+            &format!("NaN at step {step}"),
+        );
+    }
+}
+
+#[test]
+fn unpoisoned_run_with_guard_and_fallback_stays_clean() {
+    // Guard and fallback must be free when nothing is wrong: no
+    // degradation report, outputs bit-identical to the plain run.
+    let c = setup();
+    let outcome = Executor::new()
+        .threads(4)
+        .guard(true)
+        .fallback(true)
+        .run_report(&c.compiled, &c.inputs)
+        .unwrap();
+    assert!(outcome.degraded.is_none(), "clean run must not degrade");
+    assert_bitwise_equal(&outcome.outputs, &c.reference, "clean guarded run");
+}
+
+#[test]
+fn missing_input_is_not_repaired_by_fallback() {
+    // Input errors fail identically on the reference path, so fallback
+    // must propagate them instead of looping through a doomed re-run.
+    let c = setup();
+    let err = Executor::new()
+        .threads(2)
+        .fallback(true)
+        .run(&c.compiled, &HashMap::new())
+        .expect_err("missing inputs must stay an error");
+    assert!(matches!(err, ExecError::Input(_)), "got {err}");
+}
+
+#[test]
+fn pool_level_fault_injection_surfaces_with_payload() {
+    // The ft-pool hook injects below the executor: the panic payload must
+    // still round-trip into the typed error.
+    let pool = ft_pool::WorkerPool::new(4);
+    pool.inject_fault(1, 1.min(pool.threads() - 1));
+    let err = pool
+        .try_run(std::sync::Arc::new(|_w| {}))
+        .expect_err("injected pool fault must fail the job");
+    assert!(
+        ft_pool::panic_message(&err).contains("injected pool fault"),
+        "payload lost"
+    );
+    // The fault is one-shot: the pool keeps working afterwards.
+    pool.run(std::sync::Arc::new(|_w| {}));
+}

@@ -1,0 +1,110 @@
+//! Property tests over deliberately corrupted programs.
+//!
+//! Every [`MutationClass`] must be caught by a typed error at *some* layer
+//! of construct → compile → verify → guarded execute. No mutation may
+//! panic the process, and none may flow through all four layers into a
+//! silently wrong answer.
+
+use ft_backend::Executor;
+use ft_passes::compile;
+use ft_verify::{verify, VerifyError};
+use ft_workloads::{mutated_inputs, mutated_program, MutationClass};
+use proptest::prelude::*;
+
+#[test]
+fn every_mutation_class_is_caught_at_its_expected_layer() {
+    for class in MutationClass::ALL {
+        let label = class.label();
+        let program = match mutated_program(class, 4, 1) {
+            Err(_) => {
+                // Construction-time rejection is the earliest (and best)
+                // outcome; only the structural classes may take it.
+                assert!(
+                    matches!(
+                        class,
+                        MutationClass::ShapeMismatch | MutationClass::EmptyDimension
+                    ),
+                    "{label}: unexpectedly rejected at construction"
+                );
+                continue;
+            }
+            Ok(p) => p,
+        };
+        let compiled = match compile(&program) {
+            Err(_) => {
+                assert_eq!(
+                    class,
+                    MutationClass::DependenceCycle,
+                    "{label}: unexpectedly rejected at compile"
+                );
+                continue;
+            }
+            Ok(c) => c,
+        };
+        // Whatever survives compilation must be stopped by the verifier
+        // before it can execute — currently only the out-of-range offset.
+        assert_eq!(class, MutationClass::OutOfRangeOffset, "{label}");
+        match verify(&compiled) {
+            Err(VerifyError::MapOutOfRange { buffer, .. }) => {
+                assert_eq!(buffer, "x", "{label}: wrong buffer named");
+            }
+            other => panic!("{label}: expected MapOutOfRange, got {other:?}"),
+        }
+        // Belt and braces: the guarded executor refuses it too.
+        let err = Executor::new()
+            .threads(2)
+            .guard(true)
+            .run(&compiled, &mutated_inputs(4, 3))
+            .expect_err("guarded executor must refuse the out-of-range read");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("out of range") || msg.contains("range"),
+            "{label}: untyped diagnostic: {msg}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized sweep over mutation class, scan length, corruption
+    /// magnitude, input seed, and thread count: some layer must error,
+    /// and nothing may panic (the proptest harness catches unwinds and
+    /// would report them as failures).
+    #[test]
+    fn prop_mutations_never_escape_the_safety_net(
+        class_idx in 0usize..4,
+        l in 2usize..9,
+        magnitude in 1usize..5,
+        seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let class = MutationClass::ALL[class_idx];
+        let Ok(program) = mutated_program(class, l, magnitude) else {
+            return Ok(()); // caught at construction
+        };
+        let Ok(compiled) = compile(&program) else {
+            return Ok(()); // caught at compile
+        };
+        let verified = verify(&compiled);
+        let executed = Executor::new()
+            .threads(threads)
+            .guard(true)
+            .run(&compiled, &mutated_inputs(l, seed));
+        prop_assert!(
+            verified.is_err() || executed.is_err(),
+            "{}: l={l} magnitude={magnitude} escaped verify AND guarded execution",
+            class.label()
+        );
+        // The verifier is the compile-time net: whenever the runtime
+        // trips on a bad access, the verifier must have flagged the
+        // schedule first.
+        if executed.is_err() {
+            prop_assert!(
+                verified.is_err(),
+                "{}: runtime failed but verifier passed the schedule",
+                class.label()
+            );
+        }
+    }
+}
