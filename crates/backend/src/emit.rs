@@ -14,8 +14,61 @@ use ft_etdg::RegionRead;
 use ft_passes::CompiledProgram;
 use ft_sim::TileConfig;
 
+/// Emission failures. The emitter sizes each launch group's tile staging
+/// hints from a concrete leaf shape; a group that exposes neither a write
+/// nor a readable leaf has no shape to size against, and guessing one
+/// (the old behavior: a silent `[1, 1]`) picks a bogus `TileConfig` and
+/// produces misleading staging hints — so it is a structured error instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmitError {
+    /// No leaf shape could be derived for a launch group: its lead member
+    /// has no writes and no buffer/fill reads.
+    NoLeafShape {
+        /// Launch group index.
+        group: usize,
+        /// Lead block name.
+        block: String,
+    },
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmitError::NoLeafShape { group, block } => write!(
+                f,
+                "launch group {group} (lead block '{block}') has no writes and no \
+                 readable leaf to derive a tile shape from"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// The leaf shape a launch group's tile configuration is sized from: the
+/// lead member's first write target, falling back to its first read (a
+/// buffer's leaf shape or a fill's synthesized shape) for write-free
+/// groups.
+fn group_leaf_shape(
+    etdg: &ft_etdg::Etdg,
+    first: &ft_etdg::BlockNode,
+    gi: usize,
+) -> Result<ft_tensor::Shape, EmitError> {
+    if let Some(w) = first.writes.first() {
+        return Ok(etdg.buffer(w.buffer).leaf_shape.clone());
+    }
+    match first.reads.first() {
+        Some(RegionRead::Buffer { buffer, .. }) => Ok(etdg.buffer(*buffer).leaf_shape.clone()),
+        Some(RegionRead::Fill { leaf_shape, .. }) => Ok(leaf_shape.clone()),
+        None => Err(EmitError::NoLeafShape {
+            group: gi,
+            block: first.name.clone(),
+        }),
+    }
+}
+
 /// Renders the whole compiled program.
-pub fn emit_program(compiled: &CompiledProgram, smem_budget: u64) -> String {
+pub fn emit_program(compiled: &CompiledProgram, smem_budget: u64) -> Result<String, EmitError> {
     use std::fmt::Write as _;
     let mut s = String::new();
     let etdg = &compiled.etdg;
@@ -40,11 +93,7 @@ pub fn emit_program(compiled: &CompiledProgram, smem_budget: u64) -> String {
     for (gi, group) in compiled.groups.iter().enumerate() {
         let r = &group.reordering;
         let first = etdg.block(group.members[0]);
-        let leaf = first
-            .writes
-            .first()
-            .map(|w| etdg.buffer(w.buffer).leaf_shape.clone())
-            .unwrap_or_else(|| ft_tensor::Shape::new(&[1, 1]));
+        let leaf = group_leaf_shape(etdg, first, gi)?;
         let m = leaf.dims().first().copied().unwrap_or(1);
         let n = leaf.dims().get(1).copied().unwrap_or(1);
         let tile = TileConfig::select(m, n, smem_budget);
@@ -153,7 +202,7 @@ pub fn emit_program(compiled: &CompiledProgram, smem_budget: u64) -> String {
         }
         let _ = writeln!(s, "}}");
     }
-    s
+    Ok(s)
 }
 
 fn fmt_operand(o: &Operand) -> String {
@@ -232,7 +281,7 @@ mod tests {
     fn emission_contains_wavefront_and_regions() {
         let p = stacked_rnn_program(2, 3, 4, 8);
         let compiled = compile(&p).unwrap();
-        let code = emit_program(&compiled, 192 * 1024);
+        let code = emit_program(&compiled, 192 * 1024).unwrap();
         // One macro-kernel, a host wavefront loop, all four regions, and
         // the cell math as tile ops.
         assert!(code.contains("group0_kernel"), "{code}");
@@ -251,8 +300,44 @@ mod tests {
     fn emission_mentions_tile_shapes() {
         let p = stacked_rnn_program(2, 3, 4, 512);
         let compiled = compile(&p).unwrap();
-        let code = emit_program(&compiled, 192 * 1024);
+        let code = emit_program(&compiled, 192 * 1024).unwrap();
         assert!(code.contains("tile:"));
         assert!(code.contains("base tile 16"));
+    }
+
+    #[test]
+    fn write_free_group_sizes_tiles_from_reads() {
+        // Strip the lead member's writes: the tile shape must come from its
+        // reads (leaf [1, 8] here), not from a silent [1, 1] substitute.
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let mut compiled = compile(&p).unwrap();
+        let lead = compiled.groups[0].members[0];
+        compiled.etdg.blocks[lead.0].writes.clear();
+        let first = compiled.etdg.block(lead);
+        let leaf = group_leaf_shape(&compiled.etdg, first, 0).unwrap();
+        assert_eq!(leaf.dims(), &[1, 8]);
+        let code = emit_program(&compiled, 192 * 1024).unwrap();
+        // A [1, 8]-leaf tile, not the 1x1x1 a [1, 1] guess would produce.
+        assert!(!code.contains("tile: 1x1x"), "{code}");
+    }
+
+    #[test]
+    fn group_with_no_shape_source_is_a_structured_error() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let mut compiled = compile(&p).unwrap();
+        let lead = compiled.groups[0].members[0];
+        compiled.etdg.blocks[lead.0].writes.clear();
+        compiled.etdg.blocks[lead.0].reads.clear();
+        let err = emit_program(&compiled, 192 * 1024).unwrap_err();
+        match &err {
+            EmitError::NoLeafShape { group, block } => {
+                assert_eq!(*group, 0);
+                assert!(
+                    block.contains("region"),
+                    "lead block named in error: {block}"
+                );
+            }
+        }
+        assert!(err.to_string().contains("no writes"));
     }
 }

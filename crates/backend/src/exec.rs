@@ -221,13 +221,43 @@ pub fn execute(
 /// [`Executor::default`] picks the worker count from the `FT_THREADS`
 /// environment variable, falling back to the machine's available
 /// parallelism (see [`ft_pool::default_threads`]); guard mode defaults on
-/// when `FT_GUARD=1`, and fallback when `FT_FALLBACK=1`.
-#[derive(Debug, Clone, Default)]
+/// when `FT_GUARD=1`, and fallback when `FT_FALLBACK=1`. Both environment
+/// flags are resolved **once, at construction** — `run` never touches the
+/// environment, so a long-lived `Executor` (e.g. the serving runtime's)
+/// pays no `std::env::var` lookups on the hot path and is immune to
+/// concurrent env mutation from other threads.
+#[derive(Clone)]
 pub struct Executor {
     threads: Option<usize>,
-    guard: Option<bool>,
-    fallback: Option<bool>,
+    guard: bool,
+    fallback: bool,
     fault: Option<Arc<FaultPlan>>,
+    /// Shared persistent pool; `None` spawns a pool per `run`.
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            threads: None,
+            guard: env_flag("FT_GUARD"),
+            fallback: env_flag("FT_FALLBACK"),
+            fault: None,
+            pool: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("guard", &self.guard)
+            .field("fallback", &self.fallback)
+            .field("fault", &self.fault)
+            .field("pool", &self.pool.as_ref().map(|p| p.threads()))
+            .finish()
+    }
 }
 
 fn env_flag(name: &str) -> bool {
@@ -253,7 +283,7 @@ impl Executor {
     /// corruption into typed [`ExecError::Guard`]s. Also enabled by
     /// `FT_GUARD=1`.
     pub fn guard(mut self, on: bool) -> Self {
-        self.guard = Some(on);
+        self.guard = on;
         self
     }
 
@@ -264,7 +294,7 @@ impl Executor {
     /// [`Degradation`] report instead of an `Err`. Also enabled by
     /// `FT_FALLBACK=1`.
     pub fn fallback(mut self, on: bool) -> Self {
-        self.fallback = Some(on);
+        self.fallback = on;
         self
     }
 
@@ -274,16 +304,20 @@ impl Executor {
         self
     }
 
+    /// Runs on a caller-owned persistent [`WorkerPool`] instead of spawning
+    /// one per `run`. The pool's effective participant count overrides
+    /// [`threads`](Self::threads); the serving runtime uses this so every
+    /// request shares one set of parked workers.
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     fn effective_threads(&self) -> usize {
-        self.threads.unwrap_or_else(ft_pool::default_threads)
-    }
-
-    fn guard_on(&self) -> bool {
-        self.guard.unwrap_or_else(|| env_flag("FT_GUARD"))
-    }
-
-    fn fallback_on(&self) -> bool {
-        self.fallback.unwrap_or_else(|| env_flag("FT_FALLBACK"))
+        match &self.pool {
+            Some(p) => p.threads(),
+            None => self.threads.unwrap_or_else(ft_pool::default_threads),
+        }
     }
 
     /// Runs the compiled program, returning every output buffer. With
@@ -314,7 +348,7 @@ impl Executor {
             // degrading cannot repair them.
             Err(e @ ExecError::Input(_)) => Err(e),
             Err(e) => {
-                if !self.fallback_on() {
+                if !self.fallback {
                     return Err(e);
                 }
                 ft_probe::counter("exec.fallbacks", 1.0);
@@ -371,8 +405,16 @@ impl Executor {
         // per-step state flows through `shared` behind cheap locks that
         // are only ever contended in the direction step-publish -> drain.
         // The pool may degrade to fewer participants than requested, so
-        // size everything by its effective count.
-        let pool = WorkerPool::new(self.effective_threads());
+        // size everything by its effective count. A caller-attached pool
+        // is reused as-is (its workers stay parked between runs).
+        let owned_pool;
+        let pool: &WorkerPool = match &self.pool {
+            Some(p) => p,
+            None => {
+                owned_pool = WorkerPool::new(self.effective_threads());
+                &owned_pool
+            }
+        };
         let threads = pool.threads();
 
         let mut root = ft_probe::span("exec", "execute");
@@ -390,7 +432,7 @@ impl Executor {
                 .map(|_| Mutex::new(WorkerOut::default()))
                 .collect(),
             probe_on: ft_probe::enabled(),
-            guard: self.guard_on(),
+            guard: self.guard,
             fault: self.fault.clone(),
         });
         let job: ft_pool::Job = {
@@ -399,7 +441,7 @@ impl Executor {
         };
 
         for (gi, group) in compiled.groups.iter().enumerate() {
-            run_group(compiled, group, gi, &pool, &shared, &job)?;
+            run_group(compiled, group, gi, pool, &shared, &job)?;
         }
 
         let stores = shared.stores.read();
@@ -1024,6 +1066,35 @@ mod tests {
             total += n;
         }
         assert_eq!(total, r.domain.enumerate().unwrap().len());
+    }
+
+    #[test]
+    fn shared_pool_is_reused_across_runs() {
+        let p = stacked_rnn_program(2, 2, 3, 4);
+        let inputs = rnn_inputs(2, 2, 3, 4);
+        let compiled = compile(&p).unwrap();
+        let pool = Arc::new(WorkerPool::new(3));
+        let exec = Executor::new().pool(Arc::clone(&pool));
+        let reference = execute(&compiled, &inputs, 1).unwrap();
+        for _ in 0..3 {
+            let got = exec.run(&compiled, &inputs).unwrap();
+            for (id, ft) in &reference {
+                assert_eq!(ft, &got[id], "shared-pool run diverged");
+            }
+        }
+        // The executor sized itself by the pool, not the threads default.
+        assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn guard_and_fallback_are_fixed_at_construction() {
+        // Builder settings stick; `run` never consults the environment.
+        let exec = Executor::new().guard(true).fallback(true);
+        assert!(exec.guard);
+        assert!(exec.fallback);
+        let exec = Executor::new().guard(false).fallback(false);
+        assert!(!exec.guard);
+        assert!(!exec.fallback);
     }
 
     #[test]

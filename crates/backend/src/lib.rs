@@ -35,7 +35,7 @@ pub mod exec;
 mod plan;
 pub mod reference;
 
-pub use emit::emit_program;
+pub use emit::{emit_program, EmitError};
 pub use exec::{execute, Degradation, ExecError, ExecOutcome, Executor, FaultPlan};
 pub use reference::execute_reference;
 

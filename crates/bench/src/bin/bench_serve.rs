@@ -1,0 +1,269 @@
+//! Serving-runtime benchmark: plan-cache setup amortization and dynamic
+//! batching throughput under concurrent load.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin bench_serve            # full run
+//! cargo run --release -p ft-bench --bin bench_serve -- --smoke # tiny load
+//! cargo run --release -p ft-bench --bin bench_serve -- --json  # print JSON
+//! cargo run --release -p ft-bench --bin bench_serve -- --out results/BENCH_serve.json
+//! ```
+//!
+//! The workload is a *narrow* stacked RNN (one sequence per request,
+//! depth 2, seq 256): its wavefront never exceeds the depth, so at 8
+//! worker threads an unbatched launch leaves most of the pool idle and
+//! pays the fixed per-wavefront-step synchronization cost for almost no
+//! parallel work. Batching K same-plan requests widens the outer `map` to
+//! K sequences, filling the pool and amortizing the step cost K-fold — the
+//! serving-side version of the paper's nested-parallelism argument.
+//! Closed-loop client threads submit through one shared
+//! [`ft_serve::Runtime`]; we sweep worker threads × {batched, unbatched}
+//! and report throughput, latency percentiles, and realized batch sizes,
+//! plus the cold-compile vs cached-plan setup cost.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ft_core::builders::stacked_rnn_program;
+use ft_core::{BufferId, FractalTensor, Program};
+use ft_serve::{Request, Runtime, ServeConfig};
+use ft_tensor::Tensor;
+use serde_json::{json, Value};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+const SHAPE: (usize, usize, usize, usize) = (1, 2, 256, 16); // n, d, l, h
+
+struct LoadRow {
+    threads: usize,
+    batched: bool,
+    clients: usize,
+    requests: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+}
+
+fn request_inputs(seed: u64, shared_ws: &FractalTensor) -> HashMap<BufferId, FractalTensor> {
+    let (n, _d, l, h) = SHAPE;
+    let mut m = HashMap::new();
+    m.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).unwrap(),
+    );
+    // Shared weights: identical across requests, as in real serving — and a
+    // precondition for fusing the batch.
+    m.insert(BufferId(1), shared_ws.clone());
+    m
+}
+
+fn shared_weights() -> FractalTensor {
+    let (_n, d, _l, h) = SHAPE;
+    FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 8).mul_scalar(0.2), 1).unwrap()
+}
+
+/// Closed-loop load: `clients` threads each submit `per_client` requests
+/// back to back through one shared runtime.
+fn run_load(
+    threads: usize,
+    batched: bool,
+    clients: usize,
+    per_client: usize,
+    program: &Arc<Program>,
+    ws: &FractalTensor,
+) -> LoadRow {
+    let rt = Arc::new(Runtime::new(ServeConfig {
+        threads,
+        batching: batched,
+        max_batch: 8,
+        ..ServeConfig::default()
+    }));
+    // Warm the plan cache (including fused variants) so the timed section
+    // measures serving, not compilation.
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = Arc::clone(&rt);
+            let program = Arc::clone(program);
+            let inputs = request_inputs(1000 + c as u64, ws);
+            s.spawn(move || {
+                rt.submit_wait(Request::new(program, inputs))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+            });
+        }
+    });
+    let warm = rt.stats();
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = Arc::clone(&rt);
+            let program = Arc::clone(program);
+            let ws = ws.clone();
+            s.spawn(move || {
+                for r in 0..per_client {
+                    let inputs = request_inputs((c * per_client + r) as u64, &ws);
+                    rt.submit_wait(Request::new(Arc::clone(&program), inputs))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = rt.stats();
+
+    let requests = (clients * per_client) as u64;
+    let timed_batches = stats.batches - warm.batches;
+    let timed_batched_requests = stats.batched_requests - warm.batched_requests;
+    let mean_batch = if timed_batches > 0 {
+        timed_batched_requests as f64 / timed_batches as f64
+    } else {
+        0.0
+    };
+    let row = LoadRow {
+        threads,
+        batched,
+        clients,
+        requests,
+        throughput_rps: requests as f64 / elapsed,
+        // Percentiles include the warm-up requests; with per_client >> 1
+        // the steady state dominates.
+        p50_ms: stats.latency_p50_us / 1e3,
+        p99_ms: stats.latency_p99_us / 1e3,
+        mean_batch,
+    };
+    eprintln!(
+        "threads={} {:9} clients={} {:6.0} req/s   p50 {:7.3} ms   p99 {:7.3} ms   mean batch {:.2}",
+        row.threads,
+        if batched { "batched" } else { "unbatched" },
+        row.clients,
+        row.throughput_rps,
+        row.p50_ms,
+        row.p99_ms,
+        row.mean_batch
+    );
+    row
+}
+
+/// Per-request setup cost: cold compile+verify vs cached-plan lookup, both
+/// measured by the runtime itself.
+fn measure_setup(program: &Arc<Program>, ws: &FractalTensor, resubmissions: usize) -> (f64, f64) {
+    let rt = Runtime::new(ServeConfig {
+        threads: 2,
+        batching: false,
+        ..ServeConfig::default()
+    });
+    for i in 0..=resubmissions {
+        rt.submit_wait(Request::new(
+            Arc::clone(program),
+            request_inputs(i as u64, ws),
+        ))
+        .unwrap()
+        .wait()
+        .unwrap();
+    }
+    let stats = rt.stats();
+    (stats.cold_setup_mean_us, stats.cached_setup_mean_us)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_out = args.iter().any(|a| a == "--json");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (n, d, l, h) = SHAPE;
+    let program = Arc::new(stacked_rnn_program(n, d, l, h));
+    let ws = shared_weights();
+
+    let (cold_us, cached_us) = measure_setup(&program, &ws, if smoke { 10 } else { 50 });
+    let setup_speedup = if cached_us > 0.0 {
+        cold_us / cached_us
+    } else {
+        0.0
+    };
+    eprintln!(
+        "setup: cold compile+verify {cold_us:9.1} us   cached lookup {cached_us:7.2} us   ({setup_speedup:.0}x)"
+    );
+
+    let threads: &[usize] = if smoke { &[2] } else { THREADS };
+    let clients = 8;
+    let per_client = if smoke { 6 } else { 40 };
+    let mut rows = Vec::new();
+    for &t in threads {
+        for batched in [false, true] {
+            rows.push(run_load(t, batched, clients, per_client, &program, &ws));
+        }
+    }
+
+    let batched_vs_unbatched: Option<f64> = {
+        let at = |t: usize, b: bool| {
+            rows.iter()
+                .find(|r| r.threads == t && r.batched == b)
+                .map(|r| r.throughput_rps)
+        };
+        let t = *threads.last().unwrap_or(&2);
+        match (at(t, true), at(t, false)) {
+            (Some(yes), Some(no)) if no > 0.0 => Some(yes / no),
+            _ => None,
+        }
+    };
+    if let Some(x) = batched_vs_unbatched {
+        eprintln!(
+            "batched vs unbatched throughput at {} threads: {x:.2}x",
+            threads.last().unwrap_or(&2)
+        );
+    }
+
+    let load: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "threads": r.threads as u64,
+                "mode": if r.batched { "batched" } else { "unbatched" },
+                "clients": r.clients as u64,
+                "requests": r.requests,
+                "throughput_rps": r.throughput_rps,
+                "p50_ms": r.p50_ms,
+                "p99_ms": r.p99_ms,
+                "mean_batch": r.mean_batch,
+            })
+        })
+        .collect();
+    let setup = json!({
+        "cold_compile_verify_us": cold_us,
+        "cached_lookup_us": cached_us,
+        "speedup": setup_speedup,
+    });
+    let report = json!({
+        "bench": "serve",
+        "smoke": smoke,
+        "workload": format!("stacked_rnn n={n} d={d} l={l} h={h} (per request)"),
+        "host_parallelism": std::thread::available_parallelism()
+            .map(|v| v.get() as u64)
+            .unwrap_or(1),
+        "setup": setup,
+        "batched_vs_unbatched_throughput": batched_vs_unbatched.unwrap_or(0.0),
+        "load": load,
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).unwrap();
+            }
+        }
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("wrote {path}");
+    }
+    if json_out {
+        println!("{rendered}");
+    }
+}

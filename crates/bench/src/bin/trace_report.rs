@@ -42,6 +42,7 @@ const WORKLOADS: &[&str] = &[
     "attention",
     "bigbird",
     "retnet",
+    "serve",
 ];
 const THREADS: usize = 4;
 const SEED: u64 = 7;
@@ -162,9 +163,53 @@ fn run_workload(name: &str, sim_rows: &mut Vec<serde_json::Value>) -> Result<(),
                 retnet::simulate(s, strat)
             })
         }
+        "serve" => trace_serve().map(|()| Vec::new()),
         other => Err(format!("unhandled workload '{other}'")),
     }
     .map(|rows| sim_rows.extend(rows))
+}
+
+/// A short serving session under the probe: concurrent same-plan requests
+/// through one runtime, so the `serve.*` queue-depth / batch-size /
+/// latency / setup counters (plus `passes.plan_cache_*`) land in
+/// metrics.json next to the executor's.
+fn trace_serve() -> Result<(), String> {
+    use ft_core::builders::stacked_rnn_program;
+    use ft_serve::{Request, Runtime, ServeConfig};
+    use ft_tensor::Tensor;
+    use std::sync::Arc;
+
+    let mut wspan = ft_probe::span("trace", "workload");
+    wspan.field("workload", "serve");
+
+    let (n, d, l, h) = (1usize, 2, 32, 16);
+    let program = Arc::new(stacked_rnn_program(n, d, l, h));
+    let ws = FractalTensor::from_flat(&Tensor::randn(&[d, h, h], SEED).mul_scalar(0.2), 1)
+        .map_err(|e| format!("weights: {e}"))?;
+    let rt = Runtime::new(ServeConfig {
+        threads: THREADS,
+        max_batch: 4,
+        ..ServeConfig::default()
+    });
+    let mut tickets = Vec::new();
+    for round in 0..8u64 {
+        let xss = FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], SEED + round), 2)
+            .map_err(|e| format!("inputs: {e}"))?;
+        let mut inputs = HashMap::new();
+        inputs.insert(BufferId(0), xss);
+        inputs.insert(BufferId(1), ws.clone());
+        tickets.push(
+            rt.submit_wait(Request::new(Arc::clone(&program), inputs))
+                .map_err(|e| format!("submit: {e}"))?,
+        );
+    }
+    for t in tickets {
+        t.wait().map_err(|e| format!("serve: {e}"))?;
+    }
+    let stats = rt.stats();
+    wspan.field("completed", stats.completed);
+    wspan.field("batches", stats.batches);
+    Ok(())
 }
 
 /// Compile + execute + simulate one workload; returns the per-strategy

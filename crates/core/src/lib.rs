@@ -39,6 +39,7 @@ pub mod builders;
 pub mod expr;
 pub mod interp;
 pub mod program;
+pub mod sig;
 
 pub use access::{AccessSpec, AxisExpr};
 pub use adt::FractalTensor;
@@ -46,6 +47,7 @@ pub use expr::{Expr, Udf};
 pub use program::{
     BufferDecl, BufferId, BufferKind, CarriedInit, CoreError, Nest, OpKind, Program, Read, Write,
 };
+pub use sig::{program_signature, ProgramSig};
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,297 @@
+//! Structural program signatures.
+//!
+//! [`program_signature`] hashes everything that determines a program's
+//! compiled schedule — buffer dims, leaf shapes and kinds, nest operator
+//! vectors and extents, access specifications (including carried-init
+//! boundary rules), and the UDF's SSA statement structure — while
+//! deliberately ignoring every debug *name* (program, buffer, nest, UDF).
+//! Two structurally identical programs that differ only in naming therefore
+//! produce the same signature, which is exactly the key the serving layer's
+//! compiled-plan cache needs: repeated submissions of the same workload hit
+//! one cache entry regardless of how callers labeled their buffers.
+//!
+//! The hash is a self-contained 64-bit FNV-1a so signatures are stable
+//! across processes and toolchains (no `DefaultHasher` seeding concerns);
+//! every variable-length field is prefixed with its length and every enum
+//! with a discriminant tag, so distinct structures cannot collide by
+//! concatenation ambiguity.
+
+use crate::access::{AccessSpec, AxisExpr};
+use crate::expr::{OpCode, Operand, Udf};
+use crate::program::{BufferKind, CarriedInit, OpKind, Program, Read, Write};
+
+/// A structural program signature (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramSig(pub u64);
+
+impl std::fmt::Display for ProgramSig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 64-bit FNV-1a, fed field-by-field with explicit tags.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f32_bits(&mut self, v: f32) {
+        self.u64(v.to_bits() as u64);
+    }
+
+    /// Enum discriminant / structural separator tag.
+    fn tag(&mut self, t: u8) {
+        self.byte(t);
+    }
+}
+
+/// Computes the structural signature of a program (name-insensitive; see
+/// the module docs for what is and is not hashed).
+pub fn program_signature(p: &Program) -> ProgramSig {
+    let mut h = Fnv::new();
+    h.usize(p.buffers.len());
+    for b in &p.buffers {
+        h.tag(match b.kind {
+            BufferKind::Input => 1,
+            BufferKind::Output => 2,
+            BufferKind::Intermediate => 3,
+        });
+        h.usize(b.dims.len());
+        for &d in &b.dims {
+            h.usize(d);
+        }
+        let leaf = b.leaf_shape.dims();
+        h.usize(leaf.len());
+        for &d in leaf {
+            h.usize(d);
+        }
+    }
+    h.usize(p.nests.len());
+    for n in &p.nests {
+        h.usize(n.ops.len());
+        for op in &n.ops {
+            h.tag(op_kind_tag(*op));
+        }
+        for &e in &n.extents {
+            h.usize(e);
+        }
+        h.usize(n.reads.len());
+        for r in &n.reads {
+            hash_read(&mut h, r);
+        }
+        h.usize(n.writes.len());
+        for w in &n.writes {
+            hash_write(&mut h, w);
+        }
+        hash_udf(&mut h, &n.udf);
+    }
+    ProgramSig(h.0)
+}
+
+fn op_kind_tag(op: OpKind) -> u8 {
+    match op {
+        OpKind::Map => 1,
+        OpKind::ScanL => 2,
+        OpKind::ScanR => 3,
+        OpKind::FoldL => 4,
+        OpKind::FoldR => 5,
+        OpKind::Reduce => 6,
+    }
+}
+
+fn hash_read(h: &mut Fnv, r: &Read) {
+    h.tag(10);
+    h.usize(r.buffer.0);
+    hash_access(h, &r.access);
+    match &r.init {
+        None => h.tag(0),
+        Some(CarriedInit::Zero) => h.tag(1),
+        Some(CarriedInit::Fill(v)) => {
+            h.tag(2);
+            h.f32_bits(*v);
+        }
+        Some(CarriedInit::Buffer(b, spec)) => {
+            h.tag(3);
+            h.usize(b.0);
+            hash_access(h, spec);
+        }
+    }
+}
+
+fn hash_write(h: &mut Fnv, w: &Write) {
+    h.tag(11);
+    h.usize(w.buffer.0);
+    hash_access(h, &w.access);
+}
+
+fn hash_access(h: &mut Fnv, a: &AccessSpec) {
+    h.usize(a.axes.len());
+    for axis in &a.axes {
+        hash_axis(h, axis);
+    }
+}
+
+fn hash_axis(h: &mut Fnv, a: &AxisExpr) {
+    h.usize(a.terms.len());
+    for &(dim, coeff) in &a.terms {
+        h.usize(dim);
+        h.i64(coeff);
+    }
+    h.i64(a.offset);
+}
+
+fn hash_udf(h: &mut Fnv, u: &Udf) {
+    h.usize(u.num_inputs);
+    h.usize(u.stmts.len());
+    for s in &u.stmts {
+        hash_opcode(h, &s.op);
+        h.usize(s.args.len());
+        for a in &s.args {
+            hash_operand(h, a);
+        }
+    }
+    h.usize(u.outputs.len());
+    for o in &u.outputs {
+        hash_operand(h, o);
+    }
+}
+
+fn hash_operand(h: &mut Fnv, o: &Operand) {
+    match o {
+        Operand::In(k) => {
+            h.tag(1);
+            h.usize(*k);
+        }
+        Operand::Tmp(k) => {
+            h.tag(2);
+            h.usize(*k);
+        }
+    }
+}
+
+fn hash_opcode(h: &mut Fnv, op: &OpCode) {
+    match op {
+        OpCode::MatMul => h.tag(1),
+        OpCode::MatMulT => h.tag(2),
+        OpCode::Add => h.tag(3),
+        OpCode::Sub => h.tag(4),
+        OpCode::Mul => h.tag(5),
+        OpCode::Div => h.tag(6),
+        OpCode::Max => h.tag(7),
+        OpCode::AddColBc => h.tag(8),
+        OpCode::SubColBc => h.tag(9),
+        OpCode::MulColBc => h.tag(10),
+        OpCode::DivColBc => h.tag(11),
+        OpCode::Scale(v) => {
+            h.tag(12);
+            h.f32_bits(*v);
+        }
+        OpCode::AddScalar(v) => {
+            h.tag(13);
+            h.f32_bits(*v);
+        }
+        OpCode::Tanh => h.tag(14),
+        OpCode::Sigmoid => h.tag(15),
+        OpCode::Exp => h.tag(16),
+        OpCode::Neg => h.tag(17),
+        OpCode::Relu => h.tag(18),
+        OpCode::RowMax => h.tag(19),
+        OpCode::RowSum => h.tag(20),
+        OpCode::Softmax => h.tag(21),
+        OpCode::Concat(a) => {
+            h.tag(22);
+            h.usize(*a);
+        }
+        OpCode::Slice { axis, start, end } => {
+            h.tag(23);
+            h.usize(*axis);
+            h.usize(*start);
+            h.usize(*end);
+        }
+        OpCode::Transpose => h.tag(24),
+        OpCode::Id => h.tag(25),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::stacked_rnn_program;
+
+    /// Renames every name-bearing field without touching structure.
+    fn renamed(mut p: Program, suffix: &str) -> Program {
+        p.name = format!("{}_{suffix}", p.name);
+        for b in &mut p.buffers {
+            b.name = format!("{}_{suffix}", b.name);
+        }
+        for n in &mut p.nests {
+            n.name = format!("{}_{suffix}", n.name);
+            n.udf.name = format!("{}_{suffix}", n.udf.name);
+        }
+        p
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let a = program_signature(&stacked_rnn_program(2, 3, 4, 8));
+        let b = program_signature(&stacked_rnn_program(2, 3, 4, 8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_ignores_names() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let q = renamed(p.clone(), "debug_copy");
+        assert_eq!(program_signature(&p), program_signature(&q));
+    }
+
+    #[test]
+    fn signature_distinguishes_extents_and_shapes() {
+        let base = program_signature(&stacked_rnn_program(2, 3, 4, 8));
+        assert_ne!(base, program_signature(&stacked_rnn_program(3, 3, 4, 8)));
+        assert_ne!(base, program_signature(&stacked_rnn_program(2, 4, 4, 8)));
+        assert_ne!(base, program_signature(&stacked_rnn_program(2, 3, 5, 8)));
+        assert_ne!(base, program_signature(&stacked_rnn_program(2, 3, 4, 16)));
+    }
+
+    #[test]
+    fn signature_distinguishes_access_offsets() {
+        let mut p = stacked_rnn_program(2, 3, 4, 8);
+        let base = program_signature(&p);
+        p.nests[0].reads[2].access.axes[2].offset = -2;
+        assert_ne!(base, program_signature(&p));
+    }
+
+    #[test]
+    fn signature_distinguishes_udf_structure() {
+        let mut p = stacked_rnn_program(2, 3, 4, 8);
+        let base = program_signature(&p);
+        p.nests[0].udf.stmts[0].op = OpCode::MatMulT;
+        assert_ne!(base, program_signature(&p));
+    }
+}

@@ -1,0 +1,173 @@
+//! The compiled-plan cache: the cache-aware entry point to `compile()`.
+//!
+//! The whole point of computing an ETDG schedule (§5) is that it depends
+//! only on program *structure* — once derived it is valid for every
+//! invocation of that workload. [`PlanCache`] keys compiled programs by
+//! [`ft_core::program_signature`] (a name-insensitive structural hash), so
+//! repeated submissions of the same workload skip parse, coarsen, reorder
+//! (and any caller-supplied verification) entirely and share one
+//! `Arc<CompiledProgram>`.
+//!
+//! Concurrency: lookups take a read lock; a miss compiles *outside* any
+//! lock and inserts under a short write lock. Two racing compilers of the
+//! same signature both succeed and the first insert wins — wasted work, not
+//! incorrectness. Hits and misses are counted on the cache and mirrored to
+//! the `passes.plan_cache_hits` / `passes.plan_cache_misses` probe
+//! counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ft_core::{program_signature, Program, ProgramSig};
+
+use crate::pipeline::{compile, CompiledProgram};
+use crate::Result;
+
+/// A concurrent signature-keyed cache of compiled programs.
+#[derive(Default)]
+pub struct PlanCache {
+    map: RwLock<HashMap<ProgramSig, Arc<CompiledProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.read().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compiles triggered through this cache) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The cached plan for a signature, if present (counts as a hit).
+    pub fn get(&self, sig: ProgramSig) -> Option<Arc<CompiledProgram>> {
+        let found = self.map.read().ok().and_then(|m| m.get(&sig).cloned());
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            ft_probe::counter("passes.plan_cache_hits", 1.0);
+        }
+        found
+    }
+
+    /// Returns the cached plan for `program`'s structural signature, or
+    /// compiles with [`compile`] and caches the result. The `bool` is true
+    /// on a cache hit.
+    pub fn get_or_compile(&self, program: &Program) -> Result<(Arc<CompiledProgram>, bool)> {
+        self.get_or_compile_with(program, compile)
+    }
+
+    /// Like [`get_or_compile`](Self::get_or_compile) but with a custom
+    /// compile function (e.g. `ft-verify`'s `compile_verified`), so callers
+    /// can layer extra checks onto cold compiles without re-verifying hits.
+    pub fn get_or_compile_with<E>(
+        &self,
+        program: &Program,
+        compile_fn: impl FnOnce(&Program) -> std::result::Result<CompiledProgram, E>,
+    ) -> std::result::Result<(Arc<CompiledProgram>, bool), E> {
+        let sig = program_signature(program);
+        if let Some(plan) = self.get(sig) {
+            return Ok((plan, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        ft_probe::counter("passes.plan_cache_misses", 1.0);
+        let compiled = Arc::new(compile_fn(program)?);
+        let plan = match self.map.write() {
+            Ok(mut m) => Arc::clone(m.entry(sig).or_insert_with(|| Arc::clone(&compiled))),
+            // A poisoned map (writer panicked) degrades to uncached compiles.
+            Err(_) => compiled,
+        };
+        Ok((plan, false))
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::builders::stacked_rnn_program;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = PlanCache::new();
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let (a, hit_a) = cache.get_or_compile(&p).unwrap();
+        let (b, hit_b) = cache.get_or_compile(&p).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn different_shapes_occupy_different_entries() {
+        let cache = PlanCache::new();
+        cache
+            .get_or_compile(&stacked_rnn_program(2, 3, 4, 8))
+            .unwrap();
+        cache
+            .get_or_compile(&stacked_rnn_program(2, 3, 5, 8))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn renamed_program_shares_the_entry() {
+        let cache = PlanCache::new();
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let mut q = p.clone();
+        q.name = "same_structure_other_name".into();
+        for b in &mut q.buffers {
+            b.name = format!("{}_renamed", b.name);
+        }
+        let (a, _) = cache.get_or_compile(&p).unwrap();
+        let (b, hit) = cache.get_or_compile(&q).unwrap();
+        assert!(hit, "renamed program must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn custom_compile_errors_propagate_and_cache_nothing() {
+        let cache = PlanCache::new();
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let err: std::result::Result<_, String> =
+            cache.get_or_compile_with(&p, |_| Err("verification failed".to_string()));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        // A later good compile still works.
+        let (_, hit) = cache.get_or_compile(&p).unwrap();
+        assert!(!hit);
+    }
+}

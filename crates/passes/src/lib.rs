@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod coarsen;
 pub mod compose;
 pub mod depend;
@@ -29,6 +30,7 @@ pub mod lower;
 pub mod pipeline;
 pub mod reorder;
 
+pub use cache::PlanCache;
 pub use coarsen::{coarsen, CoarsePlan, Group, MergeKind};
 pub use compose::compose_ops;
 pub use depend::distance_vectors;

@@ -1,0 +1,320 @@
+//! Batchability analysis and fused-batch construction.
+//!
+//! Dynamic batching (§ DESIGN.md §10) fuses K same-plan requests into one
+//! launch by concatenating their inputs along the outermost programmable
+//! dimension, running a single widened wavefront, and splitting the outputs
+//! back per request. That is only sound when the outermost dimension is
+//! embarrassingly parallel and every cross-element access pattern is
+//! preserved under concatenation:
+//!
+//! * every nest's outermost operator is `map` (no loop-carried dependence
+//!   along the batch dimension) and all nests share one outer extent `B`;
+//! * each buffer is either **batched** — its outer axis is indexed by
+//!   exactly the outer iteration variable (`axes[0] == t0`) and no other
+//!   axis mentions `t0`, so element `b` of request `r` maps 1:1 to element
+//!   `r*B + b` of the fused buffer — or **shared** — no access mentions
+//!   `t0` at all, so every request reads the same values (weights);
+//! * every written buffer (outputs and intermediates) is batched, so the
+//!   fused outputs split cleanly into K per-request chunks.
+//!
+//! Anything else (strided/windowed/constant outer access, a buffer used
+//! both ways, outer scans/folds) makes the program non-batchable and the
+//! runtime falls back to per-request execution.
+
+use ft_core::{
+    AccessSpec, AxisExpr, BufferKind, CarriedInit, CoreError, FractalTensor, OpKind, Program,
+};
+
+/// How each buffer of a batchable program participates in a fused batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// The per-request outer extent `B` shared by every nest.
+    pub batch_extent: usize,
+    /// Per buffer (indexed by `BufferId.0`): true = concatenate along the
+    /// outer dimension, false = pass one shared copy.
+    pub batched: Vec<bool>,
+}
+
+/// A buffer's observed role across all accesses.
+#[derive(Clone, Copy, PartialEq)]
+enum Role {
+    Unseen,
+    Batched,
+    Shared,
+}
+
+fn uses_outer(axis: &AxisExpr) -> bool {
+    axis.terms.iter().any(|&(d, c)| d == 0 && c != 0)
+}
+
+/// Classifies one access: `Some(true)` batched, `Some(false)` shared,
+/// `None` incompatible with batching.
+fn classify(spec: &AccessSpec) -> Option<bool> {
+    if !spec.axes.iter().any(uses_outer) {
+        return Some(false);
+    }
+    let first = spec.axes.first()?;
+    let nonzero: Vec<(usize, i64)> = first
+        .terms
+        .iter()
+        .copied()
+        .filter(|&(_, c)| c != 0)
+        .collect();
+    let first_is_t0 = first.offset == 0 && nonzero == [(0, 1)];
+    let rest_clean = spec.axes[1..].iter().all(|a| !uses_outer(a));
+    if first_is_t0 && rest_clean {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+fn merge(role: &mut Role, batched: bool) -> bool {
+    let next = if batched { Role::Batched } else { Role::Shared };
+    match *role {
+        Role::Unseen => {
+            *role = next;
+            true
+        }
+        r => r == next,
+    }
+}
+
+/// Decides whether `program` admits outer-dimension batching, and how.
+///
+/// Returns `None` when any rule in the module docs is violated; the caller
+/// then serves requests individually.
+pub fn analyze(program: &Program) -> Option<BatchInfo> {
+    let first_nest = program.nests.first()?;
+    if *first_nest.ops.first()? != OpKind::Map {
+        return None;
+    }
+    let b = *first_nest.extents.first()?;
+    let mut roles = vec![Role::Unseen; program.buffers.len()];
+    for nest in &program.nests {
+        if *nest.ops.first()? != OpKind::Map || *nest.extents.first()? != b {
+            return None;
+        }
+        for read in &nest.reads {
+            if !merge(&mut roles[read.buffer.0], classify(&read.access)?) {
+                return None;
+            }
+            if let Some(CarriedInit::Buffer(init_buf, init_spec)) = &read.init {
+                if !merge(&mut roles[init_buf.0], classify(init_spec)?) {
+                    return None;
+                }
+            }
+        }
+        for write in &nest.writes {
+            if !merge(&mut roles[write.buffer.0], classify(&write.access)?) {
+                return None;
+            }
+        }
+    }
+    let mut batched = Vec::with_capacity(program.buffers.len());
+    for (decl, role) in program.buffers.iter().zip(&roles) {
+        let is_batched = match (decl.kind, role) {
+            // Written buffers must split per request.
+            (BufferKind::Output | BufferKind::Intermediate, Role::Batched) => true,
+            (BufferKind::Output | BufferKind::Intermediate, _) => return None,
+            (BufferKind::Input, Role::Batched) => true,
+            // Unread inputs ride along as one shared copy.
+            (BufferKind::Input, Role::Shared | Role::Unseen) => false,
+        };
+        // Concatenation semantics need the declared outer extent to equal
+        // the batch extent exactly.
+        if is_batched && decl.dims.first() != Some(&b) {
+            return None;
+        }
+        batched.push(is_batched);
+    }
+    Some(BatchInfo {
+        batch_extent: b,
+        batched,
+    })
+}
+
+/// The fused program for `k` requests: outer nest extents and batched
+/// buffer extents scaled from `B` to `B * k`. Shared buffers keep their
+/// shape. Structure is otherwise identical, so the fused plan caches under
+/// its own signature.
+pub fn batched_program(program: &Program, info: &BatchInfo, k: usize) -> Program {
+    let mut fused = program.clone();
+    fused.name = format!("{}[x{k}]", program.name);
+    for (decl, &is_batched) in fused.buffers.iter_mut().zip(&info.batched) {
+        if is_batched {
+            if let Some(outer) = decl.dims.first_mut() {
+                *outer = info.batch_extent * k;
+            }
+        }
+    }
+    for nest in &mut fused.nests {
+        if let Some(outer) = nest.extents.first_mut() {
+            *outer = info.batch_extent * k;
+        }
+    }
+    fused
+}
+
+/// Concatenates per-request FractalTensors along the outermost list.
+pub fn concat_outer(parts: &[&FractalTensor]) -> ft_core::Result<FractalTensor> {
+    let first = parts
+        .first()
+        .ok_or_else(|| CoreError::Adt("concat of zero parts".into()))?;
+    match first {
+        FractalTensor::Leaves(_) => {
+            let mut leaves = Vec::new();
+            for p in parts {
+                match p {
+                    FractalTensor::Leaves(v) => leaves.extend(v.iter().cloned()),
+                    FractalTensor::Nested(_) => {
+                        return Err(CoreError::Adt("concat parts differ in depth".into()))
+                    }
+                }
+            }
+            FractalTensor::from_tensors(leaves)
+        }
+        FractalTensor::Nested(_) => {
+            let mut elems = Vec::new();
+            for p in parts {
+                match p {
+                    FractalTensor::Nested(v) => elems.extend(v.iter().cloned()),
+                    FractalTensor::Leaves(_) => {
+                        return Err(CoreError::Adt("concat parts differ in depth".into()))
+                    }
+                }
+            }
+            FractalTensor::nested(elems)
+        }
+    }
+}
+
+/// Splits a fused output back into `k` equal per-request chunks along the
+/// outermost list.
+pub fn split_outer(ft: &FractalTensor, k: usize) -> ft_core::Result<Vec<FractalTensor>> {
+    let n = ft.len();
+    if k == 0 || !n.is_multiple_of(k) {
+        return Err(CoreError::Adt(format!(
+            "cannot split outer length {n} into {k} chunks"
+        )));
+    }
+    let chunk = n / k;
+    match ft {
+        FractalTensor::Leaves(v) => v
+            .chunks(chunk)
+            .map(|c| FractalTensor::from_tensors(c.to_vec()))
+            .collect(),
+        FractalTensor::Nested(v) => v
+            .chunks(chunk)
+            .map(|c| FractalTensor::nested(c.to_vec()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_tensor::Tensor;
+
+    #[test]
+    fn stacked_rnn_is_batchable() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let info = analyze(&p).expect("stacked RNN batches along the sequence dim");
+        assert_eq!(info.batch_extent, 2);
+        // xss (input sequences) and ysss (outputs) are batched; the weight
+        // stack ws is shared.
+        let by_name: Vec<(&str, bool)> = p
+            .buffers
+            .iter()
+            .zip(&info.batched)
+            .map(|(d, &b)| (d.name.as_str(), b))
+            .collect();
+        for (name, batched) in by_name {
+            if name.contains("ws") {
+                assert!(!batched, "weights must be shared, got batched {name}");
+            } else {
+                assert!(batched, "{name} should be batched");
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_is_batchable() {
+        let p = ft_workloads::lstm::program(ft_workloads::lstm::LstmShape {
+            batch: 2,
+            hidden: 8,
+            depth: 2,
+            seq: 3,
+        });
+        assert!(analyze(&p).is_some());
+    }
+
+    #[test]
+    fn outer_scan_is_not_batchable() {
+        let mut p = stacked_rnn_program(2, 3, 4, 8);
+        for nest in &mut p.nests {
+            nest.ops[0] = ft_core::OpKind::ScanL;
+        }
+        assert!(analyze(&p).is_none());
+    }
+
+    #[test]
+    fn mismatched_outer_extents_are_not_batchable() {
+        let mut p = stacked_rnn_program(2, 3, 4, 8);
+        if let Some(n) = p.nests.first_mut() {
+            n.extents[0] = 3;
+        }
+        assert!(analyze(&p).is_none());
+    }
+
+    #[test]
+    fn batched_program_scales_only_batched_dims() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let info = analyze(&p).unwrap();
+        let fused = batched_program(&p, &info, 3);
+        assert!(fused.validate().is_ok());
+        for nest in &fused.nests {
+            assert_eq!(nest.extents[0], 6);
+        }
+        for (decl, (orig, &b)) in fused
+            .buffers
+            .iter()
+            .zip(p.buffers.iter().zip(&info.batched))
+        {
+            if b {
+                assert_eq!(decl.dims[0], orig.dims[0] * 3);
+            } else {
+                assert_eq!(decl.dims, orig.dims);
+            }
+        }
+        // The fused program must itself still compile.
+        assert!(ft_passes::compile(&fused).is_ok());
+    }
+
+    #[test]
+    fn concat_then_split_round_trips() {
+        let mk = |base: f32| {
+            FractalTensor::nested(vec![
+                FractalTensor::from_tensors(vec![
+                    Tensor::full(&[1, 2], base),
+                    Tensor::full(&[1, 2], base + 1.0),
+                ])
+                .unwrap(),
+                FractalTensor::from_tensors(vec![
+                    Tensor::full(&[1, 2], base + 2.0),
+                    Tensor::full(&[1, 2], base + 3.0),
+                ])
+                .unwrap(),
+            ])
+            .unwrap()
+        };
+        let a = mk(0.0);
+        let b = mk(10.0);
+        let cat = concat_outer(&[&a, &b]).unwrap();
+        assert_eq!(cat.prog_dims(), vec![4, 2]);
+        let back = split_outer(&cat, 2).unwrap();
+        assert_eq!(back, vec![a, b]);
+        assert!(split_outer(&cat, 3).is_err());
+    }
+}

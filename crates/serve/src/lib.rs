@@ -1,0 +1,902 @@
+//! # ft-serve
+//!
+//! A concurrent serving runtime for compiled FractalTensor programs.
+//!
+//! The ETDG schedule (§5) depends only on program structure, so a serving
+//! process should pay for parse + coarsen + reorder + verify exactly once
+//! per workload, and for thread spin-up exactly once per process. The
+//! [`Runtime`] owns:
+//!
+//! * one persistent [`ft_pool::WorkerPool`] shared by every request (no
+//!   per-run thread creation),
+//! * a [`ft_passes::PlanCache`] keyed by the name-insensitive structural
+//!   signature, so repeated submissions of a workload skip compilation and
+//!   verification entirely,
+//! * a bounded admission queue with backpressure ([`ServeError::QueueFull`]
+//!   from [`Runtime::submit`], blocking from [`Runtime::submit_wait`]) and
+//!   per-request deadlines ([`ServeError::Deadline`]),
+//! * a scheduler thread that drains the queue, groups requests resolving to
+//!   the same plan, and — when the program's outermost dimension is a pure
+//!   `map` (see [`batch`]) — executes the group as **one fused launch**:
+//!   inputs concatenated along the outer dimension, a single widened
+//!   wavefront on the pool, outputs split back per request. Shape
+//!   misalignment or a fused-execution failure falls back to per-request
+//!   execution; batching is an optimization, never a correctness risk.
+//!
+//! Every failure is a typed [`ServeError`] delivered through the request's
+//! [`Ticket`]; an expired or failed request never poisons the pool or the
+//! cache, and subsequent requests are unaffected.
+
+#![forbid(unsafe_code)]
+// Serving keeps running through bad requests: non-test code in this crate
+// is unwrap/expect-free.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batch;
+
+pub use batch::BatchInfo;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use ft_backend::{ExecError, Executor};
+use ft_core::{program_signature, BufferId, BufferKind, FractalTensor, Program, ProgramSig};
+use ft_passes::{CompiledProgram, PlanCache};
+use ft_pool::WorkerPool;
+use ft_verify::compile_verified;
+
+/// Errors a request can come back with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is at capacity; retry or use
+    /// [`Runtime::submit_wait`].
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline passed before execution finished starting.
+    Deadline,
+    /// The executor failed.
+    Exec(ExecError),
+    /// Compilation (or verification) of the submitted program failed.
+    Compile(String),
+    /// A declared input buffer was missing or malformed.
+    Input(String),
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::Deadline => write!(f, "deadline expired before execution"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Compile(m) => write!(f, "compilation failed: {m}"),
+            ServeError::Input(m) => write!(f, "bad input: {m}"),
+            ServeError::Shutdown => write!(f, "runtime is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+/// What a fulfilled request resolves to.
+pub type ServeResult = Result<HashMap<BufferId, FractalTensor>, ServeError>;
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the shared pool (0 = [`ft_pool::default_threads`]).
+    pub threads: usize,
+    /// Admission queue bound; submissions beyond it are rejected
+    /// ([`ServeError::QueueFull`]) or block ([`Runtime::submit_wait`]).
+    pub queue_capacity: usize,
+    /// Maximum requests fused into one launch.
+    pub max_batch: usize,
+    /// Whether to fuse same-plan requests at all.
+    pub batching: bool,
+    /// Run schedule-legality verification on cold compiles
+    /// ([`ft_verify::compile_verified`]); cache hits never re-verify.
+    pub verify: bool,
+    /// Override the executor's runtime guard (`None` = inherit `FT_GUARD`).
+    pub guard: Option<bool>,
+    /// Override reference fallback (`None` = inherit `FT_FALLBACK`).
+    pub fallback: Option<bool>,
+    /// Deadline applied to requests that don't set their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            queue_capacity: 256,
+            max_batch: 8,
+            batching: true,
+            verify: true,
+            guard: None,
+            fallback: None,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One unit of work: a program plus its input buffers.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The program to run. `Arc` so N same-workload submissions share one
+    /// allocation; the plan cache keys on structure, not identity.
+    pub program: Arc<Program>,
+    /// Values for every `BufferKind::Input` declaration.
+    pub inputs: HashMap<BufferId, FractalTensor>,
+    /// Per-request deadline, measured from submission.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no deadline of its own.
+    pub fn new(program: impl Into<Arc<Program>>, inputs: HashMap<BufferId, FractalTensor>) -> Self {
+        Request {
+            program: program.into(),
+            inputs,
+            deadline: None,
+        }
+    }
+
+    /// Sets a deadline measured from submission time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+#[derive(Default)]
+struct TicketState {
+    slot: Mutex<Option<ServeResult>>,
+    done: Condvar,
+}
+
+/// A handle to one in-flight request.
+#[derive(Clone)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the request is fulfilled.
+    pub fn wait(self) -> ServeResult {
+        let mut slot = self.state.slot.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.done.wait(slot);
+        }
+    }
+
+    /// Takes the result if the request has already been fulfilled.
+    pub fn try_take(&self) -> Option<ServeResult> {
+        self.state.slot.lock().take()
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self.state.slot.lock().is_some();
+        f.debug_struct("Ticket").field("ready", &ready).finish()
+    }
+}
+
+struct Pending {
+    sig: ProgramSig,
+    program: Arc<Program>,
+    inputs: HashMap<BufferId, FractalTensor>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    ticket: Arc<TicketState>,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    deadline_expired: u64,
+    batches: u64,
+    batched_requests: u64,
+    batch_fallbacks: u64,
+    max_batch: usize,
+    peak_queue_depth: usize,
+    latencies_us: Vec<f64>,
+    cold_setup_us: Vec<f64>,
+    cached_setup_us: Vec<f64>,
+}
+
+/// A point-in-time snapshot of runtime counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests bounced with [`ServeError::QueueFull`].
+    pub rejected: u64,
+    /// Requests fulfilled successfully.
+    pub completed: u64,
+    /// Requests fulfilled with a non-deadline error.
+    pub failed: u64,
+    /// Requests fulfilled with [`ServeError::Deadline`].
+    pub deadline_expired: u64,
+    /// Fused launches executed.
+    pub batches: u64,
+    /// Requests served through fused launches.
+    pub batched_requests: u64,
+    /// Fused attempts that fell back to per-request execution.
+    pub batch_fallbacks: u64,
+    /// Largest fused batch so far.
+    pub max_batch: usize,
+    /// Deepest the admission queue has been.
+    pub peak_queue_depth: usize,
+    /// Plan-cache hits (requests that skipped compile + verify).
+    pub cache_hits: u64,
+    /// Plan-cache misses (cold compiles, including fused variants).
+    pub cache_misses: u64,
+    /// Distinct plans cached.
+    pub cached_plans: usize,
+    /// Median end-to-end latency of successful requests, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile latency of successful requests, microseconds.
+    pub latency_p99_us: f64,
+    /// Mean latency of successful requests, microseconds.
+    pub latency_mean_us: f64,
+    /// Mean per-dispatch setup time when the plan was cold-compiled.
+    pub cold_setup_mean_us: f64,
+    /// Mean per-dispatch setup time when the plan came from the cache.
+    pub cached_setup_mean_us: f64,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    not_empty: Condvar,
+    space: Condvar,
+    shutdown: AtomicBool,
+    cache: PlanCache,
+    batch_info: Mutex<HashMap<ProgramSig, Option<Arc<BatchInfo>>>>,
+    stats: Mutex<StatsInner>,
+}
+
+/// The serving runtime: shared pool + plan cache + admission queue +
+/// batching scheduler. Cheap to share behind an `Arc`; dropping it drains
+/// the queue and joins the scheduler.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    pool: Arc<WorkerPool>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Starts a runtime: spins up the worker pool and the scheduler thread.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let threads = if cfg.threads == 0 {
+            ft_pool::default_threads()
+        } else {
+            cfg.threads
+        };
+        let pool = Arc::new(WorkerPool::new(threads));
+        let mut exec = Executor::new().pool(Arc::clone(&pool));
+        if let Some(guard) = cfg.guard {
+            exec = exec.guard(guard);
+        }
+        if let Some(fallback) = cfg.fallback {
+            exec = exec.fallback(fallback);
+        }
+        let inner = Arc::new(Inner {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: PlanCache::new(),
+            batch_info: Mutex::new(HashMap::new()),
+            stats: Mutex::new(StatsInner::default()),
+        });
+        let sched_inner = Arc::clone(&inner);
+        let scheduler = std::thread::Builder::new()
+            .name("ft-serve-sched".into())
+            .spawn(move || scheduler_loop(&sched_inner, &exec))
+            .ok();
+        Runtime {
+            inner,
+            pool,
+            scheduler: Mutex::new(scheduler),
+        }
+    }
+
+    /// A runtime with default configuration.
+    pub fn with_defaults() -> Self {
+        Runtime::new(ServeConfig::default())
+    }
+
+    /// Worker threads in the shared pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Enqueues a request, rejecting with [`ServeError::QueueFull`] when the
+    /// admission queue is at capacity (backpressure the caller can see).
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.enqueue(request, false)
+    }
+
+    /// Enqueues a request, blocking while the queue is at capacity.
+    pub fn submit_wait(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.enqueue(request, true)
+    }
+
+    /// Convenience: submit (blocking on backpressure) and wait for the
+    /// result.
+    pub fn run(&self, program: &Program, inputs: HashMap<BufferId, FractalTensor>) -> ServeResult {
+        self.submit_wait(Request::new(program.clone(), inputs))?
+            .wait()
+    }
+
+    fn enqueue(&self, request: Request, block: bool) -> Result<Ticket, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let sig = program_signature(&request.program);
+        let submitted = Instant::now();
+        let deadline = request
+            .deadline
+            .or(self.inner.cfg.default_deadline)
+            .map(|d| submitted + d);
+        let state = Arc::new(TicketState::default());
+        let pending = Pending {
+            sig,
+            program: request.program,
+            inputs: request.inputs,
+            submitted,
+            deadline,
+            ticket: Arc::clone(&state),
+        };
+        let depth = {
+            let mut queue = self.inner.queue.lock();
+            while queue.len() >= self.inner.cfg.queue_capacity {
+                if self.inner.shutdown.load(Ordering::Acquire) {
+                    return Err(ServeError::Shutdown);
+                }
+                if !block {
+                    self.inner.stats.lock().rejected += 1;
+                    ft_probe::counter("serve.rejected", 1.0);
+                    return Err(ServeError::QueueFull {
+                        capacity: self.inner.cfg.queue_capacity,
+                    });
+                }
+                queue = self.inner.space.wait(queue);
+            }
+            queue.push_back(pending);
+            queue.len()
+        };
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.submitted += 1;
+            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+        }
+        ft_probe::counter("serve.submitted", 1.0);
+        ft_probe::counter("serve.queue_depth", depth as f64);
+        self.inner.not_empty.notify_one();
+        Ok(Ticket { state })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let stats = self.inner.stats.lock();
+        let mut latencies = stats.latencies_us.clone();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ServeStats {
+            submitted: stats.submitted,
+            rejected: stats.rejected,
+            completed: stats.completed,
+            failed: stats.failed,
+            deadline_expired: stats.deadline_expired,
+            batches: stats.batches,
+            batched_requests: stats.batched_requests,
+            batch_fallbacks: stats.batch_fallbacks,
+            max_batch: stats.max_batch,
+            peak_queue_depth: stats.peak_queue_depth,
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+            cached_plans: self.inner.cache.len(),
+            latency_p50_us: percentile(&latencies, 0.50),
+            latency_p99_us: percentile(&latencies, 0.99),
+            latency_mean_us: mean(&latencies),
+            cold_setup_mean_us: mean(&stats.cold_setup_us),
+            cached_setup_mean_us: mean(&stats.cached_setup_us),
+        }
+    }
+
+    /// Stops admission, drains already-queued requests, and joins the
+    /// scheduler. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.not_empty.notify_all();
+        self.inner.space.notify_all();
+        let handle = self.scheduler.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.pool.threads())
+            .field("cache", &self.inner.cache)
+            .finish()
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+// ---------------------------------------------------------------------
+
+fn scheduler_loop(inner: &Arc<Inner>, exec: &Executor) {
+    loop {
+        let group = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                // Graceful drain: exit only once the queue is empty.
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner.not_empty.wait(queue);
+            }
+            let mut group = Vec::new();
+            if let Some(first) = queue.pop_front() {
+                let sig = first.sig;
+                group.push(first);
+                if inner.cfg.batching {
+                    // Pull every queued same-plan request (up to max_batch)
+                    // regardless of position: batching is keyed on the plan,
+                    // not adjacency.
+                    let mut i = 0;
+                    while i < queue.len() && group.len() < inner.cfg.max_batch {
+                        if queue[i].sig == sig {
+                            if let Some(p) = queue.remove(i) {
+                                group.push(p);
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            group
+        };
+        inner.space.notify_all();
+        if !group.is_empty() {
+            process_group(inner, exec, group);
+        }
+    }
+}
+
+fn split_expired(group: Vec<Pending>) -> (Vec<Pending>, Vec<Pending>) {
+    let now = Instant::now();
+    group
+        .into_iter()
+        .partition(|p| p.deadline.is_some_and(|d| d <= now))
+}
+
+fn process_group(inner: &Inner, exec: &Executor, group: Vec<Pending>) {
+    let (expired, live) = split_expired(group);
+    for p in expired {
+        fulfill(inner, p, Err(ServeError::Deadline));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Plan acquisition: a cache hit skips compile AND verify.
+    let setup_start = Instant::now();
+    let acquired = acquire_plan(inner, &live[0].program);
+    let setup_us = setup_start.elapsed().as_secs_f64() * 1e6;
+    let (plan, hit) = match acquired {
+        Ok(v) => v,
+        Err(e) => {
+            for p in live {
+                fulfill(inner, p, Err(e.clone()));
+            }
+            return;
+        }
+    };
+    if hit {
+        inner.stats.lock().cached_setup_us.push(setup_us);
+        ft_probe::counter("serve.setup_cached_us", setup_us);
+    } else {
+        inner.stats.lock().cold_setup_us.push(setup_us);
+        ft_probe::counter("serve.setup_cold_us", setup_us);
+    }
+
+    // A cold compile can be slow; re-check deadlines before launching.
+    let (expired, live) = split_expired(live);
+    for p in expired {
+        fulfill(inner, p, Err(ServeError::Deadline));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    if live.len() > 1 {
+        if let Some(info) = batch_info_for(inner, &live[0]) {
+            match run_fused(inner, exec, &live, &info) {
+                Ok(outputs) => {
+                    let k = live.len();
+                    {
+                        let mut stats = inner.stats.lock();
+                        stats.batches += 1;
+                        stats.batched_requests += k as u64;
+                        stats.max_batch = stats.max_batch.max(k);
+                    }
+                    ft_probe::counter("serve.batches", 1.0);
+                    ft_probe::counter("serve.batch_size", k as f64);
+                    for (p, out) in live.into_iter().zip(outputs) {
+                        fulfill(inner, p, Ok(out));
+                    }
+                    return;
+                }
+                Err(reason) => {
+                    // Fused execution is best-effort; serve individually.
+                    inner.stats.lock().batch_fallbacks += 1;
+                    ft_probe::counter("serve.batch_fallbacks", 1.0);
+                    let mut span = ft_probe::span("serve", "batch_fallback");
+                    if span.is_recording() {
+                        span.field("reason", reason);
+                    }
+                }
+            }
+        }
+    }
+
+    for p in live {
+        let result = exec.run(&plan, &p.inputs).map_err(ServeError::Exec);
+        fulfill(inner, p, result);
+    }
+}
+
+fn acquire_plan(
+    inner: &Inner,
+    program: &Program,
+) -> Result<(Arc<CompiledProgram>, bool), ServeError> {
+    let verify = inner.cfg.verify;
+    inner.cache.get_or_compile_with(program, |p| {
+        if verify {
+            compile_verified(p)
+                .map(|(compiled, _report)| compiled)
+                .map_err(|e| ServeError::Compile(e.to_string()))
+        } else {
+            ft_passes::compile(p).map_err(|e| ServeError::Compile(e.to_string()))
+        }
+    })
+}
+
+fn batch_info_for(inner: &Inner, pending: &Pending) -> Option<Arc<BatchInfo>> {
+    if let Some(cached) = inner.batch_info.lock().get(&pending.sig) {
+        return cached.clone();
+    }
+    let info = batch::analyze(&pending.program).map(Arc::new);
+    inner.batch_info.lock().insert(pending.sig, info.clone());
+    info
+}
+
+/// One fused launch for `live` (all same-signature): concatenate batched
+/// inputs, run the widened program, split outputs per request. Any
+/// precondition or execution failure aborts the whole attempt with a
+/// reason; the caller falls back to per-request execution.
+fn run_fused(
+    inner: &Inner,
+    exec: &Executor,
+    live: &[Pending],
+    info: &BatchInfo,
+) -> Result<Vec<HashMap<BufferId, FractalTensor>>, String> {
+    let k = live.len();
+    let base = &live[0].program;
+    let fused_prog = batch::batched_program(base, info, k);
+    let (fused_plan, _) =
+        acquire_plan(inner, &fused_prog).map_err(|e| format!("fused compile: {e}"))?;
+
+    let mut fused_inputs = HashMap::new();
+    for (bi, decl) in base.buffers.iter().enumerate() {
+        if decl.kind != BufferKind::Input {
+            continue;
+        }
+        let id = BufferId(bi);
+        if info.batched[bi] {
+            let parts = live
+                .iter()
+                .map(|p| p.inputs.get(&id))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| format!("missing input '{}'", decl.name))?;
+            let fused =
+                batch::concat_outer(&parts).map_err(|e| format!("concat '{}': {e}", decl.name))?;
+            fused_inputs.insert(id, fused);
+        } else {
+            // Shared buffers (weights) must be identical across the batch.
+            let first = live[0]
+                .inputs
+                .get(&id)
+                .ok_or_else(|| format!("missing input '{}'", decl.name))?;
+            for p in &live[1..] {
+                if p.inputs.get(&id) != Some(first) {
+                    return Err(format!("shared input '{}' differs across batch", decl.name));
+                }
+            }
+            fused_inputs.insert(id, first.clone());
+        }
+    }
+
+    let fused_out = exec
+        .run(&fused_plan, &fused_inputs)
+        .map_err(|e| format!("fused execution: {e}"))?;
+
+    let mut per_request: Vec<HashMap<BufferId, FractalTensor>> =
+        (0..k).map(|_| HashMap::new()).collect();
+    for (id, ft) in fused_out {
+        if info.batched.get(id.0).copied().unwrap_or(false) {
+            let chunks = batch::split_outer(&ft, k).map_err(|e| format!("split output: {e}"))?;
+            for (m, chunk) in per_request.iter_mut().zip(chunks) {
+                m.insert(id, chunk);
+            }
+        } else {
+            for m in per_request.iter_mut() {
+                m.insert(id, ft.clone());
+            }
+        }
+    }
+    Ok(per_request)
+}
+
+fn fulfill(inner: &Inner, pending: Pending, result: ServeResult) {
+    let latency_us = pending.submitted.elapsed().as_secs_f64() * 1e6;
+    {
+        let mut stats = inner.stats.lock();
+        match &result {
+            Ok(_) => {
+                stats.completed += 1;
+                stats.latencies_us.push(latency_us);
+            }
+            Err(ServeError::Deadline) => stats.deadline_expired += 1,
+            Err(_) => stats.failed += 1,
+        }
+    }
+    match &result {
+        Ok(_) => {
+            ft_probe::counter("serve.completed", 1.0);
+            ft_probe::counter("serve.latency_us", latency_us);
+        }
+        Err(ServeError::Deadline) => ft_probe::counter("serve.deadline_expired", 1.0),
+        Err(_) => ft_probe::counter("serve.failed", 1.0),
+    }
+    let mut slot = pending.ticket.slot.lock();
+    *slot = Some(result);
+    pending.ticket.done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_backend::execute_reference;
+    use ft_core::builders::stacked_rnn_program;
+    use ft_tensor::Tensor;
+
+    fn rnn_case(seed: u64) -> (Program, HashMap<BufferId, FractalTensor>) {
+        let (n, d, l, h) = (2usize, 2, 3, 8);
+        let p = stacked_rnn_program(n, d, l, h);
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            BufferId(0),
+            FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).unwrap(),
+        );
+        inputs.insert(
+            BufferId(1),
+            FractalTensor::from_flat(&Tensor::randn(&[d, h, h], seed + 1).mul_scalar(0.2), 1)
+                .unwrap(),
+        );
+        (p, inputs)
+    }
+
+    fn reference(
+        p: &Program,
+        inputs: &HashMap<BufferId, FractalTensor>,
+    ) -> HashMap<BufferId, FractalTensor> {
+        let compiled = ft_passes::compile(p).unwrap();
+        execute_reference(&compiled, inputs, 1).unwrap()
+    }
+
+    #[test]
+    fn single_request_matches_reference() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(7);
+        let want = reference(&p, &inputs);
+        let got = rt.run(&p, inputs).unwrap();
+        assert_eq!(got, want);
+        let stats = rt.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn resubmission_hits_the_plan_cache() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            batching: false,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(1);
+        rt.run(&p, inputs.clone()).unwrap();
+        rt.run(&p, inputs).unwrap();
+        let stats = rt.stats();
+        assert_eq!(stats.cache_misses, 1, "second run must not recompile");
+        assert!(stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn concurrent_same_plan_requests_get_batched_and_stay_exact() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            max_batch: 4,
+            ..ServeConfig::default()
+        });
+        let cases: Vec<_> = (0..4).map(rnn_case).collect();
+        let tickets: Vec<_> = cases
+            .iter()
+            .map(|(p, inputs)| {
+                rt.submit_wait(Request::new(p.clone(), inputs.clone()))
+                    .unwrap()
+            })
+            .collect();
+        for ((p, inputs), t) in cases.iter().zip(tickets) {
+            let got = t.wait().unwrap();
+            assert_eq!(
+                got,
+                reference(p, inputs),
+                "batched output must be bitwise exact"
+            );
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.completed, 4);
+        // At least some requests were co-scheduled (the first may run solo
+        // if the scheduler wins the race before the rest are queued).
+        assert!(stats.batches >= 1 || stats.completed == 4);
+    }
+
+    #[test]
+    fn deadline_expired_request_fails_cleanly_and_runtime_survives() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(3);
+        // An already-expired deadline: the scheduler must bounce it.
+        let ticket = rt
+            .submit_wait(
+                Request::new(p.clone(), inputs.clone()).with_deadline(Duration::from_nanos(1)),
+            )
+            .unwrap();
+        assert_eq!(ticket.wait(), Err(ServeError::Deadline));
+        // The pool is not poisoned: the next request is exact.
+        let got = rt.run(&p, inputs.clone()).unwrap();
+        assert_eq!(got, reference(&p, &inputs));
+        let stats = rt.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn queue_full_is_reported_not_dropped() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(5);
+        // Flood faster than the scheduler drains; at least one submission
+        // must be rejected with QueueFull (capacity 1 and instant refills).
+        let mut rejected = 0;
+        let mut tickets = Vec::new();
+        for _ in 0..64 {
+            match rt.submit(Request::new(p.clone(), inputs.clone())) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "backpressure never engaged");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(rt.stats().rejected, rejected);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        rt.shutdown();
+        let (p, inputs) = rnn_case(0);
+        assert!(matches!(
+            rt.submit(Request::new(p, inputs)),
+            Err(ServeError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn bad_program_fails_without_poisoning() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(2);
+        // Missing inputs: execution fails with a typed error.
+        let err = rt.run(&p, HashMap::new()).unwrap_err();
+        assert!(matches!(err, ServeError::Exec(_)));
+        // And the runtime keeps serving.
+        assert_eq!(rt.run(&p, inputs.clone()).unwrap(), reference(&p, &inputs));
+    }
+
+    #[test]
+    fn runtime_and_compiled_program_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledProgram>();
+        assert_send_sync::<Runtime>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -117,5 +117,8 @@ fn main() {
     }
 
     println!("\n### stage 5: emitted macro-kernels (pseudo-CUDA)\n");
-    println!("{}", emit_program(&compiled, 192 * 1024));
+    match emit_program(&compiled, 192 * 1024) {
+        Ok(code) => println!("{code}"),
+        Err(e) => eprintln!("emission failed: {e}"),
+    }
 }

@@ -81,7 +81,7 @@ fn degenerate_single_cell_network() {
 fn emitted_code_covers_every_region() {
     let p = stacked_rnn_program(2, 3, 4, 8);
     let compiled = compile(&p).unwrap();
-    let code = ft_backend::emit_program(&compiled, 192 * 1024);
+    let code = ft_backend::emit_program(&compiled, 192 * 1024).unwrap();
     for b in &compiled.etdg.blocks {
         assert!(
             code.contains(&b.name),

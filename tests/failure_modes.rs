@@ -192,7 +192,7 @@ fn emitter_covers_multi_group_programs() {
     use ft_workloads::attention;
     let compiled = compile(&attention::program(attention::AttnShape::tiny())).unwrap();
     assert_eq!(compiled.groups.len(), 2);
-    let code = ft_backend::emit_program(&compiled, 192 * 1024);
+    let code = ft_backend::emit_program(&compiled, 192 * 1024).unwrap();
     assert!(code.contains("group0_kernel"));
     assert!(code.contains("group1_kernel"));
     assert!(code.contains("wavefront loop"));

@@ -1,0 +1,150 @@
+//! Serving-runtime integration tests: plan-cache reuse across renamed
+//! workloads, multi-threaded submission exactness, deadline isolation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ft_backend::execute_reference;
+use ft_core::builders::stacked_rnn_program;
+use ft_core::{BufferId, FractalTensor, Program};
+use ft_passes::compile;
+use ft_serve::{Request, Runtime, ServeConfig, ServeError};
+use ft_tensor::Tensor;
+use ft_workloads::lstm;
+
+fn rnn_inputs(
+    n: usize,
+    d: usize,
+    l: usize,
+    h: usize,
+    seed: u64,
+) -> HashMap<BufferId, FractalTensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        BufferId(0),
+        FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], seed), 2).unwrap(),
+    );
+    m.insert(
+        BufferId(1),
+        FractalTensor::from_flat(&Tensor::randn(&[d, h, h], seed + 1).mul_scalar(0.2), 1).unwrap(),
+    );
+    m
+}
+
+fn reference(
+    p: &Program,
+    inputs: &HashMap<BufferId, FractalTensor>,
+) -> HashMap<BufferId, FractalTensor> {
+    let compiled = compile(p).unwrap();
+    execute_reference(&compiled, inputs, 1).unwrap()
+}
+
+/// The regression for the plan-cache keying bug: the signature must be
+/// name-insensitive, so the *same* LSTM workload built twice with different
+/// buffer and nest names compiles exactly once.
+#[test]
+fn renamed_lstm_workload_compiles_once() {
+    let shape = lstm::LstmShape {
+        batch: 2,
+        hidden: 8,
+        depth: 2,
+        seq: 3,
+    };
+    let first = lstm::program(shape);
+    let mut renamed = first.clone();
+    renamed.name = "stacked_lstm_v2".into();
+    for (i, b) in renamed.buffers.iter_mut().enumerate() {
+        b.name = format!("tenant_b_buf{i}");
+    }
+    for (i, n) in renamed.nests.iter_mut().enumerate() {
+        n.name = format!("tenant_b_nest{i}");
+    }
+    let inputs = lstm::inputs(shape, 11);
+
+    let rt = Runtime::new(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let a = rt.run(&first, inputs.clone()).unwrap();
+    let b = rt.run(&renamed, inputs.clone()).unwrap();
+    assert_eq!(a, b, "same structure + same inputs must agree exactly");
+
+    let stats = rt.stats();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "renamed resubmission must reuse the cached plan, not recompile"
+    );
+    assert!(stats.cache_hits >= 1);
+    assert_eq!(stats.cached_plans, 1);
+}
+
+/// Eight OS threads hammer one shared runtime with the same plan; every
+/// output must be bitwise identical to the single-threaded reference
+/// executor on that request's inputs.
+#[test]
+fn eight_threads_share_one_runtime_exactly() {
+    let (n, d, l, h) = (2usize, 3, 4, 8);
+    let rt = Arc::new(Runtime::new(ServeConfig {
+        threads: 4,
+        max_batch: 8,
+        ..ServeConfig::default()
+    }));
+    let program = Arc::new(stacked_rnn_program(n, d, l, h));
+
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            let program = Arc::clone(&program);
+            std::thread::spawn(move || {
+                for round in 0..3u64 {
+                    let inputs = rnn_inputs(n, d, l, h, 100 * t + round);
+                    let got = rt
+                        .submit_wait(Request::new(Arc::clone(&program), inputs.clone()))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                    assert_eq!(
+                        got,
+                        reference(&program, &inputs),
+                        "thread {t} round {round} diverged from the reference executor"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 24);
+    // One base plan plus at most one fused variant per batch width 2..=8.
+    assert!(
+        stats.cache_misses <= 8,
+        "24 same-structure requests should share plans; got {} compiles",
+        stats.cache_misses
+    );
+}
+
+/// A deadline-expired request returns `ServeError::Deadline` and leaves the
+/// pool healthy: the next request on the same runtime is exact.
+#[test]
+fn deadline_does_not_poison_the_runtime() {
+    let (n, d, l, h) = (2usize, 2, 3, 8);
+    let rt = Runtime::new(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let p = stacked_rnn_program(n, d, l, h);
+    let inputs = rnn_inputs(n, d, l, h, 42);
+
+    let expired = rt
+        .submit_wait(Request::new(p.clone(), inputs.clone()).with_deadline(Duration::ZERO))
+        .unwrap()
+        .wait();
+    assert_eq!(expired, Err(ServeError::Deadline));
+
+    let got = rt.run(&p, inputs.clone()).unwrap();
+    assert_eq!(got, reference(&p, &inputs));
+}
