@@ -47,7 +47,7 @@ pub use expr::{Expr, Udf};
 pub use program::{
     BufferDecl, BufferId, BufferKind, CarriedInit, CoreError, Nest, OpKind, Program, Read, Write,
 };
-pub use sig::{program_signature, ProgramSig};
+pub use sig::{program_signature, structural_bytes, ProgramSig};
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

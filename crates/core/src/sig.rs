@@ -1,20 +1,28 @@
 //! Structural program signatures.
 //!
-//! [`program_signature`] hashes everything that determines a program's
+//! [`structural_bytes`] serializes everything that determines a program's
 //! compiled schedule — buffer dims, leaf shapes and kinds, nest operator
 //! vectors and extents, access specifications (including carried-init
 //! boundary rules), and the UDF's SSA statement structure — while
 //! deliberately ignoring every debug *name* (program, buffer, nest, UDF).
 //! Two structurally identical programs that differ only in naming therefore
-//! produce the same signature, which is exactly the key the serving layer's
-//! compiled-plan cache needs: repeated submissions of the same workload hit
-//! one cache entry regardless of how callers labeled their buffers.
+//! produce the same byte stream, which is exactly the key the serving
+//! layer's compiled-plan cache needs: repeated submissions of the same
+//! workload hit one cache entry regardless of how callers labeled their
+//! buffers. Every variable-length field is prefixed with its length and
+//! every enum with a discriminant tag, so distinct structures cannot
+//! produce the same bytes by concatenation ambiguity — byte equality *is*
+//! structural equality.
 //!
-//! The hash is a self-contained 64-bit FNV-1a so signatures are stable
-//! across processes and toolchains (no `DefaultHasher` seeding concerns);
-//! every variable-length field is prefixed with its length and every enum
-//! with a discriminant tag, so distinct structures cannot collide by
-//! concatenation ambiguity.
+//! [`program_signature`] is a 128-bit FNV-1a over those bytes: a
+//! self-contained hash so signatures are stable across processes and
+//! toolchains (no `DefaultHasher` seeding concerns). FNV is fast but not
+//! collision-resistant, and a serving process accepts arbitrary programs,
+//! so the signature alone must never be treated as proof of structural
+//! identity: `ft_passes::PlanCache` stores the structural bytes next to
+//! each plan and verifies byte equality on every hit, so a colliding
+//! signature (accidental or adversarial) degrades to an extra compile, not
+//! to serving the wrong plan.
 
 use crate::access::{AccessSpec, AxisExpr};
 use crate::expr::{OpCode, Operand, Udf};
@@ -22,34 +30,24 @@ use crate::program::{BufferKind, CarriedInit, OpKind, Program, Read, Write};
 
 /// A structural program signature (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProgramSig(pub u64);
+pub struct ProgramSig(pub u128);
 
 impl std::fmt::Display for ProgramSig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:016x}", self.0)
+        write!(f, "{:032x}", self.0)
     }
 }
 
-/// 64-bit FNV-1a, fed field-by-field with explicit tags.
-struct Fnv(u64);
+/// The canonical structural byte stream builder (see the module docs).
+struct SigBytes(Vec<u8>);
 
-impl Fnv {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
+impl SigBytes {
     fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 ^= b as u64;
-        self.0 = self.0.wrapping_mul(Self::PRIME);
+        SigBytes(Vec::with_capacity(256))
     }
 
     fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
+        self.0.extend_from_slice(&v.to_le_bytes());
     }
 
     fn i64(&mut self, v: i64) {
@@ -66,14 +64,29 @@ impl Fnv {
 
     /// Enum discriminant / structural separator tag.
     fn tag(&mut self, t: u8) {
-        self.byte(t);
+        self.0.push(t);
     }
 }
 
-/// Computes the structural signature of a program (name-insensitive; see
-/// the module docs for what is and is not hashed).
-pub fn program_signature(p: &Program) -> ProgramSig {
-    let mut h = Fnv::new();
+/// 128-bit FNV-1a over a byte slice.
+fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The canonical name-insensitive serialization of a program's structure.
+///
+/// Byte equality of two programs' structural bytes is exactly "these two
+/// programs compile to the same schedule"; the plan cache uses it to
+/// verify signature hits (see the module docs).
+pub fn structural_bytes(p: &Program) -> Vec<u8> {
+    let mut h = SigBytes::new();
     h.usize(p.buffers.len());
     for b in &p.buffers {
         h.tag(match b.kind {
@@ -110,7 +123,15 @@ pub fn program_signature(p: &Program) -> ProgramSig {
         }
         hash_udf(&mut h, &n.udf);
     }
-    ProgramSig(h.0)
+    h.0
+}
+
+/// Computes the structural signature of a program: a 128-bit FNV-1a over
+/// [`structural_bytes`] (name-insensitive; see the module docs for what is
+/// and is not hashed, and for why signature equality alone must not be
+/// trusted as structural identity).
+pub fn program_signature(p: &Program) -> ProgramSig {
+    ProgramSig(fnv128(&structural_bytes(p)))
 }
 
 fn op_kind_tag(op: OpKind) -> u8 {
@@ -124,7 +145,7 @@ fn op_kind_tag(op: OpKind) -> u8 {
     }
 }
 
-fn hash_read(h: &mut Fnv, r: &Read) {
+fn hash_read(h: &mut SigBytes, r: &Read) {
     h.tag(10);
     h.usize(r.buffer.0);
     hash_access(h, &r.access);
@@ -143,20 +164,20 @@ fn hash_read(h: &mut Fnv, r: &Read) {
     }
 }
 
-fn hash_write(h: &mut Fnv, w: &Write) {
+fn hash_write(h: &mut SigBytes, w: &Write) {
     h.tag(11);
     h.usize(w.buffer.0);
     hash_access(h, &w.access);
 }
 
-fn hash_access(h: &mut Fnv, a: &AccessSpec) {
+fn hash_access(h: &mut SigBytes, a: &AccessSpec) {
     h.usize(a.axes.len());
     for axis in &a.axes {
         hash_axis(h, axis);
     }
 }
 
-fn hash_axis(h: &mut Fnv, a: &AxisExpr) {
+fn hash_axis(h: &mut SigBytes, a: &AxisExpr) {
     h.usize(a.terms.len());
     for &(dim, coeff) in &a.terms {
         h.usize(dim);
@@ -165,7 +186,7 @@ fn hash_axis(h: &mut Fnv, a: &AxisExpr) {
     h.i64(a.offset);
 }
 
-fn hash_udf(h: &mut Fnv, u: &Udf) {
+fn hash_udf(h: &mut SigBytes, u: &Udf) {
     h.usize(u.num_inputs);
     h.usize(u.stmts.len());
     for s in &u.stmts {
@@ -181,7 +202,7 @@ fn hash_udf(h: &mut Fnv, u: &Udf) {
     }
 }
 
-fn hash_operand(h: &mut Fnv, o: &Operand) {
+fn hash_operand(h: &mut SigBytes, o: &Operand) {
     match o {
         Operand::In(k) => {
             h.tag(1);
@@ -194,7 +215,7 @@ fn hash_operand(h: &mut Fnv, o: &Operand) {
     }
 }
 
-fn hash_opcode(h: &mut Fnv, op: &OpCode) {
+fn hash_opcode(h: &mut SigBytes, op: &OpCode) {
     match op {
         OpCode::MatMul => h.tag(1),
         OpCode::MatMulT => h.tag(2),
@@ -268,6 +289,7 @@ mod tests {
         let p = stacked_rnn_program(2, 3, 4, 8);
         let q = renamed(p.clone(), "debug_copy");
         assert_eq!(program_signature(&p), program_signature(&q));
+        assert_eq!(structural_bytes(&p), structural_bytes(&q));
     }
 
     #[test]
@@ -293,5 +315,13 @@ mod tests {
         let base = program_signature(&p);
         p.nests[0].udf.stmts[0].op = OpCode::MatMulT;
         assert_ne!(base, program_signature(&p));
+    }
+
+    #[test]
+    fn structural_bytes_differ_when_structure_differs() {
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let mut q = p.clone();
+        q.nests[0].udf.stmts[0].op = OpCode::MatMulT;
+        assert_ne!(structural_bytes(&p), structural_bytes(&q));
     }
 }

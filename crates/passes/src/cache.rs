@@ -8,6 +8,16 @@
 //! (and any caller-supplied verification) entirely and share one
 //! `Arc<CompiledProgram>`.
 //!
+//! Trust model: the signature is a fast non-cryptographic FNV-1a, and a
+//! serving process accepts arbitrary programs, so a signature match is
+//! treated as a *candidate*, never as proof of identity. Each entry stores
+//! the program's canonical [`ft_core::structural_bytes`] and a hit is only
+//! declared after byte-exact verification; programs whose signatures
+//! collide (accidental at scale, or engineered — FNV is not
+//! collision-resistant) simply occupy separate slots under one key. A
+//! collision therefore costs one extra compile and can never return a plan
+//! compiled from a different program.
+//!
 //! Concurrency: lookups take a read lock; a miss compiles *outside* any
 //! lock and inserts under a short write lock. Two racing compilers of the
 //! same signature both succeed and the first insert wins — wasted work, not
@@ -19,15 +29,23 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use ft_core::{program_signature, Program, ProgramSig};
+use ft_core::{program_signature, structural_bytes, Program, ProgramSig};
 
 use crate::pipeline::{compile, CompiledProgram};
 use crate::Result;
 
-/// A concurrent signature-keyed cache of compiled programs.
+/// One verified cache slot: the structural bytes the plan was compiled
+/// from, plus the plan itself.
+struct Entry {
+    bytes: Box<[u8]>,
+    plan: Arc<CompiledProgram>,
+}
+
+/// A concurrent signature-keyed cache of compiled programs with byte-exact
+/// structural verification on every hit (see the module docs).
 #[derive(Default)]
 pub struct PlanCache {
-    map: RwLock<HashMap<ProgramSig, Arc<CompiledProgram>>>,
+    map: RwLock<HashMap<ProgramSig, Vec<Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -38,9 +56,12 @@ impl PlanCache {
         Self::default()
     }
 
-    /// Number of cached plans.
+    /// Number of cached plans (colliding signatures count each slot).
     pub fn len(&self) -> usize {
-        self.map.read().map(|m| m.len()).unwrap_or(0)
+        self.map
+            .read()
+            .map(|m| m.values().map(Vec::len).sum())
+            .unwrap_or(0)
     }
 
     /// True when no plan is cached.
@@ -58,9 +79,23 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// The cached plan for a signature, if present (counts as a hit).
-    pub fn get(&self, sig: ProgramSig) -> Option<Arc<CompiledProgram>> {
-        let found = self.map.read().ok().and_then(|m| m.get(&sig).cloned());
+    /// The cached, structurally verified plan for `program`, if present
+    /// (counts as a hit).
+    pub fn get(&self, program: &Program) -> Option<Arc<CompiledProgram>> {
+        let sig = program_signature(program);
+        let bytes = structural_bytes(program);
+        self.lookup_verified(sig, &bytes)
+    }
+
+    /// A lookup that only succeeds when the stored structural bytes match
+    /// the probe's exactly — a colliding signature is a miss, not a hit.
+    fn lookup_verified(&self, sig: ProgramSig, bytes: &[u8]) -> Option<Arc<CompiledProgram>> {
+        let found = self.map.read().ok().and_then(|m| {
+            m.get(&sig)?
+                .iter()
+                .find(|e| &*e.bytes == bytes)
+                .map(|e| Arc::clone(&e.plan))
+        });
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             ft_probe::counter("passes.plan_cache_hits", 1.0);
@@ -84,18 +119,45 @@ impl PlanCache {
         compile_fn: impl FnOnce(&Program) -> std::result::Result<CompiledProgram, E>,
     ) -> std::result::Result<(Arc<CompiledProgram>, bool), E> {
         let sig = program_signature(program);
-        if let Some(plan) = self.get(sig) {
+        let bytes = structural_bytes(program);
+        if let Some(plan) = self.lookup_verified(sig, &bytes) {
             return Ok((plan, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         ft_probe::counter("passes.plan_cache_misses", 1.0);
         let compiled = Arc::new(compile_fn(program)?);
         let plan = match self.map.write() {
-            Ok(mut m) => Arc::clone(m.entry(sig).or_insert_with(|| Arc::clone(&compiled))),
+            Ok(mut m) => {
+                let entries = m.entry(sig).or_default();
+                // A racing compiler may have inserted this structure while
+                // we compiled outside the lock: first insert wins.
+                match entries.iter().find(|e| *e.bytes == *bytes) {
+                    Some(e) => Arc::clone(&e.plan),
+                    None => {
+                        entries.push(Entry {
+                            bytes: bytes.into_boxed_slice(),
+                            plan: Arc::clone(&compiled),
+                        });
+                        compiled
+                    }
+                }
+            }
             // A poisoned map (writer panicked) degrades to uncached compiles.
             Err(_) => compiled,
         };
         Ok((plan, false))
+    }
+
+    /// Test-only: plants `plan` under `sig` with arbitrary structural
+    /// bytes, simulating a signature collision with a different program.
+    #[cfg(test)]
+    fn force_insert(&self, sig: ProgramSig, bytes: Vec<u8>, plan: Arc<CompiledProgram>) {
+        if let Ok(mut m) = self.map.write() {
+            m.entry(sig).or_default().push(Entry {
+                bytes: bytes.into_boxed_slice(),
+                plan,
+            });
+        }
     }
 }
 
@@ -169,5 +231,38 @@ mod tests {
         // A later good compile still works.
         let (_, hit) = cache.get_or_compile(&p).unwrap();
         assert!(!hit);
+    }
+
+    /// A signature collision must never hand back a plan compiled from a
+    /// different program: plant a foreign plan under this program's exact
+    /// signature (with foreign structural bytes) and check the lookup
+    /// refuses it, recompiles, and keeps both slots.
+    #[test]
+    fn signature_collision_is_verified_not_trusted() {
+        let cache = PlanCache::new();
+        let p = stacked_rnn_program(2, 3, 4, 8);
+        let sig = program_signature(&p);
+
+        // The "other program" that happens to share p's signature.
+        let foreign = stacked_rnn_program(2, 3, 5, 8);
+        let foreign_plan = Arc::new(compile(&foreign).unwrap());
+        cache.force_insert(sig, structural_bytes(&foreign), Arc::clone(&foreign_plan));
+
+        assert!(
+            cache.get(&p).is_none(),
+            "colliding signature with different structure must miss"
+        );
+        let (plan, hit) = cache.get_or_compile(&p).unwrap();
+        assert!(!hit, "collision must trigger a fresh compile");
+        assert!(
+            !Arc::ptr_eq(&plan, &foreign_plan),
+            "must not serve the foreign program's plan"
+        );
+        assert_eq!(cache.len(), 2, "both structures live under one signature");
+
+        // And from now on the real program hits its own verified slot.
+        let (again, hit) = cache.get_or_compile(&p).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&plan, &again));
     }
 }

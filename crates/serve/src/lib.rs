@@ -69,6 +69,8 @@ pub enum ServeError {
     Input(String),
     /// The runtime is shutting down.
     Shutdown,
+    /// The scheduler thread could not be spawned at construction.
+    Spawn(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -82,6 +84,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Compile(m) => write!(f, "compilation failed: {m}"),
             ServeError::Input(m) => write!(f, "bad input: {m}"),
             ServeError::Shutdown => write!(f, "runtime is shut down"),
+            ServeError::Spawn(m) => write!(f, "failed to spawn scheduler thread: {m}"),
         }
     }
 }
@@ -210,6 +213,76 @@ struct Pending {
     ticket: Arc<TicketState>,
 }
 
+/// A bounded reservoir sample (Vitter's algorithm R) with an exact running
+/// mean: a long-running server records every request at O(1) memory, and
+/// `stats()` sorts at most `cap` samples. Percentiles are computed over a
+/// uniform sample of the full history once `cap` is exceeded; the mean is
+/// always exact.
+struct Reservoir {
+    cap: usize,
+    seen: u64,
+    sum: f64,
+    values: Vec<f64>,
+    rng: u64,
+}
+
+impl Reservoir {
+    const DEFAULT_CAP: usize = 4096;
+
+    fn new(cap: usize) -> Self {
+        Reservoir {
+            cap: cap.max(1),
+            seen: 0,
+            sum: 0.0,
+            values: Vec::new(),
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// xorshift64* — deterministic, dependency-free, plenty for sampling.
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn push(&mut self, v: f64) {
+        self.seen += 1;
+        self.sum += v;
+        if self.values.len() < self.cap {
+            self.values.push(v);
+        } else {
+            let j = self.next_rng() % self.seen;
+            if (j as usize) < self.cap {
+                self.values[j as usize] = v;
+            }
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.sum / self.seen as f64
+        }
+    }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir::new(Self::DEFAULT_CAP)
+    }
+}
+
 #[derive(Default)]
 struct StatsInner {
     submitted: u64,
@@ -222,9 +295,9 @@ struct StatsInner {
     batch_fallbacks: u64,
     max_batch: usize,
     peak_queue_depth: usize,
-    latencies_us: Vec<f64>,
-    cold_setup_us: Vec<f64>,
-    cached_setup_us: Vec<f64>,
+    latencies_us: Reservoir,
+    cold_setup_us: Reservoir,
+    cached_setup_us: Reservoir,
 }
 
 /// A point-in-time snapshot of runtime counters.
@@ -256,9 +329,11 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Distinct plans cached.
     pub cached_plans: usize,
-    /// Median end-to-end latency of successful requests, microseconds.
+    /// Median end-to-end latency of successful requests, microseconds
+    /// (over a bounded uniform sample of the full history).
     pub latency_p50_us: f64,
-    /// 99th-percentile latency of successful requests, microseconds.
+    /// 99th-percentile latency of successful requests, microseconds
+    /// (over a bounded uniform sample of the full history).
     pub latency_p99_us: f64,
     /// Mean latency of successful requests, microseconds.
     pub latency_mean_us: f64,
@@ -290,7 +365,24 @@ pub struct Runtime {
 
 impl Runtime {
     /// Starts a runtime: spins up the worker pool and the scheduler thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheduler thread cannot be spawned (an OS resource
+    /// failure): a runtime without its scheduler would accept submissions
+    /// that nothing ever drains. Use [`Runtime::try_new`] to handle that
+    /// case as a `Result` instead.
     pub fn new(cfg: ServeConfig) -> Self {
+        match Runtime::try_new(cfg) {
+            Ok(rt) => rt,
+            Err(e) => panic!("ft-serve runtime construction failed: {e}"),
+        }
+    }
+
+    /// Starts a runtime, surfacing scheduler-thread spawn failure as
+    /// [`ServeError::Spawn`] instead of constructing a silently dead
+    /// runtime whose tickets would never resolve.
+    pub fn try_new(cfg: ServeConfig) -> Result<Self, ServeError> {
         let threads = if cfg.threads == 0 {
             ft_pool::default_threads()
         } else {
@@ -318,12 +410,12 @@ impl Runtime {
         let scheduler = std::thread::Builder::new()
             .name("ft-serve-sched".into())
             .spawn(move || scheduler_loop(&sched_inner, &exec))
-            .ok();
-        Runtime {
+            .map_err(|e| ServeError::Spawn(e.to_string()))?;
+        Ok(Runtime {
             inner,
             pool,
-            scheduler: Mutex::new(scheduler),
-        }
+            scheduler: Mutex::new(Some(scheduler)),
+        })
     }
 
     /// A runtime with default configuration.
@@ -388,6 +480,14 @@ impl Runtime {
                 }
                 queue = self.inner.space.wait(queue);
             }
+            // Re-check under the queue lock: the scheduler's exit decision
+            // (queue empty + shutdown set) is made under this same lock, so
+            // a push that races shutdown() either lands before the
+            // scheduler's final drain (and is processed) or is rejected
+            // here — never parked forever on a dead queue.
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::Shutdown);
+            }
             queue.push_back(pending);
             queue.len()
         };
@@ -405,8 +505,7 @@ impl Runtime {
     /// Counter snapshot.
     pub fn stats(&self) -> ServeStats {
         let stats = self.inner.stats.lock();
-        let mut latencies = stats.latencies_us.clone();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let latencies = stats.latencies_us.sorted();
         ServeStats {
             submitted: stats.submitted,
             rejected: stats.rejected,
@@ -423,9 +522,9 @@ impl Runtime {
             cached_plans: self.inner.cache.len(),
             latency_p50_us: percentile(&latencies, 0.50),
             latency_p99_us: percentile(&latencies, 0.99),
-            latency_mean_us: mean(&latencies),
-            cold_setup_mean_us: mean(&stats.cold_setup_us),
-            cached_setup_mean_us: mean(&stats.cached_setup_us),
+            latency_mean_us: stats.latencies_us.mean(),
+            cold_setup_mean_us: stats.cold_setup_us.mean(),
+            cached_setup_mean_us: stats.cached_setup_us.mean(),
         }
     }
 
@@ -438,6 +537,16 @@ impl Runtime {
         let handle = self.scheduler.lock().take();
         if let Some(handle) = handle {
             let _ = handle.join();
+        }
+        // Belt and suspenders: the scheduler drains before exiting, but if
+        // it died (panicked) anything still queued must fail its ticket
+        // rather than leave waiters blocked forever.
+        let leftovers: Vec<Pending> = {
+            let mut queue = self.inner.queue.lock();
+            queue.drain(..).collect()
+        };
+        for p in leftovers {
+            fulfill(&self.inner, p, Err(ServeError::Shutdown));
         }
     }
 }
@@ -454,14 +563,6 @@ impl std::fmt::Debug for Runtime {
             .field("threads", &self.pool.threads())
             .field("cache", &self.inner.cache)
             .finish()
-    }
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
     }
 }
 
@@ -656,6 +757,23 @@ fn run_fused(
                 .map(|p| p.inputs.get(&id))
                 .collect::<Option<Vec<_>>>()
                 .ok_or_else(|| format!("missing input '{}'", decl.name))?;
+            // Every per-request part must match the *base* declaration
+            // exactly — the fused executor only sees the concatenated
+            // total (B·k), so a short part and a long part that happen to
+            // sum to B·k would otherwise pass validation and split_outer
+            // would hand requests slices of each other's results. Reject
+            // here so the per-request fallback returns each caller the
+            // same typed `ExecError::Input` the unbatched path would.
+            for part in &parts {
+                if part.prog_dims() != decl.dims {
+                    return Err(format!(
+                        "input '{}' dims {:?} != declared {:?}",
+                        decl.name,
+                        part.prog_dims(),
+                        decl.dims
+                    ));
+                }
+            }
             let fused =
                 batch::concat_outer(&parts).map_err(|e| format!("concat '{}': {e}", decl.name))?;
             fused_inputs.insert(id, fused);
@@ -889,6 +1007,108 @@ mod tests {
         assert!(matches!(err, ServeError::Exec(_)));
         // And the runtime keeps serving.
         assert_eq!(rt.run(&p, inputs.clone()).unwrap(), reference(&p, &inputs));
+    }
+
+    /// The review-flagged cross-request mixing hazard: two requests whose
+    /// batched inputs have the wrong outer lengths (1 and 3) that *sum* to
+    /// the fused extent (2·2). Without per-part validation the fused path
+    /// concatenates them, the executor sees a well-shaped B·k input, and
+    /// split_outer hands each request slices computed from the other's
+    /// data. Both must instead fail with the same typed input error the
+    /// unbatched path produces, and never an `Ok`.
+    #[test]
+    fn mismatched_batch_inputs_fail_typed_never_mix() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            max_batch: 4,
+            ..ServeConfig::default()
+        });
+        let (n, d, l, h) = (2usize, 2, 3, 8);
+        let p = stacked_rnn_program(n, d, l, h);
+        // Identical weights across the group so the shared-input equality
+        // check passes and the outer-length check is what must reject.
+        let ws =
+            FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 99).mul_scalar(0.2), 1).unwrap();
+        let mk = |outer: usize, seed: u64| {
+            let mut inputs = HashMap::new();
+            inputs.insert(
+                BufferId(0),
+                FractalTensor::from_flat(&Tensor::randn(&[outer, l, 1, h], seed), 2).unwrap(),
+            );
+            inputs.insert(BufferId(1), ws.clone());
+            inputs
+        };
+        let tickets: Vec<_> = [mk(1, 21), mk(3, 22)]
+            .into_iter()
+            .map(|inputs| rt.submit_wait(Request::new(p.clone(), inputs)).unwrap())
+            .collect();
+        for t in tickets {
+            assert!(
+                matches!(t.wait(), Err(ServeError::Exec(ExecError::Input(_)))),
+                "wrong-length batched input must fail typed, not execute"
+            );
+        }
+        // And the runtime still serves well-formed requests exactly.
+        let good = mk(n, 7);
+        assert_eq!(rt.run(&p, good.clone()).unwrap(), reference(&p, &good));
+    }
+
+    /// Submissions racing shutdown() either land before the scheduler's
+    /// final drain or are rejected — an admitted ticket must always
+    /// resolve, never block forever on a dead queue.
+    #[test]
+    fn submissions_racing_shutdown_never_hang() {
+        for round in 0..8u64 {
+            let rt = Arc::new(Runtime::new(ServeConfig {
+                threads: 1,
+                ..ServeConfig::default()
+            }));
+            let (p, inputs) = rnn_case(round);
+            let submitter = {
+                let rt = Arc::clone(&rt);
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let mut tickets = Vec::new();
+                    for _ in 0..32 {
+                        match rt.submit(Request::new(p.clone(), inputs.clone())) {
+                            Ok(t) => tickets.push(t),
+                            Err(_) => break,
+                        }
+                    }
+                    tickets
+                })
+            };
+            rt.shutdown();
+            for t in submitter.join().unwrap() {
+                // Success or ServeError::Shutdown are both fine; hanging
+                // here is the regression.
+                let _ = t.wait();
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_constructs_a_live_runtime() {
+        let rt = Runtime::try_new(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (p, inputs) = rnn_case(9);
+        assert_eq!(rt.run(&p, inputs.clone()).unwrap(), reference(&p, &inputs));
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded_with_exact_mean() {
+        let mut r = Reservoir::new(64);
+        for i in 0..10_000 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.values.len(), 64, "reservoir must stay bounded");
+        assert!((r.mean() - 4999.5).abs() < 1e-9, "mean must stay exact");
+        let s = r.sorted();
+        assert_eq!(s.len(), 64);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
