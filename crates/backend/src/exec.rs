@@ -10,21 +10,34 @@
 //! per-point inner loop does strength-reduced flat index arithmetic with a
 //! dense scratch-slot table for cross-member forwarding — no hashing, no
 //! per-point allocation of index vectors.
+//!
+//! Buffer storage is one contiguous `f32` **arena** laid out at plan time
+//! by [`ft_passes::plan_memory`]: every access resolves to a flat element
+//! offset (an affine function of the wavefront point), extern inputs are
+//! borrowed leaf-by-leaf as `Arc` handles (never deep-copied), and UDFs
+//! evaluate over borrowed slices through `ft_tensor::slices` kernels.
+//! Workers stage their writes in per-worker flat buffers; the publishing
+//! thread applies them serially between steps, enforcing the
+//! single-assignment property with a leaf-granular written bitmap. Arena
+//! buffers are pooled on the [`Executor`], so a long-lived executor (the
+//! serving runtime's) reaches a zero-allocation steady state.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ft_core::adt::FractalTensor;
-use ft_core::interp::BufferStore;
+use ft_core::expr::OpCode;
 use ft_core::program::BufferKind;
 use ft_core::BufferId;
-use ft_passes::{CompiledProgram, Reordering};
+use ft_passes::{CompiledProgram, Placement, Reordering};
 use ft_pool::WorkerPool;
-use ft_tensor::Tensor;
+use ft_tensor::{slices, Tensor};
 use parking_lot::{Mutex, RwLock};
 
-use crate::plan::{affine_flat, matvec_flat, GroupPlan, MemberPlan, ReadPlan};
+use crate::plan::{
+    affine_flat, matvec_flat, ArgSrc, GroupPlan, MemberPlan, Place, ReadPlan, StmtPlan,
+};
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,6 +218,10 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// collide with the per-thread tracks the collector assigns.
 const WORKER_TID_BASE: u64 = 1000;
 
+/// Arena buffers retained for reuse per executor (beyond this, extra
+/// buffers are dropped rather than hoarded).
+const ARENA_POOL_CAP: usize = 8;
+
 /// Executes a compiled program on the given inputs with `threads` worker
 /// threads (1 = fully sequential but still wavefront-ordered), returning
 /// every output buffer.
@@ -214,6 +231,73 @@ pub fn execute(
     threads: usize,
 ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
     Executor::new().threads(threads).run(compiled, inputs)
+}
+
+/// One run's backing store: the flat `f32` arena plus the leaf-granular
+/// written bitmap that enforces single assignment. Pooled and reused
+/// across runs — `resize` after the first run is a no-op on capacity.
+#[derive(Default)]
+struct ArenaBuf {
+    data: Vec<f32>,
+    written: Vec<bool>,
+}
+
+/// The executor's arena pool and its lifetime counters. Shared by all
+/// clones of an [`Executor`] (the serving runtime clones its executor per
+/// snapshot), so the stats are cumulative across every run.
+#[derive(Default)]
+struct ArenaPool {
+    bufs: Mutex<Vec<ArenaBuf>>,
+    acquires: AtomicU64,
+    reused: AtomicU64,
+    grows: AtomicU64,
+    leaf_borrows: AtomicU64,
+    leaf_clones: AtomicU64,
+}
+
+impl ArenaPool {
+    fn acquire(&self, arena_len: usize, slots_len: usize) -> ArenaBuf {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        ft_probe::counter("exec.arena_acquires", 1.0);
+        let mut buf = self.bufs.lock().pop().unwrap_or_default();
+        if buf.data.capacity() >= arena_len && buf.written.capacity() >= slots_len {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            ft_probe::counter("exec.arena_reused", 1.0);
+        } else {
+            self.grows.fetch_add(1, Ordering::Relaxed);
+            ft_probe::counter("exec.arena_grows", 1.0);
+        }
+        buf.data.clear();
+        buf.data.resize(arena_len, 0.0);
+        buf.written.clear();
+        buf.written.resize(slots_len, false);
+        buf
+    }
+
+    fn release(&self, buf: ArenaBuf) {
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < ARENA_POOL_CAP {
+            bufs.push(buf);
+        }
+    }
+}
+
+/// A snapshot of the executor's arena counters (cumulative across runs and
+/// across clones sharing the pool).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Arena buffers handed out (one per run).
+    pub acquires: u64,
+    /// Acquires satisfied without growing a buffer's capacity.
+    pub reused: u64,
+    /// Acquires that had to grow (or freshly allocate) a buffer.
+    pub grows: u64,
+    /// Leaf reads served as borrowed slices (arena, extern, or forwarded).
+    pub leaf_borrows: u64,
+    /// Leaf reads that fell back to cloning a tensor. Always zero on the
+    /// arena path — the counter exists so tests and the serving stats can
+    /// assert it stays that way.
+    pub leaf_clones: u64,
 }
 
 /// Builder-style executor configuration.
@@ -234,6 +318,8 @@ pub struct Executor {
     fault: Option<Arc<FaultPlan>>,
     /// Shared persistent pool; `None` spawns a pool per `run`.
     pool: Option<Arc<WorkerPool>>,
+    /// Arena buffers reused across runs; shared by clones.
+    arena: Arc<ArenaPool>,
 }
 
 impl Default for Executor {
@@ -244,6 +330,7 @@ impl Default for Executor {
             fallback: env_flag("FT_FALLBACK"),
             fault: None,
             pool: None,
+            arena: Arc::new(ArenaPool::default()),
         }
     }
 }
@@ -313,6 +400,19 @@ impl Executor {
         self
     }
 
+    /// Cumulative arena counters for this executor (and every clone
+    /// sharing its pool): acquires/reuses/grows plus the borrow-vs-clone
+    /// split for leaf reads.
+    pub fn arena_stats(&self) -> ArenaStats {
+        ArenaStats {
+            acquires: self.arena.acquires.load(Ordering::Relaxed),
+            reused: self.arena.reused.load(Ordering::Relaxed),
+            grows: self.arena.grows.load(Ordering::Relaxed),
+            leaf_borrows: self.arena.leaf_borrows.load(Ordering::Relaxed),
+            leaf_clones: self.arena.leaf_clones.load(Ordering::Relaxed),
+        }
+    }
+
     fn effective_threads(&self) -> usize {
         match &self.pool {
             Some(p) => p.threads(),
@@ -380,25 +480,27 @@ impl Executor {
         inputs: &HashMap<BufferId, FractalTensor>,
     ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
         let etdg = &compiled.etdg;
-        let mut stores: Vec<BufferStore> = Vec::with_capacity(etdg.buffers.len());
+        let memory = &compiled.memory;
+        // Extern inputs are borrowed leaf-by-leaf (`Arc` handles into the
+        // caller's storage) — never deep-copied into a fresh store.
+        let mut externs: Vec<Option<ExternBuf>> = Vec::with_capacity(etdg.buffers.len());
         for (bi, buf) in etdg.buffers.iter().enumerate() {
-            match buf.kind {
-                BufferKind::Input => {
-                    let ft = inputs
-                        .get(&BufferId(bi))
-                        .ok_or_else(|| ExecError::Input(format!("missing input '{}'", buf.name)))?;
-                    if ft.prog_dims() != buf.dims {
-                        return Err(ExecError::Input(format!(
-                            "input '{}' dims {:?} != declared {:?}",
-                            buf.name,
-                            ft.prog_dims(),
-                            buf.dims
-                        )));
-                    }
-                    stores.push(BufferStore::from_fractal(ft).map_err(core_err)?);
-                }
-                _ => stores.push(BufferStore::new(&buf.dims, buf.leaf_shape.clone())),
+            if buf.kind != BufferKind::Input {
+                externs.push(None);
+                continue;
             }
+            let ft = inputs
+                .get(&BufferId(bi))
+                .ok_or_else(|| ExecError::Input(format!("missing input '{}'", buf.name)))?;
+            if ft.prog_dims() != buf.dims {
+                return Err(ExecError::Input(format!(
+                    "input '{}' dims {:?} != declared {:?}",
+                    buf.name,
+                    ft.prog_dims(),
+                    buf.dims
+                )));
+            }
+            externs.push(Some(extern_leaves(ft, buf)?));
         }
 
         // The pool and the job closure live for the whole execute() call;
@@ -422,15 +524,18 @@ impl Executor {
             root.field("program", etdg.name.as_str());
             root.field("groups", compiled.groups.len());
             root.field("threads", threads);
+            root.field("arena_len", memory.arena_len);
         }
 
         let shared = Arc::new(ExecShared {
-            stores: RwLock::new(stores),
+            arena: RwLock::new(self.arena.acquire(memory.arena_len, memory.slots_len)),
+            externs,
             step: RwLock::new(StepCtx::default()),
             cursor: AtomicUsize::new(0),
             outs: (0..threads)
                 .map(|_| Mutex::new(WorkerOut::default()))
                 .collect(),
+            borrows: AtomicU64::new(0),
             probe_on: ft_probe::enabled(),
             guard: self.guard,
             fault: self.fault.clone(),
@@ -440,19 +545,93 @@ impl Executor {
             Arc::new(move |worker| worker_body(&shared, worker))
         };
 
-        for (gi, group) in compiled.groups.iter().enumerate() {
-            run_group(compiled, group, gi, pool, &shared, &job)?;
-        }
-
-        let stores = shared.stores.read();
-        let mut outputs = HashMap::new();
-        for (bi, buf) in etdg.buffers.iter().enumerate() {
-            if buf.kind == BufferKind::Output {
-                outputs.insert(BufferId(bi), stores[bi].to_fractal().map_err(core_err)?);
+        let result = (|| {
+            for (gi, group) in compiled.groups.iter().enumerate() {
+                run_group(compiled, group, gi, pool, &shared, &job)?;
             }
-        }
-        Ok(outputs)
+            let arena = shared.arena.read();
+            let mut outputs = HashMap::new();
+            for (bi, buf) in etdg.buffers.iter().enumerate() {
+                if buf.kind != BufferKind::Output {
+                    continue;
+                }
+                let layout = &memory.buffers[bi];
+                let Placement::Arena { offset, slot_off } = layout.placement else {
+                    return Err(ExecError::Runtime(format!(
+                        "output buffer '{}' has no arena placement",
+                        buf.name
+                    )));
+                };
+                if let Some(i) = (0..layout.leaves).find(|&i| !arena.written[slot_off + i]) {
+                    return Err(ExecError::Runtime(format!(
+                        "interpreter error: read of unwritten element (leaf {i} of output '{}')",
+                        buf.name
+                    )));
+                }
+                let mut dims = layout.dims.clone();
+                dims.extend_from_slice(&layout.leaf_dims);
+                let flat =
+                    Tensor::from_vec(arena.data[offset..offset + layout.len].to_vec(), &dims)
+                        .map_err(|e| ExecError::Runtime(e.to_string()))?;
+                let ft = FractalTensor::from_flat(&flat, layout.dims.len()).map_err(core_err)?;
+                outputs.insert(BufferId(bi), ft);
+            }
+            Ok(outputs)
+        })();
+
+        self.arena
+            .leaf_borrows
+            .fetch_add(shared.borrows.load(Ordering::Relaxed), Ordering::Relaxed);
+        drop(job);
+        // Reclaim the arena buffer for the pool on success *and* failure.
+        let buf = match Arc::try_unwrap(shared) {
+            Ok(sh) => sh.arena.into_inner(),
+            Err(sh) => std::mem::take(&mut *sh.arena.write()),
+        };
+        self.arena.release(buf);
+        result
     }
+}
+
+/// One extern input's leaves as shared contiguous handles, in flat
+/// (row-major) leaf order.
+struct ExternBuf {
+    leaves: Vec<(Arc<Vec<f32>>, usize)>,
+    leaf_len: usize,
+}
+
+/// Borrows every leaf of an extern input, validating its shape against the
+/// declaration (the interpreter rejects mismatches up front; so must we,
+/// since the flat kernels would otherwise read out of step).
+fn extern_leaves(ft: &FractalTensor, buf: &ft_etdg::BufferNode) -> Result<ExternBuf, ExecError> {
+    let dims = &buf.dims;
+    let leaf_dims = buf.leaf_shape.dims();
+    let nleaves: usize = dims.iter().product();
+    let mut leaves = Vec::with_capacity(nleaves);
+    let mut idx = vec![0usize; dims.len()];
+    for _ in 0..nleaves {
+        let leaf = ft
+            .leaf_at(&idx)
+            .map_err(|e| ExecError::Input(e.to_string()))?;
+        if leaf.dims() != leaf_dims {
+            return Err(ExecError::Input(format!(
+                "input '{}' leaf shape mismatch",
+                buf.name
+            )));
+        }
+        leaves.push(leaf.shared_contiguous());
+        for k in (0..dims.len()).rev() {
+            idx[k] += 1;
+            if idx[k] < dims[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+    Ok(ExternBuf {
+        leaves,
+        leaf_len: buf.leaf_shape.numel(),
+    })
 }
 
 /// Per-step inputs published to the pool.
@@ -472,10 +651,17 @@ struct StepCtx {
 
 /// State shared between the publishing thread and the pool participants.
 struct ExecShared {
-    stores: RwLock<Vec<BufferStore>>,
+    /// The run's backing store. Workers hold the read lock during a step's
+    /// compute phase; the publishing thread takes the write lock for the
+    /// serial apply between steps (workers are parked then).
+    arena: RwLock<ArenaBuf>,
+    /// Extern input leaf handles, indexed by buffer (None = not an input).
+    externs: Vec<Option<ExternBuf>>,
     step: RwLock<StepCtx>,
     cursor: AtomicUsize,
     outs: Vec<Mutex<WorkerOut>>,
+    /// Leaf reads served this run (flushed into the pool stats at the end).
+    borrows: AtomicU64,
     probe_on: bool,
     /// Guard mode: bounds-check accesses, NaN/Inf-scan outputs.
     guard: bool,
@@ -491,18 +677,20 @@ struct PointEnv<'a> {
     fault: Option<&'a FaultPlan>,
 }
 
-/// One pending write: the value plus its index window in `writes_idx`.
+/// One pending write: a window of the worker's staged data plus its flat
+/// destination in the arena and its bit in the written bitmap.
 struct WriteRec {
     buffer: u32,
-    rows: u32,
-    value: Tensor,
+    arena_off: usize,
+    bit: usize,
+    len: u32,
 }
 
 /// One participant's output for a wavefront step.
 #[derive(Default)]
 struct WorkerOut {
-    /// Flat arena of write indices, windows in `writes` order.
-    writes_idx: Vec<i64>,
+    /// Flat arena of staged write values, windows in `writes` order.
+    writes_data: Vec<f32>,
     writes: Vec<WriteRec>,
     /// Buffer reads issued (for traffic accounting).
     reads: u64,
@@ -513,19 +701,35 @@ struct WorkerOut {
     stat: Option<(f64, f64)>,
 }
 
+/// Where one UDF input leaf comes from at the current point, resolved to
+/// plain offsets so no borrows are held across the resolve loop.
+#[derive(Clone, Copy)]
+enum ReadSrc {
+    /// Window of the shared arena.
+    Arena { off: usize, len: usize },
+    /// An extern input leaf.
+    Extern { buffer: usize, leaf: usize },
+    /// A plan-time fill constant of the member.
+    Fill(usize),
+    /// A same-point forwarded value in the slot-data scratch.
+    Slot { off: usize, len: usize },
+}
+
 /// Reusable per-worker scratch sized by the group plan.
 struct Scratch {
     /// Original-space point `t = T⁻¹·j`.
     t: Vec<i64>,
     /// One access index (plan's `max_rows`).
     idx: Vec<i64>,
-    /// Dense per-point forwarding table: one value per member write.
-    slot_vals: Vec<Option<Tensor>>,
-    /// Flat per-slot written indices (windows at `plan.slot_offsets`).
-    slot_idx: Vec<i64>,
+    /// Flat per-slot forwarded values (windows at `plan.slot_data_offsets`).
+    slot_data: Vec<f32>,
+    /// Flat leaf index each populated slot was written at.
+    slot_flat: Vec<i64>,
     slot_set: Vec<bool>,
-    /// UDF input staging.
-    leaves: Vec<Tensor>,
+    /// UDF statement scratch (windows laid out by the plan).
+    tmps: Vec<f32>,
+    /// Resolved sources for the current member's reads.
+    read_src: Vec<ReadSrc>,
 }
 
 impl Scratch {
@@ -533,10 +737,11 @@ impl Scratch {
         Scratch {
             t: vec![0; plan.dims],
             idx: vec![0; plan.max_rows],
-            slot_vals: vec![None; plan.slots()],
-            slot_idx: vec![0; plan.slot_idx_len],
+            slot_data: vec![0.0; plan.slot_data_len],
+            slot_flat: vec![0; plan.slots()],
             slot_set: vec![false; plan.slots()],
-            leaves: Vec::new(),
+            tmps: vec![0.0; plan.max_tmps_len],
+            read_src: Vec::new(),
         }
     }
 }
@@ -613,7 +818,8 @@ fn run_group(
         let mut writes_applied = 0u64;
         let mut worker_stats: Vec<(usize, f64, f64, usize)> = Vec::new();
         {
-            let mut stores = shared.stores.write();
+            let mut arena = shared.arena.write();
+            let arena = &mut *arena;
             for w in 0..threads {
                 let out = std::mem::take(&mut *shared.outs[w].lock());
                 if let Some(e) = out.err {
@@ -625,16 +831,22 @@ fn run_group(
                 }
                 let mut off = 0usize;
                 for rec in out.writes {
-                    let rows = rec.rows as usize;
-                    let idx = &out.writes_idx[off..off + rows];
-                    off += rows;
-                    stores[rec.buffer as usize]
-                        .set(idx, rec.value)
-                        .map_err(core_err)?;
+                    let len = rec.len as usize;
+                    let src = &out.writes_data[off..off + len];
+                    off += len;
+                    if arena.written[rec.bit] {
+                        return Err(ExecError::Runtime(format!(
+                            "interpreter error: single-assignment violation in buffer '{}'",
+                            plan.buffer_names[rec.buffer as usize]
+                        )));
+                    }
+                    arena.written[rec.bit] = true;
+                    arena.data[rec.arena_off..rec.arena_off + len].copy_from_slice(src);
                     writes_applied += 1;
                 }
             }
         }
+        shared.borrows.fetch_add(reads_total, Ordering::Relaxed);
         if sspan.is_recording() {
             // Busy = time inside the worker body; idle = the tail each
             // worker spends waiting for the slowest one in this step's
@@ -697,7 +909,7 @@ fn worker_body(shared: &ExecShared, worker: usize) {
         guard: shared.guard,
         fault: shared.fault.as_deref(),
     };
-    let stores = shared.stores.read();
+    let arena = shared.arena.read();
     let t0 = shared.probe_on.then(ft_probe::now_us);
     let mut out = WorkerOut::default();
     let mut scratch = Scratch::new(plan);
@@ -725,7 +937,16 @@ fn worker_body(shared: &ExecShared, worker: usize) {
         for p in start..end {
             let j = &ctx.points[p * d..p * d + d];
             out.points += 1;
-            if let Err(e) = run_point(plan, &stores, j, &mut scratch, &mut out, &env) {
+            if let Err(e) = run_point(
+                plan,
+                &arena.data,
+                &arena.written,
+                &shared.externs,
+                j,
+                &mut scratch,
+                &mut out,
+                &env,
+            ) {
                 out.err = Some(e);
                 break 'chunks;
             }
@@ -738,9 +959,12 @@ fn worker_body(shared: &ExecShared, worker: usize) {
 }
 
 /// Executes every group member at one transformed point.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     plan: &GroupPlan,
-    stores: &[BufferStore],
+    arena_data: &[f32],
+    written: &[bool],
+    externs: &[Option<ExternBuf>],
     j: &[i64],
     s: &mut Scratch,
     out: &mut WorkerOut,
@@ -752,126 +976,353 @@ fn run_point(
         if !member.domain.contains(&s.t) {
             continue;
         }
-        eval_member(plan, member, stores, j, s, out, env)?;
+        eval_member(plan, member, arena_data, written, externs, j, s, out, env)?;
     }
     Ok(())
 }
 
+/// Resolves a UDF argument source to a borrowed slice. `tmps` is the
+/// readable prefix of the statement scratch (all earlier windows) during
+/// statement evaluation, or the whole scratch when staging outputs.
+fn arg_slice<'a>(
+    src: &ArgSrc,
+    reads: &[ReadSrc],
+    tmps: &'a [f32],
+    fills: &'a [Vec<f32>],
+    arena_data: &'a [f32],
+    externs: &'a [Option<ExternBuf>],
+    slot_data: &'a [f32],
+) -> &'a [f32] {
+    match src {
+        ArgSrc::Tmp { off, len } => &tmps[*off..*off + *len],
+        ArgSrc::In(k) => match &reads[*k] {
+            ReadSrc::Fill(f) => &fills[*f],
+            ReadSrc::Arena { off, len } => &arena_data[*off..*off + *len],
+            ReadSrc::Slot { off, len } => &slot_data[*off..*off + *len],
+            ReadSrc::Extern { buffer, leaf } => match &externs[*buffer] {
+                Some(e) => {
+                    let (data, off) = &e.leaves[*leaf];
+                    &data[*off..*off + e.leaf_len]
+                }
+                // Unreachable: resolve_read verified presence.
+                None => &[],
+            },
+        },
+    }
+}
+
+/// One UDF statement over borrowed slices, dispatching to the bitwise
+/// `ft_tensor::slices` kernels. Shapes were validated at plan time.
+fn eval_stmt<'a>(st: &StmtPlan, get: impl Fn(&ArgSrc) -> &'a [f32], out: &mut [f32]) {
+    let d0 = &st.arg_dims[0];
+    match &st.op {
+        OpCode::MatMul => {
+            let (m, k) = (d0[0], d0[1]);
+            let n = st.arg_dims[1][1];
+            slices::matmul(get(&st.args[0]), get(&st.args[1]), m, k, n, out);
+        }
+        OpCode::MatMulT => {
+            let (m, k) = (d0[0], d0[1]);
+            let n = st.arg_dims[1][0];
+            slices::matmul_transb(get(&st.args[0]), get(&st.args[1]), m, k, n, out);
+        }
+        OpCode::Add => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x + y),
+        OpCode::Sub => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x - y),
+        OpCode::Mul => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x * y),
+        OpCode::Div => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x / y),
+        OpCode::Max => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, f32::max),
+        OpCode::AddColBc => slices::col_broadcast(
+            get(&st.args[0]),
+            get(&st.args[1]),
+            d0[0],
+            d0[1],
+            out,
+            |x, y| x + y,
+        ),
+        OpCode::SubColBc => slices::col_broadcast(
+            get(&st.args[0]),
+            get(&st.args[1]),
+            d0[0],
+            d0[1],
+            out,
+            |x, y| x - y,
+        ),
+        OpCode::MulColBc => slices::col_broadcast(
+            get(&st.args[0]),
+            get(&st.args[1]),
+            d0[0],
+            d0[1],
+            out,
+            |x, y| x * y,
+        ),
+        OpCode::DivColBc => slices::col_broadcast(
+            get(&st.args[0]),
+            get(&st.args[1]),
+            d0[0],
+            d0[1],
+            out,
+            |x, y| x / y,
+        ),
+        OpCode::Scale(c) => {
+            let c = *c;
+            slices::map_into(get(&st.args[0]), out, |x| x * c);
+        }
+        OpCode::AddScalar(c) => {
+            let c = *c;
+            slices::map_into(get(&st.args[0]), out, |x| x + c);
+        }
+        OpCode::Tanh => slices::map_into(get(&st.args[0]), out, f32::tanh),
+        OpCode::Sigmoid => slices::map_into(get(&st.args[0]), out, slices::sigmoid_scalar),
+        OpCode::Exp => slices::map_into(get(&st.args[0]), out, f32::exp),
+        OpCode::Neg => slices::map_into(get(&st.args[0]), out, |x| -x),
+        OpCode::Relu => slices::map_into(get(&st.args[0]), out, |x| x.max(0.0)),
+        OpCode::RowMax => slices::row_reduce(
+            get(&st.args[0]),
+            d0[0],
+            d0[1],
+            f32::NEG_INFINITY,
+            out,
+            f32::max,
+        ),
+        OpCode::RowSum => {
+            slices::row_reduce(get(&st.args[0]), d0[0], d0[1], 0.0, out, |acc, v| acc + v)
+        }
+        OpCode::Softmax => slices::softmax_rows(get(&st.args[0]), d0[0], d0[1], out),
+        OpCode::Concat(axis) => {
+            let outer: usize = d0[..*axis].iter().product();
+            let inner: usize = d0[*axis + 1..].iter().product();
+            let total: usize = st.arg_dims.iter().map(|d| d[*axis] * inner).sum();
+            let mut base = 0usize;
+            for (src, d) in st.args.iter().zip(&st.arg_dims) {
+                let a = get(src);
+                let width = d[*axis] * inner;
+                for o in 0..outer {
+                    out[o * total + base..o * total + base + width]
+                        .copy_from_slice(&a[o * width..(o + 1) * width]);
+                }
+                base += width;
+            }
+        }
+        OpCode::Slice { axis, start, end } => {
+            slices::slice_axis(get(&st.args[0]), d0, *axis, *start, *end, out)
+        }
+        OpCode::Transpose => slices::transpose(get(&st.args[0]), d0[0], d0[1], out),
+        OpCode::Id => out.copy_from_slice(get(&st.args[0])),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn eval_member(
     plan: &GroupPlan,
     member: &MemberPlan,
-    stores: &[BufferStore],
+    arena_data: &[f32],
+    written: &[bool],
+    externs: &[Option<ExternBuf>],
     j: &[i64],
     s: &mut Scratch,
     out: &mut WorkerOut,
     env: &PointEnv<'_>,
 ) -> Result<(), ExecError> {
-    s.leaves.clear();
+    s.read_src.clear();
     for read in &member.reads {
-        match read {
-            ReadPlan::Fill { value, dims } => s.leaves.push(Tensor::full(dims, *value)),
-            ReadPlan::Buffer {
-                buffer,
-                mat,
-                off,
-                rows,
-                candidates,
-            } => {
+        let src = match read {
+            ReadPlan::Fill { fill } => ReadSrc::Fill(*fill),
+            ReadPlan::Buffer { access, candidates } => {
                 out.reads += 1;
-                affine_flat(mat, off, *rows, plan.dims, j, &mut s.idx);
-                if env.guard && !stores[*buffer].in_range(&s.idx[..*rows]) {
-                    return Err(ExecError::Guard {
-                        group: env.group,
-                        step: env.step,
-                        block: member.name.clone(),
-                        detail: format!(
-                            "read of buffer '{}' out of range at index {:?} (point t={:?})",
-                            plan.buffer_names[*buffer],
-                            &s.idx[..*rows],
-                            s.t
-                        ),
-                    });
-                }
+                affine_flat(
+                    &access.mat,
+                    &access.off,
+                    access.rows,
+                    plan.dims,
+                    j,
+                    &mut s.idx,
+                );
+                let flat = flat_leaf(&s.idx, access)
+                    .ok_or_else(|| oob_error(plan, member, access, s, env, AccessDir::Read))?;
                 let mut forwarded = None;
                 for &(slot, same_map) in candidates {
-                    if !s.slot_set[slot] {
-                        continue;
-                    }
-                    let so = plan.slot_offsets[slot];
-                    if same_map || s.slot_idx[so..so + rows] == s.idx[..*rows] {
+                    if s.slot_set[slot] && (same_map || s.slot_flat[slot] == flat as i64) {
                         forwarded = Some(slot);
                         break;
                     }
                 }
-                if let Some(slot) = forwarded {
-                    let Some(v) = s.slot_vals[slot].as_ref() else {
-                        return Err(ExecError::Forwarding {
-                            group: env.group,
-                            block: member.name.clone(),
-                            buffer: plan.buffer_names[*buffer].clone(),
-                            point: s.t.clone(),
-                        });
-                    };
-                    s.leaves.push(v.clone());
-                } else {
-                    let v = stores[*buffer].get(&s.idx[..*rows]).map_err(|e| {
-                        ExecError::Runtime(format!("block '{}' at t={:?}: {e}", member.name, s.t))
-                    })?;
-                    s.leaves.push(v.clone());
+                match (forwarded, access.place) {
+                    (Some(slot), _) => ReadSrc::Slot {
+                        off: plan.slot_data_offsets[slot],
+                        len: access.leaf_len,
+                    },
+                    (None, Place::Extern) => {
+                        if externs[access.buffer].is_none() {
+                            return Err(ExecError::Runtime(format!(
+                                "block '{}' at t={:?}: extern buffer '{}' missing",
+                                member.name, s.t, plan.buffer_names[access.buffer]
+                            )));
+                        }
+                        ReadSrc::Extern {
+                            buffer: access.buffer,
+                            leaf: flat,
+                        }
+                    }
+                    (None, Place::Arena { offset, slot_off }) => {
+                        if !written[slot_off + flat] {
+                            return Err(ExecError::Runtime(format!(
+                                "block '{}' at t={:?}: interpreter error: \
+                                 read of unwritten element {:?}",
+                                member.name,
+                                s.t,
+                                &s.idx[..access.rows]
+                            )));
+                        }
+                        ReadSrc::Arena {
+                            off: offset + access.leaf_len * flat,
+                            len: access.leaf_len,
+                        }
+                    }
+                }
+            }
+        };
+        s.read_src.push(src);
+    }
+
+    // Evaluate the UDF statements into the scratch windows. Earlier
+    // windows are readable through the split's prefix; the current
+    // statement's window is the only mutable borrow.
+    for st in &member.udf.stmts {
+        let (lo, hi) = s.tmps.split_at_mut(st.out_off);
+        let lo: &[f32] = lo;
+        let out_win = &mut hi[..st.out_len];
+        let read_src = &s.read_src;
+        let slot_data: &[f32] = &s.slot_data;
+        let fills = &member.fills;
+        eval_stmt(
+            st,
+            |src| arg_slice(src, read_src, lo, fills, arena_data, externs, slot_data),
+            out_win,
+        );
+    }
+
+    // Stage every UDF output into the worker's flat write buffer (the
+    // staged windows double as the NaN-scan and poison targets, exactly
+    // as the old per-tensor path treated the UDF results).
+    let base = out.writes_data.len();
+    for (src, len) in &member.udf.outputs {
+        let v = arg_slice(
+            src,
+            &s.read_src,
+            &s.tmps,
+            &member.fills,
+            arena_data,
+            externs,
+            &s.slot_data,
+        );
+        out.writes_data.extend_from_slice(&v[..*len]);
+    }
+    if let Some(fault) = env.fault {
+        if fault.poison_nan_at == Some((env.group, env.step)) {
+            if let Some((_, len)) = member.udf.outputs.first() {
+                for v in &mut out.writes_data[base..base + len] {
+                    *v = f32::NAN;
                 }
             }
         }
     }
-    let mut results = member
-        .udf
-        .eval(&s.leaves)
-        .map_err(|e| ExecError::Runtime(e.to_string()))?;
-    if let Some(fault) = env.fault {
-        if fault.poison_nan_at == Some((env.group, env.step)) {
-            if let Some(first) = results.first_mut() {
-                *first = Tensor::full(first.dims(), f32::NAN);
-            }
-        }
-    }
-    if env.guard {
-        for value in &results {
-            if value.iter().any(|x| !x.is_finite()) {
-                return Err(ExecError::Guard {
-                    group: env.group,
-                    step: env.step,
-                    block: member.name.clone(),
-                    detail: format!("non-finite value in step output at point t={:?}", s.t),
-                });
-            }
-        }
-    }
-    for (w, value) in member.writes.iter().zip(results) {
-        affine_flat(&w.mat, &w.off, w.rows, plan.dims, j, &mut s.idx);
-        if env.guard && !stores[w.buffer].in_range(&s.idx[..w.rows]) {
-            return Err(ExecError::Guard {
-                group: env.group,
-                step: env.step,
-                block: member.name.clone(),
-                detail: format!(
-                    "write to buffer '{}' out of range at index {:?} (point t={:?})",
-                    plan.buffer_names[w.buffer],
-                    &s.idx[..w.rows],
-                    s.t
-                ),
-            });
-        }
-        let so = plan.slot_offsets[w.slot];
-        s.slot_idx[so..so + w.rows].copy_from_slice(&s.idx[..w.rows]);
-        out.writes_idx.extend_from_slice(&s.idx[..w.rows]);
-        out.writes.push(WriteRec {
-            buffer: w.buffer as u32,
-            rows: w.rows as u32,
-            value: value.clone(),
+    if env.guard && out.writes_data[base..].iter().any(|x| !x.is_finite()) {
+        return Err(ExecError::Guard {
+            group: env.group,
+            step: env.step,
+            block: member.name.clone(),
+            detail: format!("non-finite value in step output at point t={:?}", s.t),
         });
-        s.slot_vals[w.slot] = Some(value);
+    }
+
+    let mut woff = base;
+    for w in &member.writes {
+        let len = w.access.leaf_len;
+        affine_flat(
+            &w.access.mat,
+            &w.access.off,
+            w.access.rows,
+            plan.dims,
+            j,
+            &mut s.idx,
+        );
+        let flat = flat_leaf(&s.idx, &w.access)
+            .ok_or_else(|| oob_error(plan, member, &w.access, s, env, AccessDir::Write))?;
+        let slot_start = plan.slot_data_offsets[w.slot];
+        s.slot_data[slot_start..slot_start + len]
+            .copy_from_slice(&out.writes_data[woff..woff + len]);
+        s.slot_flat[w.slot] = flat as i64;
         s.slot_set[w.slot] = true;
+        let Place::Arena { offset, slot_off } = w.access.place else {
+            // Unreachable: GroupPlan::build rejects extern writes.
+            return Err(ExecError::Runtime(format!(
+                "block '{}' writes extern buffer '{}'",
+                member.name, plan.buffer_names[w.access.buffer]
+            )));
+        };
+        out.writes.push(WriteRec {
+            buffer: w.access.buffer as u32,
+            arena_off: offset + len * flat,
+            bit: slot_off + flat,
+            len: len as u32,
+        });
+        woff += len;
     }
     Ok(())
+}
+
+/// Which way an access points (error-message selection only).
+enum AccessDir {
+    Read,
+    Write,
+}
+
+/// The always-on range check fused with the flat-leaf-index computation:
+/// `None` when any component leaves its extent (the error path; the
+/// success path is branch-only and allocation-free).
+#[inline]
+fn flat_leaf(idx: &[i64], access: &crate::plan::Access) -> Option<usize> {
+    let mut flat = 0i64;
+    for (r, &v) in idx.iter().enumerate().take(access.rows) {
+        if v < 0 || v >= access.extents[r] {
+            return None;
+        }
+        flat += access.leaf_strides[r] * v;
+    }
+    Some(flat as usize)
+}
+
+/// Builds the out-of-range error for a failed [`flat_leaf`]: a typed guard
+/// trip in guard mode, the interpreter-shaped runtime error otherwise.
+fn oob_error(
+    plan: &GroupPlan,
+    member: &MemberPlan,
+    access: &crate::plan::Access,
+    s: &Scratch,
+    env: &PointEnv<'_>,
+    dir: AccessDir,
+) -> ExecError {
+    let idx = &s.idx[..access.rows];
+    if env.guard {
+        let what = match dir {
+            AccessDir::Read => "read of",
+            AccessDir::Write => "write to",
+        };
+        ExecError::Guard {
+            group: env.group,
+            step: env.step,
+            block: member.name.clone(),
+            detail: format!(
+                "{what} buffer '{}' out of range at index {idx:?} (point t={:?})",
+                plan.buffer_names[access.buffer], s.t
+            ),
+        }
+    } else {
+        ExecError::Runtime(format!(
+            "block '{}' at t={:?}: interpreter error: index {idx:?} out of extents {:?}",
+            member.name, s.t, access.extents
+        ))
+    }
 }
 
 /// Enumerates the transformed points with a fixed wavefront coordinate
@@ -1084,6 +1535,30 @@ mod tests {
         }
         // The executor sized itself by the pool, not the threads default.
         assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn arena_is_pooled_across_runs_and_leaves_are_never_cloned() {
+        let p = stacked_rnn_program(2, 3, 4, 4);
+        let inputs = rnn_inputs(2, 3, 4, 4);
+        let compiled = compile(&p).unwrap();
+        let exec = Executor::new().threads(2);
+        let a = exec.run(&compiled, &inputs).unwrap();
+        let b = exec.run(&compiled, &inputs).unwrap();
+        for (id, ft) in &a {
+            assert_eq!(ft, &b[id], "arena reuse changed the result");
+        }
+        let stats = exec.arena_stats();
+        assert_eq!(stats.acquires, 2);
+        assert!(
+            stats.reused >= 1,
+            "second run must reuse the arena: {stats:?}"
+        );
+        assert_eq!(stats.leaf_clones, 0, "arena path must never clone leaves");
+        assert!(stats.leaf_borrows > 0);
+        // A clone shares the same pool and counters.
+        let cloned = exec.clone();
+        assert_eq!(cloned.arena_stats(), stats);
     }
 
     #[test]

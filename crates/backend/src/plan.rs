@@ -4,41 +4,69 @@
 //! The executor's hot loop used to do, per point, a `T⁻¹·j` matvec through
 //! `Reordering::to_original` (allocating), one `AffineMap::apply` per read
 //! and write (allocating), and a `HashMap<(usize, Vec<i64>), Tensor>`
-//! overlay lookup keyed by freshly cloned index vectors. The plan folds
-//! the group's unimodular reordering into every member's access maps
-//! (`i = (M·T⁻¹)·j + o`, flattened row-major), assigns each member write a
-//! dense *scratch slot*, and resolves at plan time which earlier slots a
-//! read could forward from — including whether the composed maps are
-//! identical, in which case the per-point index comparison is skipped
-//! entirely. At run time the inner loop is nothing but flat `i64`
-//! multiply-adds into reusable scratch buffers.
+//! overlay lookup keyed by freshly cloned index vectors, cloning every leaf
+//! tensor into the UDF argument list. The plan now goes further than the
+//! PR-2 version: on top of folding the group's unimodular reordering into
+//! every member's access maps (`i = (M·T⁻¹)·j + o`, flattened row-major)
+//! and precomputing forwarding candidates, it resolves every access against
+//! the [`ft_passes::MemoryPlan`] — so a read or write is a *flat element
+//! offset* into one contiguous arena (or an extern input borrow), an affine
+//! function of the wavefront point. Constant fills are materialized once at
+//! plan time, and each member's UDF is compiled to a [`UdfPlan`]: shapes
+//! inferred once, scratch windows laid out by prefix sums, every statement
+//! dispatching to `ft_tensor::slices` kernels over borrowed slices. The
+//! run-time inner loop allocates nothing and clones no tensors.
 
 use ft_affine::ConstraintSet;
-use ft_core::expr::Udf;
+use ft_core::expr::{OpCode, Operand, Udf};
 use ft_etdg::RegionRead;
-use ft_passes::{CompiledProgram, ScheduledGroup};
+use ft_passes::{CompiledProgram, Placement, ScheduledGroup};
+use ft_tensor::Shape;
 
 use crate::exec::ExecError;
 
+/// Where an access's leaves live, resolved from the memory plan.
+#[derive(Clone, Copy)]
+pub(crate) enum Place {
+    /// Arena range: `offset` is the buffer's base element, `slot_off` its
+    /// base leaf in the written bitmap.
+    Arena { offset: usize, slot_off: usize },
+    /// Caller-owned extern input, indexed through the per-run leaf table.
+    Extern,
+}
+
+/// One composed, layout-resolved buffer access.
+pub(crate) struct Access {
+    /// Buffer index.
+    pub buffer: usize,
+    /// Flattened `rows × dims` composed access matrix.
+    pub mat: Vec<i64>,
+    /// Offset vector (`rows` entries).
+    pub off: Vec<i64>,
+    /// Data-space rank of the access.
+    pub rows: usize,
+    /// Buffer extents per data dimension (the always-on range check).
+    pub extents: Vec<i64>,
+    /// Row-major leaf strides: flat leaf = `Σ leaf_strides[r]·idx[r]`.
+    pub leaf_strides: Vec<i64>,
+    /// Elements per leaf.
+    pub leaf_len: usize,
+    /// Arena or extern placement.
+    pub place: Place,
+}
+
 /// One buffer read, partially evaluated against the group reordering.
 pub(crate) enum ReadPlan {
-    /// A constant-fill read (no buffer touched).
+    /// A constant-fill read; `fill` indexes [`MemberPlan::fills`], whose
+    /// data was materialized once at plan time (never per point).
     Fill {
-        /// Fill value.
-        value: f32,
-        /// Leaf dims of the produced tensor.
-        dims: Vec<usize>,
+        /// Index into the member's cached fill constants.
+        fill: usize,
     },
     /// A buffer read through the composed map `i = (M·T⁻¹)·j + o`.
     Buffer {
-        /// Buffer index.
-        buffer: usize,
-        /// Flattened `rows × dims` composed access matrix.
-        mat: Vec<i64>,
-        /// Offset vector (`rows` entries).
-        off: Vec<i64>,
-        /// Data-space rank of the access.
-        rows: usize,
+        /// The composed access.
+        access: Access,
         /// Scratch slots of earlier member writes to the same buffer that
         /// this read may forward from, latest-written first. The flag is
         /// true when the write's composed map is identical to this read's,
@@ -49,16 +77,50 @@ pub(crate) enum ReadPlan {
 
 /// One buffer write, partially evaluated against the group reordering.
 pub(crate) struct WritePlan {
-    /// Buffer index.
-    pub buffer: usize,
-    /// Flattened `rows × dims` composed access matrix.
-    pub mat: Vec<i64>,
-    /// Offset vector.
-    pub off: Vec<i64>,
-    /// Data-space rank of the access.
-    pub rows: usize,
+    /// The composed access (always arena-placed; extern inputs are
+    /// rejected at plan build).
+    pub access: Access,
     /// Dense scratch slot forwarding this value to later members.
     pub slot: usize,
+}
+
+/// Where a UDF statement argument (or output) comes from.
+#[derive(Clone, Copy)]
+pub(crate) enum ArgSrc {
+    /// The member's k-th read (resolved per point into a borrowed slice).
+    In(usize),
+    /// An earlier statement's scratch window.
+    Tmp {
+        /// Window start in the member's tmps scratch.
+        off: usize,
+        /// Window length.
+        len: usize,
+    },
+}
+
+/// One UDF statement with shapes and scratch windows resolved at plan time.
+pub(crate) struct StmtPlan {
+    /// The operation.
+    pub op: OpCode,
+    /// Argument sources.
+    pub args: Vec<ArgSrc>,
+    /// Argument dims (validated once here, never re-checked per point).
+    pub arg_dims: Vec<Vec<usize>>,
+    /// Result window start in the member's tmps scratch.
+    pub out_off: usize,
+    /// Result window length.
+    pub out_len: usize,
+}
+
+/// A UDF compiled for slice evaluation: every shape inferred once, every
+/// scratch window a plan-time constant.
+pub(crate) struct UdfPlan {
+    /// The statements in SSA order.
+    pub stmts: Vec<StmtPlan>,
+    /// Output sources with lengths, in write order.
+    pub outputs: Vec<(ArgSrc, usize)>,
+    /// Total scratch length for all statement results.
+    pub tmps_len: usize,
 }
 
 /// One group member with its reads/writes pre-transformed.
@@ -67,12 +129,15 @@ pub(crate) struct MemberPlan {
     pub name: String,
     /// Exact iteration domain in the *original* space.
     pub domain: ConstraintSet,
-    /// The member's UDF.
-    pub udf: Udf,
+    /// The member's UDF, compiled against its input leaf shapes.
+    pub udf: UdfPlan,
     /// Reads in UDF input order.
     pub reads: Vec<ReadPlan>,
     /// Writes in UDF output order.
     pub writes: Vec<WritePlan>,
+    /// Constant fill data, materialized once (satellite of the arena PR:
+    /// the old plan re-ran `Tensor::full` at every wavefront point).
+    pub fills: Vec<Vec<f32>>,
 }
 
 /// The full access plan for one launch group.
@@ -84,12 +149,14 @@ pub(crate) struct GroupPlan {
     pub t_inv: Vec<i64>,
     /// Members in region order.
     pub members: Vec<MemberPlan>,
-    /// Start of each slot's index window in the flat slot-index scratch.
-    pub slot_offsets: Vec<usize>,
-    /// Total length of the flat slot-index scratch.
-    pub slot_idx_len: usize,
+    /// Start of each slot's data window in the flat slot-data scratch.
+    pub slot_data_offsets: Vec<usize>,
+    /// Total length of the flat slot-data scratch.
+    pub slot_data_len: usize,
     /// Largest data-space rank over all accesses (sizes the index scratch).
     pub max_rows: usize,
+    /// Largest UDF scratch length over all members.
+    pub max_tmps_len: usize,
     /// Buffer names by index (guard-mode and degradation diagnostics).
     pub buffer_names: Vec<String>,
 }
@@ -97,7 +164,7 @@ pub(crate) struct GroupPlan {
 impl GroupPlan {
     /// Number of scratch slots (one per member write).
     pub fn slots(&self) -> usize {
-        self.slot_offsets.len()
+        self.slot_data_offsets.len()
     }
 
     /// Builds the plan for `group` of `compiled`.
@@ -110,9 +177,10 @@ impl GroupPlan {
         }
 
         let mut members = Vec::with_capacity(group.members.len());
-        let mut slot_offsets = Vec::new();
-        let mut slot_idx_len = 0usize;
+        let mut slot_data_offsets = Vec::new();
+        let mut slot_data_len = 0usize;
         let mut max_rows = 0usize;
+        let mut max_tmps_len = 0usize;
         // (buffer, mat, off, slot) of every write planned so far — the
         // forwarding candidates for subsequent members' reads.
         let mut planned_writes: Vec<(usize, Vec<i64>, Vec<i64>, usize)> = Vec::new();
@@ -120,62 +188,78 @@ impl GroupPlan {
         for &m in &group.members {
             let block = compiled.etdg.block(m);
             let mut reads = Vec::with_capacity(block.reads.len());
+            let mut fills: Vec<Vec<f32>> = Vec::new();
+            let mut input_shapes: Vec<Shape> = Vec::with_capacity(block.reads.len());
             for read in &block.reads {
                 match read {
-                    RegionRead::Fill { value, leaf_shape } => reads.push(ReadPlan::Fill {
-                        value: *value,
-                        dims: leaf_shape.dims().to_vec(),
-                    }),
+                    RegionRead::Fill { value, leaf_shape } => {
+                        reads.push(ReadPlan::Fill { fill: fills.len() });
+                        fills.push(vec![*value; leaf_shape.numel()]);
+                        input_shapes.push(leaf_shape.clone());
+                    }
                     RegionRead::Buffer { buffer, map } => {
-                        let (mat, off, rows) = flatten_map(group, map)?;
-                        max_rows = max_rows.max(rows);
+                        let access = build_access(compiled, group, buffer.0, map)?;
+                        max_rows = max_rows.max(access.rows);
+                        input_shapes.push(compiled.etdg.buffer(*buffer).leaf_shape.clone());
                         let candidates = planned_writes
                             .iter()
                             .rev()
                             .filter(|(b, ..)| *b == buffer.0)
-                            .map(|(_, wmat, woff, slot)| (*slot, *wmat == mat && *woff == off))
+                            .map(|(_, wmat, woff, slot)| {
+                                (*slot, *wmat == access.mat && *woff == access.off)
+                            })
                             .collect();
-                        reads.push(ReadPlan::Buffer {
-                            buffer: buffer.0,
-                            mat,
-                            off,
-                            rows,
-                            candidates,
-                        });
+                        reads.push(ReadPlan::Buffer { access, candidates });
                     }
                 }
             }
             let mut writes = Vec::with_capacity(block.writes.len());
             for w in &block.writes {
-                let (mat, off, rows) = flatten_map(group, &w.map)?;
-                max_rows = max_rows.max(rows);
-                let slot = slot_offsets.len();
-                slot_offsets.push(slot_idx_len);
-                slot_idx_len += rows;
-                planned_writes.push((w.buffer.0, mat.clone(), off.clone(), slot));
-                writes.push(WritePlan {
-                    buffer: w.buffer.0,
-                    mat,
-                    off,
-                    rows,
-                    slot,
-                });
+                let access = build_access(compiled, group, w.buffer.0, &w.map)?;
+                if matches!(access.place, Place::Extern) {
+                    return Err(ExecError::Runtime(format!(
+                        "block '{}' writes extern input buffer '{}'",
+                        block.name,
+                        compiled.etdg.buffer(w.buffer).name
+                    )));
+                }
+                max_rows = max_rows.max(access.rows);
+                let slot = slot_data_offsets.len();
+                slot_data_offsets.push(slot_data_len);
+                slot_data_len += access.leaf_len;
+                planned_writes.push((w.buffer.0, access.mat.clone(), access.off.clone(), slot));
+                writes.push(WritePlan { access, slot });
             }
+            let udf = build_udf_plan(&block.udf, &input_shapes)?;
+            for (w, (_, out_len)) in writes.iter().zip(&udf.outputs) {
+                if w.access.leaf_len != *out_len {
+                    return Err(ExecError::Runtime(format!(
+                        "block '{}': UDF output length {} != leaf length {} of buffer '{}'",
+                        block.name,
+                        out_len,
+                        w.access.leaf_len,
+                        compiled.etdg.buffers[w.access.buffer].name
+                    )));
+                }
+            }
+            max_tmps_len = max_tmps_len.max(udf.tmps_len);
             members.push(MemberPlan {
                 name: block.name.clone(),
                 domain: block.domain.clone(),
-                udf: block.udf.clone(),
+                udf,
                 reads,
                 writes,
+                fills,
             });
         }
         Ok(GroupPlan {
             dims: d,
             t_inv,
             members,
-            slot_offsets,
-            slot_idx_len,
+            slot_data_offsets,
+            slot_data_len,
             max_rows,
+            max_tmps_len,
             buffer_names: compiled
                 .etdg
                 .buffers
@@ -191,16 +275,95 @@ impl GroupPlan {
     /// only — never reachable without an explicit
     /// [`FaultPlan`](crate::exec::FaultPlan).
     pub fn corrupt_read_offset(&mut self, member: usize, read: usize, delta: i64) {
-        if let Some(ReadPlan::Buffer { off, .. }) = self
+        if let Some(ReadPlan::Buffer { access, .. }) = self
             .members
             .get_mut(member)
             .and_then(|m| m.reads.get_mut(read))
         {
-            if let Some(o) = off.first_mut() {
+            if let Some(o) = access.off.first_mut() {
                 *o += delta;
             }
         }
     }
+}
+
+/// Composes an access map with the group reordering and resolves its
+/// buffer's flat layout from the memory plan.
+fn build_access(
+    compiled: &CompiledProgram,
+    group: &ScheduledGroup,
+    buffer: usize,
+    map: &ft_affine::AffineMap,
+) -> Result<Access, ExecError> {
+    let (mat, off, rows) = flatten_map(group, map)?;
+    let layout = &compiled.memory.buffers[buffer];
+    let place = match layout.placement {
+        Placement::Extern => Place::Extern,
+        Placement::Arena { offset, slot_off } => Place::Arena { offset, slot_off },
+    };
+    Ok(Access {
+        buffer,
+        mat,
+        off,
+        rows,
+        extents: layout.dims.iter().map(|&d| d as i64).collect(),
+        leaf_strides: layout.leaf_strides.clone(),
+        leaf_len: layout.leaf_len,
+        place,
+    })
+}
+
+/// Compiles a UDF against its input leaf shapes: infer every statement
+/// shape once, lay the scratch windows out by prefix sums, and freeze the
+/// argument dims the slice kernels will assume.
+fn build_udf_plan(udf: &Udf, input_shapes: &[Shape]) -> Result<UdfPlan, ExecError> {
+    let shapes = udf
+        .infer_shapes(input_shapes)
+        .map_err(|e| ExecError::Runtime(e.to_string()))?;
+    let mut tmp_offs = Vec::with_capacity(udf.stmts.len());
+    let mut tmps_len = 0usize;
+    for s in &shapes.stmts {
+        tmp_offs.push(tmps_len);
+        tmps_len += s.numel();
+    }
+    let src = |o: &Operand| -> ArgSrc {
+        match o {
+            Operand::In(k) => ArgSrc::In(*k),
+            Operand::Tmp(k) => ArgSrc::Tmp {
+                off: tmp_offs[*k],
+                len: shapes.stmts[*k].numel(),
+            },
+        }
+    };
+    let dims_of = |o: &Operand| -> Vec<usize> {
+        match o {
+            Operand::In(k) => input_shapes[*k].dims().to_vec(),
+            Operand::Tmp(k) => shapes.stmts[*k].dims().to_vec(),
+        }
+    };
+    let stmts = udf
+        .stmts
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StmtPlan {
+            op: s.op.clone(),
+            args: s.args.iter().map(&src).collect(),
+            arg_dims: s.args.iter().map(&dims_of).collect(),
+            out_off: tmp_offs[i],
+            out_len: shapes.stmts[i].numel(),
+        })
+        .collect();
+    let outputs = udf
+        .outputs
+        .iter()
+        .zip(&shapes.outputs)
+        .map(|(o, sh)| (src(o), sh.numel()))
+        .collect();
+    Ok(UdfPlan {
+        stmts,
+        outputs,
+        tmps_len,
+    })
 }
 
 /// Composes an access map with the group reordering and flattens it.

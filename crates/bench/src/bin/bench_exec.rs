@@ -1,5 +1,8 @@
-//! Executor benchmark: persistent worker-pool executor vs the pre-PR
-//! per-step-spawn reference executor, plus the packed GEMM kernels.
+//! Executor benchmark: the arena-backed worker-pool executor (guard off
+//! and guard on) vs the pre-pool per-step-spawn reference executor, plus
+//! the packed GEMM kernels. Each row also records the arena pool's reuse
+//! counters so regressions in the zero-copy path (leaf clones, arena
+//! growth after warm-up) show up next to the timings.
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin bench_exec            # full run
@@ -16,7 +19,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use ft_backend::{execute, execute_reference};
+use ft_backend::{execute_reference, Executor};
 use ft_core::builders::stacked_rnn_program;
 use ft_core::{BufferId, FractalTensor};
 use ft_passes::{compile, CompiledProgram};
@@ -30,7 +33,11 @@ struct ExecRow {
     workload: String,
     threads: usize,
     pool_ms: f64,
+    guard_ms: f64,
     reference_ms: f64,
+    arena_reused: u64,
+    arena_grows: u64,
+    leaf_clones: u64,
 }
 
 struct GemmRow {
@@ -91,22 +98,37 @@ fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 fn bench_workload(w: &Workload, reps: usize, rows: &mut Vec<ExecRow>) {
     for &threads in THREADS {
+        // One executor per thread count so the warm-up primes the arena
+        // pool and the timed reps run allocation-free — the steady state
+        // a resident runtime sees.
+        let exec = Executor::new().threads(threads);
         let pool_ms = time_ms(reps, || {
-            std::hint::black_box(execute(&w.compiled, &w.inputs, threads).unwrap());
+            std::hint::black_box(exec.run(&w.compiled, &w.inputs).unwrap());
+        });
+        let stats = exec.arena_stats();
+        let guarded = Executor::new().threads(threads).guard(true);
+        let guard_ms = time_ms(reps, || {
+            std::hint::black_box(guarded.run(&w.compiled, &w.inputs).unwrap());
         });
         let reference_ms = time_ms(reps, || {
             std::hint::black_box(execute_reference(&w.compiled, &w.inputs, threads).unwrap());
         });
         eprintln!(
-            "{:24} threads={threads}  pool {pool_ms:8.3} ms   reference {reference_ms:8.3} ms   ({:.2}x)",
+            "{:24} threads={threads}  arena {pool_ms:8.3} ms   guard {guard_ms:8.3} ms \
+             ({:+5.1}%)   reference {reference_ms:8.3} ms   ({:.2}x)",
             w.name,
+            (guard_ms / pool_ms - 1.0) * 100.0,
             reference_ms / pool_ms
         );
         rows.push(ExecRow {
             workload: w.name.clone(),
             threads,
             pool_ms,
+            guard_ms,
             reference_ms,
+            arena_reused: stats.reused,
+            arena_grows: stats.grows,
+            leaf_clones: stats.leaf_clones,
         });
     }
 }
@@ -180,8 +202,13 @@ fn main() {
                 "workload": r.workload.as_str(),
                 "threads": r.threads as u64,
                 "pool_ms": r.pool_ms,
+                "guard_ms": r.guard_ms,
+                "guard_overhead": r.guard_ms / r.pool_ms - 1.0,
                 "reference_ms": r.reference_ms,
                 "speedup": r.reference_ms / r.pool_ms,
+                "arena_reused": r.arena_reused,
+                "arena_grows": r.arena_grows,
+                "leaf_clones": r.leaf_clones,
             })
         })
         .collect();

@@ -42,6 +42,13 @@ struct LoadRow {
     p50_ms: f64,
     p99_ms: f64,
     mean_batch: f64,
+    /// Arena acquisitions during the timed (post-warmup) section.
+    arena_acquires: u64,
+    /// Arena growths during the timed section — zero means the runtime
+    /// served the whole load allocation-free.
+    arena_grows_after_warmup: u64,
+    /// Leaf clones over the runtime's lifetime (must stay zero).
+    leaf_clones: u64,
 }
 
 fn request_inputs(seed: u64, shared_ws: &FractalTensor) -> HashMap<BufferId, FractalTensor> {
@@ -134,16 +141,20 @@ fn run_load(
         p50_ms: stats.latency_p50_us / 1e3,
         p99_ms: stats.latency_p99_us / 1e3,
         mean_batch,
+        arena_acquires: stats.arena_acquires - warm.arena_acquires,
+        arena_grows_after_warmup: stats.arena_grows - warm.arena_grows,
+        leaf_clones: stats.leaf_clones,
     };
     eprintln!(
-        "threads={} {:9} clients={} {:6.0} req/s   p50 {:7.3} ms   p99 {:7.3} ms   mean batch {:.2}",
+        "threads={} {:9} clients={} {:6.0} req/s   p50 {:7.3} ms   p99 {:7.3} ms   mean batch {:.2}   arena grows {}",
         row.threads,
         if batched { "batched" } else { "unbatched" },
         row.clients,
         row.throughput_rps,
         row.p50_ms,
         row.p99_ms,
-        row.mean_batch
+        row.mean_batch,
+        row.arena_grows_after_warmup
     );
     row
 }
@@ -234,6 +245,9 @@ fn main() {
                 "p50_ms": r.p50_ms,
                 "p99_ms": r.p99_ms,
                 "mean_batch": r.mean_batch,
+                "arena_acquires": r.arena_acquires,
+                "arena_grows_after_warmup": r.arena_grows_after_warmup,
+                "leaf_clones": r.leaf_clones,
             })
         })
         .collect();

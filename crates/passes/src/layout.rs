@@ -1,0 +1,298 @@
+//! Plan-time buffer layout and lifetime analysis (the §5.3
+//! access-materialization idea applied to the CPU backend's arena).
+//!
+//! For every buffer the planner derives a dense flat layout — row-major
+//! strides over the programmable dimensions with the leaf elements inlined
+//! — and assigns it a *placement*: extern inputs stay in caller-owned
+//! storage and are borrowed read-only at run time, everything else gets a
+//! contiguous range of one `f32` arena. A liveness pass over the group
+//! execution order lets dead intermediates reuse the arena ranges of
+//! buffers whose last reader has already run, so the arena footprint is
+//! the peak working set rather than the sum of all buffers.
+//!
+//! The result, [`MemoryPlan`], is a pure plan-time artifact: the executor
+//! turns each access map into a flat element offset (an affine function of
+//! the wavefront point) and never touches a hash map or clones a leaf on
+//! the hot path.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use ft_core::BufferKind;
+use ft_etdg::{BufId, Etdg};
+
+use crate::pipeline::ScheduledGroup;
+
+/// Where a buffer's leaves live at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Caller-owned extern input, borrowed read-only (never written).
+    Extern,
+    /// A contiguous arena range starting at `offset` (in `f32` elements);
+    /// `slot_off` is the buffer's base in the leaf-granular
+    /// written-bitmap that preserves single-assignment checking.
+    Arena {
+        /// First element of the buffer's range in the arena.
+        offset: usize,
+        /// First bit of the buffer's range in the written bitmap.
+        slot_off: usize,
+    },
+}
+
+/// The flat layout of one buffer.
+#[derive(Debug, Clone)]
+pub struct BufferLayout {
+    /// Programmable-dimension extents, outermost first.
+    pub dims: Vec<usize>,
+    /// Static leaf shape.
+    pub leaf_dims: Vec<usize>,
+    /// Elements per leaf (`leaf_dims` product).
+    pub leaf_len: usize,
+    /// Number of leaves (`dims` product).
+    pub leaves: usize,
+    /// Total flat length in elements (`leaves * leaf_len`).
+    pub len: usize,
+    /// Leaf-granular row-major strides over `dims`: the flat *leaf* index
+    /// of program point `idx` is `sum(leaf_strides[r] * idx[r])`.
+    pub leaf_strides: Vec<i64>,
+    /// Run-time placement.
+    pub placement: Placement,
+    /// Live interval in group execution order, inclusive: the buffer's
+    /// arena range must not be reused between `live.0` and `live.1`.
+    pub live: (usize, usize),
+}
+
+/// The program-wide memory plan.
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    /// Per-buffer layouts, indexed by `BufId`.
+    pub buffers: Vec<BufferLayout>,
+    /// Total arena length in `f32` elements.
+    pub arena_len: usize,
+    /// Total written-bitmap length in leaves (arena-placed buffers only).
+    pub slots_len: usize,
+    /// Buffers whose arena range reuses space freed by a dead
+    /// intermediate (the lifetime analysis' payoff).
+    pub reused_ranges: usize,
+}
+
+impl MemoryPlan {
+    /// The layout of one buffer.
+    pub fn layout(&self, id: BufId) -> &BufferLayout {
+        &self.buffers[id.0]
+    }
+}
+
+/// Builds the layout record for buffer `bi` with a decided placement.
+fn make_layout(etdg: &Etdg, bi: usize, placement: Placement, live: (usize, usize)) -> BufferLayout {
+    let buf = &etdg.buffers[bi];
+    let leaf_dims = buf.leaf_shape.dims().to_vec();
+    let leaf_len: usize = leaf_dims.iter().product();
+    let leaves: usize = buf.dims.iter().product();
+    BufferLayout {
+        dims: buf.dims.clone(),
+        leaf_dims,
+        leaf_len,
+        leaves,
+        len: leaves * leaf_len,
+        leaf_strides: leaf_strides(&buf.dims),
+        placement,
+        live,
+    }
+}
+
+/// Row-major leaf strides for `dims`.
+fn leaf_strides(dims: &[usize]) -> Vec<i64> {
+    let mut strides = vec![1i64; dims.len()];
+    for r in (0..dims.len().saturating_sub(1)).rev() {
+        strides[r] = strides[r + 1] * dims[r + 1] as i64;
+    }
+    strides
+}
+
+/// Derives the flat layout and arena placement for every buffer of a
+/// scheduled program.
+///
+/// Liveness is computed at group granularity: a buffer is live from the
+/// first group that touches it through the last. Groups execute in order
+/// and apply their writes serially between wavefront steps, so any buffer
+/// whose last toucher precedes group `g` is dead before `g` starts and
+/// its range can be handed to a buffer first touched at `g`. Output
+/// buffers are materialized after the final group and extern inputs are
+/// caller-owned, so both are pinned live to the end.
+pub fn plan_memory(etdg: &Etdg, groups: &[ScheduledGroup]) -> MemoryPlan {
+    let nbuf = etdg.buffers.len();
+    let end = groups.len(); // A group index strictly after every group.
+    let mut first = vec![end; nbuf];
+    let mut last = vec![0usize; nbuf];
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in &g.members {
+            let block = etdg.block(m);
+            let touched = block
+                .reads
+                .iter()
+                .filter_map(|r| r.buffer())
+                .chain(block.writes.iter().map(|w| w.buffer));
+            for b in touched {
+                first[b.0] = first[b.0].min(gi);
+                last[b.0] = last[b.0].max(gi);
+            }
+        }
+    }
+
+    // Effective end of life: outputs are read back after the final group,
+    // so their ranges must never return to the free list even when their
+    // last *write* lands early.
+    let live_end: Vec<usize> = (0..nbuf)
+        .map(|bi| {
+            if etdg.buffers[bi].kind == BufferKind::Output {
+                end
+            } else {
+                last[bi]
+            }
+        })
+        .collect();
+
+    // First-fit free-list allocation over the group timeline.
+    let mut layouts: Vec<Option<BufferLayout>> = vec![None; nbuf];
+    let mut free: Vec<(usize, usize)> = Vec::new(); // (offset, len), sorted.
+    let mut arena_len = 0usize;
+    let mut slots_len = 0usize;
+    let mut reused_ranges = 0usize;
+
+    for gi in 0..=end {
+        // Free ranges of buffers that died strictly before this group.
+        for bi in 0..nbuf {
+            if live_end[bi] + 1 == gi && first[bi] <= last[bi] {
+                if let Some(BufferLayout {
+                    placement: Placement::Arena { offset, .. },
+                    len,
+                    ..
+                }) = layouts[bi]
+                {
+                    if len > 0 {
+                        free.push((offset, len));
+                        free.sort_unstable();
+                    }
+                }
+            }
+        }
+        if gi == end {
+            break;
+        }
+        // Allocate buffers first touched at this group.
+        for bi in 0..nbuf {
+            if first[bi] != gi || layouts[bi].is_some() {
+                continue;
+            }
+            let buf = &etdg.buffers[bi];
+            let live_to = live_end[bi];
+            if buf.kind == BufferKind::Input {
+                layouts[bi] = Some(make_layout(etdg, bi, Placement::Extern, (gi, end)));
+                continue;
+            }
+            let leaf_len: usize = buf.leaf_shape.dims().iter().product();
+            let need = buf.dims.iter().product::<usize>() * leaf_len;
+            let mut offset = None;
+            if let Some(pos) = free.iter().position(|&(_, flen)| flen >= need) {
+                let (foff, flen) = free.remove(pos);
+                offset = Some(foff);
+                if flen > need {
+                    free.push((foff + need, flen - need));
+                    free.sort_unstable();
+                }
+                reused_ranges += 1;
+            }
+            let offset = offset.unwrap_or_else(|| {
+                let o = arena_len;
+                arena_len += need;
+                o
+            });
+            let slot_off = slots_len;
+            slots_len += buf.dims.iter().product::<usize>();
+            layouts[bi] = Some(make_layout(
+                etdg,
+                bi,
+                Placement::Arena { offset, slot_off },
+                (gi, live_to),
+            ));
+        }
+    }
+
+    // Buffers no group touches (inputs of empty programs, dangling
+    // declarations): pin them whole-program so nothing aliases them.
+    let buffers = layouts
+        .into_iter()
+        .enumerate()
+        .map(|(bi, l)| match l {
+            Some(l) => l,
+            None => {
+                let buf = &etdg.buffers[bi];
+                if buf.kind == BufferKind::Input {
+                    make_layout(etdg, bi, Placement::Extern, (0, end))
+                } else {
+                    let leaf_len: usize = buf.leaf_shape.dims().iter().product();
+                    let leaves: usize = buf.dims.iter().product();
+                    let offset = arena_len;
+                    arena_len += leaves * leaf_len;
+                    let slot_off = slots_len;
+                    slots_len += leaves;
+                    make_layout(etdg, bi, Placement::Arena { offset, slot_off }, (0, end))
+                }
+            }
+        })
+        .collect();
+
+    MemoryPlan {
+        buffers,
+        arena_len,
+        slots_len,
+        reused_ranges,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use ft_core::builders::stacked_rnn_program;
+
+    #[test]
+    fn stacked_rnn_layout_covers_every_buffer_disjointly() {
+        let c = compile(&stacked_rnn_program(2, 3, 4, 8)).unwrap();
+        let m = &c.memory;
+        assert_eq!(m.buffers.len(), c.etdg.buffers.len());
+        // Arena ranges of simultaneously-live buffers never overlap.
+        for (i, a) in m.buffers.iter().enumerate() {
+            let Placement::Arena { offset: ao, .. } = a.placement else {
+                continue;
+            };
+            for b in m.buffers.iter().skip(i + 1) {
+                let Placement::Arena { offset: bo, .. } = b.placement else {
+                    continue;
+                };
+                let ranges_overlap = ao < bo + b.len && bo < ao + a.len;
+                let lives_overlap = a.live.0 <= b.live.1 && b.live.0 <= a.live.1;
+                assert!(
+                    !(ranges_overlap && lives_overlap),
+                    "live buffers share arena space"
+                );
+            }
+            assert!(ao + a.len <= m.arena_len);
+        }
+        // Inputs are extern, everything else is in the arena.
+        for (bl, buf) in m.buffers.iter().zip(&c.etdg.buffers) {
+            match buf.kind {
+                BufferKind::Input => assert_eq!(bl.placement, Placement::Extern),
+                _ => assert!(matches!(bl.placement, Placement::Arena { .. })),
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_strides_are_row_major() {
+        assert_eq!(leaf_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(leaf_strides(&[5]), vec![1]);
+        assert!(leaf_strides(&[]).is_empty());
+    }
+}

@@ -26,6 +26,7 @@ pub mod cache;
 pub mod coarsen;
 pub mod compose;
 pub mod depend;
+pub mod layout;
 pub mod lower;
 pub mod pipeline;
 pub mod reorder;
@@ -34,6 +35,7 @@ pub use cache::PlanCache;
 pub use coarsen::{coarsen, CoarsePlan, Group, MergeKind};
 pub use compose::compose_ops;
 pub use depend::distance_vectors;
+pub use layout::{plan_memory, BufferLayout, MemoryPlan, Placement};
 pub use pipeline::{compile, CompiledProgram, ScheduledGroup};
 pub use reorder::{reorder_block, Reordering};
 

@@ -6,6 +6,7 @@ use ft_core::Program;
 use ft_etdg::{parse_program, BlockId, Etdg, RegionRead};
 
 use crate::coarsen::{coarsen, CoarsePlan};
+use crate::layout::{plan_memory, MemoryPlan};
 use crate::reorder::{reorder_group, Reordering};
 use crate::Result;
 
@@ -39,6 +40,8 @@ pub struct CompiledProgram {
     pub plan: CoarsePlan,
     /// Scheduled groups in execution order.
     pub groups: Vec<ScheduledGroup>,
+    /// Flat buffer layouts + arena placement from the lifetime analysis.
+    pub memory: MemoryPlan,
 }
 
 impl CompiledProgram {
@@ -145,8 +148,25 @@ pub fn compile(program: &Program) -> Result<CompiledProgram> {
             reordering,
         });
     }
+    let memory = {
+        let mut s = ft_probe::span("compile", "pass.layout");
+        let memory = plan_memory(&etdg, &groups);
+        if s.is_recording() {
+            s.field("arena_len", memory.arena_len);
+            s.field("reused_ranges", memory.reused_ranges);
+            ft_probe::counter("passes.arena_len", memory.arena_len as f64);
+            ft_probe::counter("passes.arena_reused_ranges", memory.reused_ranges as f64);
+        }
+        memory
+    };
+
     root.field("launch_groups", groups.len());
-    Ok(CompiledProgram { etdg, plan, groups })
+    Ok(CompiledProgram {
+        etdg,
+        plan,
+        groups,
+        memory,
+    })
 }
 
 /// Buffer-touching edges of the graph: one per region read of a buffer

@@ -341,6 +341,19 @@ pub struct ServeStats {
     pub cold_setup_mean_us: f64,
     /// Mean per-dispatch setup time when the plan came from the cache.
     pub cached_setup_mean_us: f64,
+    /// Executor arena buffers handed out (one per execution).
+    pub arena_acquires: u64,
+    /// Arena acquires served from the pool without growing capacity. In
+    /// steady state this tracks `arena_acquires` one-for-one: the runtime
+    /// executes allocation-free after warmup.
+    pub arena_reused: u64,
+    /// Arena acquires that had to grow (or freshly allocate) a buffer —
+    /// warmup and shape-mix changes only.
+    pub arena_grows: u64,
+    /// Leaf reads served as borrowed slices (never cloned tensors).
+    pub leaf_borrows: u64,
+    /// Leaf reads that fell back to cloning. Zero on the arena path.
+    pub leaf_clones: u64,
 }
 
 struct Inner {
@@ -360,6 +373,9 @@ struct Inner {
 pub struct Runtime {
     inner: Arc<Inner>,
     pool: Arc<WorkerPool>,
+    /// Clone of the scheduler's executor: shares its arena pool and
+    /// counters, so [`Runtime::stats`] can report arena behaviour.
+    exec: Executor,
     scheduler: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -407,6 +423,9 @@ impl Runtime {
             stats: Mutex::new(StatsInner::default()),
         });
         let sched_inner = Arc::clone(&inner);
+        // The clone shares the scheduler executor's arena pool, so stats()
+        // observes the same counters the scheduler thread updates.
+        let exec_handle = exec.clone();
         let scheduler = std::thread::Builder::new()
             .name("ft-serve-sched".into())
             .spawn(move || scheduler_loop(&sched_inner, &exec))
@@ -414,6 +433,7 @@ impl Runtime {
         Ok(Runtime {
             inner,
             pool,
+            exec: exec_handle,
             scheduler: Mutex::new(Some(scheduler)),
         })
     }
@@ -506,6 +526,7 @@ impl Runtime {
     pub fn stats(&self) -> ServeStats {
         let stats = self.inner.stats.lock();
         let latencies = stats.latencies_us.sorted();
+        let arena = self.exec.arena_stats();
         ServeStats {
             submitted: stats.submitted,
             rejected: stats.rejected,
@@ -525,6 +546,11 @@ impl Runtime {
             latency_mean_us: stats.latencies_us.mean(),
             cold_setup_mean_us: stats.cold_setup_us.mean(),
             cached_setup_mean_us: stats.cached_setup_us.mean(),
+            arena_acquires: arena.acquires,
+            arena_reused: arena.reused,
+            arena_grows: arena.grows,
+            leaf_borrows: arena.leaf_borrows,
+            leaf_clones: arena.leaf_clones,
         }
     }
 

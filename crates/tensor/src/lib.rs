@@ -36,6 +36,7 @@ mod linalg;
 mod ops;
 mod reduce;
 mod shape;
+pub mod slices;
 mod tensor;
 
 pub use error::TensorError;

@@ -57,16 +57,7 @@ impl Tensor {
             }
         };
         let mut c = vec![0.0f32; m * n];
-        if use_packed(m, k, n) {
-            let bp = pack_b_all(b, k, n, false);
-            let mut ap = Vec::new();
-            for i0 in (0..m).step_by(MC) {
-                let mc = MC.min(m - i0);
-                row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
-            }
-        } else {
-            small_mm(a, b, m, k, n, &mut c);
-        }
+        matmul_into(a, b, m, k, n, &mut c);
         Tensor::from_vec(c, &[m, n])
     }
 
@@ -95,23 +86,7 @@ impl Tensor {
             }
         };
         let mut c = vec![0.0f32; m * n];
-        if use_packed(m, k, n) {
-            let bp = pack_b_all(b, k, n, true);
-            let mut ap = Vec::new();
-            for i0 in (0..m).step_by(MC) {
-                let mc = MC.min(m - i0);
-                row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
-            }
-        } else {
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (j, cv) in c_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    *cv = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-                }
-            }
-        }
+        matmul_transb_into(a, b, m, k, n, &mut c);
         Tensor::from_vec(c, &[m, n])
     }
 
@@ -222,6 +197,53 @@ fn check_mm(
 
 fn use_packed(m: usize, k: usize, n: usize) -> bool {
     m >= MR && n >= NR && m * k * n >= PACK_MIN_FLOPS
+}
+
+/// `c = a @ b` over borrowed row-major slices (`c` must be zeroed, `m * n`
+/// long). This is the single entry both [`Tensor::matmul`] and the
+/// arena executor's zero-copy slice path go through, so the accumulation
+/// order — and therefore the bit pattern of every result — is identical
+/// regardless of whether operands arrive as tensors or arena views.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    if use_packed(m, k, n) {
+        let bp = pack_b_all(b, k, n, false);
+        let mut ap = Vec::new();
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
+        }
+    } else {
+        small_mm(a, b, m, k, n, c);
+    }
+}
+
+/// `c = a @ b.T` with `b` stored `[n, k]`; same sharing contract as
+/// [`matmul_into`].
+pub(crate) fn matmul_transb_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+) {
+    if use_packed(m, k, n) {
+        let bp = pack_b_all(b, k, n, true);
+        let mut ap = Vec::new();
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
+        }
+    } else {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                *cv = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            }
+        }
+    }
 }
 
 /// Direct i-k-j product over borrowed slices; the fast path for per-point

@@ -1,0 +1,241 @@
+//! Slice-level kernels for the zero-copy executor path.
+//!
+//! The arena executor evaluates UDFs over borrowed `&[f32]` windows instead
+//! of `Tensor` values. Every kernel here is **bit-identical** to the
+//! corresponding `Tensor` method: matmul goes through the same packed /
+//! small-product entry points as [`Tensor::matmul`](crate::Tensor::matmul),
+//! and the reductions replicate the exact accumulation order of
+//! `reduce.rs` / `ops.rs`. The workspace's bitwise parity suites
+//! (executor vs. interpreter vs. reference) depend on that.
+//!
+//! All output windows are fully overwritten, so callers may reuse scratch
+//! buffers across iteration points without clearing them.
+
+use crate::linalg;
+
+/// `c = a @ b`, `[m, k] @ [k, n] -> [m, n]`. Shares the packed-GEMM entry
+/// with `Tensor::matmul`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    c.fill(0.0);
+    linalg::matmul_into(a, b, m, k, n, c);
+}
+
+/// `c = a @ b.T` with `b` stored `[n, k]`. Shares the entry with
+/// `Tensor::matmul_transb`.
+pub fn matmul_transb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    c.fill(0.0);
+    linalg::matmul_transb_into(a, b, m, k, n, c);
+}
+
+/// Elementwise `c[i] = f(a[i], b[i])`.
+pub fn zip_into(a: &[f32], b: &[f32], c: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    for ((cv, &av), &bv) in c.iter_mut().zip(a).zip(b) {
+        *cv = f(av, bv);
+    }
+}
+
+/// Elementwise `c[i] = f(a[i])`.
+pub fn map_into(a: &[f32], c: &mut [f32], f: impl Fn(f32) -> f32) {
+    for (cv, &av) in c.iter_mut().zip(a) {
+        *cv = f(av);
+    }
+}
+
+/// Logistic sigmoid, the exact expression `Tensor::sigmoid` applies.
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Column broadcast: `a` is `[m, n]`, `b` is `[m, 1]`;
+/// `c[i, j] = f(a[i, j], b[i, 0])`. Mirrors `ft-core`'s `col_broadcast`
+/// loop order (rows outer, columns inner).
+pub fn col_broadcast(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    c: &mut [f32],
+    f: impl Fn(f32, f32) -> f32,
+) {
+    for i in 0..m {
+        let bv = b[i];
+        let row = &a[i * n..(i + 1) * n];
+        for (cv, &av) in c[i * n..(i + 1) * n].iter_mut().zip(row) {
+            *cv = f(av, bv);
+        }
+    }
+}
+
+/// Row reduction of a `[m, n]` matrix to `[m, 1]`:
+/// `c[i] = fold(init, f, a[i, ..])` with columns accumulated ascending —
+/// the order `ft-core`'s `row_reduce` uses.
+pub fn row_reduce(
+    a: &[f32],
+    m: usize,
+    n: usize,
+    init: f32,
+    c: &mut [f32],
+    f: impl Fn(f32, f32) -> f32,
+) {
+    for i in 0..m {
+        let mut acc = init;
+        for &v in &a[i * n..(i + 1) * n] {
+            acc = f(acc, v);
+        }
+        c[i] = acc;
+    }
+}
+
+/// Row-wise softmax of a `[m, n]` matrix, replicating
+/// `Tensor::softmax_rows` exactly: per row, subtract the row max, exp,
+/// then divide by the ascending-order sum.
+pub fn softmax_rows(a: &[f32], m: usize, n: usize, c: &mut [f32]) {
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let out = &mut c[i * n..(i + 1) * n];
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o = (v - mx).exp();
+        }
+        let denom: f32 = out.iter().sum();
+        for o in out.iter_mut() {
+            *o /= denom;
+        }
+    }
+}
+
+/// Copies the `start..end` range of one axis of a row-major tensor with
+/// extents `dims` into `c` — the contiguous materialization
+/// `Tensor::slice(axis, start, end).to_contiguous()` produces.
+pub fn slice_axis(a: &[f32], dims: &[usize], axis: usize, start: usize, end: usize, c: &mut [f32]) {
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let width = (end - start) * inner;
+    for o in 0..outer {
+        let src = o * mid * inner + start * inner;
+        c[o * width..(o + 1) * width].copy_from_slice(&a[src..src + width]);
+    }
+}
+
+/// Concatenates row-major parts along an axis into `c`. Each part is
+/// `(data, axis_extent)`; `outer` is the product of extents before the
+/// axis and `inner` the product after (shared by all parts). Pure copy —
+/// values are bitwise those of `Tensor::concat`.
+pub fn concat_axis(parts: &[(&[f32], usize)], outer: usize, inner: usize, c: &mut [f32]) {
+    let total: usize = parts.iter().map(|&(_, e)| e * inner).sum();
+    for o in 0..outer {
+        let mut dst = o * total;
+        for &(data, extent) in parts {
+            let width = extent * inner;
+            c[dst..dst + width].copy_from_slice(&data[o * width..(o + 1) * width]);
+            dst += width;
+        }
+    }
+}
+
+/// Transpose of a `[m, n]` matrix into `[n, m]`.
+pub fn transpose(a: &[f32], m: usize, n: usize, c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            c[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.to_vec().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn slice_bits(s: &[f32]) -> Vec<u32> {
+        s.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn matmul_matches_tensor_bitwise_small_and_packed() {
+        // One shape under the packing threshold, one over it.
+        for &(m, k, n, seed) in &[(3, 5, 4, 1u64), (65, 70, 40, 2u64)] {
+            let a = Tensor::randn(&[m, k], seed);
+            let b = Tensor::randn(&[k, n], seed + 10);
+            let mut c = vec![7.0f32; m * n]; // Dirty scratch must not leak.
+            matmul(
+                a.contiguous_slice().unwrap(),
+                b.contiguous_slice().unwrap(),
+                m,
+                k,
+                n,
+                &mut c,
+            );
+            assert_eq!(slice_bits(&c), bits(&a.matmul(&b).unwrap()));
+
+            let bt = Tensor::randn(&[n, k], seed + 20);
+            let mut ct = vec![7.0f32; m * n];
+            matmul_transb(
+                a.contiguous_slice().unwrap(),
+                bt.contiguous_slice().unwrap(),
+                m,
+                k,
+                n,
+                &mut ct,
+            );
+            assert_eq!(slice_bits(&ct), bits(&a.matmul_transb(&bt).unwrap()));
+        }
+    }
+
+    #[test]
+    fn softmax_matches_tensor_bitwise() {
+        let a = Tensor::randn(&[5, 9], 3);
+        let mut c = vec![0.0f32; 45];
+        softmax_rows(a.contiguous_slice().unwrap(), 5, 9, &mut c);
+        assert_eq!(slice_bits(&c), bits(&a.softmax_rows().unwrap()));
+    }
+
+    #[test]
+    fn reductions_and_broadcast_match_tensor_bitwise() {
+        let a = Tensor::randn(&[4, 7], 4);
+        let s = a.contiguous_slice().unwrap();
+        let mut mx = vec![0.0f32; 4];
+        row_reduce(s, 4, 7, f32::NEG_INFINITY, &mut mx, f32::max);
+        let mut sm = vec![0.0f32; 4];
+        row_reduce(s, 4, 7, 0.0, &mut sm, |acc, v| acc + v);
+        // Oracle: ascending-column fold, as ft-core's row_reduce performs.
+        for i in 0..4 {
+            let mut accm = f32::NEG_INFINITY;
+            let mut accs = 0.0f32;
+            for j in 0..7 {
+                let v = a.get(&[i, j]).unwrap();
+                accm = accm.max(v);
+                accs += v;
+            }
+            assert_eq!(mx[i].to_bits(), accm.to_bits());
+            assert_eq!(sm[i].to_bits(), accs.to_bits());
+        }
+
+        let b = Tensor::randn(&[4, 1], 5);
+        let mut c = vec![0.0f32; 28];
+        col_broadcast(s, b.contiguous_slice().unwrap(), 4, 7, &mut c, |x, y| x - y);
+        for i in 0..4 {
+            for j in 0..7 {
+                let want = a.get(&[i, j]).unwrap() - b.get(&[i, 0]).unwrap();
+                assert_eq!(c[i * 7 + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_and_maps_match_tensor() {
+        let a = Tensor::randn(&[3, 5], 6);
+        let mut c = vec![0.0f32; 15];
+        transpose(a.contiguous_slice().unwrap(), 3, 5, &mut c);
+        assert_eq!(slice_bits(&c), bits(&a.t().unwrap().to_contiguous()));
+
+        let mut sg = vec![0.0f32; 15];
+        map_into(a.contiguous_slice().unwrap(), &mut sg, sigmoid_scalar);
+        assert_eq!(slice_bits(&sg), bits(&a.sigmoid()));
+    }
+}

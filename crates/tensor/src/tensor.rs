@@ -178,8 +178,9 @@ impl Tensor {
 
     /// Shares the backing buffer without copying when the view is
     /// contiguous, otherwise materializes one. Returns the buffer and the
-    /// element offset the view starts at.
-    pub(crate) fn shared_contiguous(&self) -> (Arc<Vec<f32>>, usize) {
+    /// element offset the view starts at. The executor uses this to hand
+    /// extern-input leaves to worker threads as `'static` borrows.
+    pub fn shared_contiguous(&self) -> (Arc<Vec<f32>>, usize) {
         if self.is_contiguous() {
             (Arc::clone(&self.data), self.offset)
         } else {

@@ -196,6 +196,15 @@ pub enum VerifyError {
         /// Buffer index read.
         index: Vec<i64>,
     },
+    /// The memory plan's layout for a buffer contradicts the graph or the
+    /// arena: wrong placement for its role, a range escaping the arena, or
+    /// two live buffers sharing arena space.
+    Layout {
+        /// Buffer whose layout is inconsistent.
+        buffer: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 /// Pass A's write table: `(buffer id, data-space index)` mapped to the
@@ -301,6 +310,9 @@ impl std::fmt::Display for VerifyError {
                 "group {group}, block '{block}': reads buffer '{buffer}'[{index:?}] at point \
                  {point:?} but no member ever writes that index"
             ),
+            VerifyError::Layout { buffer, detail } => {
+                write!(f, "memory plan for buffer '{buffer}': {detail}")
+            }
         }
     }
 }
@@ -371,11 +383,117 @@ pub fn verify(compiled: &CompiledProgram) -> Result<VerifyReport, VerifyError> {
 }
 
 fn check_all(compiled: &CompiledProgram, report: &mut VerifyReport) -> Result<(), VerifyError> {
+    check_layout(compiled)?;
     for (gi, group) in compiled.groups.iter().enumerate() {
         check_group(compiled, gi, group, report)?;
         report.groups += 1;
     }
     check_ungrouped(compiled, report)
+}
+
+/// Validates the plan-time memory layout the arena executor trusts blindly:
+/// extern placement is reserved for (exactly) the graph's input buffers,
+/// every arena range stays inside the arena and the written bitmap, and
+/// two buffers may share arena space only when their live intervals are
+/// disjoint — the condition under which the lifetime-reuse allocator is
+/// allowed to overlap them.
+fn check_layout(compiled: &CompiledProgram) -> Result<(), VerifyError> {
+    let mem = &compiled.memory;
+    let etdg = &compiled.etdg;
+    if mem.buffers.len() != etdg.buffers.len() {
+        return Err(VerifyError::Layout {
+            buffer: String::new(),
+            detail: format!(
+                "plan covers {} buffers but the graph declares {}",
+                mem.buffers.len(),
+                etdg.buffers.len()
+            ),
+        });
+    }
+    // (buffer index, arena range, bitmap range, live interval) of every
+    // arena-placed buffer, for the pairwise overlap check below.
+    type Placed = (
+        usize,
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        (usize, usize),
+    );
+    let mut placed: Vec<Placed> = Vec::new();
+    for (bi, layout) in mem.buffers.iter().enumerate() {
+        let node = &etdg.buffers[bi];
+        let err = |detail: String| VerifyError::Layout {
+            buffer: node.name.clone(),
+            detail,
+        };
+        let is_input = node.kind == ft_core::program::BufferKind::Input;
+        match layout.placement {
+            ft_passes::Placement::Extern => {
+                if !is_input {
+                    return Err(err(format!(
+                        "{:?} buffer placed extern; only inputs may be borrowed",
+                        node.kind
+                    )));
+                }
+            }
+            ft_passes::Placement::Arena { offset, slot_off } => {
+                if is_input {
+                    return Err(err(
+                        "input buffer placed in the arena; inputs must be extern".into(),
+                    ));
+                }
+                if offset + layout.len > mem.arena_len {
+                    return Err(err(format!(
+                        "arena range {}..{} escapes arena of {} elements",
+                        offset,
+                        offset + layout.len,
+                        mem.arena_len
+                    )));
+                }
+                if slot_off + layout.leaves > mem.slots_len {
+                    return Err(err(format!(
+                        "bitmap range {}..{} escapes bitmap of {} leaves",
+                        slot_off,
+                        slot_off + layout.leaves,
+                        mem.slots_len
+                    )));
+                }
+                if layout.len > 0 {
+                    placed.push((
+                        bi,
+                        offset..offset + layout.len,
+                        slot_off..slot_off + layout.leaves,
+                        layout.live,
+                    ));
+                }
+            }
+        }
+    }
+    for (i, a) in placed.iter().enumerate() {
+        for b in &placed[i + 1..] {
+            let arena_overlap = a.1.start < b.1.end && b.1.start < a.1.end;
+            let bitmap_overlap = a.2.start < b.2.end && b.2.start < a.2.end;
+            if !(arena_overlap || bitmap_overlap) {
+                continue;
+            }
+            let live_disjoint = a.3 .1 < b.3 .0 || b.3 .1 < a.3 .0;
+            if !live_disjoint {
+                return Err(VerifyError::Layout {
+                    buffer: etdg.buffers[a.0].name.clone(),
+                    detail: format!(
+                        "shares {} range {:?} with simultaneously-live buffer '{}' \
+                         ({:?}; live {:?} vs {:?})",
+                        if arena_overlap { "arena" } else { "bitmap" },
+                        a.1,
+                        etdg.buffers[b.0].name,
+                        b.1,
+                        a.3,
+                        b.3
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Range-checks the access maps of blocks that belong to no launch group.
@@ -796,6 +914,77 @@ mod tests {
                 assert!(index[0] >= 1_000_000);
             }
             other => panic!("expected MapOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn layout_violations_are_rejected() {
+        // A clean compile passes the layout check (implicitly via verify).
+        verify(&compiled_rnn()).unwrap();
+
+        // An arena range escaping the arena is rejected by name.
+        let mut c = compiled_rnn();
+        let bi = c
+            .memory
+            .buffers
+            .iter()
+            .position(|l| matches!(l.placement, ft_passes::Placement::Arena { .. }) && l.len > 0)
+            .expect("program has an arena-placed buffer");
+        let arena_len = c.memory.arena_len;
+        if let ft_passes::Placement::Arena { offset, .. } = &mut c.memory.buffers[bi].placement {
+            *offset = arena_len;
+        }
+        match verify(&c) {
+            Err(VerifyError::Layout { buffer, detail }) => {
+                assert_eq!(buffer, c.etdg.buffers[bi].name);
+                assert!(detail.contains("escapes arena"), "got: {detail}");
+            }
+            other => panic!("expected Layout, got {other:?}"),
+        }
+
+        // An input demoted to arena placement is rejected: the executor
+        // would allocate and copy what it must borrow.
+        let mut c = compiled_rnn();
+        let ii = c
+            .etdg
+            .buffers
+            .iter()
+            .position(|b| b.kind == ft_core::program::BufferKind::Input)
+            .expect("program has an input");
+        c.memory.buffers[ii].placement = ft_passes::Placement::Arena {
+            offset: 0,
+            slot_off: 0,
+        };
+        match verify(&c) {
+            Err(VerifyError::Layout { buffer, detail }) => {
+                assert_eq!(buffer, c.etdg.buffers[ii].name);
+                assert!(detail.contains("must be extern"), "got: {detail}");
+            }
+            other => panic!("expected Layout, got {other:?}"),
+        }
+
+        // Two simultaneously-live buffers aliasing one arena range are
+        // rejected — the invariant the lifetime-reuse allocator must hold.
+        // The stacked RNN plans a single arena buffer, so clone it into a
+        // phantom sibling that claims the same range while live.
+        let mut c = compiled_rnn();
+        let a = c
+            .memory
+            .buffers
+            .iter()
+            .position(|l| matches!(l.placement, ft_passes::Placement::Arena { .. }) && l.len > 0)
+            .expect("program has an arena-placed buffer");
+        let mut node = c.etdg.buffers[a].clone();
+        node.name = format!("{}_alias", node.name);
+        c.etdg.buffers.push(node);
+        let mut alias = c.memory.buffers[a].clone();
+        alias.live = c.memory.buffers[a].live;
+        c.memory.buffers.push(alias);
+        match verify(&c) {
+            Err(VerifyError::Layout { detail, .. }) => {
+                assert!(detail.contains("simultaneously-live"), "got: {detail}");
+            }
+            other => panic!("expected Layout, got {other:?}"),
         }
     }
 
