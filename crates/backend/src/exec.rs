@@ -244,7 +244,10 @@ struct ArenaBuf {
 
 /// The executor's arena pool and its lifetime counters. Shared by all
 /// clones of an [`Executor`] (the serving runtime clones its executor per
-/// snapshot), so the stats are cumulative across every run.
+/// snapshot), so the stats are cumulative across every run. Counters are
+/// mirrored into the always-on global metrics registry
+/// ([`ft_obs::Registry::global`]) so exporters see arena behaviour
+/// without `FT_TRACE`.
 #[derive(Default)]
 struct ArenaPool {
     bufs: Mutex<Vec<ArenaBuf>>,
@@ -257,15 +260,25 @@ struct ArenaPool {
 
 impl ArenaPool {
     fn acquire(&self, arena_len: usize, slots_len: usize) -> ArenaBuf {
+        let obs = exec_obs();
         self.acquires.fetch_add(1, Ordering::Relaxed);
+        obs.arena_acquires.inc();
         ft_probe::counter("exec.arena_acquires", 1.0);
         let mut buf = self.bufs.lock().pop().unwrap_or_default();
         if buf.data.capacity() >= arena_len && buf.written.capacity() >= slots_len {
             self.reused.fetch_add(1, Ordering::Relaxed);
+            obs.arena_reused.inc();
             ft_probe::counter("exec.arena_reused", 1.0);
         } else {
             self.grows.fetch_add(1, Ordering::Relaxed);
+            obs.arena_grows.inc();
             ft_probe::counter("exec.arena_grows", 1.0);
+        }
+        // High-water mark of the arena in elements: a point-in-time gauge
+        // ft-top renders next to grows.
+        let hw = obs.arena_high_water.get();
+        if (arena_len as i64) > hw {
+            obs.arena_high_water.set(arena_len as i64);
         }
         buf.data.clear();
         buf.data.resize(arena_len, 0.0);
@@ -280,6 +293,48 @@ impl ArenaPool {
             bufs.push(buf);
         }
     }
+}
+
+/// Pre-registered handles into the global metrics registry for the
+/// executor's always-on counters: registered once, then every update is a
+/// relaxed atomic add. These stay live with tracing disabled — they are
+/// what `ft-top` and the Prometheus exporter read under production load.
+struct ExecObs {
+    arena_acquires: ft_obs::Counter,
+    arena_reused: ft_obs::Counter,
+    arena_grows: ft_obs::Counter,
+    arena_high_water: ft_obs::Gauge,
+    leaf_borrows: ft_obs::Counter,
+    launch_groups: ft_obs::Counter,
+    wavefront_steps: ft_obs::Counter,
+    points: ft_obs::Counter,
+    worker_busy_us: ft_obs::Counter,
+    worker_idle_us: ft_obs::Counter,
+    workers: ft_obs::Gauge,
+    fallbacks: ft_obs::Counter,
+    worker_panics: ft_obs::Counter,
+}
+
+fn exec_obs() -> &'static ExecObs {
+    static OBS: std::sync::OnceLock<ExecObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ft_obs::Registry::global();
+        ExecObs {
+            arena_acquires: reg.counter("exec.arena_acquires"),
+            arena_reused: reg.counter("exec.arena_reused"),
+            arena_grows: reg.counter("exec.arena_grows"),
+            arena_high_water: reg.gauge("exec.arena_high_water"),
+            leaf_borrows: reg.counter("exec.leaf_borrows"),
+            launch_groups: reg.counter("exec.launch_groups"),
+            wavefront_steps: reg.counter("exec.wavefront_steps"),
+            points: reg.counter("exec.points"),
+            worker_busy_us: reg.counter("exec.worker_busy_us"),
+            worker_idle_us: reg.counter("exec.worker_idle_us"),
+            workers: reg.gauge("exec.workers"),
+            fallbacks: reg.counter("exec.fallbacks"),
+            worker_panics: reg.counter("exec.worker_panics"),
+        }
+    })
 }
 
 /// A snapshot of the executor's arena counters (cumulative across runs and
@@ -432,6 +487,20 @@ impl Executor {
         self.run_report(compiled, inputs).map(|o| o.outputs)
     }
 
+    /// [`run`](Self::run) with a serving batch id attached: every span this
+    /// launch emits (`launch_group`, `wavefront_step`, per-worker events)
+    /// carries the id, so a fused batch's execution is attributable back to
+    /// the requests riding in it.
+    pub fn run_tagged(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<BufferId, FractalTensor>,
+        batch: Option<u64>,
+    ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
+        self.run_report_tagged(compiled, inputs, batch)
+            .map(|o| o.outputs)
+    }
+
     /// Runs the compiled program, returning outputs plus a degradation
     /// report when the pooled path failed and fallback repaired it.
     pub fn run_report(
@@ -439,7 +508,18 @@ impl Executor {
         compiled: &CompiledProgram,
         inputs: &HashMap<BufferId, FractalTensor>,
     ) -> Result<ExecOutcome, ExecError> {
-        match self.run_pooled(compiled, inputs) {
+        self.run_report_tagged(compiled, inputs, None)
+    }
+
+    /// [`run_report`](Self::run_report) with a serving batch id attached
+    /// (see [`run_tagged`](Self::run_tagged)).
+    pub fn run_report_tagged(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<BufferId, FractalTensor>,
+        batch: Option<u64>,
+    ) -> Result<ExecOutcome, ExecError> {
+        match self.run_pooled(compiled, inputs, batch) {
             Ok(outputs) => Ok(ExecOutcome {
                 outputs,
                 degraded: None,
@@ -451,6 +531,7 @@ impl Executor {
                 if !self.fallback {
                     return Err(e);
                 }
+                exec_obs().fallbacks.inc();
                 ft_probe::counter("exec.fallbacks", 1.0);
                 let mut span = ft_probe::span("exec", "fallback");
                 if span.is_recording() {
@@ -478,6 +559,7 @@ impl Executor {
         &self,
         compiled: &CompiledProgram,
         inputs: &HashMap<BufferId, FractalTensor>,
+        batch: Option<u64>,
     ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
         let etdg = &compiled.etdg;
         let memory = &compiled.memory;
@@ -519,12 +601,16 @@ impl Executor {
         };
         let threads = pool.threads();
 
+        exec_obs().workers.set(threads as i64);
         let mut root = ft_probe::span("exec", "execute");
         if root.is_recording() {
             root.field("program", etdg.name.as_str());
             root.field("groups", compiled.groups.len());
             root.field("threads", threads);
             root.field("arena_len", memory.arena_len);
+            if let Some(b) = batch {
+                root.field("batch", b);
+            }
         }
 
         let shared = Arc::new(ExecShared {
@@ -536,7 +622,7 @@ impl Executor {
                 .map(|_| Mutex::new(WorkerOut::default()))
                 .collect(),
             borrows: AtomicU64::new(0),
-            probe_on: ft_probe::enabled(),
+            batch,
             guard: self.guard,
             fault: self.fault.clone(),
         });
@@ -579,9 +665,11 @@ impl Executor {
             Ok(outputs)
         })();
 
+        let borrows = shared.borrows.load(Ordering::Relaxed);
         self.arena
             .leaf_borrows
-            .fetch_add(shared.borrows.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(borrows, Ordering::Relaxed);
+        exec_obs().leaf_borrows.add(borrows);
         drop(job);
         // Reclaim the arena buffer for the pool on success *and* failure.
         let buf = match Arc::try_unwrap(shared) {
@@ -662,7 +750,8 @@ struct ExecShared {
     outs: Vec<Mutex<WorkerOut>>,
     /// Leaf reads served this run (flushed into the pool stats at the end).
     borrows: AtomicU64,
-    probe_on: bool,
+    /// Serving batch id this launch runs under ([`Executor::run_tagged`]).
+    batch: Option<u64>,
     /// Guard mode: bounds-check accesses, NaN/Inf-scan outputs.
     guard: bool,
     /// Armed fault plan (test/bench only).
@@ -766,6 +855,7 @@ fn run_group(
         }
     }
     let plan = Arc::new(plan);
+    exec_obs().launch_groups.inc();
     let mut gspan = ft_probe::span("exec", "launch_group");
     if gspan.is_recording() {
         gspan.field("group", group_idx);
@@ -774,6 +864,9 @@ fn run_group(
         gspan.field("wavefront_steps", hi - lo);
         gspan.field("threads", threads);
         gspan.field("scratch_slots", plan.slots());
+        if let Some(b) = shared.batch {
+            gspan.field("batch", b);
+        }
         ft_probe::counter("exec.launch_groups", 1.0);
     }
     for step in lo..hi {
@@ -807,6 +900,7 @@ fn run_group(
             pool.try_run(Arc::clone(job)).err()
         };
         if let Some(payload) = panicked {
+            exec_obs().worker_panics.inc();
             ft_probe::counter("exec.worker_panics", 1.0);
             return Err(ExecError::WorkerPanic {
                 group: group_idx,
@@ -847,19 +941,27 @@ fn run_group(
             }
         }
         shared.borrows.fetch_add(reads_total, Ordering::Relaxed);
+        // Busy = time inside the worker body; idle = the tail each worker
+        // spends waiting for the slowest one in this step's compute
+        // window. The serial write-apply phase is charged to the step
+        // span itself, not to worker idle time. Worker timings are always
+        // captured (two clock reads per worker per *step*, far off the
+        // per-point path), so busy/idle feeds the always-on registry even
+        // with tracing disabled.
+        let workers = worker_stats.len().max(1);
+        let busy: f64 = worker_stats.iter().map(|s| s.2).sum();
+        let window_start = worker_stats
+            .iter()
+            .map(|s| s.1)
+            .fold(f64::INFINITY, f64::min);
+        let window_end = worker_stats.iter().map(|s| s.1 + s.2).fold(0.0, f64::max);
+        let idle = (workers as f64 * (window_end - window_start) - busy).max(0.0);
+        let obs = exec_obs();
+        obs.wavefront_steps.inc();
+        obs.points.add(npoints as u64);
+        obs.worker_busy_us.add(busy as u64);
+        obs.worker_idle_us.add(idle as u64);
         if sspan.is_recording() {
-            // Busy = time inside the worker body; idle = the tail each
-            // worker spends waiting for the slowest one in this step's
-            // compute window. The serial write-apply phase is charged to
-            // the step span itself, not to worker idle time.
-            let workers = worker_stats.len().max(1);
-            let busy: f64 = worker_stats.iter().map(|s| s.2).sum();
-            let window_start = worker_stats
-                .iter()
-                .map(|s| s.1)
-                .fold(f64::INFINITY, f64::min);
-            let window_end = worker_stats.iter().map(|s| s.1 + s.2).fold(0.0, f64::max);
-            let idle = (workers as f64 * (window_end - window_start) - busy).max(0.0);
             sspan.field("group", group_idx);
             sspan.field("step", step);
             sspan.field("points", npoints);
@@ -868,6 +970,9 @@ fn run_group(
             sspan.field("idle_us", idle);
             sspan.field("reads", reads_total);
             sspan.field("writes", writes_applied);
+            if let Some(b) = shared.batch {
+                sspan.field("batch", b);
+            }
             ft_probe::counter("exec.wavefront_steps", 1.0);
             ft_probe::counter("exec.points", npoints as f64);
             ft_probe::counter("exec.worker_busy_us", busy);
@@ -877,6 +982,14 @@ fn run_group(
             for &(w, ts, dur, points) in &worker_stats {
                 let tid = WORKER_TID_BASE + w as u64;
                 ft_probe::set_thread_label(ft_probe::WALL_PID, tid, format!("worker-{w}"));
+                let mut fields = vec![
+                    ("group".to_string(), group_idx.into()),
+                    ("step".to_string(), step.into()),
+                    ("points".to_string(), points.into()),
+                ];
+                if let Some(b) = shared.batch {
+                    fields.push(("batch".to_string(), b.into()));
+                }
                 ft_probe::complete_event(
                     "exec",
                     "worker",
@@ -884,11 +997,7 @@ fn run_group(
                     tid,
                     ts,
                     dur,
-                    vec![
-                        ("group".to_string(), group_idx.into()),
-                        ("step".to_string(), step.into()),
-                        ("points".to_string(), points.into()),
-                    ],
+                    fields,
                 );
             }
         }
@@ -910,7 +1019,9 @@ fn worker_body(shared: &ExecShared, worker: usize) {
         fault: shared.fault.as_deref(),
     };
     let arena = shared.arena.read();
-    let t0 = shared.probe_on.then(ft_probe::now_us);
+    // Always timed (not gated on probe_on): busy/idle attribution feeds
+    // the always-on metrics registry, two clock reads per step per worker.
+    let t0 = Some(ft_probe::now_us());
     let mut out = WorkerOut::default();
     let mut scratch = Scratch::new(plan);
     let d = plan.dims;

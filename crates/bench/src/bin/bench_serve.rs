@@ -6,7 +6,14 @@
 //! cargo run --release -p ft-bench --bin bench_serve -- --smoke # tiny load
 //! cargo run --release -p ft-bench --bin bench_serve -- --json  # print JSON
 //! cargo run --release -p ft-bench --bin bench_serve -- --out results/BENCH_serve.json
+//! cargo run --release -p ft-bench --bin bench_serve -- --metrics-out target/obs
 //! ```
+//!
+//! `--metrics-out DIR` flushes the merged observability registries
+//! (runtime-local `serve.*` plus global `exec.*`/`pool.*`/`passes.*`)
+//! after every load configuration: one JSON row is appended per config to
+//! `DIR/metrics.jsonl` and `DIR/metrics.prom` is rewritten in Prometheus
+//! text format (the final rewrite reflects the last configuration).
 //!
 //! The workload is a *narrow* stacked RNN (one sequence per request,
 //! depth 2, seq 256): its wavefront never exceeds the depth, so at 8
@@ -78,6 +85,7 @@ fn run_load(
     per_client: usize,
     program: &Arc<Program>,
     ws: &FractalTensor,
+    metrics: Option<&ft_obs::ExporterConfig>,
 ) -> LoadRow {
     let rt = Arc::new(Runtime::new(ServeConfig {
         threads,
@@ -121,6 +129,12 @@ fn run_load(
     });
     let elapsed = t0.elapsed().as_secs_f64();
     let stats = rt.stats();
+    if let Some(cfg) = metrics {
+        let rt_reg = rt.metrics();
+        if let Err(e) = ft_obs::flush(&[rt_reg.as_ref(), ft_obs::Registry::global()], cfg) {
+            eprintln!("metrics flush failed: {e}");
+        }
+    }
 
     let requests = (clients * per_client) as u64;
     let timed_batches = stats.batches - warm.batches;
@@ -189,6 +203,18 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let metrics_cfg = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(|dir| {
+            let dir = std::path::PathBuf::from(dir);
+            ft_obs::ExporterConfig {
+                jsonl_path: Some(dir.join("metrics.jsonl")),
+                prom_path: Some(dir.join("metrics.prom")),
+                ..ft_obs::ExporterConfig::default()
+            }
+        });
 
     let (n, d, l, h) = SHAPE;
     let program = Arc::new(stacked_rnn_program(n, d, l, h));
@@ -210,7 +236,15 @@ fn main() {
     let mut rows = Vec::new();
     for &t in threads {
         for batched in [false, true] {
-            rows.push(run_load(t, batched, clients, per_client, &program, &ws));
+            rows.push(run_load(
+                t,
+                batched,
+                clients,
+                per_client,
+                &program,
+                &ws,
+                metrics_cfg.as_ref(),
+            ));
         }
     }
 

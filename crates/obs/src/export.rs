@@ -1,0 +1,307 @@
+//! Exporters: Prometheus text format, JSON-lines, and the background
+//! flusher thread.
+//!
+//! The [`Exporter`] samples one or more registries on an interval, merges
+//! their snapshots ([`RegistrySnapshot::merge`]), and appends a JSONL row
+//! and/or rewrites a Prometheus text file. Both formats are plain text a
+//! scraper (or `ft-top --follow`) can consume without linking this crate.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::{json, Map, Value};
+
+use crate::registry::{Registry, RegistrySnapshot};
+
+/// A metric name as Prometheus accepts it: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+/// The registry's dotted names (`serve.latency_us`) become underscored
+/// (`serve_latency_us`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format:
+/// counters, gauges, and histograms (cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`).
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.hists {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (le, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// Renders a snapshot as one JSON object (a `metrics.jsonl` row):
+/// counters and gauges verbatim, histograms as count/sum/quantiles.
+pub fn json_row(snap: &RegistrySnapshot, unix_ms: u128) -> Value {
+    let mut counters = Map::new();
+    for (k, v) in &snap.counters {
+        counters.insert(k.clone(), Value::from(*v));
+    }
+    let mut gauges = Map::new();
+    for (k, v) in &snap.gauges {
+        gauges.insert(k.clone(), Value::from(*v));
+    }
+    let mut hists = Map::new();
+    for (k, h) in &snap.hists {
+        hists.insert(
+            k.clone(),
+            json!({
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean(),
+                "p50": h.quantile(0.50),
+                "p95": h.quantile(0.95),
+                "p99": h.quantile(0.99),
+            }),
+        );
+    }
+    json!({
+        "ts_unix_ms": unix_ms as u64,
+        "counters": Value::Object(counters),
+        "gauges": Value::Object(gauges),
+        "histograms": Value::Object(hists),
+    })
+}
+
+fn unix_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// Exporter configuration.
+#[derive(Debug, Clone)]
+pub struct ExporterConfig {
+    /// Flush interval.
+    pub interval: Duration,
+    /// Append one JSON row per flush here (created if missing).
+    pub jsonl_path: Option<PathBuf>,
+    /// Rewrite the Prometheus text file on every flush (atomic rename).
+    pub prom_path: Option<PathBuf>,
+}
+
+impl Default for ExporterConfig {
+    fn default() -> Self {
+        ExporterConfig {
+            interval: Duration::from_secs(1),
+            jsonl_path: None,
+            prom_path: None,
+        }
+    }
+}
+
+/// A background thread flushing merged registry snapshots on an interval.
+/// Dropping the exporter (or calling [`Exporter::stop`]) performs one
+/// final flush so short-lived processes never lose their last interval.
+pub struct Exporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One flush: sample, merge, write. Standalone so callers can flush
+/// synchronously without a thread (e.g. at the end of a bench run).
+pub fn flush(sources: &[&Registry], cfg: &ExporterConfig) -> std::io::Result<RegistrySnapshot> {
+    let mut merged = RegistrySnapshot::default();
+    for r in sources {
+        merged.merge(&r.snapshot());
+    }
+    if let Some(path) = &cfg.jsonl_path {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", json_row(&merged, unix_ms()))?;
+    }
+    if let Some(path) = &cfg.prom_path {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        // Write-then-rename so a concurrent scraper never reads a torn file.
+        let tmp = path.with_extension("prom.tmp");
+        std::fs::write(&tmp, prometheus_text(&merged))?;
+        std::fs::rename(&tmp, path)?;
+    }
+    Ok(merged)
+}
+
+impl Exporter {
+    /// Starts the background flusher over `sources` (sampled left to
+    /// right and merged). Registries must outlive the exporter; pass
+    /// `Registry::global()` and/or `Arc`-leaked runtime registries via
+    /// the `'static` borrow, or keep the `Arc` alive alongside.
+    pub fn spawn(sources: Vec<Arc<Registry>>, include_global: bool, cfg: ExporterConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ft-obs-export".into())
+            .spawn(move || {
+                loop {
+                    let refs: Vec<&Registry> = std::iter::once(Registry::global())
+                        .filter(|_| include_global)
+                        .chain(sources.iter().map(|a| a.as_ref()))
+                        .collect();
+                    let _ = flush(&refs, &cfg);
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Sleep in small steps so stop() is prompt.
+                    let mut left = cfg.interval;
+                    let step = Duration::from_millis(25);
+                    while !left.is_zero() {
+                        if stop2.load(Ordering::Acquire) {
+                            // Final flush happens at loop top before exit.
+                            break;
+                        }
+                        let d = left.min(step);
+                        std::thread::sleep(d);
+                        left = left.saturating_sub(d);
+                    }
+                }
+            })
+            .ok();
+        Exporter { stop, handle }
+    }
+
+    /// Signals the flusher to perform one final flush and exit, then
+    /// joins it. Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_add("serve.completed", 12);
+        r.gauge_set("serve.queue_depth", 3);
+        for v in [10.0, 20.0, 30.0, 1000.0] {
+            r.observe("serve.latency_us", v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let r = sample_registry();
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE serve_completed counter"));
+        assert!(text.contains("serve_completed 12"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 3"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
+        assert!(text.contains("serve_latency_us_count 4"));
+        assert!(text.contains("le=\"+Inf\"} 4"));
+        // Buckets are cumulative and end at the total count.
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("serve_latency_us_bucket"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 4"));
+    }
+
+    #[test]
+    fn json_row_quantiles_bracket_the_data() {
+        let r = sample_registry();
+        let row = json_row(&r.snapshot(), 1234);
+        assert_eq!(row["counters"]["serve.completed"], 12);
+        assert_eq!(row["gauges"]["serve.queue_depth"], 3);
+        let h = &row["histograms"]["serve.latency_us"];
+        assert_eq!(h["count"], 4);
+        let p99 = h["p99"].as_f64().unwrap();
+        assert!((1000.0..=1100.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn flush_writes_both_artifacts() {
+        let dir = std::env::temp_dir().join(format!("ft_obs_export_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ExporterConfig {
+            interval: Duration::from_millis(10),
+            jsonl_path: Some(dir.join("metrics.jsonl")),
+            prom_path: Some(dir.join("metrics.prom")),
+        };
+        let r = sample_registry();
+        flush(&[&r], &cfg).unwrap();
+        flush(&[&r], &cfg).unwrap();
+        let jsonl = std::fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 2, "jsonl appends one row per flush");
+        for line in jsonl.lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v["counters"]["serve.completed"].as_u64().is_some());
+        }
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("serve_completed 12"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exporter_thread_flushes_and_stops() {
+        let dir = std::env::temp_dir().join(format!("ft_obs_exporter_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Arc::new(sample_registry());
+        let mut ex = Exporter::spawn(
+            vec![Arc::clone(&reg)],
+            false,
+            ExporterConfig {
+                interval: Duration::from_millis(20),
+                jsonl_path: Some(dir.join("m.jsonl")),
+                prom_path: Some(dir.join("m.prom")),
+            },
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        ex.stop();
+        let jsonl = std::fs::read_to_string(dir.join("m.jsonl")).unwrap();
+        assert!(jsonl.lines().count() >= 2, "periodic flushes happened");
+        assert!(dir.join("m.prom").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

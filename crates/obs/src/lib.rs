@@ -1,0 +1,48 @@
+//! # ft-obs
+//!
+//! The always-on observability layer of the serving runtime: a metrics
+//! registry that is cheap enough to leave enabled under load, per-request
+//! trace context, and exporters a scraper can consume.
+//!
+//! Where [`ft_probe`] is the *tracing* layer — rich spans for Perfetto,
+//! off by default, sampled when you need a timeline — `ft-obs` is the
+//! *metrics* layer: a fixed set of named counters, gauges, and log-bucket
+//! histograms updated unconditionally on every request. The hot path
+//! never takes a lock (handles are `Arc`s over atomics; see
+//! [`registry`]), histograms count **every** observation in O(1) memory
+//! with quantiles exact to within one bucket's ~9% relative width (see
+//! [`hist`]), and the [`export`] module renders any registry as
+//! Prometheus text or JSON lines, on demand or from a background flusher.
+//!
+//! The [`trace`] module carries per-request identity
+//! (request/session/plan-signature/batch) through the serve pipeline and
+//! collects one attributable [`CompletionRecord`] per request — fused
+//! batches of `k` requests yield `k` records sharing a batch id.
+//!
+//! ```
+//! let reg = ft_obs::Registry::new();
+//! reg.counter("serve.completed").inc();
+//! reg.gauge("serve.queue_depth").set(3);
+//! reg.histogram("serve.latency_us").record(412.0);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters["serve.completed"], 1);
+//! let prom = ft_obs::prometheus_text(&snap);
+//! assert!(prom.contains("serve_queue_depth 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+// The observability layer runs inside the serving hot path: it must never
+// panic a request. Non-test code is unwrap/expect-free.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use export::{flush, json_row, prometheus_text, Exporter, ExporterConfig};
+pub use hist::{HistSnapshot, Histogram};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use trace::{
+    next_request_id, CompletionRecord, CompletionStatus, FuseDecision, TraceContext, TraceLog,
+};

@@ -1,0 +1,105 @@
+//! Property tests for the log-bucket histogram: exact-count invariants,
+//! merge associativity, and quantile error bounds against the true
+//! sorted-order statistic.
+
+use ft_obs::Histogram;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random positive value from an index and seed —
+/// spans ~9 orders of magnitude so bucket boundaries are exercised.
+fn value(i: u64, seed: u64) -> f64 {
+    let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    let mag = (x % 9) as i32 - 2; // 10^-2 .. 10^6
+    let frac = 1.0 + (x >> 16) as f64 / u64::MAX as f64 * 8.0;
+    frac * 10f64.powi(mag)
+}
+
+/// The true order statistic the histogram's quantile approximates:
+/// the `ceil(q·n)`-th smallest value (1-based), matching
+/// `HistSnapshot::quantile`'s rank definition.
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded observation is counted exactly once — total count,
+    /// bucket-sum, and exact arithmetic sum all agree.
+    #[test]
+    fn prop_exact_count_invariants(n in 1usize..4000, seed in 0u64..1_000_000) {
+        let h = Histogram::new();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let v = value(i as u64, seed);
+            sum += v;
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), n as u64);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), n as u64);
+        prop_assert!((snap.sum - sum).abs() <= sum.abs() * 1e-9 + 1e-9);
+    }
+
+    /// p99 (and p50/p95) land within one bucket's relative error of the
+    /// true sorted-order percentile — the exactness guarantee that
+    /// replaces reservoir sampling.
+    #[test]
+    fn prop_p99_within_one_bucket_of_sorted_order(n in 10usize..5000, seed in 0u64..1_000_000) {
+        let h = Histogram::new();
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = value(i as u64, seed);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.total_cmp(b));
+        for &q in &[0.50, 0.95, 0.99] {
+            let truth = true_quantile(&values, q);
+            let est = h.quantile(q);
+            // The estimate is the upper bound of the bucket holding the
+            // order statistic: never below the truth (modulo float dust),
+            // and at most one bucket width above it.
+            prop_assert!(
+                est >= truth * (1.0 - 1e-12),
+                "q={} est {} fell below truth {}", q, est, truth
+            );
+            prop_assert!(
+                est <= truth * (1.0 + Histogram::RELATIVE_ERROR),
+                "q={} est {} exceeds truth {} by more than one bucket", q, est, truth
+            );
+        }
+    }
+
+    /// Merging shard-local histograms in any grouping reproduces single
+    /// recording exactly (associativity + identity).
+    #[test]
+    fn prop_merge_associative(n in 1usize..1500, seed in 0u64..1_000_000, split in 1usize..7) {
+        let shards: Vec<Histogram> = (0..split.max(1)).map(|_| Histogram::new()).collect();
+        let single = Histogram::new();
+        for i in 0..n {
+            let v = value(i as u64, seed);
+            shards[i % shards.len()].record(v);
+            single.record(v);
+        }
+        // Left fold.
+        let left = Histogram::new();
+        for s in &shards {
+            left.merge(s);
+        }
+        // Right fold.
+        let right = Histogram::new();
+        for s in shards.iter().rev() {
+            right.merge(s);
+        }
+        let (l, r, s) = (left.snapshot(), right.snapshot(), single.snapshot());
+        prop_assert_eq!(&l.buckets, &r.buckets);
+        prop_assert_eq!(&l.buckets, &s.buckets);
+        prop_assert_eq!(l.count, s.count);
+        prop_assert!((l.sum - s.sum).abs() <= s.sum.abs() * 1e-9 + 1e-9);
+    }
+}

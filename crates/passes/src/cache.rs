@@ -98,6 +98,9 @@ impl PlanCache {
         });
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ft_obs::Registry::global()
+                .counter("passes.plan_cache_hits")
+                .inc();
             ft_probe::counter("passes.plan_cache_hits", 1.0);
         }
         found
@@ -124,6 +127,9 @@ impl PlanCache {
             return Ok((plan, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ft_obs::Registry::global()
+            .counter("passes.plan_cache_misses")
+            .inc();
         ft_probe::counter("passes.plan_cache_misses", 1.0);
         let compiled = Arc::new(compile_fn(program)?);
         let plan = match self.map.write() {

@@ -78,6 +78,8 @@ pub struct WorkerPool {
     /// Serializes concurrent `run` calls from different threads.
     gate: Mutex<()>,
     threads: usize,
+    /// Always-on `pool.jobs` counter handle (one bump per published job).
+    jobs: ft_obs::Counter,
 }
 
 impl WorkerPool {
@@ -112,11 +114,18 @@ impl WorkerPool {
             }
         }
         let threads = handles.len() + 1;
+        // Always-on metrics: how many participants this process has live
+        // (point-in-time) and how many pools were spun up (spawn churn —
+        // the serving runtime should hold this at one per runtime).
+        let reg = ft_obs::Registry::global();
+        reg.counter("pool.created").inc();
+        reg.gauge("pool.workers").set(threads as i64);
         WorkerPool {
             shared,
             handles,
             gate: Mutex::new(()),
             threads,
+            jobs: ft_obs::Registry::global().counter("pool.jobs"),
         }
     }
 
@@ -140,6 +149,7 @@ impl WorkerPool {
     /// failed job.
     pub fn try_run(&self, job: Job) -> Result<(), PanicPayload> {
         let _gate = self.gate.lock();
+        self.jobs.inc();
         let workers = self.handles.len();
         let inject_local = {
             let mut st = self.shared.state.lock();

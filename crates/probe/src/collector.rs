@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -105,28 +105,49 @@ pub struct Snapshot {
     pub thread_labels: Vec<((u64, u64), String)>,
 }
 
+/// One thread's private slice of the collector. Each recording thread
+/// owns a shard behind its own mutex; the hot path (span drop, counter
+/// bump) locks only that shard, which is uncontended in steady state —
+/// the global registry lock is taken once per thread lifetime (at shard
+/// registration) and on merge ([`snapshot`]/[`take`]), never per event.
 #[derive(Default)]
-struct Inner {
+struct Shard {
     events: Vec<Event>,
     counters: BTreeMap<String, f64>,
     thread_labels: Vec<((u64, u64), String)>,
 }
+
+/// Every live (and not-yet-drained dead) shard, in registration order.
+/// Merge order follows registration order so events recorded by a single
+/// thread keep their completion order in the merged snapshot.
+static SHARDS: Mutex<Vec<Arc<Mutex<Shard>>>> = Mutex::new(Vec::new());
 
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 const STATE_UNINIT: u8 = 0;
 const STATE_OFF: u8 = 1;
 const STATE_ON: u8 = 2;
 
-static COLLECTOR: Mutex<Option<Inner>> = Mutex::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    // The shard outlives the thread: the registry holds a second Arc, so
+    // data recorded by a thread that exited is still merged by take().
+    static SHARD: Arc<Mutex<Shard>> = {
+        let shard = Arc::new(Mutex::new(Shard::default()));
+        SHARDS.lock().push(Arc::clone(&shard));
+        shard
+    };
 }
 
 fn current_tid() -> u64 {
     TID.with(|t| *t)
+}
+
+/// Runs `f` under the calling thread's shard lock.
+fn with_shard<R>(f: impl FnOnce(&mut Shard) -> R) -> R {
+    SHARD.with(|s| f(&mut s.lock()))
 }
 
 fn epoch() -> Instant {
@@ -162,13 +183,9 @@ fn init_from_env() -> bool {
 
 fn set_enabled(on: bool) {
     if on {
-        // Arm the epoch and the buffer before publishing the flag so a
-        // racing span sees a consistent collector.
+        // Arm the epoch before publishing the flag so a racing span sees
+        // a consistent clock. Shards materialize lazily per thread.
         epoch();
-        let mut inner = COLLECTOR.lock();
-        if inner.is_none() {
-            *inner = Some(Inner::default());
-        }
     }
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
@@ -299,26 +316,36 @@ pub fn complete_event(
 }
 
 /// Adds `delta` to the named counter. No-op when disabled.
+///
+/// Counters accumulate in the calling thread's shard (no cross-thread
+/// contention) and are summed across shards on [`snapshot`]/[`take`].
+/// The steady-state path allocates nothing: an existing entry is bumped
+/// through `get_mut`, and the name is only cloned on first use per shard.
 pub fn counter(name: &str, delta: f64) {
     if !enabled() {
         return;
     }
-    let mut inner = COLLECTOR.lock();
-    let inner = inner.get_or_insert_with(Inner::default);
-    *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    with_shard(|s| {
+        if let Some(v) = s.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            s.counters.insert(name.to_string(), delta);
+        }
+    });
 }
 
 /// Names a (pid, tid) track in the exported trace. No-op when disabled.
+/// Duplicate registrations (from any thread) keep the first label.
 pub fn set_thread_label(pid: u64, tid: u64, label: impl Into<String>) {
     if !enabled() {
         return;
     }
-    let mut inner = COLLECTOR.lock();
-    let inner = inner.get_or_insert_with(Inner::default);
     let label = label.into();
-    if !inner.thread_labels.iter().any(|(k, _)| *k == (pid, tid)) {
-        inner.thread_labels.push(((pid, tid), label));
-    }
+    with_shard(|s| {
+        if !s.thread_labels.iter().any(|(k, _)| *k == (pid, tid)) {
+            s.thread_labels.push(((pid, tid), label));
+        }
+    });
 }
 
 /// The tid the probe assigned to the calling thread.
@@ -327,32 +354,53 @@ pub fn thread_track() -> u64 {
 }
 
 fn record(e: Event) {
-    let mut inner = COLLECTOR.lock();
-    inner.get_or_insert_with(Inner::default).events.push(e);
+    with_shard(|s| s.events.push(e));
 }
 
-/// Clones the collector contents without draining them.
+fn merge(drain: bool) -> Snapshot {
+    let mut out = Snapshot::default();
+    let mut shards = SHARDS.lock();
+    for shard in shards.iter() {
+        let mut s = shard.lock();
+        if drain {
+            out.events.append(&mut s.events);
+            for (k, v) in std::mem::take(&mut s.counters) {
+                *out.counters.entry(k).or_insert(0.0) += v;
+            }
+            let labels = std::mem::take(&mut s.thread_labels);
+            for (k, label) in labels {
+                if !out.thread_labels.iter().any(|(ok, _)| *ok == k) {
+                    out.thread_labels.push((k, label));
+                }
+            }
+        } else {
+            out.events.extend(s.events.iter().cloned());
+            for (k, v) in &s.counters {
+                *out.counters.entry(k.clone()).or_insert(0.0) += v;
+            }
+            for (k, label) in &s.thread_labels {
+                if !out.thread_labels.iter().any(|(ok, _)| ok == k) {
+                    out.thread_labels.push((*k, label.clone()));
+                }
+            }
+        }
+    }
+    if drain {
+        // Drop shards whose owning thread exited (the registry holds the
+        // only remaining Arc) so churning threads don't grow the list.
+        shards.retain(|s| Arc::strong_count(s) > 1);
+    }
+    out
+}
+
+/// Clones the collector contents without draining them, merging every
+/// thread's shard. Per-thread event order is preserved; shards are
+/// concatenated in registration order.
 pub fn snapshot() -> Snapshot {
-    let inner = COLLECTOR.lock();
-    match inner.as_ref() {
-        Some(i) => Snapshot {
-            events: i.events.clone(),
-            counters: i.counters.clone(),
-            thread_labels: i.thread_labels.clone(),
-        },
-        None => Snapshot::default(),
-    }
+    merge(false)
 }
 
-/// Drains and returns everything recorded so far.
+/// Drains and returns everything recorded so far across all shards.
 pub fn take() -> Snapshot {
-    let mut inner = COLLECTOR.lock();
-    match inner.as_mut() {
-        Some(i) => Snapshot {
-            events: std::mem::take(&mut i.events),
-            counters: std::mem::take(&mut i.counters),
-            thread_labels: std::mem::take(&mut i.thread_labels),
-        },
-        None => Snapshot::default(),
-    }
+    merge(true)
 }

@@ -14,9 +14,12 @@
 //! * **Counters** are named `f64` accumulators (`passes.access_map_fusions`,
 //!   `exec.wavefront_steps`, `sim.dram_bytes`, ...). They carry totals, not
 //!   samples — per-event detail lives on span fields.
-//! * Everything funnels into one global collector behind a `parking_lot`
-//!   mutex; the hot-path check is a single relaxed atomic load, so with
-//!   tracing disabled every probe call is a no-op costing one branch.
+//! * The collector is sharded per thread: each recording thread appends
+//!   to its own mutex-guarded shard (uncontended in steady state), and
+//!   [`snapshot`]/[`take`] merge the shards. The hot-path check is a
+//!   single relaxed atomic load, so with tracing disabled every probe
+//!   call is a no-op costing one branch; with tracing enabled the cost
+//!   is one uncontended lock plus the record itself.
 //!
 //! ## Enabling
 //!

@@ -37,7 +37,7 @@ pub mod batch;
 pub use batch::BatchInfo;
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,6 +46,10 @@ use parking_lot::{Condvar, Mutex};
 
 use ft_backend::{ExecError, Executor};
 use ft_core::{program_signature, BufferId, BufferKind, FractalTensor, Program, ProgramSig};
+use ft_obs::{
+    CompletionRecord, CompletionStatus, Counter, FuseDecision, Gauge, Histogram, Registry,
+    TraceContext, TraceLog,
+};
 use ft_passes::{CompiledProgram, PlanCache};
 use ft_pool::WorkerPool;
 use ft_verify::compile_verified;
@@ -148,6 +152,8 @@ pub struct Request {
     pub inputs: HashMap<BufferId, FractalTensor>,
     /// Per-request deadline, measured from submission.
     pub deadline: Option<Duration>,
+    /// Stateful-session id carried into the request's trace context.
+    pub session: Option<u64>,
 }
 
 impl Request {
@@ -157,12 +163,20 @@ impl Request {
             program: program.into(),
             inputs,
             deadline: None,
+            session: None,
         }
     }
 
     /// Sets a deadline measured from submission time.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags the request with a session id (propagated into its
+    /// [`CompletionRecord`]).
+    pub fn with_session(mut self, session: u64) -> Self {
+        self.session = Some(session);
         self
     }
 }
@@ -177,6 +191,7 @@ struct TicketState {
 #[derive(Clone)]
 pub struct Ticket {
     state: Arc<TicketState>,
+    request_id: u64,
 }
 
 impl Ticket {
@@ -195,12 +210,21 @@ impl Ticket {
     pub fn try_take(&self) -> Option<ServeResult> {
         self.state.slot.lock().take()
     }
+
+    /// The request id minted at admission — the key joining this ticket
+    /// to its [`CompletionRecord`] and its Perfetto request span.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
 }
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ready = self.state.slot.lock().is_some();
-        f.debug_struct("Ticket").field("ready", &ready).finish()
+        f.debug_struct("Ticket")
+            .field("request_id", &self.request_id)
+            .field("ready", &ready)
+            .finish()
     }
 }
 
@@ -211,93 +235,81 @@ struct Pending {
     submitted: Instant,
     deadline: Option<Instant>,
     ticket: Arc<TicketState>,
+    /// Identity minted at admission; `batch_id` is filled at dispatch.
+    ctx: TraceContext,
+    /// Time spent in the admission queue, set when the scheduler pops the
+    /// request into a group.
+    queue_wait_us: f64,
 }
 
-/// A bounded reservoir sample (Vitter's algorithm R) with an exact running
-/// mean: a long-running server records every request at O(1) memory, and
-/// `stats()` sorts at most `cap` samples. Percentiles are computed over a
-/// uniform sample of the full history once `cap` is exceeded; the mean is
-/// always exact.
-struct Reservoir {
-    cap: usize,
-    seen: u64,
-    sum: f64,
-    values: Vec<f64>,
-    rng: u64,
+/// Pre-registered handles into the runtime's [`Registry`]: every hot-path
+/// update is a relaxed atomic op, no name lookup, no lock. Counters are
+/// monotonic event totals, the queue depth is a point-in-time [`Gauge`],
+/// and value distributions (latency, batch size, setup time) go to
+/// log-bucket [`Histogram`]s that count **every** observation — `stats()`
+/// percentiles are exact to within one bucket's ~9% relative width, not
+/// sampled from a reservoir.
+struct Metrics {
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    failed: Counter,
+    deadline_expired: Counter,
+    batches: Counter,
+    batched_requests: Counter,
+    batch_fallbacks: Counter,
+    queue_depth: Gauge,
+    latency_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    setup_cold_us: Arc<Histogram>,
+    setup_cached_us: Arc<Histogram>,
+    exec_us: Arc<Histogram>,
 }
 
-impl Reservoir {
-    const DEFAULT_CAP: usize = 4096;
-
-    fn new(cap: usize) -> Self {
-        Reservoir {
-            cap: cap.max(1),
-            seen: 0,
-            sum: 0.0,
-            values: Vec::new(),
-            rng: 0x9e37_79b9_7f4a_7c15,
+impl Metrics {
+    fn new(reg: &Registry) -> Self {
+        Metrics {
+            submitted: reg.counter("serve.submitted"),
+            rejected: reg.counter("serve.rejected"),
+            completed: reg.counter("serve.completed"),
+            failed: reg.counter("serve.failed"),
+            deadline_expired: reg.counter("serve.deadline_expired"),
+            batches: reg.counter("serve.batches"),
+            batched_requests: reg.counter("serve.batched_requests"),
+            batch_fallbacks: reg.counter("serve.batch_fallbacks"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            latency_us: reg.histogram("serve.latency_us"),
+            queue_wait_us: reg.histogram("serve.queue_wait_us"),
+            batch_size: reg.histogram("serve.batch_size"),
+            setup_cold_us: reg.histogram("serve.setup_cold_us"),
+            setup_cached_us: reg.histogram("serve.setup_cached_us"),
+            exec_us: reg.histogram("serve.exec_us"),
         }
-    }
-
-    /// xorshift64* — deterministic, dependency-free, plenty for sampling.
-    fn next_rng(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn push(&mut self, v: f64) {
-        self.seen += 1;
-        self.sum += v;
-        if self.values.len() < self.cap {
-            self.values.push(v);
-        } else {
-            let j = self.next_rng() % self.seen;
-            if (j as usize) < self.cap {
-                self.values[j as usize] = v;
-            }
-        }
-    }
-
-    fn mean(&self) -> f64 {
-        if self.seen == 0 {
-            0.0
-        } else {
-            self.sum / self.seen as f64
-        }
-    }
-
-    fn sorted(&self) -> Vec<f64> {
-        let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        v
     }
 }
 
-impl Default for Reservoir {
+/// Per-request phase breakdown accumulated through `process_group` and
+/// handed to `fulfill`, which turns it into a [`CompletionRecord`].
+#[derive(Clone)]
+struct Phases {
+    setup_us: f64,
+    setup_cached: bool,
+    fuse: FuseDecision,
+    exec_us: f64,
+    split_us: f64,
+}
+
+impl Default for Phases {
     fn default() -> Self {
-        Reservoir::new(Self::DEFAULT_CAP)
+        Phases {
+            setup_us: 0.0,
+            setup_cached: false,
+            fuse: FuseDecision::Solo,
+            exec_us: 0.0,
+            split_us: 0.0,
+        }
     }
-}
-
-#[derive(Default)]
-struct StatsInner {
-    submitted: u64,
-    rejected: u64,
-    completed: u64,
-    failed: u64,
-    deadline_expired: u64,
-    batches: u64,
-    batched_requests: u64,
-    batch_fallbacks: u64,
-    max_batch: usize,
-    peak_queue_depth: usize,
-    latencies_us: Reservoir,
-    cold_setup_us: Reservoir,
-    cached_setup_us: Reservoir,
 }
 
 /// A point-in-time snapshot of runtime counters.
@@ -329,13 +341,15 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Distinct plans cached.
     pub cached_plans: usize,
-    /// Median end-to-end latency of successful requests, microseconds
-    /// (over a bounded uniform sample of the full history).
+    /// Median end-to-end latency of successful requests, microseconds.
+    /// Computed over **every** completed request (log-bucket histogram,
+    /// no sampling); exact to within one bucket's ~9% relative width.
     pub latency_p50_us: f64,
-    /// 99th-percentile latency of successful requests, microseconds
-    /// (over a bounded uniform sample of the full history).
+    /// 95th-percentile latency, microseconds (every request counted).
+    pub latency_p95_us: f64,
+    /// 99th-percentile latency, microseconds (every request counted).
     pub latency_p99_us: f64,
-    /// Mean latency of successful requests, microseconds.
+    /// Mean latency of successful requests, microseconds (exact).
     pub latency_mean_us: f64,
     /// Mean per-dispatch setup time when the plan was cold-compiled.
     pub cold_setup_mean_us: f64,
@@ -364,7 +378,17 @@ struct Inner {
     shutdown: AtomicBool,
     cache: PlanCache,
     batch_info: Mutex<HashMap<ProgramSig, Option<Arc<BatchInfo>>>>,
-    stats: Mutex<StatsInner>,
+    /// Per-runtime metrics registry (`serve.*` names); isolated per
+    /// instance so concurrent runtimes (and tests) never mix counters.
+    registry: Arc<Registry>,
+    metrics: Metrics,
+    /// Per-request completion records, drained by
+    /// [`Runtime::take_completions`].
+    trace: TraceLog,
+    /// Mints ids for fused launches.
+    next_batch_id: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 /// The serving runtime: shared pool + plan cache + admission queue +
@@ -412,6 +436,8 @@ impl Runtime {
         if let Some(fallback) = cfg.fallback {
             exec = exec.fallback(fallback);
         }
+        let registry = Arc::new(Registry::new());
+        let metrics = Metrics::new(&registry);
         let inner = Arc::new(Inner {
             cfg,
             queue: Mutex::new(VecDeque::new()),
@@ -420,7 +446,12 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             cache: PlanCache::new(),
             batch_info: Mutex::new(HashMap::new()),
-            stats: Mutex::new(StatsInner::default()),
+            registry,
+            metrics,
+            trace: TraceLog::default(),
+            next_batch_id: AtomicU64::new(1),
+            peak_queue_depth: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
         });
         let sched_inner = Arc::clone(&inner);
         // The clone shares the scheduler executor's arena pool, so stats()
@@ -471,6 +502,15 @@ impl Runtime {
             return Err(ServeError::Shutdown);
         }
         let sig = program_signature(&request.program);
+        // The identity tuple minted at admission and carried through the
+        // whole pipeline; `batch_id` is attached at dispatch.
+        let ctx = TraceContext {
+            request_id: ft_obs::next_request_id(),
+            session_id: request.session,
+            plan_sig: sig.to_string(),
+            batch_id: None,
+        };
+        let request_id = ctx.request_id;
         let submitted = Instant::now();
         let deadline = request
             .deadline
@@ -484,6 +524,8 @@ impl Runtime {
             submitted,
             deadline,
             ticket: Arc::clone(&state),
+            ctx,
+            queue_wait_us: 0.0,
         };
         let depth = {
             let mut queue = self.inner.queue.lock();
@@ -492,7 +534,7 @@ impl Runtime {
                     return Err(ServeError::Shutdown);
                 }
                 if !block {
-                    self.inner.stats.lock().rejected += 1;
+                    self.inner.metrics.rejected.inc();
                     ft_probe::counter("serve.rejected", 1.0);
                     return Err(ServeError::QueueFull {
                         capacity: self.inner.cfg.queue_capacity,
@@ -509,49 +551,71 @@ impl Runtime {
                 return Err(ServeError::Shutdown);
             }
             queue.push_back(pending);
+            // Set the gauge under the queue lock so it always reflects an
+            // actual queue state (point-in-time, not a cumulative sum).
+            self.inner.metrics.queue_depth.set(queue.len() as i64);
             queue.len()
         };
-        {
-            let mut stats = self.inner.stats.lock();
-            stats.submitted += 1;
-            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
-        }
+        self.inner.metrics.submitted.inc();
+        self.inner
+            .peak_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
         ft_probe::counter("serve.submitted", 1.0);
-        ft_probe::counter("serve.queue_depth", depth as f64);
         self.inner.not_empty.notify_one();
-        Ok(Ticket { state })
+        Ok(Ticket { state, request_id })
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Latency percentiles cover **every** completed
+    /// request (log-bucket histogram), not a sample.
     pub fn stats(&self) -> ServeStats {
-        let stats = self.inner.stats.lock();
-        let latencies = stats.latencies_us.sorted();
+        let m = &self.inner.metrics;
+        let lat = m.latency_us.snapshot();
         let arena = self.exec.arena_stats();
         ServeStats {
-            submitted: stats.submitted,
-            rejected: stats.rejected,
-            completed: stats.completed,
-            failed: stats.failed,
-            deadline_expired: stats.deadline_expired,
-            batches: stats.batches,
-            batched_requests: stats.batched_requests,
-            batch_fallbacks: stats.batch_fallbacks,
-            max_batch: stats.max_batch,
-            peak_queue_depth: stats.peak_queue_depth,
+            submitted: m.submitted.get(),
+            rejected: m.rejected.get(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            deadline_expired: m.deadline_expired.get(),
+            batches: m.batches.get(),
+            batched_requests: m.batched_requests.get(),
+            batch_fallbacks: m.batch_fallbacks.get(),
+            max_batch: self.inner.max_batch.load(Ordering::Relaxed) as usize,
+            peak_queue_depth: self.inner.peak_queue_depth.load(Ordering::Relaxed) as usize,
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             cached_plans: self.inner.cache.len(),
-            latency_p50_us: percentile(&latencies, 0.50),
-            latency_p99_us: percentile(&latencies, 0.99),
-            latency_mean_us: stats.latencies_us.mean(),
-            cold_setup_mean_us: stats.cold_setup_us.mean(),
-            cached_setup_mean_us: stats.cached_setup_us.mean(),
+            latency_p50_us: lat.quantile(0.50),
+            latency_p95_us: lat.quantile(0.95),
+            latency_p99_us: lat.quantile(0.99),
+            latency_mean_us: lat.mean(),
+            cold_setup_mean_us: m.setup_cold_us.mean(),
+            cached_setup_mean_us: m.setup_cached_us.mean(),
             arena_acquires: arena.acquires,
             arena_reused: arena.reused,
             arena_grows: arena.grows,
             leaf_borrows: arena.leaf_borrows,
             leaf_clones: arena.leaf_clones,
         }
+    }
+
+    /// The runtime's metrics registry (`serve.*` names). Hand it to an
+    /// [`ft_obs::Exporter`] — together with [`Registry::global`] for the
+    /// pool/executor/cache layers — to publish Prometheus text or JSONL.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// Drains the per-request completion records collected since the last
+    /// call (bounded ring; see [`Runtime::completions_dropped`]).
+    pub fn take_completions(&self) -> Vec<CompletionRecord> {
+        self.inner.trace.drain()
+    }
+
+    /// Completion records evicted from the bounded trace log before being
+    /// drained.
+    pub fn completions_dropped(&self) -> u64 {
+        self.inner.trace.dropped()
     }
 
     /// Stops admission, drains already-queued requests, and joins the
@@ -572,7 +636,7 @@ impl Runtime {
             queue.drain(..).collect()
         };
         for p in leftovers {
-            fulfill(&self.inner, p, Err(ServeError::Shutdown));
+            fulfill(&self.inner, p, Err(ServeError::Shutdown), Phases::default());
         }
     }
 }
@@ -592,21 +656,13 @@ impl std::fmt::Debug for Runtime {
     }
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 // ---------------------------------------------------------------------
 // Scheduler.
 // ---------------------------------------------------------------------
 
 fn scheduler_loop(inner: &Arc<Inner>, exec: &Executor) {
     loop {
-        let group = {
+        let mut group = {
             let mut queue = inner.queue.lock();
             loop {
                 if !queue.is_empty() {
@@ -638,10 +694,18 @@ fn scheduler_loop(inner: &Arc<Inner>, exec: &Executor) {
                     }
                 }
             }
+            // Point-in-time depth after the pop, under the same lock.
+            inner.metrics.queue_depth.set(queue.len() as i64);
             group
         };
         inner.space.notify_all();
         if !group.is_empty() {
+            // Queue wait ends here: everything after is setup + execution.
+            let now = Instant::now();
+            for p in &mut group {
+                p.queue_wait_us = now.duration_since(p.submitted).as_secs_f64() * 1e6;
+                inner.metrics.queue_wait_us.record(p.queue_wait_us);
+            }
             process_group(inner, exec, group);
         }
     }
@@ -657,13 +721,15 @@ fn split_expired(group: Vec<Pending>) -> (Vec<Pending>, Vec<Pending>) {
 fn process_group(inner: &Inner, exec: &Executor, group: Vec<Pending>) {
     let (expired, live) = split_expired(group);
     for p in expired {
-        fulfill(inner, p, Err(ServeError::Deadline));
+        fulfill(inner, p, Err(ServeError::Deadline), Phases::default());
     }
     if live.is_empty() {
         return;
     }
 
-    // Plan acquisition: a cache hit skips compile AND verify.
+    // Plan acquisition: a cache hit skips compile AND verify. The time is
+    // billed to every request in the group's phase breakdown (they share
+    // one acquisition).
     let setup_start = Instant::now();
     let acquired = acquire_plan(inner, &live[0].program);
     let setup_us = setup_start.elapsed().as_secs_f64() * 1e6;
@@ -671,62 +737,105 @@ fn process_group(inner: &Inner, exec: &Executor, group: Vec<Pending>) {
         Ok(v) => v,
         Err(e) => {
             for p in live {
-                fulfill(inner, p, Err(e.clone()));
+                fulfill(
+                    inner,
+                    p,
+                    Err(e.clone()),
+                    Phases {
+                        setup_us,
+                        setup_cached: false,
+                        ..Phases::default()
+                    },
+                );
             }
             return;
         }
     };
     if hit {
-        inner.stats.lock().cached_setup_us.push(setup_us);
-        ft_probe::counter("serve.setup_cached_us", setup_us);
+        inner.metrics.setup_cached_us.record(setup_us);
+        ft_probe::counter("serve.setup_cached", 1.0);
     } else {
-        inner.stats.lock().cold_setup_us.push(setup_us);
-        ft_probe::counter("serve.setup_cold_us", setup_us);
+        inner.metrics.setup_cold_us.record(setup_us);
+        ft_probe::counter("serve.setup_cold", 1.0);
     }
+    let phases = Phases {
+        setup_us,
+        setup_cached: hit,
+        ..Phases::default()
+    };
 
     // A cold compile can be slow; re-check deadlines before launching.
     let (expired, live) = split_expired(live);
     for p in expired {
-        fulfill(inner, p, Err(ServeError::Deadline));
+        fulfill(inner, p, Err(ServeError::Deadline), phases.clone());
     }
     if live.is_empty() {
         return;
     }
 
+    // Fusion attempt: mint a batch id up front so every span and record of
+    // this launch shares it, success or fallback.
+    let mut fallback_reason: Option<String> = None;
     if live.len() > 1 {
         if let Some(info) = batch_info_for(inner, &live[0]) {
-            match run_fused(inner, exec, &live, &info) {
-                Ok(outputs) => {
+            let batch_id = inner.next_batch_id.fetch_add(1, Ordering::Relaxed);
+            match run_fused(inner, exec, &live, &info, batch_id) {
+                Ok(fused) => {
                     let k = live.len();
-                    {
-                        let mut stats = inner.stats.lock();
-                        stats.batches += 1;
-                        stats.batched_requests += k as u64;
-                        stats.max_batch = stats.max_batch.max(k);
-                    }
+                    inner.metrics.batches.inc();
+                    inner.metrics.batched_requests.add(k as u64);
+                    inner.metrics.batch_size.record(k as f64);
+                    inner.max_batch.fetch_max(k as u64, Ordering::Relaxed);
                     ft_probe::counter("serve.batches", 1.0);
-                    ft_probe::counter("serve.batch_size", k as f64);
-                    for (p, out) in live.into_iter().zip(outputs) {
-                        fulfill(inner, p, Ok(out));
+                    for (mut p, out) in live.into_iter().zip(fused.outputs) {
+                        p.ctx.batch_id = Some(batch_id);
+                        fulfill(
+                            inner,
+                            p,
+                            Ok(out),
+                            Phases {
+                                fuse: FuseDecision::Fused { size: k as u32 },
+                                exec_us: fused.exec_us,
+                                split_us: fused.split_us,
+                                ..phases.clone()
+                            },
+                        );
                     }
                     return;
                 }
                 Err(reason) => {
                     // Fused execution is best-effort; serve individually.
-                    inner.stats.lock().batch_fallbacks += 1;
+                    inner.metrics.batch_fallbacks.inc();
                     ft_probe::counter("serve.batch_fallbacks", 1.0);
                     let mut span = ft_probe::span("serve", "batch_fallback");
                     if span.is_recording() {
-                        span.field("reason", reason);
+                        span.field("reason", reason.as_str());
+                        span.field("batch_id", batch_id);
                     }
+                    fallback_reason = Some(reason);
                 }
             }
         }
     }
 
     for p in live {
+        let exec_start = Instant::now();
         let result = exec.run(&plan, &p.inputs).map_err(ServeError::Exec);
-        fulfill(inner, p, result);
+        let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
+        inner.metrics.exec_us.record(exec_us);
+        fulfill(
+            inner,
+            p,
+            result,
+            Phases {
+                fuse: match &fallback_reason {
+                    Some(reason) => FuseDecision::Fallback(reason.clone()),
+                    None => FuseDecision::Solo,
+                },
+                exec_us,
+                ..phases.clone()
+            },
+        );
     }
 }
 
@@ -755,6 +864,16 @@ fn batch_info_for(inner: &Inner, pending: &Pending) -> Option<Arc<BatchInfo>> {
     info
 }
 
+/// What a successful fused launch hands back: per-request outputs plus
+/// the phase timings shared by every request in the batch.
+struct FusedOutcome {
+    outputs: Vec<HashMap<BufferId, FractalTensor>>,
+    /// Wavefront execution of the widened program, µs.
+    exec_us: f64,
+    /// Input concatenation + output splitting, µs.
+    split_us: f64,
+}
+
 /// One fused launch for `live` (all same-signature): concatenate batched
 /// inputs, run the widened program, split outputs per request. Any
 /// precondition or execution failure aborts the whole attempt with a
@@ -764,13 +883,16 @@ fn run_fused(
     exec: &Executor,
     live: &[Pending],
     info: &BatchInfo,
-) -> Result<Vec<HashMap<BufferId, FractalTensor>>, String> {
+    batch_id: u64,
+) -> Result<FusedOutcome, String> {
     let k = live.len();
     let base = &live[0].program;
     let fused_prog = batch::batched_program(base, info, k);
     let (fused_plan, _) =
         acquire_plan(inner, &fused_prog).map_err(|e| format!("fused compile: {e}"))?;
 
+    let mut split_us = 0.0;
+    let concat_start = Instant::now();
     let mut fused_inputs = HashMap::new();
     for (bi, decl) in base.buffers.iter().enumerate() {
         if decl.kind != BufferKind::Input {
@@ -818,10 +940,16 @@ fn run_fused(
         }
     }
 
-    let fused_out = exec
-        .run(&fused_plan, &fused_inputs)
-        .map_err(|e| format!("fused execution: {e}"))?;
+    split_us += concat_start.elapsed().as_secs_f64() * 1e6;
 
+    let exec_start = Instant::now();
+    let fused_out = exec
+        .run_tagged(&fused_plan, &fused_inputs, Some(batch_id))
+        .map_err(|e| format!("fused execution: {e}"))?;
+    let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
+    inner.metrics.exec_us.record(exec_us);
+
+    let split_start = Instant::now();
     let mut per_request: Vec<HashMap<BufferId, FractalTensor>> =
         (0..k).map(|_| HashMap::new()).collect();
     for (id, ft) in fused_out {
@@ -836,30 +964,50 @@ fn run_fused(
             }
         }
     }
-    Ok(per_request)
+    split_us += split_start.elapsed().as_secs_f64() * 1e6;
+    Ok(FusedOutcome {
+        outputs: per_request,
+        exec_us,
+        split_us,
+    })
 }
 
-fn fulfill(inner: &Inner, pending: Pending, result: ServeResult) {
+/// Resolves one request: updates metrics, appends its attributable
+/// [`CompletionRecord`] (mirrored to a Perfetto request span when tracing
+/// is on), and wakes the ticket waiter.
+fn fulfill(inner: &Inner, pending: Pending, result: ServeResult, phases: Phases) {
     let latency_us = pending.submitted.elapsed().as_secs_f64() * 1e6;
-    {
-        let mut stats = inner.stats.lock();
-        match &result {
-            Ok(_) => {
-                stats.completed += 1;
-                stats.latencies_us.push(latency_us);
-            }
-            Err(ServeError::Deadline) => stats.deadline_expired += 1,
-            Err(_) => stats.failed += 1,
-        }
-    }
-    match &result {
+    let status = match &result {
         Ok(_) => {
+            inner.metrics.completed.inc();
+            inner.metrics.latency_us.record(latency_us);
             ft_probe::counter("serve.completed", 1.0);
-            ft_probe::counter("serve.latency_us", latency_us);
+            CompletionStatus::Ok
         }
-        Err(ServeError::Deadline) => ft_probe::counter("serve.deadline_expired", 1.0),
-        Err(_) => ft_probe::counter("serve.failed", 1.0),
-    }
+        Err(ServeError::Deadline) => {
+            inner.metrics.deadline_expired.inc();
+            ft_probe::counter("serve.deadline_expired", 1.0);
+            CompletionStatus::Deadline
+        }
+        Err(e) => {
+            inner.metrics.failed.inc();
+            ft_probe::counter("serve.failed", 1.0);
+            CompletionStatus::Error(e.to_string())
+        }
+    };
+    let record = CompletionRecord {
+        ctx: pending.ctx,
+        queue_wait_us: pending.queue_wait_us,
+        setup_us: phases.setup_us,
+        setup_cached: phases.setup_cached,
+        fuse: phases.fuse,
+        exec_us: phases.exec_us,
+        split_us: phases.split_us,
+        total_us: latency_us,
+        status,
+    };
+    record.emit_probe(ft_probe::now_us());
+    inner.trace.push(record);
     let mut slot = pending.ticket.slot.lock();
     *slot = Some(result);
     pending.ticket.done.notify_all();
@@ -1124,17 +1272,77 @@ mod tests {
         assert_eq!(rt.run(&p, inputs.clone()).unwrap(), reference(&p, &inputs));
     }
 
+    /// The reservoir is gone: every completed request lands in the
+    /// latency histogram, so percentiles are computed over the full
+    /// history, and the queue-depth gauge reads a point-in-time value
+    /// that returns to zero once the queue drains.
     #[test]
-    fn latency_reservoir_is_bounded_with_exact_mean() {
-        let mut r = Reservoir::new(64);
-        for i in 0..10_000 {
-            r.push(i as f64);
+    fn stats_count_every_request_and_gauge_reads_now() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            batching: false,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(11);
+        for _ in 0..6 {
+            rt.run(&p, inputs.clone()).unwrap();
         }
-        assert_eq!(r.values.len(), 64, "reservoir must stay bounded");
-        assert!((r.mean() - 4999.5).abs() < 1e-9, "mean must stay exact");
-        let s = r.sorted();
-        assert_eq!(s.len(), 64);
-        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let stats = rt.stats();
+        assert_eq!(stats.completed, 6);
+        assert!(stats.latency_p50_us > 0.0);
+        assert!(stats.latency_p50_us <= stats.latency_p95_us);
+        assert!(stats.latency_p95_us <= stats.latency_p99_us);
+        let snap = rt.metrics().snapshot();
+        assert_eq!(
+            snap.hists["serve.latency_us"].count, 6,
+            "every request must be counted, not sampled"
+        );
+        assert_eq!(snap.hists["serve.queue_wait_us"].count, 6);
+        assert_eq!(
+            snap.gauges["serve.queue_depth"], 0,
+            "drained queue must read depth 0 (gauge, not cumulative sum)"
+        );
+        assert_eq!(snap.counters["serve.submitted"], 6);
+    }
+
+    /// Every fulfilled request leaves one attributable completion record
+    /// carrying the identity tuple minted at admission.
+    #[test]
+    fn completion_records_attribute_every_request() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let (p, inputs) = rnn_case(13);
+        let sig = program_signature(&p).to_string();
+        let tickets: Vec<_> = (0..4)
+            .map(|_| {
+                rt.submit_wait(Request::new(p.clone(), inputs.clone()).with_session(77))
+                    .unwrap()
+            })
+            .collect();
+        let mut ids: Vec<u64> = tickets.iter().map(|t| t.request_id()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let records = rt.take_completions();
+        assert_eq!(records.len(), 4, "one record per request");
+        let mut rec_ids: Vec<u64> = records.iter().map(|r| r.ctx.request_id).collect();
+        ids.sort_unstable();
+        rec_ids.sort_unstable();
+        assert_eq!(rec_ids, ids, "records join tickets on request id");
+        for r in &records {
+            assert_eq!(r.ctx.plan_sig, sig);
+            assert_eq!(r.ctx.session_id, Some(77));
+            assert_eq!(r.status, ft_obs::CompletionStatus::Ok);
+            assert!(r.queue_wait_us >= 0.0);
+            assert!(r.total_us >= r.exec_us);
+            if let FuseDecision::Fused { size } = r.fuse {
+                assert!(r.ctx.batch_id.is_some(), "fused record must carry batch id");
+                assert!(size >= 2);
+            }
+        }
+        assert!(rt.take_completions().is_empty(), "drain is destructive");
     }
 
     #[test]
