@@ -239,7 +239,42 @@ fn fmt_opcode(op: &OpCode) -> String {
         OpCode::Slice { axis, start, end } => format!("tile_slice<{axis},{start},{end}>"),
         OpCode::Transpose => "tile_transpose".into(),
         OpCode::Id => "tile_copy".into(),
+        OpCode::Silu => "tile_silu".into(),
+        OpCode::FusedMatMul { transb, epi } => {
+            let base = if *transb {
+                "tile_gemm_tn_epi"
+            } else {
+                "tile_gemm_epi"
+            };
+            format!("{base}<{}>", fmt_epi(epi))
+        }
+        OpCode::EwChain(ops) => format!("tile_ewchain<{}>", fmt_epi(ops)),
     }
+}
+
+fn fmt_epi(ops: &[ft_simd::EpiOp]) -> String {
+    use ft_simd::EpiOp;
+    let names: Vec<String> = ops
+        .iter()
+        .map(|op| match op {
+            EpiOp::Add => "add".into(),
+            EpiOp::Sub => "sub".into(),
+            EpiOp::RSub => "rsub".into(),
+            EpiOp::Mul => "mul".into(),
+            EpiOp::Div => "div".into(),
+            EpiOp::RDiv => "rdiv".into(),
+            EpiOp::Max => "max".into(),
+            EpiOp::Scale(c) => format!("scale:{c}"),
+            EpiOp::AddScalar(c) => format!("addscalar:{c}"),
+            EpiOp::Neg => "neg".into(),
+            EpiOp::Relu => "relu".into(),
+            EpiOp::Exp => "exp".into(),
+            EpiOp::Sigmoid => "sigmoid".into(),
+            EpiOp::Tanh => "tanh".into(),
+            EpiOp::Silu => "silu".into(),
+        })
+        .collect();
+    names.join(",")
 }
 
 fn fmt_map(map: &ft_affine::AffineMap) -> String {
@@ -288,8 +323,8 @@ mod tests {
         assert!(code.contains("wavefront loop"));
         assert!(code.contains("region0"));
         assert!(code.contains("region3"));
-        assert!(code.contains("tile_gemm"));
-        assert!(code.contains("tile_add"));
+        // Fusion folds the `+ s` into the GEMM's register-tile epilogue.
+        assert!(code.contains("tile_gemm_epi<add>") || code.contains("tile_gemm_tn_epi<add>"));
         assert!(code.contains("load_tile"));
         assert!(code.contains("store_tile"));
         // The shifted self-read appears with its -1 offset.

@@ -1122,6 +1122,27 @@ fn arg_slice<'a>(
     }
 }
 
+/// Upper bound on fused-epilogue operands per statement. Mirrors the
+/// fusion pass's `MAX_EPI_OPS` cap (each epilogue op consumes at most one
+/// extra operand), so the per-point hot path can gather operand slices
+/// into a fixed array instead of heap-allocating a `Vec` per statement.
+const MAX_EPI_EXTRAS: usize = 8;
+
+/// Resolves the epilogue operand slices into `buf` and returns the
+/// populated prefix. Plans never exceed the cap (the fusion pass enforces
+/// it); a malformed plan panics on the slice bound like every other
+/// executor-side shape violation.
+fn gather_extras<'a, 'b>(
+    args: &[ArgSrc],
+    buf: &'b mut [&'a [f32]; MAX_EPI_EXTRAS],
+    get: &impl Fn(&ArgSrc) -> &'a [f32],
+) -> &'b [&'a [f32]] {
+    for (slot, a) in buf.iter_mut().zip(args) {
+        *slot = get(a);
+    }
+    &buf[..args.len()]
+}
+
 /// One UDF statement over borrowed slices, dispatching to the bitwise
 /// `ft_tensor::slices` kernels. Shapes were validated at plan time.
 fn eval_stmt<'a>(st: &StmtPlan, get: impl Fn(&ArgSrc) -> &'a [f32], out: &mut [f32]) {
@@ -1137,11 +1158,11 @@ fn eval_stmt<'a>(st: &StmtPlan, get: impl Fn(&ArgSrc) -> &'a [f32], out: &mut [f
             let n = st.arg_dims[1][0];
             slices::matmul_transb(get(&st.args[0]), get(&st.args[1]), m, k, n, out);
         }
-        OpCode::Add => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x + y),
-        OpCode::Sub => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x - y),
-        OpCode::Mul => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x * y),
-        OpCode::Div => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, |x, y| x / y),
-        OpCode::Max => slices::zip_into(get(&st.args[0]), get(&st.args[1]), out, f32::max),
+        OpCode::Add => slices::add_into(get(&st.args[0]), get(&st.args[1]), out),
+        OpCode::Sub => slices::sub_into(get(&st.args[0]), get(&st.args[1]), out),
+        OpCode::Mul => slices::mul_into(get(&st.args[0]), get(&st.args[1]), out),
+        OpCode::Div => slices::div_into(get(&st.args[0]), get(&st.args[1]), out),
+        OpCode::Max => slices::max_into(get(&st.args[0]), get(&st.args[1]), out),
         OpCode::AddColBc => slices::col_broadcast(
             get(&st.args[0]),
             get(&st.args[1]),
@@ -1174,19 +1195,13 @@ fn eval_stmt<'a>(st: &StmtPlan, get: impl Fn(&ArgSrc) -> &'a [f32], out: &mut [f
             out,
             |x, y| x / y,
         ),
-        OpCode::Scale(c) => {
-            let c = *c;
-            slices::map_into(get(&st.args[0]), out, |x| x * c);
-        }
-        OpCode::AddScalar(c) => {
-            let c = *c;
-            slices::map_into(get(&st.args[0]), out, |x| x + c);
-        }
-        OpCode::Tanh => slices::map_into(get(&st.args[0]), out, f32::tanh),
-        OpCode::Sigmoid => slices::map_into(get(&st.args[0]), out, slices::sigmoid_scalar),
-        OpCode::Exp => slices::map_into(get(&st.args[0]), out, f32::exp),
-        OpCode::Neg => slices::map_into(get(&st.args[0]), out, |x| -x),
-        OpCode::Relu => slices::map_into(get(&st.args[0]), out, |x| x.max(0.0)),
+        OpCode::Scale(c) => slices::scale_into(get(&st.args[0]), *c, out),
+        OpCode::AddScalar(c) => slices::add_scalar_into(get(&st.args[0]), *c, out),
+        OpCode::Tanh => slices::tanh_into(get(&st.args[0]), out),
+        OpCode::Sigmoid => slices::sigmoid_into(get(&st.args[0]), out),
+        OpCode::Exp => slices::exp_into(get(&st.args[0]), out),
+        OpCode::Neg => slices::neg_into(get(&st.args[0]), out),
+        OpCode::Relu => slices::relu_into(get(&st.args[0]), out),
         OpCode::RowMax => slices::row_reduce(
             get(&st.args[0]),
             d0[0],
@@ -1219,6 +1234,47 @@ fn eval_stmt<'a>(st: &StmtPlan, get: impl Fn(&ArgSrc) -> &'a [f32], out: &mut [f
         }
         OpCode::Transpose => slices::transpose(get(&st.args[0]), d0[0], d0[1], out),
         OpCode::Id => out.copy_from_slice(get(&st.args[0])),
+        OpCode::Silu => slices::silu_into(get(&st.args[0]), out),
+        OpCode::FusedMatMul { transb, epi } => {
+            let (m, k) = (d0[0], d0[1]);
+            let n = if *transb {
+                st.arg_dims[1][0]
+            } else {
+                st.arg_dims[1][1]
+            };
+            // Fixed-size extras buffer: this is the per-point hot path, so
+            // no heap allocation (the fusion pass caps epilogue length).
+            let mut buf: [&[f32]; MAX_EPI_EXTRAS] = [&[]; MAX_EPI_EXTRAS];
+            let extras = gather_extras(&st.args[2..], &mut buf, &get);
+            if *transb {
+                slices::matmul_transb_epi(
+                    get(&st.args[0]),
+                    get(&st.args[1]),
+                    m,
+                    k,
+                    n,
+                    out,
+                    epi,
+                    extras,
+                );
+            } else {
+                slices::matmul_epi(
+                    get(&st.args[0]),
+                    get(&st.args[1]),
+                    m,
+                    k,
+                    n,
+                    out,
+                    epi,
+                    extras,
+                );
+            }
+        }
+        OpCode::EwChain(ops) => {
+            let mut buf: [&[f32]; MAX_EPI_EXTRAS] = [&[]; MAX_EPI_EXTRAS];
+            let extras = gather_extras(&st.args[1..], &mut buf, &get);
+            slices::ew_chain(get(&st.args[0]), out, ops, extras);
+        }
     }
 }
 

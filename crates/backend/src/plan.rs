@@ -243,6 +243,13 @@ impl GroupPlan {
                 }
             }
             max_tmps_len = max_tmps_len.max(udf.tmps_len);
+            // Scratch accounting for the fusion pass: `tmps_len` covers
+            // every statement including the outputs themselves, so a fully
+            // fused UDF has scratch == output elements and the difference
+            // is exactly the intermediates fusion failed to absorb.
+            let out_elems: usize = udf.outputs.iter().map(|(_, n)| n).sum();
+            ft_probe::counter("exec.udf_scratch_elems", udf.tmps_len as f64);
+            ft_probe::counter("exec.udf_output_elems", out_elems as f64);
             members.push(MemberPlan {
                 name: block.name.clone(),
                 domain: block.domain.clone(),

@@ -101,6 +101,51 @@ fn extract(baseline: &Value, current: &Value) -> Result<(Vec<MetricCmp>, Vec<Str
                     None => skipped.push(name),
                 }
             }
+            // Per-kernel SIMD speedup from the roofline sweep: the ratio of
+            // the native-mode rate over the scalar rate for the same kernel.
+            // Same-machine ratio, so it divides out absolute host speed; a
+            // scalar-only host produces no native rows and the kernels are
+            // skipped rather than failed.
+            let simd = |v: &Value| -> Vec<(String, f64)> {
+                let rows = v["roofline"].as_array().cloned().unwrap_or_default();
+                let rate = |kernel: &str, want_scalar: bool| -> Option<f64> {
+                    rows.iter()
+                        .find(|r| {
+                            r["kernel"].as_str() == Some(kernel)
+                                && (r["mode"].as_str() == Some("scalar")) == want_scalar
+                        })
+                        .and_then(|r| r["rate"].as_f64())
+                        .filter(|x| *x > 0.0)
+                };
+                let mut seen = Vec::new();
+                let mut out = Vec::new();
+                for r in &rows {
+                    let Some(kernel) = r["kernel"].as_str() else {
+                        continue;
+                    };
+                    if seen.iter().any(|k| k == kernel) {
+                        continue;
+                    }
+                    seen.push(kernel.to_string());
+                    if let (Some(s), Some(n)) = (rate(kernel, true), rate(kernel, false)) {
+                        out.push((kernel.to_string(), n / s));
+                    }
+                }
+                out
+            };
+            let cur_simd = simd(current);
+            for (kernel, base_ratio) in simd(baseline) {
+                let name = format!("exec.simd_speedup[{kernel}]");
+                match cur_simd.iter().find(|(k, _)| *k == kernel) {
+                    Some(&(_, cur_ratio)) => metrics.push(MetricCmp {
+                        name,
+                        baseline: base_ratio,
+                        current: cur_ratio,
+                        log_scale: false,
+                    }),
+                    None => skipped.push(name),
+                }
+            }
         }
         "serve" => {
             let pairs = [
@@ -185,13 +230,45 @@ fn self_test() -> bool {
     let exec_base = parse(
         r#"{"bench": "exec", "exec": [
             {"workload": "stacked_rnn d=8 l=64", "threads": 8, "speedup": 3.8},
-            {"workload": "attention tiny", "threads": 4, "speedup": 2.5}]}"#,
+            {"workload": "attention tiny", "threads": 4, "speedup": 2.5}],
+            "roofline": [
+            {"kernel": "gemm 256", "mode": "scalar", "rate": 4.0},
+            {"kernel": "gemm 256", "mode": "avx2", "rate": 6.0},
+            {"kernel": "tanh", "mode": "scalar", "rate": 1.0},
+            {"kernel": "tanh", "mode": "avx2", "rate": 10.0}]}"#,
     );
     // ~21% regression on one row: must be detected at threshold 0.15.
     let exec_regressed = parse(
         r#"{"bench": "exec", "exec": [
             {"workload": "stacked_rnn d=8 l=64", "threads": 8, "speedup": 3.0},
-            {"workload": "attention tiny", "threads": 4, "speedup": 2.5}]}"#,
+            {"workload": "attention tiny", "threads": 4, "speedup": 2.5}],
+            "roofline": [
+            {"kernel": "gemm 256", "mode": "scalar", "rate": 4.0},
+            {"kernel": "gemm 256", "mode": "avx2", "rate": 6.0},
+            {"kernel": "tanh", "mode": "scalar", "rate": 1.0},
+            {"kernel": "tanh", "mode": "avx2", "rate": 10.0}]}"#,
+    );
+    // Kernel-level SIMD collapse (10x -> 5x tanh) with the end-to-end rows
+    // unchanged: the per-kernel gate must catch what the aggregate hides.
+    let exec_kernel_regressed = parse(
+        r#"{"bench": "exec", "exec": [
+            {"workload": "stacked_rnn d=8 l=64", "threads": 8, "speedup": 3.8},
+            {"workload": "attention tiny", "threads": 4, "speedup": 2.5}],
+            "roofline": [
+            {"kernel": "gemm 256", "mode": "scalar", "rate": 4.0},
+            {"kernel": "gemm 256", "mode": "avx2", "rate": 6.0},
+            {"kernel": "tanh", "mode": "scalar", "rate": 1.0},
+            {"kernel": "tanh", "mode": "avx2", "rate": 5.0}]}"#,
+    );
+    // Scalar-only host: no native roofline rows. The kernels must be
+    // skipped (host difference, not a regression).
+    let exec_scalar_host = parse(
+        r#"{"bench": "exec", "exec": [
+            {"workload": "stacked_rnn d=8 l=64", "threads": 8, "speedup": 3.8},
+            {"workload": "attention tiny", "threads": 4, "speedup": 2.5}],
+            "roofline": [
+            {"kernel": "gemm 256", "mode": "scalar", "rate": 4.0},
+            {"kernel": "tanh", "mode": "scalar", "rate": 1.0}]}"#,
     );
     let serve_base = parse(
         r#"{"bench": "serve", "setup": {"speedup": 300.0},
@@ -238,6 +315,12 @@ fn self_test() -> bool {
     println!("exec: 21% speedup regression injected");
     let r = compare(&exec_base, &exec_regressed, 0.15);
     check("exec 21% regression detected", true, r);
+    println!("exec: per-kernel SIMD speedup collapse injected");
+    let r = compare(&exec_base, &exec_kernel_regressed, 0.15);
+    check("exec kernel simd collapse detected", true, r);
+    println!("exec: scalar-only host (no native roofline rows)");
+    let r = compare(&exec_base, &exec_scalar_host, 0.15);
+    check("exec scalar host kernels skipped", false, r);
     println!("serve: unchanged report");
     let r = compare(&serve_base, &serve_base, 0.15);
     check("serve unchanged passes", false, r);

@@ -46,6 +46,16 @@ struct GemmRow {
     ms: f64,
 }
 
+/// One roofline measurement: a kernel pinned to a SIMD mode, with its
+/// achieved rate in GFLOP/s (compute kernels) or GB/s (streaming kernels).
+struct RooflineRow {
+    kernel: String,
+    mode: String,
+    ms: f64,
+    rate: f64,
+    unit: &'static str,
+}
+
 struct Workload {
     name: String,
     compiled: CompiledProgram,
@@ -171,6 +181,94 @@ fn bench_gemm(reps: usize, rows: &mut Vec<GemmRow>) {
     });
 }
 
+/// Per-kernel roofline: times each ft-simd-routed kernel under scalar and
+/// the detected native mode, reporting GFLOP/s for the GEMMs and GB/s for
+/// the streaming elementwise/transcendental kernels. The scalar rows are
+/// the baseline the SIMD speedup is read against.
+fn bench_roofline(reps: usize, rows: &mut Vec<RooflineRow>) {
+    use ft_tensor::slices;
+
+    let native = ft_simd::mode();
+    let modes: &[ft_simd::Mode] = if native == ft_simd::Mode::Scalar {
+        &[ft_simd::Mode::Scalar]
+    } else {
+        &[ft_simd::Mode::Scalar, native]
+    };
+
+    let (m, k, n) = (256usize, 256, 256);
+    let a = Tensor::randn(&[m, k], 21).to_vec();
+    let b = Tensor::randn(&[k, n], 22).to_vec();
+    let bias = Tensor::randn(&[m, n], 23).to_vec();
+    let mut c = vec![0.0f32; m * n];
+    let gemm_flops = 2.0 * (m * k * n) as f64;
+
+    let len = 1usize << 20;
+    let x = Tensor::randn(&[len], 24).to_vec();
+    let y = Tensor::randn(&[len], 25).to_vec();
+    let mut z = vec![0.0f32; len];
+
+    for &mode in modes {
+        ft_simd::set_mode(mode);
+        let mode_name = format!("{mode:?}").to_lowercase();
+        let mut push = |kernel: &str, ms: f64, work: f64, unit: &'static str| {
+            let rate = work / (ms * 1e6);
+            eprintln!("roofline {kernel:18} [{mode_name:6}]  {ms:8.3} ms  {rate:8.2} {unit}");
+            rows.push(RooflineRow {
+                kernel: kernel.into(),
+                mode: mode_name.clone(),
+                ms,
+                rate,
+                unit,
+            });
+        };
+
+        let ms = time_ms(reps, || slices::matmul(&a, &b, m, k, n, &mut c));
+        push("gemm", ms, gemm_flops, "GFLOP/s");
+        let ms = time_ms(reps, || {
+            slices::matmul_epi(
+                &a,
+                &b,
+                m,
+                k,
+                n,
+                &mut c,
+                &[ft_simd::EpiOp::Add, ft_simd::EpiOp::Tanh],
+                &[&bias],
+            )
+        });
+        push("gemm_epi<add,tanh>", ms, gemm_flops, "GFLOP/s");
+
+        // Streaming kernels: bytes moved = (reads + writes) * 4.
+        let ms = time_ms(reps, || slices::add_into(&x, &y, &mut z));
+        push("add", ms, (3 * 4 * len) as f64, "GB/s");
+        let ms = time_ms(reps, || slices::exp_into(&x, &mut z));
+        push("exp", ms, (2 * 4 * len) as f64, "GB/s");
+        let ms = time_ms(reps, || slices::sigmoid_into(&x, &mut z));
+        push("sigmoid", ms, (2 * 4 * len) as f64, "GB/s");
+        let ms = time_ms(reps, || slices::tanh_into(&x, &mut z));
+        push("tanh", ms, (2 * 4 * len) as f64, "GB/s");
+        let ms = time_ms(reps, || slices::softmax_rows(&x, len / 1024, 1024, &mut z));
+        push("softmax_rows", ms, (2 * 4 * len) as f64, "GB/s");
+    }
+    ft_simd::set_mode(native);
+
+    // The headline per-kernel SIMD speedup, scalar -> native.
+    if modes.len() == 2 {
+        let half = rows.len() / 2;
+        for i in 0..half {
+            let (s, v) = (&rows[i], &rows[half + i]);
+            if s.kernel == v.kernel {
+                eprintln!(
+                    "roofline {:18} {} speedup {:.2}x over scalar",
+                    s.kernel,
+                    v.mode,
+                    s.ms / v.ms
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -194,6 +292,8 @@ fn main() {
     }
     let mut gemm_rows = Vec::new();
     bench_gemm(reps, &mut gemm_rows);
+    let mut roofline_rows = Vec::new();
+    bench_roofline(reps, &mut roofline_rows);
 
     let exec: Vec<Value> = exec_rows
         .iter()
@@ -222,15 +322,29 @@ fn main() {
             })
         })
         .collect();
+    let roofline: Vec<Value> = roofline_rows
+        .iter()
+        .map(|r| {
+            json!({
+                "kernel": r.kernel.as_str(),
+                "mode": r.mode.as_str(),
+                "ms": r.ms,
+                "rate": r.rate,
+                "unit": r.unit,
+            })
+        })
+        .collect();
     let report = json!({
         "bench": "exec",
         "smoke": smoke,
         "reps": reps as u64,
+        "simd_mode": format!("{:?}", ft_simd::mode()).to_lowercase(),
         "host_parallelism": std::thread::available_parallelism()
             .map(|n| n.get() as u64)
             .unwrap_or(1),
         "exec": exec,
         "gemm": gemm,
+        "roofline": roofline,
     });
     let rendered = serde_json::to_string_pretty(&report).unwrap();
     if let Some(path) = out {

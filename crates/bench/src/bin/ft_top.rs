@@ -218,6 +218,12 @@ fn render(now: &View, prev: &View, dt: f64, source: &str, frame: String) {
         now.counter("passes.plan_cache_misses"),
         now.counter("exec.leaf_borrows"),
     );
+    println!(
+        "  fusion     applied {:<5} rejected {:<4} tmp elems saved {}",
+        now.counter("passes.fusion_applied"),
+        now.counter("passes.fusion_rejected"),
+        now.counter("passes.fusion_tmp_elems_saved"),
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 }

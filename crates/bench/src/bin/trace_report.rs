@@ -107,6 +107,13 @@ fn main() {
         report.counters.len(),
         report.spans.len()
     );
+    let fusion = |k: &str| report.counters.get(k).copied().unwrap_or(0.0);
+    eprintln!(
+        "fusion: applied {} rejected {} tmp elems saved {}",
+        fusion("passes.fusion_applied"),
+        fusion("passes.fusion_rejected"),
+        fusion("passes.fusion_tmp_elems_saved"),
+    );
 }
 
 /// Compiles, executes, and strategy-sweeps one workload under the probe.

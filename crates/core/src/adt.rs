@@ -73,12 +73,10 @@ impl FractalTensor {
         }
         let extent = t.dims()[0];
         if prog_depth == 1 {
+            // Leaves stay zero-copy views into the flat buffer (`Tensor`
+            // is copy-on-write, so later mutation cannot alias).
             let leaves = (0..extent)
-                .map(|i| {
-                    t.select(0, i)
-                        .map(|s| s.to_contiguous())
-                        .map_err(|e| CoreError::Adt(e.to_string()))
-                })
+                .map(|i| t.select(0, i).map_err(|e| CoreError::Adt(e.to_string())))
                 .collect::<Result<Vec<_>>>()?;
             FractalTensor::from_tensors(leaves)
         } else {

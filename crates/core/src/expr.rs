@@ -6,6 +6,7 @@
 //! To make that lowering possible the UDF is data, not an opaque closure: a
 //! short SSA sequence of primitive tensor statements.
 
+use ft_simd::EpiOp;
 use ft_tensor::{Shape, Tensor};
 
 use crate::program::CoreError;
@@ -84,6 +85,23 @@ pub enum OpCode {
     Transpose,
     /// Identity / copy.
     Id,
+    /// Elementwise SiLU `x * sigmoid(x)` — the peephole form of
+    /// `Mul(x, Sigmoid(x))` the fusion pass produces.
+    Silu,
+    /// Matrix product with a fused elementwise epilogue applied while the
+    /// output tile is hot in registers. Operands: `a`, `b`, then one extra
+    /// `[m, n]` operand per binary [`EpiOp`], in epilogue order. Bitwise
+    /// identical to running the unfused sequence in the same SIMD mode.
+    FusedMatMul {
+        /// Whether the rhs is stored transposed (`a @ b.T`, `b: [n, k]`).
+        transb: bool,
+        /// Epilogue micro-ops, applied in order.
+        epi: Vec<EpiOp>,
+    },
+    /// A collapsed elementwise chain applied to the first operand, with
+    /// one extra equally-shaped operand per binary [`EpiOp`]. Bitwise
+    /// identical to materializing every intermediate in the same mode.
+    EwChain(Vec<EpiOp>),
 }
 
 impl OpCode {
@@ -91,7 +109,10 @@ impl OpCode {
     /// (§2: "a compiler needs to precisely identify both memory-intensive
     /// and computation-intensive operations and jointly fuse [them]").
     pub fn is_compute_intensive(&self) -> bool {
-        matches!(self, OpCode::MatMul | OpCode::MatMulT)
+        matches!(
+            self,
+            OpCode::MatMul | OpCode::MatMulT | OpCode::FusedMatMul { .. }
+        )
     }
 
     /// Number of operands this opcode expects (`None` = variadic).
@@ -109,6 +130,8 @@ impl OpCode {
             | OpCode::MulColBc
             | OpCode::DivColBc => Some(2),
             OpCode::Concat(_) => None,
+            OpCode::FusedMatMul { epi, .. } => Some(2 + ft_simd::operand_count(epi)),
+            OpCode::EwChain(ops) => Some(1 + ft_simd::operand_count(ops)),
             _ => Some(1),
         }
     }
@@ -263,6 +286,19 @@ impl Udf {
                     let a = operand_shape(&s.args[0]);
                     4 * a.numel() as u64
                 }
+                OpCode::FusedMatMul { transb, epi } => {
+                    let a = operand_shape(&s.args[0]);
+                    let b = operand_shape(&s.args[1]);
+                    let (m, k) = (a.dims()[0] as u64, a.dims()[1] as u64);
+                    let n = if *transb { b.dims()[0] } else { b.dims()[1] } as u64;
+                    let epi_flops: u64 = epi.iter().map(|o| o.flops()).sum();
+                    2 * m * k * n + epi_flops * m * n
+                }
+                OpCode::EwChain(ops) => {
+                    let a = operand_shape(&s.args[0]);
+                    let per: u64 = ops.iter().map(|o| o.flops()).sum();
+                    per * a.numel() as u64
+                }
                 op => {
                     let a = operand_shape(&s.args[0]);
                     match op {
@@ -320,7 +356,45 @@ fn eval_op(op: &OpCode, args: &[Tensor]) -> Result<Tensor> {
         }
         OpCode::Transpose => a.t().map_err(terr)?.to_contiguous(),
         OpCode::Id => a.clone(),
+        OpCode::Silu => a.silu(),
+        OpCode::FusedMatMul { transb, epi } => {
+            let base = if *transb {
+                a.matmul_transb(&args[1]).map_err(terr)?
+            } else {
+                a.matmul(&args[1]).map_err(terr)?
+            };
+            apply_epi_tensor(&base, epi, &args[2..])?
+        }
+        OpCode::EwChain(ops) => apply_epi_tensor(a, ops, &args[1..])?,
     })
+}
+
+/// Runs an [`EpiOp`] chain on a materialized tensor — the interpreter-side
+/// counterpart of the fused executor kernels. Same mode, same kernels, so
+/// the result is bitwise identical to the epilogue applied in the GEMM
+/// register tile (the fusion legality contract, see `ft_simd`).
+fn apply_epi_tensor(base: &Tensor, ops: &[EpiOp], extra_args: &[Tensor]) -> Result<Tensor> {
+    if ft_simd::operand_count(ops) != extra_args.len() {
+        return Err(CoreError::Udf(format!(
+            "epilogue expects {} extra operand(s), got {}",
+            ft_simd::operand_count(ops),
+            extra_args.len()
+        )));
+    }
+    for e in extra_args {
+        if e.dims() != base.dims() {
+            return Err(CoreError::Udf(format!(
+                "epilogue operand shape {:?} != result shape {:?}",
+                e.dims(),
+                base.dims()
+            )));
+        }
+    }
+    let mut data = base.to_vec();
+    let extras: Vec<Vec<f32>> = extra_args.iter().map(|t| t.to_vec()).collect();
+    let views: Vec<&[f32]> = extras.iter().map(|v| v.as_slice()).collect();
+    ft_simd::apply_epi(ft_simd::mode(), &mut data, ops, &views);
+    Tensor::from_vec(data, base.dims()).map_err(terr)
 }
 
 fn col_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
@@ -433,6 +507,48 @@ fn infer_op_shape(op: &OpCode, args: &[Shape]) -> std::result::Result<Shape, Str
                 return Err(format!("transpose on {d:?}"));
             }
             Shape::new(&[d[1], d[0]])
+        }
+        OpCode::FusedMatMul { transb, epi } => {
+            let b = args[1].dims();
+            let out = if *transb {
+                if d.len() != 2 || b.len() != 2 || d[1] != b[1] {
+                    return Err(format!("fused matmul_transb {d:?} @ {b:?}"));
+                }
+                [d[0], b[0]]
+            } else {
+                if d.len() != 2 || b.len() != 2 || d[1] != b[0] {
+                    return Err(format!("fused matmul {d:?} @ {b:?}"));
+                }
+                [d[0], b[1]]
+            };
+            if args.len() != 2 + ft_simd::operand_count(epi) {
+                return Err(format!(
+                    "fused matmul epilogue expects {} extra operand(s), got {}",
+                    ft_simd::operand_count(epi),
+                    args.len() - 2
+                ));
+            }
+            for e in &args[2..] {
+                if e.dims() != out {
+                    return Err(format!("epilogue operand {:?} != result {out:?}", e.dims()));
+                }
+            }
+            Shape::new(&out)
+        }
+        OpCode::EwChain(ops) => {
+            if args.len() != 1 + ft_simd::operand_count(ops) {
+                return Err(format!(
+                    "elementwise chain expects {} extra operand(s), got {}",
+                    ft_simd::operand_count(ops),
+                    args.len() - 1
+                ));
+            }
+            for e in &args[1..] {
+                if e.dims() != d {
+                    return Err(format!("chain operand {:?} != input {d:?}", e.dims()));
+                }
+            }
+            a.clone()
         }
         _ => a.clone(),
     })
@@ -550,9 +666,19 @@ impl UdfBuilder {
         self.push(OpCode::Sigmoid, vec![a])
     }
 
+    /// SiLU (`x * sigmoid(x)`).
+    pub fn silu(&mut self, a: Operand) -> Operand {
+        self.push(OpCode::Silu, vec![a])
+    }
+
     /// `exp`.
     pub fn exp(&mut self, a: Operand) -> Operand {
         self.push(OpCode::Exp, vec![a])
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Operand) -> Operand {
+        self.push(OpCode::Relu, vec![a])
     }
 
     /// Row-wise max (`[m,n] -> [m,1]`).

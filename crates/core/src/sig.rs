@@ -256,6 +256,29 @@ fn hash_opcode(h: &mut SigBytes, op: &OpCode) {
         }
         OpCode::Transpose => h.tag(24),
         OpCode::Id => h.tag(25),
+        OpCode::Silu => h.tag(26),
+        OpCode::FusedMatMul { transb, epi } => {
+            h.tag(27);
+            h.tag(u8::from(*transb));
+            h.usize(epi.len());
+            for op in epi {
+                hash_epiop(h, *op);
+            }
+        }
+        OpCode::EwChain(ops) => {
+            h.tag(28);
+            h.usize(ops.len());
+            for op in ops {
+                hash_epiop(h, *op);
+            }
+        }
+    }
+}
+
+fn hash_epiop(h: &mut SigBytes, op: ft_simd::EpiOp) {
+    h.tag(op.tag());
+    if let Some(c) = op.payload() {
+        h.f32_bits(c);
     }
 }
 

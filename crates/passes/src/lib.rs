@@ -13,6 +13,8 @@
 //!   (copy elimination by composing access matrices),
 //! * [`depend`] — dependence distance vectors per Table 4, derived exactly
 //!   from each block's self-read access maps,
+//! * [`fusion`] — UDF-level kernel fusion: SiLU peephole, GEMM epilogue
+//!   absorption into the register tile, elementwise-chain collapse,
 //! * [`reorder`] — the unimodular reordering framework: a Lamport-hyperplane
 //!   first row that carries every dependence, null-space reuse analysis to
 //!   interchange data-reuse dimensions inward, and Fourier–Motzkin
@@ -26,6 +28,7 @@ pub mod cache;
 pub mod coarsen;
 pub mod compose;
 pub mod depend;
+pub mod fusion;
 pub mod layout;
 pub mod lower;
 pub mod pipeline;
@@ -35,6 +38,7 @@ pub use cache::PlanCache;
 pub use coarsen::{coarsen, CoarsePlan, Group, MergeKind};
 pub use compose::compose_ops;
 pub use depend::distance_vectors;
+pub use fusion::{fuse_graph, fuse_udf, FusionStats};
 pub use layout::{plan_memory, BufferLayout, MemoryPlan, Placement};
 pub use pipeline::{compile, CompiledProgram, ScheduledGroup};
 pub use reorder::{reorder_block, Reordering};

@@ -54,6 +54,15 @@ pub fn stmt_structure(stmt: &Stmt, arg_shapes: &[Shape], out_shape: &Shape) -> S
                 extents.push(k);
             }
         }
+        OpCode::FusedMatMul { .. } => {
+            // Same contraction structure as the bare GEMM; the epilogue is
+            // a pure map over the output and adds no iteration dims.
+            let k = arg_shapes[0].dims()[1];
+            if k > 1 {
+                ops.push(OpKind::Reduce);
+                extents.push(k);
+            }
+        }
         OpCode::RowMax | OpCode::RowSum => {
             let n = arg_shapes[0].dims()[1];
             if n > 1 {

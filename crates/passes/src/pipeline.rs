@@ -99,7 +99,7 @@ pub fn compile(program: &Program) -> Result<CompiledProgram> {
         parsed
     };
 
-    let (etdg, plan) = {
+    let (mut etdg, plan) = {
         let mut s = ft_probe::span("compile", "pass.coarsen");
         let (blocks_before, edges_before) = (parsed.blocks.len(), graph_edges(&parsed));
         let (etdg, plan) = coarsen(&parsed)?;
@@ -130,6 +130,29 @@ pub fn compile(program: &Program) -> Result<CompiledProgram> {
         }
         (etdg, plan)
     };
+
+    {
+        // UDF-level kernel fusion: SiLU peephole, GEMM epilogue
+        // absorption, elementwise-chain collapse. Rewrites block UDFs in
+        // place; block reads/writes and the group structure are untouched,
+        // so reordering and layout below see the same graph shape. The
+        // backend's scratch planner allocates nothing for fused-away
+        // intermediates — their statements no longer exist.
+        let mut s = ft_probe::span("compile", "pass.fusion");
+        let fs = crate::fusion::fuse_graph(&mut etdg);
+        if s.is_recording() {
+            s.field("applied", fs.applied);
+            s.field("rejected", fs.rejected);
+            s.field("tmp_elems_saved", fs.tmp_elems_saved);
+        }
+        ft_probe::counter("passes.fusion_applied", fs.applied as f64);
+        ft_probe::counter("passes.fusion_rejected", fs.rejected as f64);
+        ft_probe::counter("passes.fusion_tmp_elems_saved", fs.tmp_elems_saved as f64);
+        let reg = ft_obs::Registry::global();
+        reg.counter_add("passes.fusion_applied", fs.applied as u64);
+        reg.counter_add("passes.fusion_rejected", fs.rejected as u64);
+        reg.counter_add("passes.fusion_tmp_elems_saved", fs.tmp_elems_saved as u64);
+    }
 
     let mut groups = Vec::with_capacity(plan.groups.len());
     for (gi, g) in plan.groups.iter().enumerate() {

@@ -1,0 +1,181 @@
+//! [`OwnedBlocks`]: a claim-once partition of one output buffer into
+//! disjoint mutable blocks, so pool workers write results **in place** —
+//! no per-block staging vector, no lock, no second copy. This is the
+//! primitive behind the multi-threaded GEMM's row-panel fan-out.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A zero-initialized `f32` buffer split into fixed-size blocks that
+/// workers claim exactly once each and write through without
+/// synchronization.
+///
+/// Safety model: a block index can be claimed by at most one thread
+/// (atomic swap), claims hand out non-overlapping windows, and
+/// [`OwnedBlocks::take`] refuses to release the buffer while any claim
+/// guard is alive or after the buffer was already taken.
+pub struct OwnedBlocks {
+    data: UnsafeCell<Vec<f32>>,
+    /// Base pointer captured at construction; the `Vec` is never resized,
+    /// so it stays valid until `take` steals the buffer.
+    ptr: *mut f32,
+    len: usize,
+    block: usize,
+    claimed: Vec<AtomicBool>,
+    outstanding: AtomicUsize,
+    closed: AtomicBool,
+}
+
+// SAFETY: all mutation goes through disjoint claimed windows (one claimer
+// per block, enforced by `claimed`) or through `take`, which refuses to
+// run while guards are outstanding.
+unsafe impl Send for OwnedBlocks {}
+unsafe impl Sync for OwnedBlocks {}
+
+/// Exclusive view of one claimed block; derefs to `&mut [f32]`.
+pub struct BlockGuard<'a> {
+    owner: &'a OwnedBlocks,
+    ptr: *mut f32,
+    len: usize,
+}
+
+impl OwnedBlocks {
+    /// Allocates a zeroed buffer of `len` floats split into blocks of
+    /// `block_elems` (the last block may be shorter).
+    pub fn new(len: usize, block_elems: usize) -> Arc<Self> {
+        assert!(block_elems > 0, "block size must be positive");
+        let mut data = vec![0.0f32; len];
+        let ptr = data.as_mut_ptr();
+        let nblocks = len.div_ceil(block_elems);
+        Arc::new(OwnedBlocks {
+            data: UnsafeCell::new(data),
+            ptr,
+            len,
+            block: block_elems,
+            claimed: (0..nblocks).map(|_| AtomicBool::new(false)).collect(),
+            outstanding: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// Claims block `idx`, returning its window exactly once; `None` if
+    /// the block was already claimed or the buffer already taken.
+    pub fn claim(&self, idx: usize) -> Option<BlockGuard<'_>> {
+        if idx >= self.claimed.len() || self.claimed[idx].swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        // Register the guard *before* checking `closed`: `take` closes
+        // first and then reads `outstanding`, so either it sees our
+        // registration, or we see `closed` and back out.
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        let start = idx * self.block;
+        let len = self.block.min(self.len - start);
+        Some(BlockGuard {
+            owner: self,
+            // SAFETY: `start + len <= self.len` and the window is
+            // exclusively ours by the `claimed` swap above.
+            ptr: unsafe { self.ptr.add(start) },
+            len,
+        })
+    }
+
+    /// Steals the finished buffer. Returns `None` if any claim guard is
+    /// still alive (results would be torn) or the buffer was already
+    /// taken. Intended to be called after the worker barrier.
+    pub fn take(&self) -> Option<Vec<f32>> {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        if self.outstanding.load(Ordering::SeqCst) != 0 {
+            // A guard is alive; reopen so the caller can retry later.
+            self.closed.store(false, Ordering::SeqCst);
+            return None;
+        }
+        // SAFETY: closed is set and no guards are outstanding, so no
+        // other reference into the buffer exists.
+        Some(std::mem::take(unsafe { &mut *self.data.get() }))
+    }
+}
+
+impl std::ops::Deref for BlockGuard<'_> {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        // SAFETY: window is exclusively claimed and in bounds.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl std::ops::DerefMut for BlockGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        // SAFETY: window is exclusively claimed and in bounds.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.owner.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_and_take() {
+        let blocks = OwnedBlocks::new(10, 4);
+        assert_eq!(blocks.num_blocks(), 3);
+        {
+            let mut b0 = blocks.claim(0).unwrap();
+            let mut b2 = blocks.claim(2).unwrap();
+            assert_eq!(b0.len(), 4);
+            assert_eq!(b2.len(), 2); // ragged last block
+            b0.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+            b2.copy_from_slice(&[9.0, 10.0]);
+            assert!(blocks.claim(0).is_none(), "double claim must fail");
+            assert!(blocks.take().is_none(), "take with live guards must fail");
+        }
+        {
+            let mut b1 = blocks.claim(1).unwrap();
+            b1.copy_from_slice(&[5.0, 6.0, 7.0, 8.0]);
+        }
+        let v = blocks.take().unwrap();
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert!(blocks.take().is_none(), "second take must fail");
+        assert!(blocks.claim(1).is_none(), "claim after take must fail");
+    }
+
+    #[test]
+    fn concurrent_claims_are_exclusive() {
+        let blocks = OwnedBlocks::new(64, 8);
+        let claims = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for idx in 0..blocks.num_blocks() {
+                        if let Some(mut g) = blocks.claim(idx) {
+                            g.fill(idx as f32);
+                            claims.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), 8);
+        let v = blocks.take().unwrap();
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 8) as f32);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! aarch64 NEON backend (128-bit lanes, FMA).
+//!
+//! Mirrors the AVX2 backend at width 4: the transcendental cores evaluate
+//! the same fused polynomial as [`crate::scalar::exp_fma`] operation for
+//! operation, and GEMM fuses the multiply-add with the same k order.
+//! Exact elementwise ops need no intrinsics here — NEON is the aarch64
+//! baseline, so the scalar fallback loops already autovectorize.
+
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::*;
+
+use crate::scalar::{self, poly::*};
+
+/// Lane-parallel [`scalar::exp_fma`] over one 128-bit vector.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn vexp_neon(x: float32x4_t) -> float32x4_t {
+    let nan_mask = vmvnq_u32(vceqq_f32(x, x));
+    let hi_mask = vcgtq_f32(x, vdupq_n_f32(EXP_HI));
+    let xc = vminq_f32(vmaxq_f32(x, vdupq_n_f32(EXP_LO)), vdupq_n_f32(EXP_HI));
+    let n = vrndnq_f32(vmulq_f32(xc, vdupq_n_f32(LOG2E)));
+    let n = vminq_f32(n, vdupq_n_f32(127.0));
+    let r = vfmsq_f32(xc, n, vdupq_n_f32(LN2_HI));
+    let r = vfmsq_f32(r, n, vdupq_n_f32(LN2_LO));
+    let mut p = vdupq_n_f32(C[0]);
+    for &c in &C[1..] {
+        p = vfmaq_f32(vdupq_n_f32(c), p, r);
+    }
+    let rr = vmulq_f32(r, r);
+    let y = vaddq_f32(vfmaq_f32(r, p, rr), vdupq_n_f32(1.0));
+    let scale = vreinterpretq_f32_s32(vshlq_n_s32::<23>(vaddq_s32(
+        vcvtq_s32_f32(n),
+        vdupq_n_s32(127),
+    )));
+    let y = vmulq_f32(y, scale);
+    let y = vbslq_f32(hi_mask, vdupq_n_f32(f32::INFINITY), y);
+    vbslq_f32(nan_mask, x, y)
+}
+
+/// Lane-parallel [`scalar::sigmoid_fma`].
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn vsigmoid_neon(x: float32x4_t) -> float32x4_t {
+    let one = vdupq_n_f32(1.0);
+    vdivq_f32(one, vaddq_f32(one, vexp_neon(vnegq_f32(x))))
+}
+
+/// Lane-parallel [`scalar::tanh_fma`]: small-argument polynomial lanes
+/// blended with the exp-identity lanes on `|x| < TANH_SMALL`.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn vtanh_neon(x: float32x4_t) -> float32x4_t {
+    let two = vdupq_n_f32(2.0);
+    let one = vdupq_n_f32(1.0);
+    let ax = vabsq_f32(x);
+    let e = vexp_neon(vmulq_f32(two, ax));
+    let big = vsubq_f32(one, vdivq_f32(two, vaddq_f32(e, one)));
+    let z = vmulq_f32(x, x);
+    let mut p = vdupq_n_f32(TANH_C[0]);
+    for &c in &TANH_C[1..] {
+        p = vfmaq_f32(vdupq_n_f32(c), p, z);
+    }
+    let small = vfmaq_f32(ax, vmulq_f32(p, z), ax);
+    let small_mask = vcltq_f32(ax, vdupq_n_f32(TANH_SMALL));
+    let m = vbslq_f32(small_mask, small, big);
+    let sign = vandq_u32(vreinterpretq_u32_f32(x), vdupq_n_u32(0x8000_0000));
+    vreinterpretq_f32_u32(vorrq_u32(vreinterpretq_u32_f32(m), sign))
+}
+
+/// Lane-parallel [`scalar::silu_fma`].
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn vsilu_neon(x: float32x4_t) -> float32x4_t {
+    vmulq_f32(x, vsigmoid_neon(x))
+}
+
+macro_rules! transcendental_ip_neon {
+    ($name:ident, $vec:ident, $tail:path) => {
+        /// In-place transcendental: NEON lanes + bitwise-identical tail.
+        #[target_feature(enable = "neon")]
+        pub unsafe fn $name(dst: &mut [f32]) {
+            let mut chunks = dst.chunks_exact_mut(4);
+            for c in &mut chunks {
+                let v = vld1q_f32(c.as_ptr());
+                vst1q_f32(c.as_mut_ptr(), $vec(v));
+            }
+            for d in chunks.into_remainder() {
+                *d = $tail(*d);
+            }
+        }
+    };
+}
+
+transcendental_ip_neon!(exp_ip_neon, vexp_neon, scalar::exp_fma);
+transcendental_ip_neon!(sigmoid_ip_neon, vsigmoid_neon, scalar::sigmoid_fma);
+transcendental_ip_neon!(tanh_ip_neon, vtanh_neon, scalar::tanh_fma);
+transcendental_ip_neon!(silu_ip_neon, vsilu_neon, scalar::silu_fma);
+
+/// 4×8 register-tile microkernel with fused multiply-add; k order matches
+/// the scalar kernel.
+#[target_feature(enable = "neon")]
+pub unsafe fn gemm_ukr_neon(ap: &[f32], bp: &[f32], acc: &mut [[f32; crate::NR]; crate::MR]) {
+    let mut c: [[float32x4_t; 2]; 4] = [
+        [
+            vld1q_f32(acc[0].as_ptr()),
+            vld1q_f32(acc[0].as_ptr().add(4)),
+        ],
+        [
+            vld1q_f32(acc[1].as_ptr()),
+            vld1q_f32(acc[1].as_ptr().add(4)),
+        ],
+        [
+            vld1q_f32(acc[2].as_ptr()),
+            vld1q_f32(acc[2].as_ptr().add(4)),
+        ],
+        [
+            vld1q_f32(acc[3].as_ptr()),
+            vld1q_f32(acc[3].as_ptr().add(4)),
+        ],
+    ];
+    for (a_col, b_row) in ap.chunks_exact(crate::MR).zip(bp.chunks_exact(crate::NR)) {
+        let b0 = vld1q_f32(b_row.as_ptr());
+        let b1 = vld1q_f32(b_row.as_ptr().add(4));
+        for (row, &aik) in c.iter_mut().zip(a_col.iter()) {
+            row[0] = vfmaq_n_f32(row[0], b0, aik);
+            row[1] = vfmaq_n_f32(row[1], b1, aik);
+        }
+    }
+    for (dst, row) in acc.iter_mut().zip(c.iter()) {
+        vst1q_f32(dst.as_mut_ptr(), row[0]);
+        vst1q_f32(dst.as_mut_ptr().add(4), row[1]);
+    }
+}
+
+/// Axpy `dst += a · x`: fused lanes, `mul_add` tail (bitwise == lanes).
+#[target_feature(enable = "neon")]
+pub unsafe fn madd_neon(dst: &mut [f32], a: f32, x: &[f32]) {
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (d, s) in (&mut dc).zip(&mut xc) {
+        let v = vfmaq_n_f32(vld1q_f32(d.as_ptr()), vld1q_f32(s.as_ptr()), a);
+        vst1q_f32(d.as_mut_ptr(), v);
+    }
+    for (d, &v) in dc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *d = a.mul_add(v, *d);
+    }
+}

@@ -14,20 +14,30 @@
 //! `matmul_transb` reuses the same kernels — packing B from rows instead
 //! of columns is the only difference — and [`Tensor::matmul_mt`] fans the
 //! row panels of the packed path out over an [`ft_pool::WorkerPool`],
-//! bit-identical to the single-threaded result because every element sees
-//! the same accumulation order.
+//! writing each row block directly into its disjoint window of the output
+//! buffer (an [`ft_simd::OwnedBlocks`] partition — no lock, no staging
+//! copy), bit-identical to the single-threaded result because every
+//! element sees the same accumulation order.
+//!
+//! All inner loops dispatch through [`ft_simd`] on a [`Mode`] hoisted once
+//! per operation: scalar mode reproduces the pre-SIMD arithmetic bitwise,
+//! vector modes change only the documented FMA contraction (see the
+//! ft-simd crate docs). The `*_epi_into` variants run a fused epilogue
+//! ([`EpiOp`] chain) on each output block while it is still hot — in the
+//! register tile on the small path, per row block on the packed path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use ft_pool::WorkerPool;
+use ft_simd::{EpiOp, Mode, OwnedBlocks};
 
 use crate::{Result, Tensor, TensorError};
 
 /// Microkernel register-block height (rows of A per panel).
-const MR: usize = 4;
+const MR: usize = ft_simd::MR;
 /// Microkernel register-block width (columns of B per panel).
-const NR: usize = 8;
+const NR: usize = ft_simd::NR;
 /// k-dimension cache-block depth: one packed A panel (`MR * KC` floats)
 /// and one packed B panel (`NR * KC`) stay resident in L1/L2.
 const KC: usize = 256;
@@ -57,7 +67,7 @@ impl Tensor {
             }
         };
         let mut c = vec![0.0f32; m * n];
-        matmul_into(a, b, m, k, n, &mut c);
+        matmul_into(ft_simd::mode(), a, b, m, k, n, &mut c);
         Tensor::from_vec(c, &[m, n])
     }
 
@@ -86,7 +96,7 @@ impl Tensor {
             }
         };
         let mut c = vec![0.0f32; m * n];
-        matmul_transb_into(a, b, m, k, n, &mut c);
+        matmul_transb_into(ft_simd::mode(), a, b, m, k, n, &mut c);
         Tensor::from_vec(c, &[m, n])
     }
 
@@ -108,16 +118,19 @@ impl Tensor {
                 &b_owned
             }
         };
+        let mode = ft_simd::mode();
         let bp = Arc::new(pack_b_all(b, k, n, false));
         let nblocks = m.div_ceil(MC);
-        let slots: Arc<Vec<Mutex<Vec<f32>>>> =
-            Arc::new((0..nblocks).map(|_| Mutex::new(Vec::new())).collect());
+        // Workers write each row block straight into its disjoint window
+        // of the final buffer — no per-block staging vector, no lock, no
+        // gather copy after the barrier.
+        let blocks = OwnedBlocks::new(m * n, MC * n);
         let cursor = Arc::new(AtomicUsize::new(0));
         let job = {
-            let (a_buf, bp, slots, cursor) = (
+            let (a_buf, bp, blocks, cursor) = (
                 Arc::clone(&a_buf),
                 Arc::clone(&bp),
-                Arc::clone(&slots),
+                Arc::clone(&blocks),
                 Arc::clone(&cursor),
             );
             move |_worker: usize| {
@@ -128,19 +141,18 @@ impl Tensor {
                     if blk >= nblocks {
                         break;
                     }
+                    let Some(mut win) = blocks.claim(blk) else {
+                        continue;
+                    };
                     let i0 = blk * MC;
                     let mc = MC.min(m - i0);
-                    let mut cblk = vec![0.0f32; mc * n];
-                    row_block(a, k, i0, mc, n, &bp, &mut ap, &mut cblk);
-                    *slots[blk].lock().expect("matmul_mt slot") = cblk;
+                    row_block(mode, a, k, i0, mc, n, &bp, &mut ap, &mut win);
                 }
             }
         };
         pool.run(Arc::new(job));
-        let mut c = Vec::with_capacity(m * n);
-        for slot in slots.iter() {
-            c.extend_from_slice(&slot.lock().expect("matmul_mt slot"));
-        }
+        // `pool.run` is a barrier, so every claim guard has been dropped.
+        let c = blocks.take().expect("matmul_mt: output still claimed");
         Tensor::from_vec(c, &[m, n])
     }
 
@@ -204,22 +216,8 @@ fn use_packed(m: usize, k: usize, n: usize) -> bool {
 /// arena executor's zero-copy slice path go through, so the accumulation
 /// order — and therefore the bit pattern of every result — is identical
 /// regardless of whether operands arrive as tensors or arena views.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
-    if use_packed(m, k, n) {
-        let bp = pack_b_all(b, k, n, false);
-        let mut ap = Vec::new();
-        for i0 in (0..m).step_by(MC) {
-            let mc = MC.min(m - i0);
-            row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
-        }
-    } else {
-        small_mm(a, b, m, k, n, c);
-    }
-}
-
-/// `c = a @ b.T` with `b` stored `[n, k]`; same sharing contract as
-/// [`matmul_into`].
-pub(crate) fn matmul_transb_into(
+pub(crate) fn matmul_into(
+    mode: Mode,
     a: &[f32],
     b: &[f32],
     m: usize,
@@ -227,14 +225,82 @@ pub(crate) fn matmul_transb_into(
     n: usize,
     c: &mut [f32],
 ) {
+    matmul_epi_into(mode, a, b, m, k, n, c, &[], &[]);
+}
+
+/// `c = a @ b.T` with `b` stored `[n, k]`; same sharing contract as
+/// [`matmul_into`].
+pub(crate) fn matmul_transb_into(
+    mode: Mode,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+) {
+    matmul_transb_epi_into(mode, a, b, m, k, n, c, &[], &[]);
+}
+
+/// [`matmul_into`] with a fused epilogue: `ops` run on each output block
+/// while it is still hot — inside the register tile on the small path,
+/// per `MC` row block on the packed path. Elementwise epilogues are
+/// position-independent bitwise (ft-simd contract), so the result equals
+/// running the unfused kernel sequence of the same mode. `extras` are
+/// full `[m, n]` operand buffers consumed in `ops` order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_epi_into(
+    mode: Mode,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    ops: &[EpiOp],
+    extras: &[&[f32]],
+) {
+    if use_packed(m, k, n) {
+        let bp = pack_b_all(b, k, n, false);
+        let mut ap = Vec::new();
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            let cblk = &mut c[i0 * n..(i0 + mc) * n];
+            row_block(mode, a, k, i0, mc, n, &bp, &mut ap, cblk);
+            apply_epi_block(mode, cblk, i0 * n, ops, extras);
+        }
+    } else {
+        ft_simd::small_gemm_epi(mode, a, b, m, k, n, c, ops, extras);
+    }
+}
+
+/// [`matmul_transb_epi_into`]: `c = a @ b.T` (`b` stored `[n, k]`) with a
+/// fused epilogue per output block.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_transb_epi_into(
+    mode: Mode,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    ops: &[EpiOp],
+    extras: &[&[f32]],
+) {
     if use_packed(m, k, n) {
         let bp = pack_b_all(b, k, n, true);
         let mut ap = Vec::new();
         for i0 in (0..m).step_by(MC) {
             let mc = MC.min(m - i0);
-            row_block(a, k, i0, mc, n, &bp, &mut ap, &mut c[i0 * n..(i0 + mc) * n]);
+            let cblk = &mut c[i0 * n..(i0 + mc) * n];
+            row_block(mode, a, k, i0, mc, n, &bp, &mut ap, cblk);
+            apply_epi_block(mode, cblk, i0 * n, ops, extras);
         }
     } else {
+        // Per-element dot products: reductions stay strictly sequential
+        // in every mode (no reassociation), so this path is bitwise
+        // identical to the pre-SIMD code everywhere.
         for i in 0..m {
             let a_row = &a[i * k..(i + 1) * k];
             let c_row = &mut c[i * n..(i + 1) * n];
@@ -242,26 +308,20 @@ pub(crate) fn matmul_transb_into(
                 let b_row = &b[j * k..(j + 1) * k];
                 *cv = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
             }
+            apply_epi_block(mode, &mut c[i * n..(i + 1) * n], i * n, ops, extras);
         }
     }
 }
 
-/// Direct i-k-j product over borrowed slices; the fast path for per-point
-/// UDF shapes where packing overhead would dominate.
-fn small_mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aik * bv;
-            }
-        }
+/// Runs an epilogue over one output window at logical offset `base`,
+/// slicing each full-size extra operand down to the window.
+fn apply_epi_block(mode: Mode, cblk: &mut [f32], base: usize, ops: &[EpiOp], extras: &[&[f32]]) {
+    if ops.is_empty() {
+        return;
     }
+    let len = cblk.len();
+    let ex: Vec<&[f32]> = extras.iter().map(|e| &e[base..base + len]).collect();
+    ft_simd::apply_epi(mode, cblk, ops, &ex);
 }
 
 /// Packs every k-block of B up front. Block `kb` holds `n.div_ceil(NR)`
@@ -313,29 +373,17 @@ fn pack_a(a: &[f32], lda: usize, i0: usize, mc: usize, k0: usize, kc: usize, buf
     }
 }
 
-/// `MR`×`NR` register-blocked microkernel: `acc += ap' * bp` over one
-/// k-block. `chunks_exact` + fixed-size array conversions pin every width
-/// at compile time so the accumulator lives in registers and the inner
-/// loops vectorize without bounds checks.
-fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        let a: [f32; MR] = a_col.try_into().expect("MR-wide panel");
-        let b: [f32; NR] = b_row.try_into().expect("NR-wide panel");
-        for (row, &aik) in acc.iter_mut().zip(a.iter()) {
-            for (d, &bv) in row.iter_mut().zip(b.iter()) {
-                *d += aik * bv;
-            }
-        }
-    }
-}
-
 /// Computes one `mc`-row block of C (`cblk`, `mc * n`, zero-initialized)
 /// against the prepacked B blocks, packing A per k-block into the caller's
-/// reusable `ap` buffer. Accumulation order per element is fixed (k-blocks
-/// ascending, k ascending within a block) regardless of how row blocks are
-/// distributed, which is what makes `matmul_mt` bit-identical.
+/// reusable `ap` buffer. The `MR`×`NR` register tile is
+/// [`ft_simd::gemm_ukr`] — broadcast-FMA lanes in fused modes, the
+/// pre-SIMD mul+add bitwise in scalar/SSE. Accumulation order per element
+/// is fixed (k-blocks ascending, k ascending within a block) regardless of
+/// how row blocks are distributed, which is what makes `matmul_mt`
+/// bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn row_block(
+    mode: Mode,
     a: &[f32],
     k: usize,
     i0: usize,
@@ -357,7 +405,7 @@ fn row_block(
             for cp in 0..col_panels {
                 let b_panel = &bp[cp * kc * NR..(cp + 1) * kc * NR];
                 let mut acc = [[0.0f32; NR]; MR];
-                microkernel(a_panel, b_panel, &mut acc);
+                ft_simd::gemm_ukr(mode, a_panel, b_panel, &mut acc);
                 let j0 = cp * NR;
                 let nr = NR.min(n - j0);
                 for (ir, row) in acc.iter().enumerate().take(mr) {

@@ -8,6 +8,15 @@ impl Tensor {
         Tensor::from_vec(self.iter().map(f).collect(), self.dims()).expect("same numel")
     }
 
+    /// Materializes the view and applies an in-place ft-simd kernel to it.
+    /// In scalar mode this is bitwise `map_elem` of the kernel's scalar
+    /// definition; vector modes follow the crate's documented ulp bounds.
+    fn map_simd(&self, kernel: fn(ft_simd::Mode, &mut [f32])) -> Tensor {
+        let mut data = self.to_vec();
+        kernel(ft_simd::mode(), &mut data);
+        Tensor::from_vec(data, self.dims()).expect("same numel")
+    }
+
     /// Combines two equally-shaped tensors elementwise with `f`.
     pub fn zip_elem(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         if self.shape() != other.shape() {
@@ -67,9 +76,9 @@ impl Tensor {
         self.map_elem(|x| -x)
     }
 
-    /// Elementwise natural exponential.
+    /// Elementwise natural exponential (ft-simd routed).
     pub fn exp(&self) -> Tensor {
-        self.map_elem(f32::exp)
+        self.map_simd(ft_simd::exp_ip)
     }
 
     /// Elementwise natural logarithm.
@@ -77,19 +86,25 @@ impl Tensor {
         self.map_elem(f32::ln)
     }
 
-    /// Elementwise hyperbolic tangent.
+    /// Elementwise hyperbolic tangent (ft-simd routed).
     pub fn tanh(&self) -> Tensor {
-        self.map_elem(f32::tanh)
+        self.map_simd(ft_simd::tanh_ip)
     }
 
-    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
+    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})` (ft-simd routed).
     pub fn sigmoid(&self) -> Tensor {
-        self.map_elem(|x| 1.0 / (1.0 + (-x).exp()))
+        self.map_simd(ft_simd::sigmoid_ip)
     }
 
-    /// Elementwise rectified linear unit.
+    /// Elementwise SiLU `x * sigmoid(x)` (ft-simd routed).
+    pub fn silu(&self) -> Tensor {
+        self.map_simd(ft_simd::silu_ip)
+    }
+
+    /// Elementwise rectified linear unit (ft-simd routed; bitwise in
+    /// every mode).
     pub fn relu(&self) -> Tensor {
-        self.map_elem(|x| x.max(0.0))
+        self.map_simd(ft_simd::relu_ip)
     }
 
     /// Elementwise square root.

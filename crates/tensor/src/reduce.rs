@@ -62,16 +62,11 @@ impl Tensor {
             });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut data = Vec::with_capacity(m * n);
-        for i in 0..m {
-            let row: Vec<f32> = (0..n)
-                .map(|j| self.get(&[i, j]).expect("in bounds"))
-                .collect();
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|v| (v - mx).exp()).collect();
-            let denom: f32 = exps.iter().sum();
-            data.extend(exps.into_iter().map(|e| e / denom));
-        }
+        // ft-simd routed: the row max and denominator sum stay sequential
+        // in every mode; scalar mode is bitwise the pre-SIMD loop.
+        let a = self.to_vec();
+        let mut data = vec![0.0f32; m * n];
+        ft_simd::softmax_rows(ft_simd::mode(), &a, m, n, &mut data);
         Tensor::from_vec(data, &[m, n])
     }
 

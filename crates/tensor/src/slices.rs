@@ -2,14 +2,23 @@
 //!
 //! The arena executor evaluates UDFs over borrowed `&[f32]` windows instead
 //! of `Tensor` values. Every kernel here is **bit-identical** to the
-//! corresponding `Tensor` method: matmul goes through the same packed /
-//! small-product entry points as [`Tensor::matmul`](crate::Tensor::matmul),
-//! and the reductions replicate the exact accumulation order of
-//! `reduce.rs` / `ops.rs`. The workspace's bitwise parity suites
-//! (executor vs. interpreter vs. reference) depend on that.
+//! corresponding `Tensor` method *in the same SIMD mode*: matmul goes
+//! through the same packed / small-product entry points as
+//! [`Tensor::matmul`](crate::Tensor::matmul), the elementwise and
+//! transcendental kernels dispatch through the same [`ft_simd`] entry
+//! points as `ops.rs`, and the reductions replicate the exact sequential
+//! accumulation order of `reduce.rs`. The workspace's bitwise parity
+//! suites (executor vs. interpreter vs. reference) depend on that.
+//!
+//! The `*_epi` variants run a fused [`EpiOp`] epilogue on the output while
+//! it is hot (in the GEMM register tile on the small path) — bitwise
+//! identical to the unfused kernel sequence of the same mode, which is the
+//! legality contract the plan-time fusion pass relies on.
 //!
 //! All output windows are fully overwritten, so callers may reuse scratch
 //! buffers across iteration points without clearing them.
+
+use ft_simd::EpiOp;
 
 use crate::linalg;
 
@@ -17,14 +26,114 @@ use crate::linalg;
 /// with `Tensor::matmul`.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
     c.fill(0.0);
-    linalg::matmul_into(a, b, m, k, n, c);
+    linalg::matmul_into(ft_simd::mode(), a, b, m, k, n, c);
 }
 
 /// `c = a @ b.T` with `b` stored `[n, k]`. Shares the entry with
 /// `Tensor::matmul_transb`.
 pub fn matmul_transb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
     c.fill(0.0);
-    linalg::matmul_transb_into(a, b, m, k, n, c);
+    linalg::matmul_transb_into(ft_simd::mode(), a, b, m, k, n, c);
+}
+
+/// [`matmul`] with a fused epilogue applied while the output block is hot
+/// (inside the register tile on the small path). `extras` are full
+/// `[m, n]` operand slices consumed in `ops` order.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_epi(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    ops: &[EpiOp],
+    extras: &[&[f32]],
+) {
+    c.fill(0.0);
+    linalg::matmul_epi_into(ft_simd::mode(), a, b, m, k, n, c, ops, extras);
+}
+
+/// [`matmul_transb`] with a fused epilogue.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_transb_epi(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    ops: &[EpiOp],
+    extras: &[&[f32]],
+) {
+    c.fill(0.0);
+    linalg::matmul_transb_epi_into(ft_simd::mode(), a, b, m, k, n, c, ops, extras);
+}
+
+/// Collapsed elementwise chain: `c = ops(x)`, consuming one extra operand
+/// slice per binary op. Bitwise identical to materializing every
+/// intermediate of the chain in the same mode.
+pub fn ew_chain(x: &[f32], c: &mut [f32], ops: &[EpiOp], extras: &[&[f32]]) {
+    c.copy_from_slice(x);
+    ft_simd::apply_epi(ft_simd::mode(), c, ops, extras);
+}
+
+/// `c = a + b`, routed through ft-simd (bitwise identical in every mode).
+pub fn add_into(a: &[f32], b: &[f32], c: &mut [f32]) {
+    ft_simd::add_into(ft_simd::mode(), c, a, b);
+}
+
+/// `c = a - b`, routed through ft-simd (bitwise identical in every mode).
+pub fn sub_into(a: &[f32], b: &[f32], c: &mut [f32]) {
+    ft_simd::sub_into(ft_simd::mode(), c, a, b);
+}
+
+/// `c = a * b`, routed through ft-simd (bitwise identical in every mode).
+pub fn mul_into(a: &[f32], b: &[f32], c: &mut [f32]) {
+    ft_simd::mul_into(ft_simd::mode(), c, a, b);
+}
+
+/// `c = a / b`, routed through ft-simd (bitwise identical in every mode).
+pub fn div_into(a: &[f32], b: &[f32], c: &mut [f32]) {
+    ft_simd::div_into(ft_simd::mode(), c, a, b);
+}
+
+/// `c = max(a, b)`, routed through ft-simd (bitwise identical in every
+/// mode).
+pub fn max_into(a: &[f32], b: &[f32], c: &mut [f32]) {
+    ft_simd::max_into(ft_simd::mode(), c, a, b);
+}
+
+macro_rules! unary_routed {
+    ($name:ident, $kernel:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[doc = " Routed through the same ft-simd kernel as the `Tensor`"]
+        #[doc = " method, so executor and interpreter agree bitwise in"]
+        #[doc = " every mode."]
+        pub fn $name(a: &[f32], c: &mut [f32]) {
+            c.copy_from_slice(a);
+            ft_simd::$kernel(ft_simd::mode(), c);
+        }
+    };
+}
+
+unary_routed!(exp_into, exp_ip, "`c = exp(a)`.");
+unary_routed!(sigmoid_into, sigmoid_ip, "`c = sigmoid(a)`.");
+unary_routed!(tanh_into, tanh_ip, "`c = tanh(a)`.");
+unary_routed!(silu_into, silu_ip, "`c = a * sigmoid(a)` (SiLU).");
+unary_routed!(neg_into, neg_ip, "`c = -a`.");
+unary_routed!(relu_into, relu_ip, "`c = max(a, 0)`.");
+
+/// `c = a * s`, routed through ft-simd (bitwise identical in every mode).
+pub fn scale_into(a: &[f32], s: f32, c: &mut [f32]) {
+    c.copy_from_slice(a);
+    ft_simd::scale_ip(ft_simd::mode(), c, s);
+}
+
+/// `c = a + s`, routed through ft-simd (bitwise identical in every mode).
+pub fn add_scalar_into(a: &[f32], s: f32, c: &mut [f32]) {
+    c.copy_from_slice(a);
+    ft_simd::add_scalar_ip(ft_simd::mode(), c, s);
 }
 
 /// Elementwise `c[i] = f(a[i], b[i])`.
@@ -87,21 +196,11 @@ pub fn row_reduce(
 }
 
 /// Row-wise softmax of a `[m, n]` matrix, replicating
-/// `Tensor::softmax_rows` exactly: per row, subtract the row max, exp,
-/// then divide by the ascending-order sum.
+/// `Tensor::softmax_rows` exactly: both route through the same
+/// [`ft_simd::softmax_rows`] kernel (row max and denominator sum stay
+/// sequential in every mode).
 pub fn softmax_rows(a: &[f32], m: usize, n: usize, c: &mut [f32]) {
-    for i in 0..m {
-        let row = &a[i * n..(i + 1) * n];
-        let out = &mut c[i * n..(i + 1) * n];
-        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        for (o, &v) in out.iter_mut().zip(row) {
-            *o = (v - mx).exp();
-        }
-        let denom: f32 = out.iter().sum();
-        for o in out.iter_mut() {
-            *o /= denom;
-        }
-    }
+    ft_simd::softmax_rows(ft_simd::mode(), a, m, n, c);
 }
 
 /// Copies the `start..end` range of one axis of a row-major tensor with

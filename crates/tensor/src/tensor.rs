@@ -252,8 +252,35 @@ impl Tensor {
     }
 
     /// Materializes the view into a fresh contiguous vector.
+    ///
+    /// Contiguous views (any offset) are one bulk copy; strided views are
+    /// walked axis by axis, copying whole dense innermost rows. Both paths
+    /// produce the exact row-major element order [`Tensor::iter`] defines.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.iter().collect()
+        if let Some(s) = self.contiguous_slice() {
+            return s.to_vec();
+        }
+        let mut out = Vec::with_capacity(self.numel());
+        self.append_rows(0, self.offset, &mut out);
+        out
+    }
+
+    /// Depth-first row-major copy: dense innermost rows go as slices, a
+    /// strided innermost axis degrades to per-element reads.
+    fn append_rows(&self, dim: usize, off: usize, out: &mut Vec<f32>) {
+        let dims = self.shape.dims();
+        if dim == dims.len() {
+            out.push(self.data[off]);
+            return;
+        }
+        if dim + 1 == dims.len() && self.strides[dim] == 1 {
+            out.extend_from_slice(&self.data[off..off + dims[dim]]);
+            return;
+        }
+        let stride = self.strides[dim];
+        for i in 0..dims[dim] {
+            self.append_rows(dim + 1, off + i * stride, out);
+        }
     }
 
     /// Returns a contiguous copy if the view is strided, otherwise a cheap
@@ -262,7 +289,7 @@ impl Tensor {
         if self.is_contiguous() && self.offset == 0 && self.data.len() == self.numel() {
             return self.clone();
         }
-        Tensor::from_vec(self.iter().collect(), self.dims()).expect("same numel")
+        Tensor::from_vec(self.to_vec(), self.dims()).expect("same numel")
     }
 
     // ---------------------------------------------------------------------

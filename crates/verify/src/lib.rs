@@ -33,6 +33,14 @@
 //! through the interpreter path) still get invariant 3's range half: their
 //! original access maps are enumerated and bounds-checked the same way.
 //!
+//! A fifth, graph-wide invariant covers the UDF rewriting passes (kernel
+//! fusion): every block's UDF must still validate structurally, infer
+//! shapes against the block's read leaf shapes, and produce outputs whose
+//! shapes match the written buffers' leaf shapes. A fusion bug that drops
+//! a temporary or mis-absorbs an epilogue is rejected as
+//! [`VerifyError::UdfIllegal`] before the backend plans scratch from the
+//! same inference.
+//!
 //! Domains are enumerated exhaustively up to [`POINT_CAP`] points per
 //! member and sampled beyond that ([`VerifyReport::complete`] records
 //! which); order violations are always detectable on the sampled subset,
@@ -205,6 +213,16 @@ pub enum VerifyError {
         /// What went wrong.
         detail: String,
     },
+    /// A block's UDF is no longer well-formed after the rewriting passes
+    /// (kernel fusion): it fails structural validation, its shapes do not
+    /// infer against the block's read leaf shapes, or an output shape
+    /// disagrees with the written buffer's leaf shape.
+    UdfIllegal {
+        /// Block whose UDF is malformed.
+        block: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 /// Pass A's write table: `(buffer id, data-space index)` mapped to the
@@ -313,6 +331,9 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Layout { buffer, detail } => {
                 write!(f, "memory plan for buffer '{buffer}': {detail}")
             }
+            VerifyError::UdfIllegal { block, detail } => {
+                write!(f, "block '{block}': illegal UDF after rewriting: {detail}")
+            }
         }
     }
 }
@@ -330,6 +351,8 @@ pub struct VerifyReport {
     pub distances: usize,
     /// Iteration points enumerated across all members.
     pub points: usize,
+    /// Block UDFs re-validated after the rewriting passes.
+    pub udfs: usize,
     /// Legality-check wall time in microseconds.
     pub wall_us: f64,
     /// True when every member domain was enumerated exhaustively (points
@@ -366,6 +389,7 @@ pub fn verify(compiled: &CompiledProgram) -> Result<VerifyReport, VerifyError> {
         span.field("maps", report.maps);
         span.field("distances", report.distances);
         span.field("points", report.points);
+        span.field("udfs", report.udfs);
         span.field("complete", report.complete);
         if let Err(e) = &outcome {
             span.field("violation", e.to_string());
@@ -375,6 +399,7 @@ pub fn verify(compiled: &CompiledProgram) -> Result<VerifyReport, VerifyError> {
     ft_probe::counter("verify.maps", report.maps as f64);
     ft_probe::counter("verify.distances", report.distances as f64);
     ft_probe::counter("verify.points", report.points as f64);
+    ft_probe::counter("verify.udfs", report.udfs as f64);
     ft_probe::counter("verify.wall_us", report.wall_us);
     if outcome.is_err() {
         ft_probe::counter("verify.violations", 1.0);
@@ -384,11 +409,60 @@ pub fn verify(compiled: &CompiledProgram) -> Result<VerifyReport, VerifyError> {
 
 fn check_all(compiled: &CompiledProgram, report: &mut VerifyReport) -> Result<(), VerifyError> {
     check_layout(compiled)?;
+    check_udfs(compiled, report)?;
     for (gi, group) in compiled.groups.iter().enumerate() {
         check_group(compiled, gi, group, report)?;
         report.groups += 1;
     }
     check_ungrouped(compiled, report)
+}
+
+/// Re-validates every block's UDF against the graph after the rewriting
+/// passes. Kernel fusion replaces statement sequences with fused opcodes
+/// (`FusedMatMul`, `EwChain`, `Silu`); a fusion bug — dangling temporary,
+/// wrong arity, shape drift — must be caught here, before the backend
+/// plans scratch offsets from the same shape inference.
+fn check_udfs(compiled: &CompiledProgram, report: &mut VerifyReport) -> Result<(), VerifyError> {
+    let etdg = &compiled.etdg;
+    for block in &etdg.blocks {
+        let illegal = |detail: String| VerifyError::UdfIllegal {
+            block: block.name.clone(),
+            detail,
+        };
+        block.udf.validate().map_err(|e| illegal(e.to_string()))?;
+        let input_shapes: Vec<ft_tensor::Shape> = block
+            .reads
+            .iter()
+            .map(|r| match r {
+                RegionRead::Buffer { buffer, .. } => etdg.buffer(*buffer).leaf_shape.clone(),
+                RegionRead::Fill { leaf_shape, .. } => leaf_shape.clone(),
+            })
+            .collect();
+        let shapes = block
+            .udf
+            .infer_shapes(&input_shapes)
+            .map_err(|e| illegal(e.to_string()))?;
+        if shapes.outputs.len() != block.writes.len() {
+            return Err(illegal(format!(
+                "UDF produces {} output(s) but the block writes {} buffer(s)",
+                shapes.outputs.len(),
+                block.writes.len()
+            )));
+        }
+        for (oi, (shape, w)) in shapes.outputs.iter().zip(block.writes.iter()).enumerate() {
+            let buf = etdg.buffer(w.buffer);
+            if shape.dims() != buf.leaf_shape.dims() {
+                return Err(illegal(format!(
+                    "output {oi} infers shape {:?} but buffer '{}' stores leaves of {:?}",
+                    shape.dims(),
+                    buf.name,
+                    buf.leaf_shape.dims()
+                )));
+            }
+        }
+        report.udfs += 1;
+    }
+    Ok(())
 }
 
 /// Validates the plan-time memory layout the arena executor trusts blindly:
@@ -1020,6 +1094,25 @@ mod tests {
         }
         let msg = verify(&c).unwrap_err().to_string();
         assert!(msg.contains("ungrouped"), "{msg}");
+    }
+
+    #[test]
+    fn rewritten_udfs_are_revalidated() {
+        // A clean compile (which runs the fusion pass) passes the UDF
+        // legality check and counts every block.
+        let report = verify(&compiled_rnn()).unwrap();
+        assert!(report.udfs > 0, "UDF check must cover the blocks");
+
+        // A dangling output operand — the shape of bug a broken fusion
+        // rewrite would introduce — is rejected naming the block.
+        let mut c = compiled_rnn();
+        c.etdg.blocks[0].udf.outputs[0] = ft_core::expr::Operand::Tmp(999);
+        match verify(&c) {
+            Err(VerifyError::UdfIllegal { block, .. }) => {
+                assert_eq!(block, c.etdg.blocks[0].name);
+            }
+            other => panic!("expected UdfIllegal, got {other:?}"),
+        }
     }
 
     #[test]
