@@ -69,6 +69,20 @@ pub enum ExecError {
         /// What tripped, with the buffer and point spelled out.
         detail: String,
     },
+    /// A wavefront launch stopped making heartbeat progress for the
+    /// configured watchdog window ([`Executor::launch_timeout`]): the job
+    /// is presumed wedged (e.g. a UDF in an infinite loop), its pool is
+    /// poisoned and must be replaced. Unlike a panic, the wedged threads
+    /// are abandoned, not joined — fallback cannot repair this error
+    /// because re-running the same wedge inline would hang the caller.
+    Stalled {
+        /// Launch group index.
+        group: usize,
+        /// Wavefront step the watchdog gave up on.
+        step: i64,
+        /// Wall time from launch to the stall verdict.
+        elapsed_ms: u64,
+    },
     /// Scratch-slot forwarding invariant broken: a populated slot carried
     /// no value for the member reading it.
     Forwarding {
@@ -105,6 +119,15 @@ impl std::fmt::Display for ExecError {
                 f,
                 "guard trip in group {group} step {step}, block '{block}': {detail}"
             ),
+            ExecError::Stalled {
+                group,
+                step,
+                elapsed_ms,
+            } => write!(
+                f,
+                "launch stalled in group {group} at wavefront step {step}: \
+                 no worker heartbeat, gave up after {elapsed_ms} ms (pool poisoned)"
+            ),
             ExecError::Forwarding {
                 group,
                 block,
@@ -125,9 +148,9 @@ impl ExecError {
     /// The `(group, step)` the error is attributed to, when known.
     pub fn location(&self) -> Option<(usize, i64)> {
         match self {
-            ExecError::WorkerPanic { group, step, .. } | ExecError::Guard { group, step, .. } => {
-                Some((*group, *step))
-            }
+            ExecError::WorkerPanic { group, step, .. }
+            | ExecError::Guard { group, step, .. }
+            | ExecError::Stalled { group, step, .. } => Some((*group, *step)),
             _ => None,
         }
     }
@@ -155,6 +178,11 @@ pub struct FaultPlan {
     /// Overwrite the first UDF output with NaN at every point of
     /// `(group, step)`.
     pub poison_nan_at: Option<(usize, i64)>,
+    /// Wedge the first worker that picks up work at `(group, step)` for
+    /// the given number of milliseconds — a bounded stand-in for a UDF
+    /// stuck in an infinite loop, used to exercise the stall watchdog:
+    /// `(group, step, sleep_ms)`.
+    pub stall_at: Option<(usize, i64, u64)>,
 }
 
 impl FaultPlan {
@@ -178,6 +206,13 @@ impl FaultPlan {
     /// Poisons the first UDF output with NaN at the given group/step.
     pub fn poison_nan_at(mut self, group: usize, step: i64) -> Self {
         self.poison_nan_at = Some((group, step));
+        self
+    }
+
+    /// Wedges a worker for `sleep_ms` at the given group/step (stall
+    /// watchdog exercise; see [`FaultPlan::stall_at`]).
+    pub fn stall_at(mut self, group: usize, step: i64, sleep_ms: u64) -> Self {
+        self.stall_at = Some((group, step, sleep_ms));
         self
     }
 }
@@ -313,6 +348,7 @@ struct ExecObs {
     workers: ft_obs::Gauge,
     fallbacks: ft_obs::Counter,
     worker_panics: ft_obs::Counter,
+    stalls: ft_obs::Counter,
 }
 
 fn exec_obs() -> &'static ExecObs {
@@ -333,6 +369,7 @@ fn exec_obs() -> &'static ExecObs {
             workers: reg.gauge("exec.workers"),
             fallbacks: reg.counter("exec.fallbacks"),
             worker_panics: reg.counter("exec.worker_panics"),
+            stalls: reg.counter("exec.stalls"),
         }
     })
 }
@@ -371,6 +408,13 @@ pub struct Executor {
     guard: bool,
     fallback: bool,
     fault: Option<Arc<FaultPlan>>,
+    /// One-shot armed fault consumed by the next run (test/bench only);
+    /// shared by clones so a serving runtime's handle can arm its
+    /// scheduler's executor.
+    armed: Arc<Mutex<Option<FaultPlan>>>,
+    /// Stall watchdog window per wavefront launch (see
+    /// [`launch_timeout`](Self::launch_timeout)).
+    timeout: Option<std::time::Duration>,
     /// Shared persistent pool; `None` spawns a pool per `run`.
     pool: Option<Arc<WorkerPool>>,
     /// Arena buffers reused across runs; shared by clones.
@@ -384,6 +428,8 @@ impl Default for Executor {
             guard: env_flag("FT_GUARD"),
             fallback: env_flag("FT_FALLBACK"),
             fault: None,
+            armed: Arc::new(Mutex::new(None)),
+            timeout: None,
             pool: None,
             arena: Arc::new(ArenaPool::default()),
         }
@@ -397,6 +443,7 @@ impl std::fmt::Debug for Executor {
             .field("guard", &self.guard)
             .field("fallback", &self.fallback)
             .field("fault", &self.fault)
+            .field("timeout", &self.timeout)
             .field("pool", &self.pool.as_ref().map(|p| p.threads()))
             .finish()
     }
@@ -443,6 +490,26 @@ impl Executor {
     /// Attaches a fault-injection plan (test/bench-only; see [`FaultPlan`]).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// Arms a **one-shot** fault plan consumed by the next `run` on this
+    /// executor or any clone of it (test/bench-only). Unlike
+    /// [`fault_plan`](Self::fault_plan), which fires on every run, an
+    /// armed fault hits exactly one launch — the shape chaos scenarios
+    /// need to corrupt ~1% of live traffic without rebuilding executors.
+    pub fn arm_fault(&self, plan: FaultPlan) {
+        *self.armed.lock() = Some(plan);
+    }
+
+    /// Bounds each wavefront launch's wall time: if no worker records
+    /// heartbeat progress for `timeout`, the launch fails with a typed
+    /// [`ExecError::Stalled`] and the pool is poisoned (replace it — see
+    /// `ft_pool`'s supervised-pool docs). Full coverage requires an
+    /// attached [`WorkerPool::supervised`] pool; on a caller-participates
+    /// pool only the spawned workers' share is watched.
+    pub fn launch_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.timeout = timeout;
         self
     }
 
@@ -527,6 +594,10 @@ impl Executor {
             // Missing/malformed inputs fail identically everywhere;
             // degrading cannot repair them.
             Err(e @ ExecError::Input(_)) => Err(e),
+            // A stalled launch means the work itself is wedged: re-running
+            // it single-threaded on the *calling* thread would recreate
+            // the hang with nobody left to time it out.
+            Err(e @ ExecError::Stalled { .. }) => Err(e),
             Err(e) => {
                 if !self.fallback {
                     return Err(e);
@@ -591,15 +662,17 @@ impl Executor {
         // The pool may degrade to fewer participants than requested, so
         // size everything by its effective count. A caller-attached pool
         // is reused as-is (its workers stay parked between runs).
-        let owned_pool;
-        let pool: &WorkerPool = match &self.pool {
-            Some(p) => p,
-            None => {
-                owned_pool = WorkerPool::new(self.effective_threads());
-                &owned_pool
-            }
+        let pool: Arc<WorkerPool> = match &self.pool {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(WorkerPool::new(self.effective_threads())),
         };
         let threads = pool.threads();
+        // A one-shot armed fault (chaos scenarios) trumps the per-run
+        // plan; taking it here consumes it for every clone.
+        let fault = match self.armed.lock().take() {
+            Some(p) => Some(Arc::new(p)),
+            None => self.fault.clone(),
+        };
 
         exec_obs().workers.set(threads as i64);
         let mut root = ft_probe::span("exec", "execute");
@@ -624,7 +697,8 @@ impl Executor {
             borrows: AtomicU64::new(0),
             batch,
             guard: self.guard,
-            fault: self.fault.clone(),
+            fault,
+            pool: Arc::clone(&pool),
         });
         let job: ft_pool::Job = {
             let shared = Arc::clone(&shared);
@@ -633,7 +707,7 @@ impl Executor {
 
         let result = (|| {
             for (gi, group) in compiled.groups.iter().enumerate() {
-                run_group(compiled, group, gi, pool, &shared, &job)?;
+                run_group(compiled, group, gi, &pool, &shared, &job, self.timeout)?;
             }
             let arena = shared.arena.read();
             let mut outputs = HashMap::new();
@@ -756,6 +830,9 @@ struct ExecShared {
     guard: bool,
     /// Armed fault plan (test/bench only).
     fault: Option<Arc<FaultPlan>>,
+    /// The pool this run executes on: workers heartbeat through it once
+    /// per drained chunk so the stall watchdog can see progress.
+    pool: Arc<WorkerPool>,
 }
 
 /// Per-point evaluation context threaded through the worker body.
@@ -835,6 +912,7 @@ impl Scratch {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_group(
     compiled: &CompiledProgram,
     group: &ft_passes::ScheduledGroup,
@@ -842,6 +920,7 @@ fn run_group(
     pool: &WorkerPool,
     shared: &ExecShared,
     job: &ft_pool::Job,
+    timeout: Option<std::time::Duration>,
 ) -> Result<(), ExecError> {
     let r = &group.reordering;
     let threads = pool.threads();
@@ -894,18 +973,42 @@ fn run_group(
         // panicking participant surfaces as a typed error rather than an
         // abort: the pool preserves the payload, and the inline path is
         // wrapped the same way.
-        let panicked = if threads == 1 || nchunks == 1 {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_body(shared, 0))).err()
+        // Single-chunk steps skip the pool wake-up and run inline — but
+        // only on caller-participates pools: a supervised pool keeps the
+        // publishing thread out of job code so the watchdog can abandon a
+        // wedged step.
+        let inline = (threads == 1 || nchunks == 1) && !pool.is_supervised();
+        let failed = if inline {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_body(shared, 0)))
+                .err()
+                .map(ft_pool::RunError::Panic)
         } else {
-            pool.try_run(Arc::clone(job)).err()
+            pool.try_run_for(Arc::clone(job), timeout).err()
         };
-        if let Some(payload) = panicked {
-            exec_obs().worker_panics.inc();
-            ft_probe::counter("exec.worker_panics", 1.0);
-            return Err(ExecError::WorkerPanic {
-                group: group_idx,
-                step,
-                message: ft_pool::panic_message(&payload),
+        if let Some(err) = failed {
+            return Err(match err {
+                ft_pool::RunError::Panic(payload) => {
+                    exec_obs().worker_panics.inc();
+                    ft_probe::counter("exec.worker_panics", 1.0);
+                    ExecError::WorkerPanic {
+                        group: group_idx,
+                        step,
+                        message: ft_pool::panic_message(&payload),
+                    }
+                }
+                ft_pool::RunError::Stalled { elapsed_ms } => {
+                    exec_obs().stalls.inc();
+                    ft_probe::counter("exec.stalls", 1.0);
+                    ExecError::Stalled {
+                        group: group_idx,
+                        step,
+                        elapsed_ms,
+                    }
+                }
+                ft_pool::RunError::Poisoned => ExecError::Runtime(
+                    "worker pool poisoned by an earlier stalled launch; replace the pool"
+                        .to_string(),
+                ),
             });
         }
         let mut reads_total = 0u64;
@@ -1031,6 +1134,10 @@ fn worker_body(shared: &ExecShared, worker: usize) {
         if start >= ctx.npoints {
             break;
         }
+        // One heartbeat per claimed chunk: the stall watchdog
+        // distinguishes slow-but-advancing steps from wedged ones by
+        // exactly this signal.
+        shared.pool.beat(worker);
         // Injected worker panic: whichever participant claims the first
         // chunk of the targeted step dies mid-drain, exactly like a UDF
         // or allocator blowing up on real work.
@@ -1041,6 +1148,13 @@ fn worker_body(shared: &ExecShared, worker: usize) {
                         "injected fault: worker panic at group {} step {}",
                         env.group, env.step
                     );
+                }
+                // Injected wedge: sleep without heartbeating, as if the
+                // UDF spun forever (bounded so tests don't leak threads).
+                if let Some((g, s, ms)) = fault.stall_at {
+                    if (g, s) == (env.group, env.step) {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
                 }
             }
         }

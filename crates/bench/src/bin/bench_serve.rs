@@ -29,11 +29,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ft_core::builders::stacked_rnn_program;
 use ft_core::{BufferId, FractalTensor, Program};
-use ft_serve::{Request, Runtime, ServeConfig};
+use ft_etdg::RegionRead;
+use ft_serve::{FaultPlan, Request, Runtime, ServeConfig, ServeError};
 use ft_tensor::Tensor;
 use serde_json::{json, Value};
 
@@ -56,6 +57,11 @@ struct LoadRow {
     arena_grows_after_warmup: u64,
     /// Leaf clones over the runtime's lifetime (must stay zero).
     leaf_clones: u64,
+    /// Robustness counters (zero on the clean load sweeps; the chaos and
+    /// overload scenarios are where they move).
+    shed: u64,
+    retried: u64,
+    quarantined: u64,
 }
 
 fn request_inputs(seed: u64, shared_ws: &FractalTensor) -> HashMap<BufferId, FractalTensor> {
@@ -87,12 +93,15 @@ fn run_load(
     ws: &FractalTensor,
     metrics: Option<&ft_obs::ExporterConfig>,
 ) -> LoadRow {
-    let rt = Arc::new(Runtime::new(ServeConfig {
-        threads,
-        batching: batched,
-        max_batch: 8,
-        ..ServeConfig::default()
-    }));
+    let rt = Arc::new(
+        Runtime::try_new(ServeConfig {
+            threads,
+            batching: batched,
+            max_batch: 8,
+            ..ServeConfig::default()
+        })
+        .expect("serve runtime construction"),
+    );
     // Warm the plan cache (including fused variants) so the timed section
     // measures serving, not compilation.
     std::thread::scope(|s| {
@@ -158,6 +167,9 @@ fn run_load(
         arena_acquires: stats.arena_acquires - warm.arena_acquires,
         arena_grows_after_warmup: stats.arena_grows - warm.arena_grows,
         leaf_clones: stats.leaf_clones,
+        shed: stats.shed,
+        retried: stats.retries,
+        quarantined: stats.quarantine_rejected,
     };
     eprintln!(
         "threads={} {:9} clients={} {:6.0} req/s   p50 {:7.3} ms   p99 {:7.3} ms   mean batch {:.2}   arena grows {}",
@@ -176,11 +188,12 @@ fn run_load(
 /// Per-request setup cost: cold compile+verify vs cached-plan lookup, both
 /// measured by the runtime itself.
 fn measure_setup(program: &Arc<Program>, ws: &FractalTensor, resubmissions: usize) -> (f64, f64) {
-    let rt = Runtime::new(ServeConfig {
+    let rt = Runtime::try_new(ServeConfig {
         threads: 2,
         batching: false,
         ..ServeConfig::default()
-    });
+    })
+    .expect("serve runtime construction");
     for i in 0..=resubmissions {
         rt.submit_wait(Request::new(
             Arc::clone(program),
@@ -192,6 +205,447 @@ fn measure_setup(program: &Arc<Program>, ws: &FractalTensor, resubmissions: usiz
     }
     let stats = rt.stats();
     (stats.cold_setup_mean_us, stats.cached_setup_mean_us)
+}
+
+/// The first (member, read) coordinate of group 0 that reads a buffer —
+/// the target for corrupt-read fault injection (fills can't be
+/// corrupted).
+fn first_buffer_read(c: &ft_passes::CompiledProgram) -> (usize, usize) {
+    for (mi, &m) in c.groups[0].members.iter().enumerate() {
+        for (ri, read) in c.etdg.block(m).reads.iter().enumerate() {
+            if matches!(read, RegionRead::Buffer { .. }) {
+                return (mi, ri);
+            }
+        }
+    }
+    (0, 0)
+}
+
+/// Inputs with a NaN in the activations: with the guard on, execution
+/// fails typed — the NaN-poison fault class.
+fn poisoned_inputs(seed: u64, ws: &FractalTensor) -> HashMap<BufferId, FractalTensor> {
+    let (n, _d, l, h) = SHAPE;
+    let mut v = Tensor::randn(&[n, l, 1, h], seed).to_vec();
+    v[0] = f32::NAN;
+    let nan = Tensor::from_vec(v, &[n, l, 1, h]).unwrap();
+    let mut m = HashMap::new();
+    m.insert(BufferId(0), FractalTensor::from_flat(&nan, 2).unwrap());
+    m.insert(BufferId(1), ws.clone());
+    m
+}
+
+/// Chaos under load: ~1% injected faults (worker panics, NaN poison,
+/// corrupt reads, one stall, one scheduler kill) plus a dedicated
+/// poison plan that trips quarantine. Every admitted ticket must resolve
+/// to a typed outcome — the scenario *counts* resolutions rather than
+/// trusting them — and the pool must end at full worker strength.
+fn run_chaos(smoke: bool) -> Value {
+    let threads = 4usize;
+    let clients = 4usize;
+    let per_client = if smoke { 40 } else { 150 };
+    let fault_every = if smoke { 20 } else { 100 };
+    let rt = Arc::new(
+        Runtime::try_new(ServeConfig {
+            threads,
+            max_batch: 8,
+            guard: Some(true),
+            quarantine_threshold: 4,
+            quarantine_cooldown: Duration::from_millis(300),
+            launch_timeout: Some(Duration::from_millis(500)),
+            ..ServeConfig::default()
+        })
+        .expect("serve runtime construction"),
+    );
+    let (n, d, l, h) = SHAPE;
+    let program = Arc::new(stacked_rnn_program(n, d, l, h));
+    let ws = shared_weights();
+    let compiled = ft_passes::compile(&program).expect("chaos workload compiles");
+    let step_lo = compiled.groups[0].reordering.wavefront_range().0;
+    let (member, read) = first_buffer_read(&compiled);
+
+    // Warm the plan (and the fused variants) before the storm.
+    rt.submit_wait(Request::new(Arc::clone(&program), request_inputs(1, &ws)))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let submitted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let resolved = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let ok = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let failed_typed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = Arc::clone(&rt);
+            let program = Arc::clone(&program);
+            let ws = ws.clone();
+            let (submitted, resolved, ok, failed_typed) = (
+                Arc::clone(&submitted),
+                Arc::clone(&resolved),
+                Arc::clone(&ok),
+                Arc::clone(&failed_typed),
+            );
+            s.spawn(move || {
+                for r in 0..per_client {
+                    let i = c * per_client + r;
+                    // ~1% fault mix, rotated deterministically.
+                    let inputs = if i % fault_every == 1 {
+                        match (i / fault_every) % 3 {
+                            0 => {
+                                rt.inject_pool_fault(1, 1);
+                                request_inputs(i as u64, &ws)
+                            }
+                            1 => poisoned_inputs(i as u64, &ws),
+                            _ => {
+                                rt.inject_exec_fault(
+                                    FaultPlan::new().corrupt_read(0, member, read, 7),
+                                );
+                                request_inputs(i as u64, &ws)
+                            }
+                        }
+                    } else {
+                        request_inputs(i as u64, &ws)
+                    };
+                    // One scheduler kill, mid-run.
+                    if c == 0 && r == per_client / 2 {
+                        rt.kill_scheduler();
+                    }
+                    submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let outcome = rt
+                        .submit_wait(Request::new(Arc::clone(&program), inputs))
+                        .unwrap()
+                        .wait();
+                    resolved.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match outcome {
+                        Ok(_) => {
+                            ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed_typed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // A dedicated poison plan (different signature): consecutive
+        // guard failures trip its breaker without starving the main
+        // plan, then a clean request after the cooldown recovers it.
+        {
+            let rt = Arc::clone(&rt);
+            s.spawn(move || {
+                let poison_prog = Arc::new(stacked_rnn_program(1, 2, 32, 16));
+                let pws =
+                    FractalTensor::from_flat(&Tensor::randn(&[2, 16, 16], 5).mul_scalar(0.2), 1)
+                        .unwrap();
+                let bad = |seed: u64| {
+                    let mut v = Tensor::randn(&[1, 32, 1, 16], seed).to_vec();
+                    v[0] = f32::NAN;
+                    let nan = Tensor::from_vec(v, &[1, 32, 1, 16]).unwrap();
+                    let mut m = HashMap::new();
+                    m.insert(BufferId(0), FractalTensor::from_flat(&nan, 2).unwrap());
+                    m.insert(BufferId(1), pws.clone());
+                    m
+                };
+                for seed in 0..7u64 {
+                    let _ = rt
+                        .submit_wait(Request::new(Arc::clone(&poison_prog), bad(seed)))
+                        .unwrap()
+                        .wait();
+                }
+                std::thread::sleep(Duration::from_millis(400));
+                let mut good = HashMap::new();
+                good.insert(
+                    BufferId(0),
+                    FractalTensor::from_flat(&Tensor::randn(&[1, 32, 1, 16], 9), 2).unwrap(),
+                );
+                good.insert(BufferId(1), pws.clone());
+                let _ = rt
+                    .submit_wait(Request::new(Arc::clone(&poison_prog), good))
+                    .unwrap()
+                    .wait();
+            });
+        }
+    });
+    // Wedged-launch phase, after the storm so no concurrent fault arm can
+    // overwrite the one-shot plan: the stall sleeps past the launch
+    // timeout, the watchdog poisons the pool, the request fails typed,
+    // and the next request runs on a freshly spawned full-width pool.
+    {
+        submitted.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        rt.inject_exec_fault(FaultPlan::new().stall_at(0, step_lo, 2_000));
+        let wedged = rt
+            .submit_wait(Request::new(
+                Arc::clone(&program),
+                request_inputs(9_001, &ws),
+            ))
+            .unwrap()
+            .wait();
+        resolved.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match wedged {
+            Ok(_) => {
+                ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            Err(_) => {
+                failed_typed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let after = rt
+            .submit_wait(Request::new(
+                Arc::clone(&program),
+                request_inputs(9_002, &ws),
+            ))
+            .unwrap()
+            .wait();
+        resolved.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match after {
+            Ok(_) => {
+                ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            Err(_) => {
+                failed_typed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    let submitted = submitted.load(std::sync::atomic::Ordering::Relaxed);
+    let resolved = resolved.load(std::sync::atomic::Ordering::Relaxed);
+    let hung = submitted.saturating_sub(resolved);
+    eprintln!(
+        "chaos: {} req in {:.2}s   ok {}   typed failures {}   hung {}   restarts {}   \
+         quarantine trips {}   bisections {}   retries {}   stalled {}   pool {}/{} workers",
+        submitted,
+        elapsed,
+        ok.load(std::sync::atomic::Ordering::Relaxed),
+        failed_typed.load(std::sync::atomic::Ordering::Relaxed),
+        hung,
+        stats.scheduler_restarts,
+        stats.quarantine_trips,
+        stats.batch_bisections,
+        stats.retries,
+        stats.stalled,
+        stats.pool_workers,
+        threads,
+    );
+    json!({
+        "requests": submitted,
+        "resolved": resolved,
+        "hung_tickets": hung,
+        "ok": ok.load(std::sync::atomic::Ordering::Relaxed),
+        "failed_typed": failed_typed.load(std::sync::atomic::Ordering::Relaxed),
+        "throughput_rps": submitted as f64 / elapsed,
+        "scheduler_restarts": stats.scheduler_restarts,
+        "quarantine_trips": stats.quarantine_trips,
+        "quarantined": stats.quarantine_rejected,
+        "shed": stats.shed,
+        "retried": stats.retries,
+        "batch_bisections": stats.batch_bisections,
+        "stalled": stats.stalled,
+        "pool_replacements": stats.pool_replacements,
+        "pool_workers_end": stats.pool_workers as u64,
+        "pool_workers_expected": threads as u64,
+    })
+}
+
+/// One overload measurement: open-loop submits paced at `offered_rps`,
+/// every request carrying `deadline`; goodput counts only completions
+/// that finished within their deadline.
+fn overload_run(
+    shedding: bool,
+    offered_rps: f64,
+    total: usize,
+    deadline: Duration,
+    program: &Arc<Program>,
+    ws: &FractalTensor,
+) -> Value {
+    let rt = Runtime::try_new(ServeConfig {
+        threads: 4,
+        max_batch: 8,
+        queue_capacity: 8192,
+        shedding,
+        ..ServeConfig::default()
+    })
+    .expect("serve runtime construction");
+    // Warm: cache the plan and build the latency history the shedding
+    // estimator predicts from.
+    for i in 0..8 {
+        rt.submit_wait(Request::new(
+            Arc::clone(program),
+            request_inputs(7_000 + i, ws),
+        ))
+        .unwrap()
+        .wait()
+        .unwrap();
+    }
+    let _ = rt.take_completions(); // timed section starts clean
+
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let deadline_us = deadline.as_secs_f64() * 1e6;
+    let mut tickets = Vec::with_capacity(total);
+    let mut shed_at_admission = 0u64;
+    let mut records = Vec::with_capacity(total);
+    let t0 = Instant::now();
+    for i in 0..total {
+        match rt.submit(
+            Request::new(Arc::clone(program), request_inputs(i as u64, ws)).with_deadline(deadline),
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Shed { .. }) => shed_at_admission += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+        if tickets.len() % 512 == 0 {
+            records.extend(rt.take_completions()); // keep the ring bounded
+        }
+        // Open-loop pacing: the next arrival doesn't wait for this one.
+        let next = t0 + interval.mul_f64((i + 1) as f64);
+        if let Some(sleep) = next.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+    }
+    for t in tickets {
+        let _ = t.wait();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    records.extend(rt.take_completions());
+
+    let mut on_time = 0u64;
+    let mut late_ok = 0u64;
+    let mut missed = 0u64;
+    for r in &records {
+        match r.status {
+            ft_obs::CompletionStatus::Ok if r.total_us <= deadline_us => on_time += 1,
+            ft_obs::CompletionStatus::Ok => late_ok += 1,
+            _ => missed += 1,
+        }
+    }
+    let goodput = on_time as f64 / elapsed;
+    eprintln!(
+        "overload shed={:5} offered {:7.0} rps   goodput {:7.0} rps   on-time {}   late {}   \
+         missed {}   shed {}",
+        shedding, offered_rps, goodput, on_time, late_ok, missed, shed_at_admission
+    );
+    json!({
+        "shedding": shedding,
+        "offered_rps": offered_rps,
+        "goodput_rps": goodput,
+        "on_time": on_time,
+        "late_ok": late_ok,
+        "deadline_missed": missed,
+        "shed": shed_at_admission,
+    })
+}
+
+/// Overload scenario: measure capacity closed-loop, then offer 2x that
+/// rate open-loop with a per-request deadline, shedding off vs on. The
+/// report compares on-deadline goodput against the at-capacity run.
+fn run_overload(smoke: bool) -> Value {
+    let (n, d, l, h) = SHAPE;
+    let program = Arc::new(stacked_rnn_program(n, d, l, h));
+    let ws = shared_weights();
+
+    // Capacity probe: closed-loop clients, no deadline.
+    let rt = Runtime::try_new(ServeConfig {
+        threads: 4,
+        max_batch: 8,
+        ..ServeConfig::default()
+    })
+    .expect("serve runtime construction");
+    let clients = 8usize;
+    let per_client = if smoke { 10 } else { 30 };
+    let rt = Arc::new(rt);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = Arc::clone(&rt);
+            let program = Arc::clone(&program);
+            let inputs = request_inputs(6_000 + c as u64, &ws);
+            s.spawn(move || {
+                rt.submit_wait(Request::new(program, inputs))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+            });
+        }
+    });
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = Arc::clone(&rt);
+            let program = Arc::clone(&program);
+            let ws = ws.clone();
+            s.spawn(move || {
+                for r in 0..per_client {
+                    let inputs = request_inputs((c * per_client + r) as u64, &ws);
+                    rt.submit_wait(Request::new(Arc::clone(&program), inputs))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let capacity_rps = (clients * per_client) as f64 / t0.elapsed().as_secs_f64();
+    let p50_us = rt.stats().latency_p50_us;
+    drop(rt);
+    // A deadline the at-capacity run comfortably meets, but that an
+    // unshed 2x backlog blows through.
+    let deadline = Duration::from_secs_f64((p50_us * 8.0).max(4_000.0) / 1e6);
+    eprintln!(
+        "overload: capacity {:.0} rps   p50 {:.2} ms   deadline {:.2} ms",
+        capacity_rps,
+        p50_us / 1e3,
+        deadline.as_secs_f64() * 1e3
+    );
+
+    let duration = if smoke { 1.0 } else { 2.5 };
+    // Pace the baseline slightly below the closed-loop capacity estimate:
+    // an open-loop arrival stream at exactly 100% has unbounded expected
+    // queue growth, which would make the "healthy" reference itself miss
+    // deadlines on a noisy host.
+    let baseline_rps = 0.9 * capacity_rps;
+    let at_capacity_total = ((baseline_rps * duration) as usize).clamp(50, 1_200);
+    let overload_total = ((2.0 * capacity_rps * duration) as usize).clamp(100, 2_400);
+    let baseline = overload_run(
+        true,
+        baseline_rps,
+        at_capacity_total,
+        deadline,
+        &program,
+        &ws,
+    );
+    let unshed = overload_run(
+        false,
+        2.0 * capacity_rps,
+        overload_total,
+        deadline,
+        &program,
+        &ws,
+    );
+    let shed = overload_run(
+        true,
+        2.0 * capacity_rps,
+        overload_total,
+        deadline,
+        &program,
+        &ws,
+    );
+    let ratio = |v: &Value| {
+        let g = v["goodput_rps"].as_f64().unwrap_or(0.0);
+        let b = baseline["goodput_rps"].as_f64().unwrap_or(0.0);
+        if b > 0.0 {
+            g / b
+        } else {
+            0.0
+        }
+    };
+    json!({
+        "capacity_rps": capacity_rps,
+        "deadline_ms": deadline.as_secs_f64() * 1e3,
+        "at_capacity": baseline.clone(),
+        "overload_2x_unshed": unshed.clone(),
+        "overload_2x_shed": shed.clone(),
+        "shed_goodput_vs_at_capacity": ratio(&shed),
+        "unshed_goodput_vs_at_capacity": ratio(&unshed),
+    })
 }
 
 fn main() {
@@ -282,9 +736,15 @@ fn main() {
                 "arena_acquires": r.arena_acquires,
                 "arena_grows_after_warmup": r.arena_grows_after_warmup,
                 "leaf_clones": r.leaf_clones,
+                "shed": r.shed,
+                "retried": r.retried,
+                "quarantined": r.quarantined,
             })
         })
         .collect();
+    let chaos = run_chaos(smoke);
+    let overload = run_overload(smoke);
+
     let setup = json!({
         "cold_compile_verify_us": cold_us,
         "cached_lookup_us": cached_us,
@@ -300,6 +760,8 @@ fn main() {
         "setup": setup,
         "batched_vs_unbatched_throughput": batched_vs_unbatched.unwrap_or(0.0),
         "load": load,
+        "chaos": chaos,
+        "overload": overload,
     });
     let rendered = serde_json::to_string_pretty(&report).unwrap();
     if let Some(path) = out {

@@ -224,6 +224,27 @@ fn render(now: &View, prev: &View, dt: f64, source: &str, frame: String) {
         now.counter("passes.fusion_rejected"),
         now.counter("passes.fusion_tmp_elems_saved"),
     );
+    println!(
+        "  health     restarts {:<3} shed {:<5} retries {:<5} bisections {:<4} stalled {}",
+        now.counter("serve.scheduler_restarts"),
+        now.counter("serve.shed"),
+        now.counter("serve.retries"),
+        now.counter("serve.batch_bisections"),
+        now.counter("serve.stalled"),
+    );
+    println!(
+        "  quarantine plans {:<3} trips {:<4} rejected {:<5} probes {}",
+        now.gauge("serve.quarantined_plans"),
+        now.counter("serve.quarantine_trips"),
+        now.counter("serve.quarantine_rejected"),
+        now.counter("serve.quarantine_probes"),
+    );
+    println!(
+        "  pool       workers {:<3} spawn failures {:<3} replacements {}",
+        now.gauge("pool.workers"),
+        now.counter("pool.spawn_failures"),
+        now.counter("serve.pool_replacements"),
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 }
@@ -249,12 +270,15 @@ fn run_demo(ticks: u64, interval: Duration) {
         .map(|v| v.get())
         .unwrap_or(2)
         .min(4);
-    let rt = Arc::new(Runtime::new(ServeConfig {
-        threads,
-        batching: true,
-        max_batch: 8,
-        ..ServeConfig::default()
-    }));
+    let rt = Arc::new(
+        Runtime::try_new(ServeConfig {
+            threads,
+            batching: true,
+            max_batch: 8,
+            ..ServeConfig::default()
+        })
+        .expect("ft-top demo runtime construction"),
+    );
     let stop = Arc::new(AtomicBool::new(false));
 
     std::thread::scope(|s| {

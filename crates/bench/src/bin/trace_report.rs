@@ -193,11 +193,12 @@ fn trace_serve() -> Result<(), String> {
     let program = Arc::new(stacked_rnn_program(n, d, l, h));
     let ws = FractalTensor::from_flat(&Tensor::randn(&[d, h, h], SEED).mul_scalar(0.2), 1)
         .map_err(|e| format!("weights: {e}"))?;
-    let rt = Runtime::new(ServeConfig {
+    let rt = Runtime::try_new(ServeConfig {
         threads: THREADS,
         max_batch: 4,
         ..ServeConfig::default()
-    });
+    })
+    .map_err(|e| format!("serve runtime: {e}"))?;
     let mut tickets = Vec::new();
     for round in 0..8u64 {
         let xss = FractalTensor::from_flat(&Tensor::randn(&[n, l, 1, h], SEED + round), 2)

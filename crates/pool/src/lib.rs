@@ -24,11 +24,30 @@
 //!   message instead of a generic "job panicked".
 //! * If an OS thread cannot be spawned the pool degrades to however many
 //!   workers did start (at minimum the calling thread) instead of
-//!   aborting; [`WorkerPool::threads`] reports the effective count.
+//!   aborting; [`WorkerPool::threads`] reports the effective count, the
+//!   `pool.workers` gauge exports it, and `pool.spawn_failures` counts the
+//!   participants that never came up.
 //! * [`WorkerPool::inject_fault`] arms a one-shot panic on a chosen
 //!   participant at a chosen future job — the fault-injection hook used by
 //!   the chaos test suite (test/bench-only API; never call it in
 //!   production paths).
+//!
+//! ## Supervised pools and the stall watchdog
+//!
+//! A regular pool runs the calling thread as participant 0, so a wedged
+//! job (a UDF stuck in an infinite loop) wedges the caller with it — there
+//! is no one left to notice. A pool built with [`WorkerPool::supervised`]
+//! spawns a thread for *every* participant and keeps the caller out of job
+//! code entirely, which makes a bounded wait possible:
+//! [`WorkerPool::try_run_for`] watches per-participant heartbeat counters
+//! ([`WorkerPool::beat`], bumped by workers at job pickup/completion and
+//! by compute loops once per drained chunk) and, if no participant makes
+//! progress for the configured window, declares the job stalled. The pool
+//! is then **poisoned**: the stalled job's threads are abandoned (they
+//! exit on their own if the wedge ever clears), every later submit fails
+//! fast with [`RunError::Poisoned`], and dropping the pool detaches
+//! instead of joining so the caller can replace it without inheriting the
+//! hang.
 
 #![forbid(unsafe_code)]
 // Fault paths must degrade into typed errors, never panic-crash: non-test
@@ -37,10 +56,12 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 /// A unit of work: called once per participant with the participant index
 /// (`0..pool.threads()`); index 0 is the thread that called [`WorkerPool::run`].
@@ -48,6 +69,42 @@ pub type Job = Arc<dyn Fn(usize) + Send + Sync + 'static>;
 
 /// A caught panic payload (what `std::thread::JoinHandle::join` returns).
 pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Why a [`WorkerPool::try_run_for`] submission failed.
+pub enum RunError {
+    /// The job panicked on some participant; the original payload.
+    Panic(PanicPayload),
+    /// No participant made heartbeat progress for the watchdog window:
+    /// the job is presumed wedged and the pool is now poisoned.
+    Stalled {
+        /// Wall time from job publish to the stall verdict.
+        elapsed_ms: u64,
+    },
+    /// The pool was already poisoned by an earlier stall; the job was
+    /// rejected without running. Replace the pool.
+    Poisoned,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panic(p) => write!(f, "job panicked: {}", panic_message(p)),
+            RunError::Stalled { elapsed_ms } => {
+                write!(
+                    f,
+                    "job stalled: no worker heartbeat, gave up after {elapsed_ms} ms"
+                )
+            }
+            RunError::Poisoned => write!(f, "pool poisoned by an earlier stalled job"),
+        }
+    }
+}
+
+impl std::fmt::Debug for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
 
 struct State {
     /// Bumped once per published job; workers compare against the last
@@ -69,6 +126,19 @@ struct Shared {
     work: Condvar,
     /// Signaled when the last active worker finishes an epoch.
     done: Condvar,
+    /// Per-participant heartbeat counters: bumped at job pickup and
+    /// completion by the worker loop, and once per drained chunk by
+    /// compute loops via [`WorkerPool::beat`]. The stall watchdog declares
+    /// a job wedged when the sum stops advancing.
+    beats: Vec<AtomicU64>,
+}
+
+fn beat_sum(shared: &Shared) -> u64 {
+    shared
+        .beats
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .fold(0u64, u64::wrapping_add)
 }
 
 /// A pool of parked worker threads (see the crate docs).
@@ -78,6 +148,12 @@ pub struct WorkerPool {
     /// Serializes concurrent `run` calls from different threads.
     gate: Mutex<()>,
     threads: usize,
+    /// Supervised pools spawn a thread per participant; the caller never
+    /// runs job code, so a wedged job can be timed out and abandoned.
+    supervised: bool,
+    /// Set when a stall verdict abandoned a job: the pool refuses further
+    /// work and its Drop detaches instead of joining.
+    poisoned: AtomicBool,
     /// Always-on `pool.jobs` counter handle (one bump per published job).
     jobs: ft_obs::Counter,
 }
@@ -88,6 +164,20 @@ impl WorkerPool {
     /// refuses to spawn a worker, the pool degrades to the participants
     /// that did start rather than failing.
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, false)
+    }
+
+    /// Builds a *supervised* pool: `threads` participants, **all** on
+    /// spawned worker threads. The caller only publishes jobs and waits,
+    /// which is what lets [`try_run_for`](Self::try_run_for) bound a
+    /// job's wall time — a wedged job can be abandoned because the caller
+    /// was never inside it. Degrades to an ordinary caller-participates
+    /// pool if no worker can be spawned at all.
+    pub fn supervised(threads: usize) -> Self {
+        Self::build(threads, true)
+    }
+
+    fn build(threads: usize, supervised: bool) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -100,24 +190,44 @@ impl WorkerPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            beats: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
-        let mut handles = Vec::with_capacity(threads - 1);
-        for w in 1..threads {
+        let reg = ft_obs::Registry::global();
+        // Supervised pools spawn a worker for every participant id
+        // (0..threads); regular pools leave participant 0 to the caller.
+        let first = usize::from(!supervised);
+        let mut handles = Vec::with_capacity(threads - first);
+        for w in first..threads {
             let shared = Arc::clone(&shared);
             match std::thread::Builder::new()
                 .name(format!("ft-pool-{w}"))
                 .spawn(move || worker_loop(&shared, w))
             {
                 Ok(h) => handles.push(h),
-                // Graceful degradation: run with the workers we got.
-                Err(_) => break,
+                // Graceful degradation: run with the workers we got, but
+                // leave an audit trail — a pool silently below its
+                // requested width is exactly the kind of capacity loss an
+                // operator needs a counter for.
+                Err(_) => {
+                    reg.counter("pool.spawn_failures").add((threads - w) as u64);
+                    break;
+                }
             }
         }
-        let threads = handles.len() + 1;
+        // A supervised pool with zero workers has nobody to run jobs:
+        // fall back to caller-participates so it still makes progress
+        // (the watchdog is unavailable in that degraded state).
+        let (threads, supervised) = if supervised && handles.is_empty() {
+            (1, false)
+        } else if supervised {
+            (handles.len(), true)
+        } else {
+            (handles.len() + 1, false)
+        };
         // Always-on metrics: how many participants this process has live
         // (point-in-time) and how many pools were spun up (spawn churn —
-        // the serving runtime should hold this at one per runtime).
-        let reg = ft_obs::Registry::global();
+        // the serving runtime should hold this at one per runtime, plus
+        // one per stall-triggered replacement).
         reg.counter("pool.created").inc();
         reg.gauge("pool.workers").set(threads as i64);
         WorkerPool {
@@ -125,13 +235,36 @@ impl WorkerPool {
             handles,
             gate: Mutex::new(()),
             threads,
-            jobs: ft_obs::Registry::global().counter("pool.jobs"),
+            supervised,
+            poisoned: AtomicBool::new(false),
+            jobs: reg.counter("pool.jobs"),
         }
     }
 
     /// Number of participants (including the caller of [`run`](Self::run)).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether every participant is a spawned worker thread (see
+    /// [`supervised`](Self::supervised)).
+    pub fn is_supervised(&self) -> bool {
+        self.supervised
+    }
+
+    /// Whether a stall verdict has poisoned this pool (all further
+    /// submissions fail fast with [`RunError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Records heartbeat progress for `participant`. Compute loops call
+    /// this once per drained work chunk so the stall watchdog can tell a
+    /// slow-but-advancing job from a wedged one.
+    pub fn beat(&self, participant: usize) {
+        if let Some(b) = self.shared.beats.get(participant) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Arms a one-shot injected panic: participant `participant` panics at
@@ -146,11 +279,59 @@ impl WorkerPool {
     /// Runs `job` on every participant, returning the original panic
     /// payload if the job panicked on any of them (the local participant's
     /// payload wins when several panicked). The pool stays usable after a
-    /// failed job.
+    /// failed job. A poisoned pool rejects the job with a synthetic
+    /// payload without running it.
     pub fn try_run(&self, job: Job) -> Result<(), PanicPayload> {
+        match self.run_core(job, None) {
+            Ok(()) => Ok(()),
+            Err(RunError::Panic(p)) => Err(p),
+            // Unreachable without a timeout, except Poisoned: surface it
+            // through the payload channel so legacy callers still get a
+            // readable failure.
+            Err(e) => Err(Box::new(e.to_string())),
+        }
+    }
+
+    /// Runs `job` with a stall watchdog: if no participant records
+    /// heartbeat progress for `timeout`, the job is declared
+    /// [`Stalled`](RunError::Stalled), the pool is poisoned, and the
+    /// wedged threads are abandoned. `timeout: None` waits unboundedly
+    /// (equivalent to [`try_run`](Self::try_run)).
+    ///
+    /// The watchdog can only cover work the caller is not part of: on a
+    /// [`supervised`](Self::supervised) pool that is the whole job; on a
+    /// regular pool the caller's own participant-0 share runs first,
+    /// unbounded, and only the spawned workers' remainder is watched.
+    pub fn try_run_for(&self, job: Job, timeout: Option<Duration>) -> Result<(), RunError> {
+        self.run_core(job, timeout)
+    }
+
+    fn run_core(&self, job: Job, timeout: Option<Duration>) -> Result<(), RunError> {
         let _gate = self.gate.lock();
+        if self.is_poisoned() {
+            return Err(RunError::Poisoned);
+        }
         self.jobs.inc();
+        let started = Instant::now();
         let workers = self.handles.len();
+        if self.supervised {
+            {
+                let mut st = self.shared.state.lock();
+                st.epoch += 1;
+                st.payload = None;
+                st.job = Some(Arc::clone(&job));
+                st.active = workers;
+            }
+            self.shared.work.notify_all();
+            drop(job);
+            let st = self.shared.state.lock();
+            let mut st = self.wait_done(st, timeout, started)?;
+            st.job = None;
+            return match st.payload.take() {
+                Some(p) => Err(RunError::Panic(p)),
+                None => Ok(()),
+            };
+        }
         let inject_local = {
             let mut st = self.shared.state.lock();
             st.epoch += 1;
@@ -177,20 +358,59 @@ impl WorkerPool {
         drop(job);
         let mut worker_payload = None;
         if workers > 0 {
-            let mut st = self.shared.state.lock();
-            while st.active > 0 {
-                st = self.shared.done.wait(st);
-            }
+            let st = self.shared.state.lock();
+            let mut st = self.wait_done(st, timeout, started)?;
             st.job = None;
             worker_payload = st.payload.take();
         }
         match local {
-            Err(p) => Err(p),
+            Err(p) => Err(RunError::Panic(p)),
             Ok(()) => match worker_payload {
-                Some(p) => Err(p),
+                Some(p) => Err(RunError::Panic(p)),
                 None => Ok(()),
             },
         }
+    }
+
+    /// Waits for the current epoch to finish. With a timeout, polls the
+    /// heartbeat sum; when it stops advancing for the whole window the
+    /// job is declared stalled and the pool poisoned (shutdown is raised
+    /// so non-wedged workers exit once they finish).
+    fn wait_done<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        timeout: Option<Duration>,
+        started: Instant,
+    ) -> Result<MutexGuard<'a, State>, RunError> {
+        let Some(limit) = timeout else {
+            while st.active > 0 {
+                st = self.shared.done.wait(st);
+            }
+            return Ok(st);
+        };
+        let poll = (limit / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let mut last_sum = beat_sum(&self.shared);
+        let mut last_progress = Instant::now();
+        while st.active > 0 {
+            let (guard, _) = self.shared.done.wait_timeout(st, poll);
+            st = guard;
+            if st.active == 0 {
+                break;
+            }
+            let sum = beat_sum(&self.shared);
+            if sum != last_sum {
+                last_sum = sum;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() >= limit {
+                self.poisoned.store(true, Ordering::SeqCst);
+                st.shutdown = true;
+                self.shared.work.notify_all();
+                return Err(RunError::Stalled {
+                    elapsed_ms: started.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        Ok(st)
     }
 
     /// Runs `job` on every participant and returns when all are done.
@@ -211,8 +431,15 @@ impl Drop for WorkerPool {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        if self.is_poisoned() {
+            // A stalled job may still hold a worker hostage; joining
+            // would inherit the hang. Detach — workers exit on their own
+            // when (if) the wedged job ever returns.
+            self.handles.clear();
+        } else {
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -239,6 +466,9 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 st = shared.work.wait(st);
             }
         };
+        if let Some(b) = shared.beats.get(worker) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
         let result = catch_unwind(AssertUnwindSafe(|| {
             if inject {
                 panic!("injected pool fault: participant {worker}");
@@ -246,6 +476,9 @@ fn worker_loop(shared: &Shared, worker: usize) {
             job(worker)
         }));
         drop(job);
+        if let Some(b) = shared.beats.get(worker) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
         let mut st = shared.state.lock();
         if let Err(p) = result {
             if st.payload.is_none() {
@@ -440,6 +673,82 @@ mod tests {
         let err = pool.try_run(Arc::new(|_| {})).expect_err("local fault");
         assert!(panic_message(&err).contains("participant 0"));
         pool.try_run(Arc::new(|_| {})).expect("recovered");
+    }
+
+    #[test]
+    fn supervised_pool_runs_every_participant() {
+        let pool = WorkerPool::supervised(3);
+        assert!(pool.is_supervised());
+        assert_eq!(pool.threads(), 3);
+        for _ in 0..5 {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            pool.try_run(Arc::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("clean job");
+            assert_eq!(hits.load(Ordering::SeqCst), 3);
+        }
+    }
+
+    #[test]
+    fn supervised_pool_preserves_panic_payload() {
+        let pool = WorkerPool::supervised(2);
+        let err = pool
+            .try_run(Arc::new(|w| {
+                if w == 1 {
+                    panic!("supervised boom");
+                }
+            }))
+            .expect_err("job panicked");
+        assert_eq!(panic_message(&err), "supervised boom");
+        // Still usable after a panic (panic != stall).
+        pool.try_run(Arc::new(|_| {})).expect("recovered");
+        assert!(!pool.is_poisoned());
+    }
+
+    #[test]
+    fn stalled_job_is_abandoned_and_pool_poisoned() {
+        let pool = WorkerPool::supervised(2);
+        let err = pool
+            .try_run_for(
+                Arc::new(|w| {
+                    if w == 0 {
+                        // Simulated wedge: long enough for the watchdog to
+                        // trip, short enough for the detached worker to
+                        // drain before the test process exits.
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                }),
+                Some(Duration::from_millis(50)),
+            )
+            .expect_err("watchdog trips");
+        assert!(matches!(err, RunError::Stalled { .. }), "got {err}");
+        assert!(pool.is_poisoned());
+        // Poisoned pools fail fast without running anything.
+        let err2 = pool
+            .try_run_for(Arc::new(|_| {}), None)
+            .expect_err("poisoned pool rejects work");
+        assert!(matches!(err2, RunError::Poisoned));
+    }
+
+    #[test]
+    fn progressing_job_survives_the_watchdog() {
+        let pool = Arc::new(WorkerPool::supervised(2));
+        let p = Arc::clone(&pool);
+        // Runs for ~100 ms, well past the 60 ms window, but beats every
+        // 10 ms: slow-but-advancing work must not be declared stalled.
+        pool.try_run_for(
+            Arc::new(move |w| {
+                for _ in 0..10 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    p.beat(w);
+                }
+            }),
+            Some(Duration::from_millis(60)),
+        )
+        .expect("progressing job is not a stall");
+        assert!(!pool.is_poisoned());
     }
 
     #[test]

@@ -42,9 +42,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use ft_backend::{ExecError, Executor};
+
+pub use ft_backend::FaultPlan;
 use ft_core::{program_signature, BufferId, BufferKind, FractalTensor, Program, ProgramSig};
 use ft_obs::{
     CompletionRecord, CompletionStatus, Counter, FuseDecision, Gauge, Histogram, Registry,
@@ -75,6 +77,23 @@ pub enum ServeError {
     Shutdown,
     /// The scheduler thread could not be spawned at construction.
     Spawn(String),
+    /// The scheduler thread panicked while this request was in flight;
+    /// the supervisor failed the ticket, respawned the scheduler, and
+    /// service continued. The request itself may be retried.
+    SchedulerDown,
+    /// The request's plan is quarantined: it failed too many consecutive
+    /// executions and the circuit breaker is failing fast (no pool time
+    /// burned) until a cooldown elapses and a half-open probe succeeds.
+    Quarantined,
+    /// Deadline-aware load shedding: the estimated queue wait plus
+    /// service time already exceeds the request's deadline, so admission
+    /// rejected it instead of queueing doomed work. Distinct from
+    /// [`QueueFull`](ServeError::QueueFull) — the queue had room, the
+    /// deadline did not.
+    Shed {
+        /// The wait estimate (µs) that made the deadline unmeetable.
+        estimated_us: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -89,6 +108,22 @@ impl std::fmt::Display for ServeError {
             ServeError::Input(m) => write!(f, "bad input: {m}"),
             ServeError::Shutdown => write!(f, "runtime is shut down"),
             ServeError::Spawn(m) => write!(f, "failed to spawn scheduler thread: {m}"),
+            ServeError::SchedulerDown => {
+                write!(
+                    f,
+                    "scheduler panicked with this request in flight (restarted)"
+                )
+            }
+            ServeError::Quarantined => {
+                write!(
+                    f,
+                    "plan quarantined after repeated failures; retry after cooldown"
+                )
+            }
+            ServeError::Shed { estimated_us } => write!(
+                f,
+                "shed at admission: estimated wait {estimated_us} µs exceeds the deadline"
+            ),
         }
     }
 }
@@ -125,6 +160,27 @@ pub struct ServeConfig {
     pub fallback: Option<bool>,
     /// Deadline applied to requests that don't set their own.
     pub default_deadline: Option<Duration>,
+    /// Consecutive execution failures of one plan before its circuit
+    /// breaker opens and requests fail fast with
+    /// [`ServeError::Quarantined`]. `0` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// How long an open breaker fails fast before letting one half-open
+    /// probe through to test whether the plan recovered.
+    pub quarantine_cooldown: Duration,
+    /// Deadline-aware load shedding at admission: when the estimated
+    /// queue wait (from the live `serve.exec_us` histogram) already
+    /// exceeds a request's deadline, reject it with [`ServeError::Shed`]
+    /// instead of queueing doomed work. Requests without deadlines are
+    /// never shed, and a cold runtime (no latency history yet) admits
+    /// everything.
+    pub shedding: bool,
+    /// Stall watchdog: bound the wall time of each wavefront launch.
+    /// When set, the pool runs supervised (workers only — the scheduler
+    /// never executes job code) and a launch that makes no heartbeat
+    /// progress for this long fails with [`ExecError::Stalled`]; the
+    /// runtime then replaces the poisoned pool and keeps serving.
+    /// `None` (the default) keeps the zero-overhead unsupervised pool.
+    pub launch_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +194,10 @@ impl Default for ServeConfig {
             guard: None,
             fallback: None,
             default_deadline: None,
+            quarantine_threshold: 5,
+            quarantine_cooldown: Duration::from_millis(500),
+            shedding: true,
+            launch_timeout: None,
         }
     }
 }
@@ -258,7 +318,17 @@ struct Metrics {
     batches: Counter,
     batched_requests: Counter,
     batch_fallbacks: Counter,
+    scheduler_restarts: Counter,
+    shed: Counter,
+    retries: Counter,
+    batch_bisections: Counter,
+    quarantine_trips: Counter,
+    quarantine_rejected: Counter,
+    quarantine_probes: Counter,
+    stalled: Counter,
+    pool_replacements: Counter,
     queue_depth: Gauge,
+    quarantined_plans: Gauge,
     latency_us: Arc<Histogram>,
     queue_wait_us: Arc<Histogram>,
     batch_size: Arc<Histogram>,
@@ -278,7 +348,17 @@ impl Metrics {
             batches: reg.counter("serve.batches"),
             batched_requests: reg.counter("serve.batched_requests"),
             batch_fallbacks: reg.counter("serve.batch_fallbacks"),
+            scheduler_restarts: reg.counter("serve.scheduler_restarts"),
+            shed: reg.counter("serve.shed"),
+            retries: reg.counter("serve.retries"),
+            batch_bisections: reg.counter("serve.batch_bisections"),
+            quarantine_trips: reg.counter("serve.quarantine_trips"),
+            quarantine_rejected: reg.counter("serve.quarantine_rejected"),
+            quarantine_probes: reg.counter("serve.quarantine_probes"),
+            stalled: reg.counter("serve.stalled"),
+            pool_replacements: reg.counter("serve.pool_replacements"),
             queue_depth: reg.gauge("serve.queue_depth"),
+            quarantined_plans: reg.gauge("serve.quarantined_plans"),
             latency_us: reg.histogram("serve.latency_us"),
             queue_wait_us: reg.histogram("serve.queue_wait_us"),
             batch_size: reg.histogram("serve.batch_size"),
@@ -331,6 +411,29 @@ pub struct ServeStats {
     pub batched_requests: u64,
     /// Fused attempts that fell back to per-request execution.
     pub batch_fallbacks: u64,
+    /// Times the supervisor respawned a panicked scheduler.
+    pub scheduler_restarts: u64,
+    /// Requests rejected at admission because their deadline was already
+    /// unmeetable ([`ServeError::Shed`]).
+    pub shed: u64,
+    /// Solo re-executions performed to isolate a fused-batch fault.
+    pub retries: u64,
+    /// Fused launches whose execution failure triggered member-by-member
+    /// solo retry (batch fault isolation).
+    pub batch_bisections: u64,
+    /// Circuit-breaker trips: plans moved into quarantine.
+    pub quarantine_trips: u64,
+    /// Requests failed fast with [`ServeError::Quarantined`].
+    pub quarantine_rejected: u64,
+    /// Plans currently quarantined (point-in-time gauge).
+    pub quarantined_plans: i64,
+    /// Launches that hit the stall watchdog ([`ExecError::Stalled`]).
+    pub stalled: u64,
+    /// Poisoned worker pools replaced with fresh ones.
+    pub pool_replacements: u64,
+    /// Worker threads in the current pool (full strength after any
+    /// replacement).
+    pub pool_workers: usize,
     /// Largest fused batch so far.
     pub max_batch: usize,
     /// Deepest the admission queue has been.
@@ -370,6 +473,44 @@ pub struct ServeStats {
     pub leaf_clones: u64,
 }
 
+/// The executor and the pool it launches on, swapped atomically (behind
+/// one `RwLock`) when a stalled launch poisons the pool. The executor's
+/// arena and counters are carried across replacements — only the pool is
+/// fresh — so warm buffers and cumulative stats survive.
+struct Engine {
+    pool: Arc<WorkerPool>,
+    exec: Executor,
+}
+
+/// Per-plan circuit breaker: consecutive execution failures open it;
+/// after a cooldown one half-open probe is let through and its outcome
+/// decides between closing and re-opening.
+#[derive(Default)]
+struct Breaker {
+    consecutive: u32,
+    state: BreakerState,
+}
+
+#[derive(Default, Clone, Copy, PartialEq)]
+enum BreakerState {
+    #[default]
+    Closed,
+    Open {
+        until: Instant,
+    },
+    HalfOpen,
+}
+
+/// What the supervisor needs to fail a ticket whose dispatch died mid
+/// flight: the waiter's slot plus enough identity to emit an
+/// attributable completion record.
+struct Inflight {
+    ticket: Arc<TicketState>,
+    ctx: TraceContext,
+    submitted: Instant,
+    queue_wait_us: f64,
+}
+
 struct Inner {
     cfg: ServeConfig,
     queue: Mutex<VecDeque<Pending>>,
@@ -378,6 +519,20 @@ struct Inner {
     shutdown: AtomicBool,
     cache: PlanCache,
     batch_info: Mutex<HashMap<ProgramSig, Option<Arc<BatchInfo>>>>,
+    /// Current pool + executor; replaced under the write lock when a
+    /// stall poisons the pool.
+    engine: RwLock<Engine>,
+    /// Resolved pool width, kept so replacement pools restore full
+    /// strength.
+    pool_threads: usize,
+    /// Tickets popped from the queue but not yet fulfilled, keyed by
+    /// request id. The supervisor drains this on a scheduler panic so an
+    /// admitted ticket can never hang.
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    /// Per-plan circuit breakers ([`ServeError::Quarantined`]).
+    quarantine: Mutex<HashMap<ProgramSig, Breaker>>,
+    /// Pending injected scheduler panics ([`Runtime::kill_scheduler`]).
+    kill: AtomicU64,
     /// Per-runtime metrics registry (`serve.*` names); isolated per
     /// instance so concurrent runtimes (and tests) never mix counters.
     registry: Arc<Registry>,
@@ -396,15 +551,15 @@ struct Inner {
 /// the queue and joins the scheduler.
 pub struct Runtime {
     inner: Arc<Inner>,
-    pool: Arc<WorkerPool>,
-    /// Clone of the scheduler's executor: shares its arena pool and
-    /// counters, so [`Runtime::stats`] can report arena behaviour.
-    exec: Executor,
     scheduler: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Runtime {
     /// Starts a runtime: spins up the worker pool and the scheduler thread.
+    ///
+    /// Test/bench convenience only — library code and long-running
+    /// services should use [`Runtime::try_new`] and handle
+    /// [`ServeError::Spawn`] instead of unwinding.
     ///
     /// # Panics
     ///
@@ -428,8 +583,18 @@ impl Runtime {
         } else {
             cfg.threads
         };
-        let pool = Arc::new(WorkerPool::new(threads));
-        let mut exec = Executor::new().pool(Arc::clone(&pool));
+        // The stall watchdog needs a supervised pool (the scheduler must
+        // never run job code, or a wedged UDF would hang the watchdog's
+        // own caller); without a timeout the unsupervised pool keeps its
+        // zero-overhead caller-participates launch path.
+        let pool = Arc::new(if cfg.launch_timeout.is_some() {
+            WorkerPool::supervised(threads)
+        } else {
+            WorkerPool::new(threads)
+        });
+        let mut exec = Executor::new()
+            .pool(Arc::clone(&pool))
+            .launch_timeout(cfg.launch_timeout);
         if let Some(guard) = cfg.guard {
             exec = exec.guard(guard);
         }
@@ -446,6 +611,11 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             cache: PlanCache::new(),
             batch_info: Mutex::new(HashMap::new()),
+            engine: RwLock::new(Engine { pool, exec }),
+            pool_threads: threads,
+            inflight: Mutex::new(HashMap::new()),
+            quarantine: Mutex::new(HashMap::new()),
+            kill: AtomicU64::new(0),
             registry,
             metrics,
             trace: TraceLog::default(),
@@ -454,17 +624,12 @@ impl Runtime {
             max_batch: AtomicU64::new(0),
         });
         let sched_inner = Arc::clone(&inner);
-        // The clone shares the scheduler executor's arena pool, so stats()
-        // observes the same counters the scheduler thread updates.
-        let exec_handle = exec.clone();
         let scheduler = std::thread::Builder::new()
             .name("ft-serve-sched".into())
-            .spawn(move || scheduler_loop(&sched_inner, &exec))
+            .spawn(move || supervisor_loop(&sched_inner))
             .map_err(|e| ServeError::Spawn(e.to_string()))?;
         Ok(Runtime {
             inner,
-            pool,
-            exec: exec_handle,
             scheduler: Mutex::new(Some(scheduler)),
         })
     }
@@ -476,7 +641,41 @@ impl Runtime {
 
     /// Worker threads in the shared pool.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.inner.engine.read().pool.threads()
+    }
+
+    /// Worker threads in the *current* pool — same as
+    /// [`Runtime::threads`], spelled for chaos tests asserting the pool
+    /// is back at full strength after a replacement.
+    pub fn pool_workers(&self) -> usize {
+        self.threads()
+    }
+
+    /// Chaos hook: make the scheduler panic when it dispatches its next
+    /// group. The supervisor fails any in-flight tickets with
+    /// [`ServeError::SchedulerDown`], respawns the loop, and bumps
+    /// `serve.scheduler_restarts`. Takes effect at the next dispatch, not
+    /// instantly — an idle scheduler dies on the first request after the
+    /// call.
+    pub fn kill_scheduler(&self) {
+        self.inner.kill.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Chaos hook: arm a one-shot [`FaultPlan`] on the current executor;
+    /// the next launch consumes it. See [`Executor::arm_fault`].
+    pub fn inject_exec_fault(&self, plan: FaultPlan) {
+        self.inner.engine.read().exec.arm_fault(plan);
+    }
+
+    /// Chaos hook: schedule a worker panic inside the current pool,
+    /// `jobs_from_now` launches ahead. See
+    /// [`ft_pool::WorkerPool::inject_fault`].
+    pub fn inject_pool_fault(&self, jobs_from_now: u64, participant: usize) {
+        self.inner
+            .engine
+            .read()
+            .pool
+            .inject_fault(jobs_from_now, participant);
     }
 
     /// Enqueues a request, rejecting with [`ServeError::QueueFull`] when the
@@ -550,6 +749,23 @@ impl Runtime {
             if self.inner.shutdown.load(Ordering::Acquire) {
                 return Err(ServeError::Shutdown);
             }
+            // Deadline-aware load shedding: if the live latency history
+            // says the request cannot make its deadline even before it
+            // queues, reject it now instead of burning queue space and
+            // pool time on doomed work. Depth is read under this lock, so
+            // the estimate matches the queue the request would join.
+            if let Some(dl) = pending.deadline {
+                if self.inner.cfg.shedding {
+                    if let Some(estimated_us) = estimate_wait_us(&self.inner, queue.len()) {
+                        if submitted + Duration::from_micros(estimated_us) > dl {
+                            drop(queue);
+                            self.inner.metrics.shed.inc();
+                            ft_probe::counter("serve.shed", 1.0);
+                            return Err(ServeError::Shed { estimated_us });
+                        }
+                    }
+                }
+            }
             queue.push_back(pending);
             // Set the gauge under the queue lock so it always reflects an
             // actual queue state (point-in-time, not a cumulative sum).
@@ -570,7 +786,10 @@ impl Runtime {
     pub fn stats(&self) -> ServeStats {
         let m = &self.inner.metrics;
         let lat = m.latency_us.snapshot();
-        let arena = self.exec.arena_stats();
+        let (arena, pool_workers) = {
+            let eng = self.inner.engine.read();
+            (eng.exec.arena_stats(), eng.pool.threads())
+        };
         ServeStats {
             submitted: m.submitted.get(),
             rejected: m.rejected.get(),
@@ -580,6 +799,16 @@ impl Runtime {
             batches: m.batches.get(),
             batched_requests: m.batched_requests.get(),
             batch_fallbacks: m.batch_fallbacks.get(),
+            scheduler_restarts: m.scheduler_restarts.get(),
+            shed: m.shed.get(),
+            retries: m.retries.get(),
+            batch_bisections: m.batch_bisections.get(),
+            quarantine_trips: m.quarantine_trips.get(),
+            quarantine_rejected: m.quarantine_rejected.get(),
+            quarantined_plans: m.quarantined_plans.get(),
+            stalled: m.stalled.get(),
+            pool_replacements: m.pool_replacements.get(),
+            pool_workers,
             max_batch: self.inner.max_batch.load(Ordering::Relaxed) as usize,
             peak_queue_depth: self.inner.peak_queue_depth.load(Ordering::Relaxed) as usize,
             cache_hits: self.inner.cache.hits(),
@@ -638,6 +867,16 @@ impl Runtime {
         for p in leftovers {
             fulfill(&self.inner, p, Err(ServeError::Shutdown), Phases::default());
         }
+        // And anything popped but never fulfilled (the supervisor handles
+        // this for panics; this covers the supervisor thread itself being
+        // gone) resolves typed rather than hanging its waiter.
+        let stranded: Vec<Inflight> = {
+            let mut inflight = self.inner.inflight.lock();
+            inflight.drain().map(|(_, e)| e).collect()
+        };
+        for e in stranded {
+            resolve_inflight(&self.inner, e, ServeError::Shutdown);
+        }
     }
 }
 
@@ -650,7 +889,7 @@ impl Drop for Runtime {
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("threads", &self.pool.threads())
+            .field("threads", &self.threads())
             .field("cache", &self.inner.cache)
             .finish()
     }
@@ -660,7 +899,84 @@ impl std::fmt::Debug for Runtime {
 // Scheduler.
 // ---------------------------------------------------------------------
 
-fn scheduler_loop(inner: &Arc<Inner>, exec: &Executor) {
+/// Queue-wait estimate (µs) for a request joining a queue of `depth`,
+/// from the live exec-time and batch-size histograms. `None` until
+/// enough launches have completed to predict from — a cold runtime never
+/// sheds.
+fn estimate_wait_us(inner: &Inner, depth: usize) -> Option<u64> {
+    const MIN_HISTORY: u64 = 8;
+    let exec = &inner.metrics.exec_us;
+    if exec.count() < MIN_HISTORY {
+        return None;
+    }
+    let per_launch_us = exec.mean();
+    // Batching drains several queued requests per launch; divide depth by
+    // the observed mean batch size (≥ 1) so fused serving isn't
+    // over-shed.
+    let mean_batch = inner.metrics.batch_size.mean().max(1.0);
+    let launches_ahead = (depth as f64 / mean_batch).ceil();
+    // +1: the request's own launch must also finish before its deadline.
+    // The x2 safety margin makes shedding deliberately conservative: a
+    // shed request costs nothing, while an admitted-then-late request
+    // burns pool time that on-deadline requests needed.
+    Some(((launches_ahead + 1.0) * per_launch_us * 2.0) as u64)
+}
+
+/// Fails one stranded in-flight entry with `err`, emitting the metrics
+/// and the attributable completion record `fulfill` would have.
+fn resolve_inflight(inner: &Inner, entry: Inflight, err: ServeError) {
+    inner.metrics.failed.inc();
+    ft_probe::counter("serve.failed", 1.0);
+    let total_us = entry.submitted.elapsed().as_secs_f64() * 1e6;
+    let record = CompletionRecord {
+        ctx: entry.ctx,
+        queue_wait_us: entry.queue_wait_us,
+        setup_us: 0.0,
+        setup_cached: false,
+        fuse: FuseDecision::Solo,
+        exec_us: 0.0,
+        split_us: 0.0,
+        total_us,
+        status: CompletionStatus::Error(err.to_string()),
+    };
+    record.emit_probe(ft_probe::now_us());
+    inner.trace.push(record);
+    let mut slot = entry.ticket.slot.lock();
+    if slot.is_none() {
+        *slot = Some(Err(err));
+    }
+    drop(slot);
+    entry.ticket.done.notify_all();
+}
+
+/// Runs the dispatch loop under a panic supervisor. A scheduler panic —
+/// a bug, or an injected [`Runtime::kill_scheduler`] — strands every
+/// popped-but-unfulfilled ticket; the supervisor fails each one with a
+/// typed [`ServeError::SchedulerDown`], bumps `serve.scheduler_restarts`,
+/// and restarts the loop so the runtime keeps serving. Admitted tickets
+/// can never hang.
+fn supervisor_loop(inner: &Arc<Inner>) {
+    loop {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scheduler_loop(inner)));
+        match run {
+            // Graceful exit: shutdown drained the queue.
+            Ok(()) => return,
+            Err(_) => {
+                let stranded: Vec<Inflight> = {
+                    let mut inflight = inner.inflight.lock();
+                    inflight.drain().map(|(_, e)| e).collect()
+                };
+                for e in stranded {
+                    resolve_inflight(inner, e, ServeError::SchedulerDown);
+                }
+                inner.metrics.scheduler_restarts.inc();
+                ft_probe::counter("serve.scheduler_restarts", 1.0);
+            }
+        }
+    }
+}
+
+fn scheduler_loop(inner: &Arc<Inner>) {
     loop {
         let mut group = {
             let mut queue = inner.queue.lock();
@@ -694,11 +1010,35 @@ fn scheduler_loop(inner: &Arc<Inner>, exec: &Executor) {
                     }
                 }
             }
+            // Register the group as in-flight under the queue lock:
+            // from the waiter's perspective a ticket is always either
+            // queued or in-flight, so a panic at any point between pop
+            // and fulfill is covered by the supervisor.
+            {
+                let mut inflight = inner.inflight.lock();
+                for p in &group {
+                    inflight.insert(
+                        p.ctx.request_id,
+                        Inflight {
+                            ticket: Arc::clone(&p.ticket),
+                            ctx: p.ctx.clone(),
+                            submitted: p.submitted,
+                            queue_wait_us: 0.0,
+                        },
+                    );
+                }
+            }
             // Point-in-time depth after the pop, under the same lock.
             inner.metrics.queue_depth.set(queue.len() as i64);
             group
         };
         inner.space.notify_all();
+        // Chaos hook: an injected kill lands after the group is popped
+        // and registered — exactly the worst case the supervisor exists
+        // for (tickets neither queued nor fulfilled).
+        if inner.kill.swap(0, Ordering::SeqCst) > 0 {
+            panic!("injected scheduler panic (kill_scheduler)");
+        }
         if !group.is_empty() {
             // Queue wait ends here: everything after is setup + execution.
             let now = Instant::now();
@@ -706,6 +1046,9 @@ fn scheduler_loop(inner: &Arc<Inner>, exec: &Executor) {
                 p.queue_wait_us = now.duration_since(p.submitted).as_secs_f64() * 1e6;
                 inner.metrics.queue_wait_us.record(p.queue_wait_us);
             }
+            // Each group reads the current engine: a stall in an earlier
+            // group may have swapped in a fresh pool.
+            let exec = inner.engine.read().exec.clone();
             process_group(inner, exec, group);
         }
     }
@@ -718,13 +1061,118 @@ fn split_expired(group: Vec<Pending>) -> (Vec<Pending>, Vec<Pending>) {
         .partition(|p| p.deadline.is_some_and(|d| d <= now))
 }
 
-fn process_group(inner: &Inner, exec: &Executor, group: Vec<Pending>) {
+/// Records one execution (or compile) outcome of `sig` against its
+/// circuit breaker. Successes close the breaker; `threshold` consecutive
+/// failures open it, after which [`process_group`] fails requests fast
+/// until the cooldown elapses and a half-open probe succeeds.
+fn note_plan_outcome(inner: &Inner, sig: ProgramSig, ok: bool) {
+    let threshold = inner.cfg.quarantine_threshold;
+    if threshold == 0 {
+        return;
+    }
+    let mut quarantine = inner.quarantine.lock();
+    let b = quarantine.entry(sig).or_default();
+    if ok {
+        if !matches!(b.state, BreakerState::Closed) {
+            inner.metrics.quarantined_plans.dec();
+        }
+        b.consecutive = 0;
+        b.state = BreakerState::Closed;
+        return;
+    }
+    b.consecutive = b.consecutive.saturating_add(1);
+    match b.state {
+        // A failed half-open probe re-opens with a fresh cooldown; the
+        // plan never left quarantine, so no new trip is counted.
+        BreakerState::HalfOpen => {
+            b.state = BreakerState::Open {
+                until: Instant::now() + inner.cfg.quarantine_cooldown,
+            };
+        }
+        BreakerState::Closed if b.consecutive >= threshold => {
+            b.state = BreakerState::Open {
+                until: Instant::now() + inner.cfg.quarantine_cooldown,
+            };
+            inner.metrics.quarantine_trips.inc();
+            inner.metrics.quarantined_plans.inc();
+            ft_probe::counter("serve.quarantine_trips", 1.0);
+        }
+        _ => {}
+    }
+}
+
+/// Does this executor error indict the *plan* (count against its
+/// breaker)? Caller mistakes — missing or malformed inputs — don't.
+fn indicts_plan(e: &ExecError) -> bool {
+    !matches!(e, ExecError::Input(_))
+}
+
+/// Swaps a poisoned pool for a fresh one (same width, same supervision
+/// mode) and rebinds `exec` to the replacement engine. The executor's
+/// arena and counters carry over — only the pool is new. No-op if
+/// another path already replaced it.
+fn replace_engine(inner: &Inner, exec: &mut Executor) {
+    let mut eng = inner.engine.write();
+    if !eng.pool.is_poisoned() {
+        *exec = eng.exec.clone();
+        return;
+    }
+    let pool = Arc::new(if eng.pool.is_supervised() {
+        WorkerPool::supervised(inner.pool_threads)
+    } else {
+        WorkerPool::new(inner.pool_threads)
+    });
+    eng.exec = eng.exec.clone().pool(Arc::clone(&pool));
+    eng.pool = pool;
+    *exec = eng.exec.clone();
+    inner.metrics.pool_replacements.inc();
+    ft_probe::counter("serve.pool_replacements", 1.0);
+}
+
+/// Notes a stall: meters it, and replaces the poisoned pool so the rest
+/// of the group (and all later groups) run on a healthy engine.
+fn recover_from_stall(inner: &Inner, exec: &mut Executor) {
+    inner.metrics.stalled.inc();
+    ft_probe::counter("serve.stalled", 1.0);
+    replace_engine(inner, exec);
+}
+
+fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
     let (expired, live) = split_expired(group);
     for p in expired {
         fulfill(inner, p, Err(ServeError::Deadline), Phases::default());
     }
     if live.is_empty() {
         return;
+    }
+
+    // Quarantine gate: an open breaker fails the whole group fast — no
+    // compile, no pool time. Once the cooldown elapses, exactly one
+    // group proceeds as the half-open probe; its outcome decides
+    // between closing and re-opening.
+    let sig = live[0].sig;
+    if inner.cfg.quarantine_threshold > 0 {
+        let now = Instant::now();
+        let mut quarantine = inner.quarantine.lock();
+        if let Some(b) = quarantine.get_mut(&sig) {
+            match b.state {
+                BreakerState::Open { until } if now < until => {
+                    drop(quarantine);
+                    inner.metrics.quarantine_rejected.add(live.len() as u64);
+                    ft_probe::counter("serve.quarantine_rejected", live.len() as f64);
+                    for p in live {
+                        fulfill(inner, p, Err(ServeError::Quarantined), Phases::default());
+                    }
+                    return;
+                }
+                BreakerState::Open { .. } => {
+                    b.state = BreakerState::HalfOpen;
+                    inner.metrics.quarantine_probes.inc();
+                    ft_probe::counter("serve.quarantine_probes", 1.0);
+                }
+                _ => {}
+            }
+        }
     }
 
     // Plan acquisition: a cache hit skips compile AND verify. The time is
@@ -736,6 +1184,9 @@ fn process_group(inner: &Inner, exec: &Executor, group: Vec<Pending>) {
     let (plan, hit) = match acquired {
         Ok(v) => v,
         Err(e) => {
+            // A plan that won't compile (or verify) counts one failure
+            // per dispatch attempt toward quarantine.
+            note_plan_outcome(inner, sig, false);
             for p in live {
                 fulfill(
                     inner,
@@ -776,53 +1227,105 @@ fn process_group(inner: &Inner, exec: &Executor, group: Vec<Pending>) {
     // Fusion attempt: mint a batch id up front so every span and record of
     // this launch shares it, success or fallback.
     let mut fallback_reason: Option<String> = None;
+    let mut live = live;
     if live.len() > 1 {
         if let Some(info) = batch_info_for(inner, &live[0]) {
-            let batch_id = inner.next_batch_id.fetch_add(1, Ordering::Relaxed);
-            match run_fused(inner, exec, &live, &info, batch_id) {
-                Ok(fused) => {
-                    let k = live.len();
-                    inner.metrics.batches.inc();
-                    inner.metrics.batched_requests.add(k as u64);
-                    inner.metrics.batch_size.record(k as f64);
-                    inner.max_batch.fetch_max(k as u64, Ordering::Relaxed);
-                    ft_probe::counter("serve.batches", 1.0);
-                    for (mut p, out) in live.into_iter().zip(fused.outputs) {
-                        p.ctx.batch_id = Some(batch_id);
-                        fulfill(
-                            inner,
-                            p,
-                            Ok(out),
-                            Phases {
-                                fuse: FuseDecision::Fused { size: k as u32 },
-                                exec_us: fused.exec_us,
-                                split_us: fused.split_us,
-                                ..phases.clone()
-                            },
-                        );
+            // Last deadline check before the batch geometry is fixed: a
+            // request that expired while the group was being set up must
+            // not widen the wavefront launch.
+            let (expired, still_live) = split_expired(live);
+            live = still_live;
+            for p in expired {
+                fulfill(inner, p, Err(ServeError::Deadline), phases.clone());
+            }
+            if live.is_empty() {
+                return;
+            }
+            if live.len() > 1 {
+                let batch_id = inner.next_batch_id.fetch_add(1, Ordering::Relaxed);
+                match run_fused(inner, &exec, &live, &info, batch_id) {
+                    Ok(fused) => {
+                        let k = live.len();
+                        inner.metrics.batches.inc();
+                        inner.metrics.batched_requests.add(k as u64);
+                        inner.metrics.batch_size.record(k as f64);
+                        inner.max_batch.fetch_max(k as u64, Ordering::Relaxed);
+                        ft_probe::counter("serve.batches", 1.0);
+                        note_plan_outcome(inner, sig, true);
+                        for (mut p, out) in live.into_iter().zip(fused.outputs) {
+                            p.ctx.batch_id = Some(batch_id);
+                            fulfill(
+                                inner,
+                                p,
+                                Ok(out),
+                                Phases {
+                                    fuse: FuseDecision::Fused { size: k as u32 },
+                                    exec_us: fused.exec_us,
+                                    split_us: fused.split_us,
+                                    ..phases.clone()
+                                },
+                            );
+                        }
+                        return;
                     }
-                    return;
-                }
-                Err(reason) => {
-                    // Fused execution is best-effort; serve individually.
-                    inner.metrics.batch_fallbacks.inc();
-                    ft_probe::counter("serve.batch_fallbacks", 1.0);
-                    let mut span = ft_probe::span("serve", "batch_fallback");
-                    if span.is_recording() {
-                        span.field("reason", reason.as_str());
-                        span.field("batch_id", batch_id);
+                    Err(fail) => {
+                        // Fused execution is best-effort; serve individually.
+                        inner.metrics.batch_fallbacks.inc();
+                        ft_probe::counter("serve.batch_fallbacks", 1.0);
+                        let reason = match fail {
+                            FusedFailure::Precondition(reason) => reason,
+                            FusedFailure::Exec(e) => {
+                                // Batch fault isolation: the fused launch
+                                // itself failed, so every member is re-run
+                                // solo below and only the genuinely faulty
+                                // request errors. Meter the isolation cost.
+                                inner.metrics.batch_bisections.inc();
+                                inner.metrics.retries.add(live.len() as u64);
+                                ft_probe::counter("serve.batch_bisections", 1.0);
+                                ft_probe::counter("serve.retries", live.len() as f64);
+                                if matches!(e, ExecError::Stalled { .. }) {
+                                    // The stall poisoned the pool; the solo
+                                    // retries need a healthy one.
+                                    recover_from_stall(inner, &mut exec);
+                                }
+                                format!("fused execution: {e}")
+                            }
+                        };
+                        let mut span = ft_probe::span("serve", "batch_fallback");
+                        if span.is_recording() {
+                            span.field("reason", reason.as_str());
+                            span.field("batch_id", batch_id);
+                        }
+                        fallback_reason = Some(reason);
                     }
-                    fallback_reason = Some(reason);
                 }
             }
         }
     }
 
     for p in live {
+        // A member can expire while earlier members (or a failed fused
+        // attempt) execute; bounce it without burning pool time.
+        if p.deadline.is_some_and(|d| d <= Instant::now()) {
+            fulfill(inner, p, Err(ServeError::Deadline), phases.clone());
+            continue;
+        }
         let exec_start = Instant::now();
         let result = exec.run(&plan, &p.inputs).map_err(ServeError::Exec);
         let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
         inner.metrics.exec_us.record(exec_us);
+        match &result {
+            Ok(_) => note_plan_outcome(inner, sig, true),
+            Err(ServeError::Exec(e)) => {
+                if indicts_plan(e) {
+                    note_plan_outcome(inner, sig, false);
+                }
+                if matches!(e, ExecError::Stalled { .. }) {
+                    recover_from_stall(inner, &mut exec);
+                }
+            }
+            Err(_) => {}
+        }
         fulfill(
             inner,
             p,
@@ -874,22 +1377,35 @@ struct FusedOutcome {
     split_us: f64,
 }
 
+/// Why a fused attempt aborted — the caller's recovery differs.
+enum FusedFailure {
+    /// The batch could not even be assembled (shape mismatch, divergent
+    /// shared inputs, fused compile failure). Nothing executed; the
+    /// fallback is ordinary per-request serving, not fault isolation.
+    Precondition(String),
+    /// The widened launch itself failed (worker panic, guard trip,
+    /// stall). The caller re-runs each member solo to isolate the
+    /// faulty request.
+    Exec(ExecError),
+}
+
 /// One fused launch for `live` (all same-signature): concatenate batched
 /// inputs, run the widened program, split outputs per request. Any
 /// precondition or execution failure aborts the whole attempt with a
-/// reason; the caller falls back to per-request execution.
+/// typed [`FusedFailure`]; the caller falls back to per-request
+/// execution.
 fn run_fused(
     inner: &Inner,
     exec: &Executor,
     live: &[Pending],
     info: &BatchInfo,
     batch_id: u64,
-) -> Result<FusedOutcome, String> {
+) -> Result<FusedOutcome, FusedFailure> {
     let k = live.len();
     let base = &live[0].program;
     let fused_prog = batch::batched_program(base, info, k);
-    let (fused_plan, _) =
-        acquire_plan(inner, &fused_prog).map_err(|e| format!("fused compile: {e}"))?;
+    let (fused_plan, _) = acquire_plan(inner, &fused_prog)
+        .map_err(|e| FusedFailure::Precondition(format!("fused compile: {e}")))?;
 
     let mut split_us = 0.0;
     let concat_start = Instant::now();
@@ -904,7 +1420,9 @@ fn run_fused(
                 .iter()
                 .map(|p| p.inputs.get(&id))
                 .collect::<Option<Vec<_>>>()
-                .ok_or_else(|| format!("missing input '{}'", decl.name))?;
+                .ok_or_else(|| {
+                    FusedFailure::Precondition(format!("missing input '{}'", decl.name))
+                })?;
             // Every per-request part must match the *base* declaration
             // exactly — the fused executor only sees the concatenated
             // total (B·k), so a short part and a long part that happen to
@@ -914,26 +1432,28 @@ fn run_fused(
             // same typed `ExecError::Input` the unbatched path would.
             for part in &parts {
                 if part.prog_dims() != decl.dims {
-                    return Err(format!(
+                    return Err(FusedFailure::Precondition(format!(
                         "input '{}' dims {:?} != declared {:?}",
                         decl.name,
                         part.prog_dims(),
                         decl.dims
-                    ));
+                    )));
                 }
             }
-            let fused =
-                batch::concat_outer(&parts).map_err(|e| format!("concat '{}': {e}", decl.name))?;
+            let fused = batch::concat_outer(&parts)
+                .map_err(|e| FusedFailure::Precondition(format!("concat '{}': {e}", decl.name)))?;
             fused_inputs.insert(id, fused);
         } else {
             // Shared buffers (weights) must be identical across the batch.
-            let first = live[0]
-                .inputs
-                .get(&id)
-                .ok_or_else(|| format!("missing input '{}'", decl.name))?;
+            let first = live[0].inputs.get(&id).ok_or_else(|| {
+                FusedFailure::Precondition(format!("missing input '{}'", decl.name))
+            })?;
             for p in &live[1..] {
                 if p.inputs.get(&id) != Some(first) {
-                    return Err(format!("shared input '{}' differs across batch", decl.name));
+                    return Err(FusedFailure::Precondition(format!(
+                        "shared input '{}' differs across batch",
+                        decl.name
+                    )));
                 }
             }
             fused_inputs.insert(id, first.clone());
@@ -945,7 +1465,7 @@ fn run_fused(
     let exec_start = Instant::now();
     let fused_out = exec
         .run_tagged(&fused_plan, &fused_inputs, Some(batch_id))
-        .map_err(|e| format!("fused execution: {e}"))?;
+        .map_err(FusedFailure::Exec)?;
     let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
     inner.metrics.exec_us.record(exec_us);
 
@@ -954,7 +1474,8 @@ fn run_fused(
         (0..k).map(|_| HashMap::new()).collect();
     for (id, ft) in fused_out {
         if info.batched.get(id.0).copied().unwrap_or(false) {
-            let chunks = batch::split_outer(&ft, k).map_err(|e| format!("split output: {e}"))?;
+            let chunks = batch::split_outer(&ft, k)
+                .map_err(|e| FusedFailure::Precondition(format!("split output: {e}")))?;
             for (m, chunk) in per_request.iter_mut().zip(chunks) {
                 m.insert(id, chunk);
             }
@@ -976,6 +1497,10 @@ fn run_fused(
 /// [`CompletionRecord`] (mirrored to a Perfetto request span when tracing
 /// is on), and wakes the ticket waiter.
 fn fulfill(inner: &Inner, pending: Pending, result: ServeResult, phases: Phases) {
+    // The ticket is resolving normally; the supervisor no longer needs
+    // its in-flight entry. (Requests failed straight off the queue were
+    // never registered — remove is a no-op for them.)
+    inner.inflight.lock().remove(&pending.ctx.request_id);
     let latency_us = pending.submitted.elapsed().as_secs_f64() * 1e6;
     let status = match &result {
         Ok(_) => {

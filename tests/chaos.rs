@@ -251,3 +251,32 @@ fn pool_level_fault_injection_surfaces_with_payload() {
     // The fault is one-shot: the pool keeps working afterwards.
     pool.run(std::sync::Arc::new(|_w| {}));
 }
+
+#[test]
+fn stalled_launch_surfaces_typed_and_poisons_pool() {
+    // A wedged UDF (simulated: one worker sleeps far past the watchdog
+    // window) must become a typed `ExecError::Stalled`, never an eternal
+    // hang; the abandoned pool reports itself poisoned, and a fresh pool
+    // serves the same plan bitwise-exactly.
+    let c = setup();
+    let (lo, _) = c.compiled.groups[0].reordering.wavefront_range();
+    let pool = std::sync::Arc::new(ft_pool::WorkerPool::supervised(2));
+    let exec = Executor::new()
+        .pool(std::sync::Arc::clone(&pool))
+        .launch_timeout(Some(std::time::Duration::from_millis(80)))
+        .fault_plan(FaultPlan::new().stall_at(0, lo, 600));
+    let err = exec
+        .run(&c.compiled, &c.inputs)
+        .expect_err("wedged launch must fail typed");
+    assert!(matches!(err, ExecError::Stalled { .. }), "got {err}");
+    assert!(
+        pool.is_poisoned(),
+        "watchdog must poison the abandoned pool"
+    );
+
+    let fresh = Executor::new()
+        .pool(std::sync::Arc::new(ft_pool::WorkerPool::supervised(2)))
+        .launch_timeout(Some(std::time::Duration::from_millis(500)));
+    let outputs = fresh.run(&c.compiled, &c.inputs).unwrap();
+    assert_bitwise_equal(&outputs, &c.reference, "post-stall fresh pool");
+}

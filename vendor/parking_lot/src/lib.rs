@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 
 use std::sync::{self, TryLockError};
+use std::time::Duration;
+
+pub use std::sync::WaitTimeoutResult;
 
 /// A poison-free mutual-exclusion lock.
 #[derive(Debug, Default)]
@@ -107,6 +110,18 @@ impl Condvar {
     /// Blocks until notified (std-style: consumes and returns the guard).
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until notified or `dur` elapses (std-style: consumes and
+    /// returns the guard plus whether the wait timed out).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.inner
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// Wakes one waiter.
