@@ -18,6 +18,9 @@
 //! * [`AffineMap`] — `M·t + o` access maps with composition,
 //! * [`ConstraintSet`] / [`fourier_motzkin`] — linear inequality systems,
 //!   variable elimination, and per-loop bound extraction,
+//! * [`Lin`] — one-parameter linear sizes (`c0 + c1·L`) with the
+//!   all-extents domination order used by the shape-polymorphic memory
+//!   planner,
 //! * lexicographic-order helpers used by dependence legality checks.
 //!
 //! No floating point appears anywhere in this crate: every compiler decision
@@ -26,11 +29,13 @@
 #![forbid(unsafe_code)]
 
 mod constraint;
+mod lin;
 mod map;
 mod matrix;
 mod rational;
 
 pub use constraint::{fourier_motzkin, BoundExpr, Constraint, ConstraintSet, LoopBounds};
+pub use lin::Lin;
 pub use map::AffineMap;
 pub use matrix::IntMat;
 pub use rational::Rational;

@@ -1,0 +1,158 @@
+//! Degree-1 parametric sizes: `c0 + c1·L` over one symbolic extent `L`.
+//!
+//! The shape-polymorphic memory planner (`ft_passes::poly`) needs exact
+//! arithmetic over sizes that are linear in the designated outer extent:
+//! a batched buffer's length is `leaf_len·inner_dims·L`, a shared weight
+//! stack's is a constant, and first-fit offsets are sums of both. [`Lin`]
+//! is that one-parameter affine form, with the comparison the planner's
+//! soundness argument rests on: [`Lin::dominates`] is componentwise `>=`,
+//! which implies `eval(l) >= other.eval(l)` for **every** `l`, so a free
+//! range that dominates a request fits at all extents simultaneously.
+//! (The converse is not true — `dominates` is conservative — which only
+//! costs reuse opportunities, never correctness.)
+//!
+//! Arithmetic is overflow-checked like the rest of this crate: sizes are
+//! element counts, and a symbolic plan must fail loudly at plan time
+//! rather than wrap at dispatch.
+
+use crate::{AffineError, Result};
+
+/// A size/offset linear in one symbolic extent: `value(L) = c0 + c1·L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Lin {
+    /// Constant term (elements).
+    pub c0: usize,
+    /// Coefficient of the symbolic extent (elements per unit of `L`).
+    pub c1: usize,
+}
+
+impl Lin {
+    /// The zero size.
+    pub const ZERO: Lin = Lin { c0: 0, c1: 0 };
+
+    /// An extent-independent size.
+    pub const fn constant(c0: usize) -> Lin {
+        Lin { c0, c1: 0 }
+    }
+
+    /// A size scaling 1:1 with the extent, times `c1`.
+    pub const fn scaled(c1: usize) -> Lin {
+        Lin { c0: 0, c1 }
+    }
+
+    /// The concrete value at extent `l`.
+    pub fn eval(&self, l: usize) -> usize {
+        self.c0 + self.c1 * l
+    }
+
+    /// Checked sum.
+    pub fn add(&self, other: Lin) -> Result<Lin> {
+        Ok(Lin {
+            c0: self.c0.checked_add(other.c0).ok_or(AffineError::Overflow)?,
+            c1: self.c1.checked_add(other.c1).ok_or(AffineError::Overflow)?,
+        })
+    }
+
+    /// Checked difference; errors unless `self.dominates(other)` (the
+    /// result must stay a valid size at every extent).
+    pub fn sub(&self, other: Lin) -> Result<Lin> {
+        if !self.dominates(&other) {
+            return Err(AffineError::Invalid(format!(
+                "{self} - {other} is negative at some extent"
+            )));
+        }
+        Ok(Lin {
+            c0: self.c0 - other.c0,
+            c1: self.c1 - other.c1,
+        })
+    }
+
+    /// Checked scale by a constant.
+    pub fn scale(&self, k: usize) -> Result<Lin> {
+        Ok(Lin {
+            c0: self.c0.checked_mul(k).ok_or(AffineError::Overflow)?,
+            c1: self.c1.checked_mul(k).ok_or(AffineError::Overflow)?,
+        })
+    }
+
+    /// Componentwise `>=`: `self.eval(l) >= other.eval(l)` for every
+    /// `l >= 0`. Conservative (e.g. `8 + 0·L` vs `0 + 1·L` is unordered),
+    /// which is exactly what all-extents-sound first-fit needs.
+    pub fn dominates(&self, other: &Lin) -> bool {
+        self.c0 >= other.c0 && self.c1 >= other.c1
+    }
+
+    /// True when the size is zero at every extent.
+    pub fn is_zero(&self) -> bool {
+        *self == Lin::ZERO
+    }
+}
+
+impl std::fmt::Display for Lin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.c0, self.c1) {
+            (c0, 0) => write!(f, "{c0}"),
+            (0, c1) => write!(f, "{c1}·L"),
+            (c0, c1) => write!(f, "{c0} + {c1}·L"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_and_arithmetic() {
+        let a = Lin { c0: 3, c1: 2 };
+        assert_eq!(a.eval(0), 3);
+        assert_eq!(a.eval(10), 23);
+        assert_eq!(a.add(Lin::constant(4)).unwrap(), Lin { c0: 7, c1: 2 });
+        assert_eq!(a.scale(3).unwrap(), Lin { c0: 9, c1: 6 });
+        assert_eq!(Lin::scaled(5).eval(4), 20);
+        assert!(Lin::ZERO.is_zero());
+    }
+
+    #[test]
+    fn sub_requires_domination() {
+        let a = Lin { c0: 3, c1: 2 };
+        assert_eq!(a.sub(Lin { c0: 1, c1: 2 }).unwrap(), Lin { c0: 2, c1: 0 });
+        // 3 + 2L vs 0 + 3L: larger at L=0, smaller at L=3 — unordered.
+        assert!(a.sub(Lin { c0: 0, c1: 3 }).is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        let big = Lin::constant(usize::MAX);
+        assert_eq!(big.add(Lin::constant(1)), Err(AffineError::Overflow));
+        assert_eq!(big.scale(2), Err(AffineError::Overflow));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dominates_implies_pointwise_ge(
+            a0 in 0usize..1000, a1 in 0usize..1000,
+            b0 in 0usize..1000, b1 in 0usize..1000,
+            l in 0usize..10_000,
+        ) {
+            let a = Lin { c0: a0, c1: a1 };
+            let b = Lin { c0: b0, c1: b1 };
+            if a.dominates(&b) {
+                prop_assert!(a.eval(l) >= b.eval(l));
+            }
+        }
+
+        #[test]
+        fn prop_eval_is_homomorphic(
+            a0 in 0usize..1000, a1 in 0usize..1000,
+            b0 in 0usize..1000, b1 in 0usize..1000,
+            l in 0usize..10_000,
+        ) {
+            let a = Lin { c0: a0, c1: a1 };
+            let b = Lin { c0: b0, c1: b1 };
+            prop_assert_eq!(a.add(b).unwrap().eval(l), a.eval(l) + b.eval(l));
+            prop_assert_eq!(a.scale(3).unwrap().eval(l), 3 * a.eval(l));
+        }
+    }
+}

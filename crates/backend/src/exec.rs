@@ -568,6 +568,28 @@ impl Executor {
             .map(|o| o.outputs)
     }
 
+    /// Runs a shape-polymorphic plan family at outer extent `extent`.
+    ///
+    /// This is the dispatch-time half of symbolic plans: the family's
+    /// stride/size formulas are evaluated at `extent` (memoized per
+    /// extent inside the family — the lifetime analysis and first-fit
+    /// never re-run), the arena is sized from the evaluated plan, and the
+    /// instance executes exactly like an exact-shape compile. A family
+    /// that fails to instantiate reports [`ExecError::Runtime`] — the
+    /// plan is at fault, not the inputs.
+    pub fn run_poly(
+        &self,
+        family: &ft_passes::PolyPlan,
+        extent: usize,
+        inputs: &HashMap<BufferId, FractalTensor>,
+        batch: Option<u64>,
+    ) -> Result<HashMap<BufferId, FractalTensor>, ExecError> {
+        let instance = family
+            .instance(extent)
+            .map_err(|e| ExecError::Runtime(format!("poly instantiation at L={extent}: {e}")))?;
+        self.run_tagged(&instance, inputs, batch)
+    }
+
     /// Runs the compiled program, returning outputs plus a degradation
     /// report when the pooled path failed and fallback repaired it.
     pub fn run_report(

@@ -158,6 +158,14 @@ fn extract(baseline: &Value, current: &Value) -> Result<(Vec<MetricCmp>, Vec<Str
                     &["batched_vs_unbatched_throughput"][..],
                     false,
                 ),
+                // Ragged cross-tenant fusion vs per-shape compilation on the
+                // mixed-length scenario. Absent from baselines older than the
+                // shape-polymorphic runtime; those skip the pair.
+                (
+                    "serve.mixed_length.ragged_vs_per_shape",
+                    &["mixed_length", "ragged_vs_per_shape_throughput"][..],
+                    false,
+                ),
             ];
             for (name, path, log_scale) in pairs {
                 let dig = |mut v: &Value| -> Option<f64> {
@@ -292,6 +300,20 @@ fn self_test() -> bool {
         r#"{"bench": "serve", "setup": {"speedup": 2.0},
             "batched_vs_unbatched_throughput": 2.0}"#,
     );
+    // Report with the mixed-length ragged-fusion headline. Compared
+    // against `serve_base` (which predates the field) the pair must be
+    // skipped, not treated as a regression or an error.
+    let serve_ragged = parse(
+        r#"{"bench": "serve", "setup": {"speedup": 300.0},
+            "batched_vs_unbatched_throughput": 2.0,
+            "mixed_length": {"ragged_vs_per_shape_throughput": 2.6}}"#,
+    );
+    // 35% collapse of the ragged-fusion ratio: must be detected.
+    let serve_ragged_regressed = parse(
+        r#"{"bench": "serve", "setup": {"speedup": 300.0},
+            "batched_vs_unbatched_throughput": 2.0,
+            "mixed_length": {"ragged_vs_per_shape_throughput": 1.7}}"#,
+    );
 
     let mut ok = true;
     let mut check = |label: &str, want_regressions: bool, got: Result<Vec<MetricCmp>, String>| {
@@ -333,6 +355,12 @@ fn self_test() -> bool {
     println!("serve: setup amortization collapse");
     let r = compare(&serve_base, &serve_collapsed, 0.15);
     check("serve amortization collapse detected", true, r);
+    println!("serve: baseline predates mixed-length ratio");
+    let r = compare(&serve_base, &serve_ragged, 0.15);
+    check("serve old baseline skips ragged pair", false, r);
+    println!("serve: ragged fusion collapse injected");
+    let r = compare(&serve_ragged, &serve_ragged_regressed, 0.15);
+    check("serve ragged collapse detected", true, r);
     println!("empty intersection");
     let empty = parse(r#"{"bench": "exec", "exec": []}"#);
     let pass = compare(&empty, &empty, 0.15).is_err();

@@ -170,10 +170,11 @@ fn render(now: &View, prev: &View, dt: f64, source: &str, frame: String) {
     let batches = now.counter("serve.batches");
     let bh = now.hist("serve.batch_size");
     println!(
-        "  batching   batches {:<6} fused reqs {:<6} fallbacks {:<4} mean batch {:.2}",
+        "  batching   batches {:<6} fused reqs {:<6} fallbacks {:<4} ragged fb {:<4} mean batch {:.2}",
         batches,
         now.counter("serve.batched_requests"),
         now.counter("serve.batch_fallbacks"),
+        now.counter("serve.batch_ragged_fallback"),
         bh.mean,
     );
     if !now.batch_buckets.is_empty() {

@@ -38,16 +38,18 @@ pub mod adt;
 pub mod builders;
 pub mod expr;
 pub mod interp;
+pub mod poly;
 pub mod program;
 pub mod sig;
 
 pub use access::{AccessSpec, AxisExpr};
 pub use adt::FractalTensor;
 pub use expr::{Expr, Udf};
+pub use poly::{analyze_outer, with_outer_extent, OuterInfo};
 pub use program::{
     BufferDecl, BufferId, BufferKind, CarriedInit, CoreError, Nest, OpKind, Program, Read, Write,
 };
-pub use sig::{program_signature, structural_bytes, ProgramSig};
+pub use sig::{poly_split, program_signature, structural_bytes, PolySplit, ProgramSig, StructKey};
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

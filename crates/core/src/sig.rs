@@ -26,6 +26,7 @@
 
 use crate::access::{AccessSpec, AxisExpr};
 use crate::expr::{OpCode, Operand, Udf};
+use crate::poly::{analyze_outer, OuterInfo};
 use crate::program::{BufferKind, CarriedInit, OpKind, Program, Read, Write};
 
 /// A structural program signature (see the module docs).
@@ -36,6 +37,55 @@ impl std::fmt::Display for ProgramSig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:032x}", self.0)
     }
+}
+
+/// A shape-insensitive structural key: [`ProgramSig`] with the polymorphic
+/// outer extent masked out of the hashed bytes. Every instance of one
+/// program family — same structure, any outer extent — shares one key;
+/// the concrete extent travels separately as the shape tuple
+/// ([`PolySplit::outer_extent`]) and is resolved at launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructKey(pub u128);
+
+impl std::fmt::Display for StructKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A program signature split into its shape-insensitive part and the shape
+/// tuple, produced by [`poly_split`].
+#[derive(Debug, Clone)]
+pub struct PolySplit {
+    /// Hash of [`bytes`](Self::bytes) — the family cache key.
+    pub key: StructKey,
+    /// Masked structural bytes: like [`structural_bytes`] but with every
+    /// nest's outer extent and every batched buffer's outer dimension
+    /// replaced by a sentinel. Byte equality is family identity (the
+    /// family cache verifies hits against these, mirroring the plan
+    /// cache's collision discipline).
+    pub bytes: Vec<u8>,
+    /// The shape tuple: the one designated symbolic extent, concrete in
+    /// this instance. Everything else about the shape stays baked into
+    /// [`bytes`](Self::bytes).
+    pub outer_extent: usize,
+    /// Buffer classification backing the mask (and ragged batching).
+    pub info: OuterInfo,
+}
+
+/// Splits a program's signature into a shape-insensitive [`StructKey`]
+/// plus the concrete outer extent, when the program has a polymorphic
+/// outer axis ([`analyze_outer`]). Returns `None` for programs whose
+/// outer axis carries dependences — those keep exact-shape signatures.
+pub fn poly_split(p: &Program) -> Option<PolySplit> {
+    let info = analyze_outer(p)?;
+    let bytes = bytes_with_mask(p, Some(&info));
+    Some(PolySplit {
+        key: StructKey(fnv128(&bytes)),
+        bytes,
+        outer_extent: info.batch_extent,
+        info,
+    })
 }
 
 /// The canonical structural byte stream builder (see the module docs).
@@ -86,17 +136,36 @@ fn fnv128(bytes: &[u8]) -> u128 {
 /// programs compile to the same schedule"; the plan cache uses it to
 /// verify signature hits (see the module docs).
 pub fn structural_bytes(p: &Program) -> Vec<u8> {
+    bytes_with_mask(p, None)
+}
+
+/// Sentinel serialized in place of masked extents. No real extent can be
+/// `u64::MAX` (such a buffer could not exist in memory), and the family
+/// cache byte-verifies hits anyway, so an accidental collision degrades
+/// to an extra compile, never to serving the wrong family.
+const POLY_SENTINEL: u64 = u64::MAX;
+
+/// [`structural_bytes`] with an optional polymorphic-outer-axis mask: when
+/// `mask` is set, each nest's outer extent and each batched buffer's outer
+/// dimension serialize as [`POLY_SENTINEL`], so all instances of one
+/// family produce identical bytes.
+fn bytes_with_mask(p: &Program, mask: Option<&OuterInfo>) -> Vec<u8> {
     let mut h = SigBytes::new();
     h.usize(p.buffers.len());
-    for b in &p.buffers {
+    for (bi, b) in p.buffers.iter().enumerate() {
         h.tag(match b.kind {
             BufferKind::Input => 1,
             BufferKind::Output => 2,
             BufferKind::Intermediate => 3,
         });
+        let masked = mask.is_some_and(|m| m.batched.get(bi).copied().unwrap_or(false));
         h.usize(b.dims.len());
-        for &d in &b.dims {
-            h.usize(d);
+        for (di, &d) in b.dims.iter().enumerate() {
+            if masked && di == 0 {
+                h.u64(POLY_SENTINEL);
+            } else {
+                h.usize(d);
+            }
         }
         let leaf = b.leaf_shape.dims();
         h.usize(leaf.len());
@@ -110,8 +179,12 @@ pub fn structural_bytes(p: &Program) -> Vec<u8> {
         for op in &n.ops {
             h.tag(op_kind_tag(*op));
         }
-        for &e in &n.extents {
-            h.usize(e);
+        for (ei, &e) in n.extents.iter().enumerate() {
+            if mask.is_some() && ei == 0 {
+                h.u64(POLY_SENTINEL);
+            } else {
+                h.usize(e);
+            }
         }
         h.usize(n.reads.len());
         for r in &n.reads {
@@ -346,5 +419,47 @@ mod tests {
         let mut q = p.clone();
         q.nests[0].udf.stmts[0].op = OpCode::MatMulT;
         assert_ne!(structural_bytes(&p), structural_bytes(&q));
+    }
+
+    #[test]
+    fn poly_split_shares_a_key_across_outer_extents() {
+        let splits: Vec<_> = [1, 2, 7, 64]
+            .iter()
+            .map(|&n| poly_split(&stacked_rnn_program(n, 3, 4, 8)).expect("poly-eligible"))
+            .collect();
+        for s in &splits[1..] {
+            assert_eq!(s.key, splits[0].key);
+            assert_eq!(s.bytes, splits[0].bytes);
+        }
+        assert_eq!(splits[2].outer_extent, 7);
+        // The exact-shape signatures still differ: the split, not the
+        // signature, carries the polymorphism.
+        assert_ne!(
+            program_signature(&stacked_rnn_program(1, 3, 4, 8)),
+            program_signature(&stacked_rnn_program(2, 3, 4, 8))
+        );
+    }
+
+    #[test]
+    fn poly_split_distinguishes_non_outer_structure() {
+        let base = poly_split(&stacked_rnn_program(2, 3, 4, 8)).unwrap();
+        for other in [
+            stacked_rnn_program(2, 4, 4, 8),  // depth
+            stacked_rnn_program(2, 3, 5, 8),  // inner length
+            stacked_rnn_program(2, 3, 4, 16), // hidden width
+        ] {
+            let s = poly_split(&other).unwrap();
+            assert_ne!(s.key, base.key);
+            assert_ne!(s.bytes, base.bytes);
+        }
+    }
+
+    #[test]
+    fn poly_split_rejects_outer_dependences() {
+        let mut p = stacked_rnn_program(2, 3, 4, 8);
+        for nest in &mut p.nests {
+            nest.ops[0] = OpKind::ScanL;
+        }
+        assert!(poly_split(&p).is_none());
     }
 }

@@ -101,7 +101,7 @@ fn make_layout(etdg: &Etdg, bi: usize, placement: Placement, live: (usize, usize
 }
 
 /// Row-major leaf strides for `dims`.
-fn leaf_strides(dims: &[usize]) -> Vec<i64> {
+pub(crate) fn leaf_strides(dims: &[usize]) -> Vec<i64> {
     let mut strides = vec![1i64; dims.len()];
     for r in (0..dims.len().saturating_sub(1)).rev() {
         strides[r] = strides[r + 1] * dims[r + 1] as i64;

@@ -32,6 +32,7 @@ pub mod fusion;
 pub mod layout;
 pub mod lower;
 pub mod pipeline;
+pub mod poly;
 pub mod reorder;
 
 pub use cache::PlanCache;
@@ -41,6 +42,7 @@ pub use depend::distance_vectors;
 pub use fusion::{fuse_graph, fuse_udf, FusionStats};
 pub use layout::{plan_memory, BufferLayout, MemoryPlan, Placement};
 pub use pipeline::{compile, CompiledProgram, ScheduledGroup};
+pub use poly::{plan_memory_symbolic, MemoryTemplate, PolyCache, PolyPlan};
 pub use reorder::{reorder_block, Reordering};
 
 /// Errors from the analysis passes.

@@ -88,6 +88,36 @@ pub fn compile(program: &Program) -> Result<CompiledProgram> {
     let mut root = ft_probe::span("compile", "compile");
     root.field("program", program.name.as_str());
 
+    let (etdg, plan, groups) = compile_scheduled(program)?;
+    let memory = {
+        let mut s = ft_probe::span("compile", "pass.layout");
+        let memory = plan_memory(&etdg, &groups);
+        if s.is_recording() {
+            s.field("arena_len", memory.arena_len);
+            s.field("reused_ranges", memory.reused_ranges);
+            ft_probe::counter("passes.arena_len", memory.arena_len as f64);
+            ft_probe::counter("passes.arena_reused_ranges", memory.reused_ranges as f64);
+        }
+        memory
+    };
+
+    root.field("launch_groups", groups.len());
+    Ok(CompiledProgram {
+        etdg,
+        plan,
+        groups,
+        memory,
+    })
+}
+
+/// The structure passes only — parse → coarsen → UDF fusion → per-group
+/// reordering — without the memory planner. Shared between [`compile`]
+/// (which follows with the concrete `plan_memory`) and shape-polymorphic
+/// instantiation (`crate::poly`), which takes its memory plan from an
+/// evaluated symbolic template instead.
+pub(crate) fn compile_scheduled(
+    program: &Program,
+) -> Result<(Etdg, CoarsePlan, Vec<ScheduledGroup>)> {
     let parsed = {
         let mut s = ft_probe::span("compile", "pass.parse");
         let parsed = parse_program(program)?;
@@ -171,25 +201,7 @@ pub fn compile(program: &Program) -> Result<CompiledProgram> {
             reordering,
         });
     }
-    let memory = {
-        let mut s = ft_probe::span("compile", "pass.layout");
-        let memory = plan_memory(&etdg, &groups);
-        if s.is_recording() {
-            s.field("arena_len", memory.arena_len);
-            s.field("reused_ranges", memory.reused_ranges);
-            ft_probe::counter("passes.arena_len", memory.arena_len as f64);
-            ft_probe::counter("passes.arena_reused_ranges", memory.reused_ranges as f64);
-        }
-        memory
-    };
-
-    root.field("launch_groups", groups.len());
-    Ok(CompiledProgram {
-        etdg,
-        plan,
-        groups,
-        memory,
-    })
+    Ok((etdg, plan, groups))
 }
 
 /// Buffer-touching edges of the graph: one per region read of a buffer

@@ -1,0 +1,744 @@
+//! Shape-polymorphic plans: one compiled schedule serving every outer
+//! extent.
+//!
+//! The schedule a program compiles to (§5.1–§5.2) depends on loop
+//! *structure*; for a program whose outer axis is a pure `map`
+//! (`ft_core::poly::analyze_outer`), the extent of that axis affects only
+//! how *wide* the wavefront runs and how *large* the batched buffers are.
+//! This module exploits that:
+//!
+//! * [`plan_memory_symbolic`] re-runs the layout/lifetime pass of
+//!   `crate::layout` with sizes in [`ft_affine::Lin`] — degree-1 formulas
+//!   `c0 + c1·L` over the symbolic extent — producing a [`MemoryTemplate`]
+//!   whose stride/size/offset formulas are **evaluated at dispatch** for
+//!   whatever extent traffic brings.
+//! * [`PolyPlan`] is a compiled *family*: the structure passes run once at
+//!   a template extent; [`PolyPlan::instance`] stamps out the plan for a
+//!   concrete extent by re-extenting the program, re-running only the
+//!   (cheap, structure-preserving) scheduling passes, and evaluating the
+//!   memory template — no fresh lifetime analysis, no fresh first-fit.
+//! * [`PolyCache`] keys families by the shape-insensitive
+//!   [`ft_core::StructKey`], with the same byte-verified collision
+//!   discipline as [`crate::PlanCache`]: one entry serves a whole length
+//!   distribution.
+//!
+//! Soundness of the symbolic first-fit: a free range is reused only when
+//! it *dominates* the request componentwise ([`Lin::dominates`]), which
+//! implies it fits at **every** extent, so evaluated arena ranges of
+//! simultaneously-live buffers are disjoint for all `L` — conservative
+//! (some reuse opportunities that exist at one concrete extent are
+//! skipped), never incorrect. Each instantiation additionally cross-checks
+//! the evaluated per-buffer lengths against the instance's real shapes and
+//! falls back to the concrete planner (counting
+//! `passes.poly_template_fallback`) on any mismatch.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ft_affine::Lin;
+use ft_core::poly::with_outer_extent;
+use ft_core::sig::{poly_split, PolySplit};
+use ft_core::{BufferKind, OuterInfo, Program, StructKey};
+use ft_etdg::Etdg;
+
+use crate::layout::{plan_memory, BufferLayout, MemoryPlan, Placement};
+use crate::pipeline::{compile_scheduled, CompiledProgram, ScheduledGroup};
+use crate::{PassError, Result};
+
+/// The symbolic layout of one buffer: everything extent-independent is
+/// concrete, everything extent-dependent is a [`Lin`] formula.
+#[derive(Debug, Clone)]
+pub struct SymBufferLayout {
+    /// Whether the buffer's outer dimension scales with the extent.
+    pub batched: bool,
+    /// Extent-independent dimensions: `dims[1..]` for batched buffers
+    /// (the outer slot is the symbolic extent), all of `dims` for shared.
+    pub fixed_dims: Vec<usize>,
+    /// Static leaf shape.
+    pub leaf_dims: Vec<usize>,
+    /// Row-major leaf strides. These are *constants* even for batched
+    /// buffers: stride `r` is the product of dims `r+1..`, which never
+    /// includes the outer extent.
+    pub leaf_strides: Vec<i64>,
+    /// True for caller-owned extern inputs.
+    pub is_extern: bool,
+    /// Arena offset formula (unused for extern buffers).
+    pub offset: Lin,
+    /// Written-bitmap offset formula (unused for extern buffers).
+    pub slot_off: Lin,
+    /// Flat length formula in elements.
+    pub len: Lin,
+    /// Leaf-count formula.
+    pub leaves: Lin,
+    /// Live interval in group execution order (extent-invariant).
+    pub live: (usize, usize),
+}
+
+/// A memory plan with its sizes kept symbolic over the outer extent:
+/// the "stride/size formulas evaluated at dispatch" artifact.
+#[derive(Debug, Clone)]
+pub struct MemoryTemplate {
+    /// Per-buffer symbolic layouts, indexed by `BufId`.
+    pub buffers: Vec<SymBufferLayout>,
+    /// Arena length formula.
+    pub arena_len: Lin,
+    /// Written-bitmap length formula.
+    pub slots_len: Lin,
+    /// Free-list reuses the symbolic first-fit performed.
+    pub reused_ranges: usize,
+    /// The concrete extent the template was derived at.
+    pub template_extent: usize,
+}
+
+impl MemoryTemplate {
+    /// Evaluates every formula at extent `l`, producing the concrete
+    /// [`MemoryPlan`] the executor consumes. Pure arithmetic — no
+    /// liveness analysis, no allocation decisions — so this is cheap
+    /// enough for the dispatch path.
+    pub fn evaluate(&self, l: usize) -> MemoryPlan {
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| {
+                let dims: Vec<usize> = if b.batched {
+                    std::iter::once(l)
+                        .chain(b.fixed_dims.iter().copied())
+                        .collect()
+                } else {
+                    b.fixed_dims.clone()
+                };
+                let leaf_len: usize = b.leaf_dims.iter().product();
+                let leaves = b.leaves.eval(l);
+                let placement = if b.is_extern {
+                    Placement::Extern
+                } else {
+                    Placement::Arena {
+                        offset: b.offset.eval(l),
+                        slot_off: b.slot_off.eval(l),
+                    }
+                };
+                BufferLayout {
+                    dims,
+                    leaf_dims: b.leaf_dims.clone(),
+                    leaf_len,
+                    leaves,
+                    len: b.len.eval(l),
+                    leaf_strides: b.leaf_strides.clone(),
+                    placement,
+                    live: b.live,
+                }
+            })
+            .collect();
+        MemoryPlan {
+            buffers,
+            arena_len: self.arena_len.eval(l),
+            slots_len: self.slots_len.eval(l),
+            reused_ranges: self.reused_ranges,
+        }
+    }
+}
+
+fn lin_err(e: ft_affine::AffineError) -> PassError {
+    PassError::Affine(e.to_string())
+}
+
+/// The symbolic size of buffer `bi`: `(leaves, len)` as formulas.
+fn sym_size(etdg: &Etdg, bi: usize, batched: bool) -> Result<(Lin, Lin)> {
+    let buf = &etdg.buffers[bi];
+    let leaf_len: usize = buf.leaf_shape.dims().iter().product();
+    let leaves = if batched {
+        // dims[0] is the symbolic extent; the rest are fixed.
+        Lin::scaled(buf.dims[1..].iter().product())
+    } else {
+        Lin::constant(buf.dims.iter().product())
+    };
+    let len = leaves.scale(leaf_len).map_err(lin_err)?;
+    Ok((leaves, len))
+}
+
+/// Builds the symbolic layout record for buffer `bi`.
+fn make_sym_layout(
+    etdg: &Etdg,
+    bi: usize,
+    batched: bool,
+    is_extern: bool,
+    offset: Lin,
+    slot_off: Lin,
+    live: (usize, usize),
+) -> Result<SymBufferLayout> {
+    let buf = &etdg.buffers[bi];
+    let (leaves, len) = sym_size(etdg, bi, batched)?;
+    let fixed_dims = if batched {
+        buf.dims[1..].to_vec()
+    } else {
+        buf.dims.clone()
+    };
+    Ok(SymBufferLayout {
+        batched,
+        fixed_dims,
+        leaf_dims: buf.leaf_shape.dims().to_vec(),
+        leaf_strides: crate::layout::leaf_strides(&buf.dims),
+        is_extern,
+        offset,
+        slot_off,
+        len,
+        leaves,
+        live,
+    })
+}
+
+/// [`crate::layout::plan_memory`] with every size a [`Lin`] formula over
+/// the outer extent.
+///
+/// `etdg`/`groups` are the structure passes' output at the template
+/// extent; `batched[bi]` says whether buffer `bi`'s outer dimension is
+/// the symbolic extent (`ft_core::OuterInfo::batched` — buffer ids map
+/// 1:1 from program to ETDG). Liveness and the group timeline are
+/// extent-invariant for poly-eligible programs (the verifier checks this
+/// across extents); only the first-fit changes: a free range is reused
+/// only when it dominates the request at **every** extent.
+pub fn plan_memory_symbolic(
+    etdg: &Etdg,
+    groups: &[ScheduledGroup],
+    batched: &[bool],
+    template_extent: usize,
+) -> Result<MemoryTemplate> {
+    let nbuf = etdg.buffers.len();
+    if batched.len() != nbuf {
+        return Err(PassError::Invalid(format!(
+            "batched mask covers {} buffers, graph has {nbuf}",
+            batched.len()
+        )));
+    }
+    let end = groups.len();
+    let mut first = vec![end; nbuf];
+    let mut last = vec![0usize; nbuf];
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in &g.members {
+            let block = etdg.block(m);
+            let touched = block
+                .reads
+                .iter()
+                .filter_map(|r| r.buffer())
+                .chain(block.writes.iter().map(|w| w.buffer));
+            for b in touched {
+                first[b.0] = first[b.0].min(gi);
+                last[b.0] = last[b.0].max(gi);
+            }
+        }
+    }
+    let live_end: Vec<usize> = (0..nbuf)
+        .map(|bi| {
+            if etdg.buffers[bi].kind == BufferKind::Output {
+                end
+            } else {
+                last[bi]
+            }
+        })
+        .collect();
+
+    // Symbolic first-fit over the group timeline; free ranges are
+    // `(offset, len)` formulas kept sorted by (c0, c1) for determinism.
+    let mut layouts: Vec<Option<SymBufferLayout>> = vec![None; nbuf];
+    let mut free: Vec<(Lin, Lin)> = Vec::new();
+    let mut arena_len = Lin::ZERO;
+    let mut slots_len = Lin::ZERO;
+    let mut reused_ranges = 0usize;
+
+    for gi in 0..=end {
+        for bi in 0..nbuf {
+            if live_end[bi] + 1 == gi && first[bi] <= last[bi] {
+                if let Some(
+                    l @ SymBufferLayout {
+                        is_extern: false, ..
+                    },
+                ) = &layouts[bi]
+                {
+                    if !l.len.is_zero() {
+                        free.push((l.offset, l.len));
+                        free.sort_unstable_by_key(|&(o, _)| (o.c0, o.c1));
+                    }
+                }
+            }
+        }
+        if gi == end {
+            break;
+        }
+        for bi in 0..nbuf {
+            if first[bi] != gi || layouts[bi].is_some() {
+                continue;
+            }
+            let buf = &etdg.buffers[bi];
+            let live_to = live_end[bi];
+            if buf.kind == BufferKind::Input {
+                layouts[bi] = Some(make_sym_layout(
+                    etdg,
+                    bi,
+                    batched[bi],
+                    true,
+                    Lin::ZERO,
+                    Lin::ZERO,
+                    (gi, end),
+                )?);
+                continue;
+            }
+            let (leaves, need) = sym_size(etdg, bi, batched[bi])?;
+            let mut offset = None;
+            if let Some(pos) = free.iter().position(|(_, flen)| flen.dominates(&need)) {
+                let (foff, flen) = free.remove(pos);
+                offset = Some(foff);
+                let remainder = flen.sub(need).map_err(lin_err)?;
+                if !remainder.is_zero() {
+                    free.push((foff.add(need).map_err(lin_err)?, remainder));
+                    free.sort_unstable_by_key(|&(o, _)| (o.c0, o.c1));
+                }
+                reused_ranges += 1;
+            }
+            let offset = match offset {
+                Some(o) => o,
+                None => {
+                    let o = arena_len;
+                    arena_len = arena_len.add(need).map_err(lin_err)?;
+                    o
+                }
+            };
+            let slot_off = slots_len;
+            slots_len = slots_len.add(leaves).map_err(lin_err)?;
+            layouts[bi] = Some(make_sym_layout(
+                etdg,
+                bi,
+                batched[bi],
+                false,
+                offset,
+                slot_off,
+                (gi, live_to),
+            )?);
+        }
+    }
+
+    // Untouched buffers: pinned whole-program, as in the concrete planner.
+    let mut buffers = Vec::with_capacity(nbuf);
+    for (bi, l) in layouts.into_iter().enumerate() {
+        buffers.push(match l {
+            Some(l) => l,
+            None => {
+                let buf = &etdg.buffers[bi];
+                if buf.kind == BufferKind::Input {
+                    make_sym_layout(etdg, bi, batched[bi], true, Lin::ZERO, Lin::ZERO, (0, end))?
+                } else {
+                    let (leaves, need) = sym_size(etdg, bi, batched[bi])?;
+                    let offset = arena_len;
+                    arena_len = arena_len.add(need).map_err(lin_err)?;
+                    let slot_off = slots_len;
+                    slots_len = slots_len.add(leaves).map_err(lin_err)?;
+                    make_sym_layout(etdg, bi, batched[bi], false, offset, slot_off, (0, end))?
+                }
+            }
+        });
+    }
+
+    Ok(MemoryTemplate {
+        buffers,
+        arena_len,
+        slots_len,
+        reused_ranges,
+        template_extent,
+    })
+}
+
+/// A compiled program *family*: structure passes run once, instances at
+/// concrete outer extents stamped out on demand (see the module docs).
+pub struct PolyPlan {
+    /// The program at the template extent (structure donor for
+    /// re-extenting).
+    program: Program,
+    /// The signature split: family key, masked bytes, buffer roles.
+    split: PolySplit,
+    /// The symbolic memory plan.
+    template: MemoryTemplate,
+    /// Concrete instances by outer extent.
+    instances: RwLock<HashMap<usize, Arc<CompiledProgram>>>,
+    /// Instances built (not served from the instance memo).
+    instantiations: AtomicU64,
+    /// Instantiations whose template cross-check failed (fell back to the
+    /// concrete planner).
+    template_fallbacks: AtomicU64,
+}
+
+impl PolyPlan {
+    /// Builds the family for `program`, or `None` when its outer axis is
+    /// not polymorphic. The template extent is the program's own extent;
+    /// the instance memo is primed with it.
+    pub fn build(program: &Program) -> Result<Option<PolyPlan>> {
+        let Some(split) = poly_split(program) else {
+            return Ok(None);
+        };
+        let (etdg, _plan, groups) = compile_scheduled(program)?;
+        let template =
+            plan_memory_symbolic(&etdg, &groups, &split.info.batched, split.outer_extent)?;
+        let plan = PolyPlan {
+            program: program.clone(),
+            split,
+            template,
+            instances: RwLock::new(HashMap::new()),
+            instantiations: AtomicU64::new(0),
+            template_fallbacks: AtomicU64::new(0),
+        };
+        plan.instance(plan.split.outer_extent)?;
+        Ok(Some(plan))
+    }
+
+    /// The shape-insensitive family key.
+    pub fn key(&self) -> StructKey {
+        self.split.key
+    }
+
+    /// The masked structural bytes backing the key (family identity for
+    /// byte-verified cache hits).
+    pub fn bytes(&self) -> &[u8] {
+        &self.split.bytes
+    }
+
+    /// Buffer roles along the polymorphic axis.
+    pub fn info(&self) -> &OuterInfo {
+        &self.split.info
+    }
+
+    /// The symbolic memory plan.
+    pub fn template(&self) -> &MemoryTemplate {
+        &self.template
+    }
+
+    /// The extent the template was derived at.
+    pub fn template_extent(&self) -> usize {
+        self.split.outer_extent
+    }
+
+    /// Instances currently memoized.
+    pub fn cached_instances(&self) -> usize {
+        self.instances.read().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Instances built so far (memo misses).
+    pub fn instantiations(&self) -> u64 {
+        self.instantiations.load(Ordering::Relaxed)
+    }
+
+    /// Instantiations that failed the template cross-check and fell back
+    /// to the concrete planner.
+    pub fn template_fallbacks(&self) -> u64 {
+        self.template_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The concrete plan for outer extent `l`: memoized, else stamped out
+    /// by re-extenting the program, re-running the structure passes, and
+    /// evaluating the memory template at `l` (dispatch-time stride/size
+    /// evaluation — the lifetime analysis and first-fit never re-run).
+    pub fn instance(&self, l: usize) -> Result<Arc<CompiledProgram>> {
+        if l == 0 {
+            return Err(PassError::Invalid(
+                "cannot instantiate a plan at outer extent 0".into(),
+            ));
+        }
+        if let Ok(m) = self.instances.read() {
+            if let Some(p) = m.get(&l) {
+                return Ok(Arc::clone(p));
+            }
+        }
+        let inst_program = with_outer_extent(&self.program, &self.split.info, l);
+        let (etdg, plan, groups) = compile_scheduled(&inst_program)?;
+        let memory = {
+            let evaluated = self.template.evaluate(l);
+            if template_matches(&evaluated, &etdg) {
+                evaluated
+            } else {
+                // Formula drift (should not happen for verified families):
+                // degrade to a fresh concrete layout, never to a bad plan.
+                self.template_fallbacks.fetch_add(1, Ordering::Relaxed);
+                ft_obs::Registry::global()
+                    .counter("passes.poly_template_fallback")
+                    .inc();
+                ft_probe::counter("passes.poly_template_fallback", 1.0);
+                plan_memory(&etdg, &groups)
+            }
+        };
+        self.instantiations.fetch_add(1, Ordering::Relaxed);
+        ft_obs::Registry::global()
+            .counter("passes.plan_instantiations")
+            .inc();
+        ft_probe::counter("passes.plan_instantiations", 1.0);
+        let compiled = Arc::new(CompiledProgram {
+            etdg,
+            plan,
+            groups,
+            memory,
+        });
+        let out = match self.instances.write() {
+            Ok(mut m) => Arc::clone(m.entry(l).or_insert_with(|| Arc::clone(&compiled))),
+            // Poisoned memo degrades to uncached instances.
+            Err(_) => compiled,
+        };
+        Ok(out)
+    }
+}
+
+/// The dispatch-time safety net: evaluated layouts must agree with the
+/// instance graph's real shapes on every buffer.
+fn template_matches(evaluated: &MemoryPlan, etdg: &Etdg) -> bool {
+    evaluated.buffers.len() == etdg.buffers.len()
+        && evaluated.buffers.iter().zip(&etdg.buffers).all(|(l, b)| {
+            let leaf_len: usize = b.leaf_shape.dims().iter().product();
+            let leaves: usize = b.dims.iter().product();
+            l.dims == b.dims && l.leaves == leaves && l.len == leaves * leaf_len
+        })
+}
+
+impl std::fmt::Debug for PolyPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolyPlan")
+            .field("key", &self.split.key)
+            .field("template_extent", &self.split.outer_extent)
+            .field("cached_instances", &self.cached_instances())
+            .finish()
+    }
+}
+
+/// One verified family slot (masked structural bytes + the family).
+struct FamilyEntry {
+    bytes: Box<[u8]>,
+    family: Arc<PolyPlan>,
+}
+
+/// A concurrent cache of plan families keyed by the shape-insensitive
+/// [`StructKey`], with byte-exact verification of the *masked* structural
+/// bytes on every hit — the same collision discipline as
+/// [`crate::PlanCache`], one level up: a single entry here serves every
+/// outer extent of one program structure.
+#[derive(Default)]
+pub struct PolyCache {
+    map: RwLock<HashMap<StructKey, Vec<FamilyEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PolyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached families.
+    pub fn len(&self) -> usize {
+        self.map
+            .read()
+            .map(|m| m.values().map(Vec::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// True when no family is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Family-cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Family-cache misses (= family builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Concrete instances memoized across all cached families.
+    pub fn cached_instances(&self) -> usize {
+        self.map
+            .read()
+            .map(|m| {
+                m.values()
+                    .flatten()
+                    .map(|e| e.family.cached_instances())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    fn lookup_verified(&self, split: &PolySplit) -> Option<Arc<PolyPlan>> {
+        let found = self.map.read().ok().and_then(|m| {
+            m.get(&split.key)?
+                .iter()
+                .find(|e| *e.bytes == *split.bytes)
+                .map(|e| Arc::clone(&e.family))
+        });
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            ft_obs::Registry::global()
+                .counter("passes.poly_cache_hits")
+                .inc();
+            ft_probe::counter("passes.poly_cache_hits", 1.0);
+        }
+        found
+    }
+
+    /// The cached family for `split`'s structure, or builds one with
+    /// `build_fn` (e.g. `ft-verify`'s `build_poly_verified`) and caches
+    /// it. The `bool` is true on a cache hit. `build_fn` runs outside any
+    /// lock; racing builders both succeed and the first insert wins.
+    pub fn get_or_build_with<E>(
+        &self,
+        program: &Program,
+        split: &PolySplit,
+        build_fn: impl FnOnce(&Program) -> std::result::Result<PolyPlan, E>,
+    ) -> std::result::Result<(Arc<PolyPlan>, bool), E> {
+        if let Some(family) = self.lookup_verified(split) {
+            return Ok((family, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        ft_obs::Registry::global()
+            .counter("passes.poly_cache_misses")
+            .inc();
+        ft_probe::counter("passes.poly_cache_misses", 1.0);
+        let built = Arc::new(build_fn(program)?);
+        let family = match self.map.write() {
+            Ok(mut m) => {
+                let entries = m.entry(split.key).or_default();
+                match entries.iter().find(|e| *e.bytes == *split.bytes) {
+                    Some(e) => Arc::clone(&e.family),
+                    None => {
+                        entries.push(FamilyEntry {
+                            bytes: split.bytes.clone().into_boxed_slice(),
+                            family: Arc::clone(&built),
+                        });
+                        built
+                    }
+                }
+            }
+            Err(_) => built,
+        };
+        Ok((family, false))
+    }
+}
+
+impl std::fmt::Debug for PolyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolyCache")
+            .field("families", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use ft_core::builders::stacked_rnn_program;
+
+    #[test]
+    fn template_evaluates_to_disjoint_layouts_at_every_extent() {
+        let p = stacked_rnn_program(4, 3, 4, 8);
+        let family = PolyPlan::build(&p).unwrap().expect("poly-eligible");
+        for l in [1usize, 2, 4, 7, 64] {
+            let m = family.template().evaluate(l);
+            for (i, a) in m.buffers.iter().enumerate() {
+                let Placement::Arena { offset: ao, .. } = a.placement else {
+                    continue;
+                };
+                assert!(ao + a.len <= m.arena_len, "range exceeds arena at L={l}");
+                for b in m.buffers.iter().skip(i + 1) {
+                    let Placement::Arena { offset: bo, .. } = b.placement else {
+                        continue;
+                    };
+                    let ranges_overlap = ao < bo + b.len && bo < ao + a.len;
+                    let lives_overlap = a.live.0 <= b.live.1 && b.live.0 <= a.live.1;
+                    assert!(
+                        !(ranges_overlap && lives_overlap),
+                        "live buffers share arena space at L={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instances_match_exact_shape_compiles_structurally() {
+        let p = stacked_rnn_program(4, 3, 4, 8);
+        let family = PolyPlan::build(&p).unwrap().unwrap();
+        for l in [1usize, 2, 4, 9, 32] {
+            let inst = family.instance(l).unwrap();
+            let fresh = compile(&stacked_rnn_program(l, 3, 4, 8)).unwrap();
+            assert_eq!(inst.groups.len(), fresh.groups.len());
+            for (a, b) in inst.groups.iter().zip(&fresh.groups) {
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.ops, b.ops);
+                assert_eq!(a.wavefront_steps(), b.wavefront_steps());
+            }
+            // Same shapes everywhere; arena size may differ (the symbolic
+            // first-fit is conservative) but never under the concrete one.
+            for (ia, fb) in inst.memory.buffers.iter().zip(&fresh.memory.buffers) {
+                assert_eq!(ia.dims, fb.dims);
+                assert_eq!(ia.len, fb.len);
+                assert_eq!(ia.leaf_strides, fb.leaf_strides);
+            }
+            assert!(inst.memory.arena_len >= fresh.memory.arena_len);
+            assert_eq!(
+                family.template_fallbacks(),
+                0,
+                "template cross-check must hold at L={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_memo_builds_each_extent_once() {
+        let p = stacked_rnn_program(2, 2, 3, 8);
+        let family = PolyPlan::build(&p).unwrap().unwrap();
+        let built = family.instantiations();
+        let a = family.instance(6).unwrap();
+        let b = family.instance(6).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(family.instantiations(), built + 1);
+        assert!(family.instance(0).is_err());
+    }
+
+    #[test]
+    fn one_family_entry_serves_every_extent() {
+        let cache = PolyCache::new();
+        for l in [16usize, 24, 48, 96] {
+            let p = stacked_rnn_program(l, 2, 3, 8);
+            let split = ft_core::poly_split(&p).unwrap();
+            let (family, _) = cache
+                .get_or_build_with(&p, &split, |p| {
+                    PolyPlan::build(p).map(|o| o.expect("poly-eligible"))
+                })
+                .unwrap();
+            family.instance(l).unwrap();
+        }
+        assert_eq!(cache.len(), 1, "one structure, one family");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+        assert!(cache.cached_instances() >= 4);
+    }
+
+    #[test]
+    fn different_structures_occupy_different_families() {
+        let cache = PolyCache::new();
+        for p in [
+            stacked_rnn_program(4, 2, 3, 8),
+            stacked_rnn_program(4, 2, 3, 16), // hidden width differs
+        ] {
+            let split = ft_core::poly_split(&p).unwrap();
+            cache
+                .get_or_build_with(&p, &split, |p| {
+                    PolyPlan::build(p).map(|o| o.expect("poly-eligible"))
+                })
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,162 +1,42 @@
 //! Batchability analysis and fused-batch construction.
 //!
-//! Dynamic batching (§ DESIGN.md §10) fuses K same-plan requests into one
-//! launch by concatenating their inputs along the outermost programmable
-//! dimension, running a single widened wavefront, and splitting the outputs
-//! back per request. That is only sound when the outermost dimension is
-//! embarrassingly parallel and every cross-element access pattern is
-//! preserved under concatenation:
+//! Dynamic batching (§ DESIGN.md §10) fuses K same-structure requests into
+//! one launch by concatenating their inputs along the outermost
+//! programmable dimension, running a single widened wavefront, and
+//! splitting the outputs back per request. The legality analysis is
+//! exactly shape polymorphism over the outer axis — a fused batch *is* the
+//! program instantiated at a larger outer extent — so it lives in
+//! [`ft_core::poly`] and is re-exported here under its serving-layer
+//! names: [`analyze`] decides fusability and classifies each buffer as
+//! **batched** (concatenate along the outer axis) or **shared** (one copy,
+//! e.g. weights).
 //!
-//! * every nest's outermost operator is `map` (no loop-carried dependence
-//!   along the batch dimension) and all nests share one outer extent `B`;
-//! * each buffer is either **batched** — its outer axis is indexed by
-//!   exactly the outer iteration variable (`axes[0] == t0`) and no other
-//!   axis mentions `t0`, so element `b` of request `r` maps 1:1 to element
-//!   `r*B + b` of the fused buffer — or **shared** — no access mentions
-//!   `t0` at all, so every request reads the same values (weights);
-//! * every written buffer (outputs and intermediates) is batched, so the
-//!   fused outputs split cleanly into K per-request chunks.
-//!
-//! Anything else (strided/windowed/constant outer access, a buffer used
-//! both ways, outer scans/folds) makes the program non-batchable and the
-//! runtime falls back to per-request execution.
+//! Batches are *ragged*: member requests need not share an outer extent.
+//! [`concat_outer`] fuses parts of any lengths and
+//! [`split_outer_parts`] splits the fused outputs back using the
+//! per-part extents recorded at concat time; [`split_outer`] remains the
+//! equal-chunk fast case. Programs that fail the analysis (outer
+//! scans/folds, strided outer access) are served per-request.
 
-use ft_core::{
-    AccessSpec, AxisExpr, BufferKind, CarriedInit, CoreError, FractalTensor, OpKind, Program,
-};
+use ft_core::{CoreError, FractalTensor, Program};
 
-/// How each buffer of a batchable program participates in a fused batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BatchInfo {
-    /// The per-request outer extent `B` shared by every nest.
-    pub batch_extent: usize,
-    /// Per buffer (indexed by `BufferId.0`): true = concatenate along the
-    /// outer dimension, false = pass one shared copy.
-    pub batched: Vec<bool>,
-}
+pub use ft_core::poly::analyze_outer as analyze;
+pub use ft_core::poly::OuterInfo as BatchInfo;
 
-/// A buffer's observed role across all accesses.
-#[derive(Clone, Copy, PartialEq)]
-enum Role {
-    Unseen,
-    Batched,
-    Shared,
-}
-
-fn uses_outer(axis: &AxisExpr) -> bool {
-    axis.terms.iter().any(|&(d, c)| d == 0 && c != 0)
-}
-
-/// Classifies one access: `Some(true)` batched, `Some(false)` shared,
-/// `None` incompatible with batching.
-fn classify(spec: &AccessSpec) -> Option<bool> {
-    if !spec.axes.iter().any(uses_outer) {
-        return Some(false);
-    }
-    let first = spec.axes.first()?;
-    let nonzero: Vec<(usize, i64)> = first
-        .terms
-        .iter()
-        .copied()
-        .filter(|&(_, c)| c != 0)
-        .collect();
-    let first_is_t0 = first.offset == 0 && nonzero == [(0, 1)];
-    let rest_clean = spec.axes[1..].iter().all(|a| !uses_outer(a));
-    if first_is_t0 && rest_clean {
-        Some(true)
-    } else {
-        None
-    }
-}
-
-fn merge(role: &mut Role, batched: bool) -> bool {
-    let next = if batched { Role::Batched } else { Role::Shared };
-    match *role {
-        Role::Unseen => {
-            *role = next;
-            true
-        }
-        r => r == next,
-    }
-}
-
-/// Decides whether `program` admits outer-dimension batching, and how.
-///
-/// Returns `None` when any rule in the module docs is violated; the caller
-/// then serves requests individually.
-pub fn analyze(program: &Program) -> Option<BatchInfo> {
-    let first_nest = program.nests.first()?;
-    if *first_nest.ops.first()? != OpKind::Map {
-        return None;
-    }
-    let b = *first_nest.extents.first()?;
-    let mut roles = vec![Role::Unseen; program.buffers.len()];
-    for nest in &program.nests {
-        if *nest.ops.first()? != OpKind::Map || *nest.extents.first()? != b {
-            return None;
-        }
-        for read in &nest.reads {
-            if !merge(&mut roles[read.buffer.0], classify(&read.access)?) {
-                return None;
-            }
-            if let Some(CarriedInit::Buffer(init_buf, init_spec)) = &read.init {
-                if !merge(&mut roles[init_buf.0], classify(init_spec)?) {
-                    return None;
-                }
-            }
-        }
-        for write in &nest.writes {
-            if !merge(&mut roles[write.buffer.0], classify(&write.access)?) {
-                return None;
-            }
-        }
-    }
-    let mut batched = Vec::with_capacity(program.buffers.len());
-    for (decl, role) in program.buffers.iter().zip(&roles) {
-        let is_batched = match (decl.kind, role) {
-            // Written buffers must split per request.
-            (BufferKind::Output | BufferKind::Intermediate, Role::Batched) => true,
-            (BufferKind::Output | BufferKind::Intermediate, _) => return None,
-            (BufferKind::Input, Role::Batched) => true,
-            // Unread inputs ride along as one shared copy.
-            (BufferKind::Input, Role::Shared | Role::Unseen) => false,
-        };
-        // Concatenation semantics need the declared outer extent to equal
-        // the batch extent exactly.
-        if is_batched && decl.dims.first() != Some(&b) {
-            return None;
-        }
-        batched.push(is_batched);
-    }
-    Some(BatchInfo {
-        batch_extent: b,
-        batched,
-    })
-}
-
-/// The fused program for `k` requests: outer nest extents and batched
-/// buffer extents scaled from `B` to `B * k`. Shared buffers keep their
-/// shape. Structure is otherwise identical, so the fused plan caches under
-/// its own signature.
+/// The fused program for total outer extent `B * k` (`k` equal-extent
+/// requests): a [`ft_core::poly::with_outer_extent`] re-extent with a
+/// batch-flavored debug name. For ragged batches, re-extent to the sum of
+/// the parts' extents instead.
 pub fn batched_program(program: &Program, info: &BatchInfo, k: usize) -> Program {
-    let mut fused = program.clone();
+    let mut fused = ft_core::poly::with_outer_extent(program, info, info.batch_extent * k);
     fused.name = format!("{}[x{k}]", program.name);
-    for (decl, &is_batched) in fused.buffers.iter_mut().zip(&info.batched) {
-        if is_batched {
-            if let Some(outer) = decl.dims.first_mut() {
-                *outer = info.batch_extent * k;
-            }
-        }
-    }
-    for nest in &mut fused.nests {
-        if let Some(outer) = nest.extents.first_mut() {
-            *outer = info.batch_extent * k;
-        }
-    }
     fused
 }
 
 /// Concatenates per-request FractalTensors along the outermost list.
+/// Parts may have different outer lengths (ragged batching); record
+/// `parts[i].len()` at concat time to split the result back with
+/// [`split_outer_parts`].
 pub fn concat_outer(parts: &[&FractalTensor]) -> ft_core::Result<FractalTensor> {
     let first = parts
         .first()
@@ -189,8 +69,50 @@ pub fn concat_outer(parts: &[&FractalTensor]) -> ft_core::Result<FractalTensor> 
     }
 }
 
+/// Splits a fused output back into per-request chunks along the outermost
+/// list, using the per-part outer extents recorded when the batch was
+/// concatenated. Offset-aware: parts may differ (ragged batches); the sum
+/// of `parts` must equal the fused outer length and no part may be empty.
+pub fn split_outer_parts(
+    ft: &FractalTensor,
+    parts: &[usize],
+) -> ft_core::Result<Vec<FractalTensor>> {
+    let n = ft.len();
+    let total: usize = parts.iter().sum();
+    if parts.is_empty() || total != n || parts.contains(&0) {
+        return Err(CoreError::Adt(format!(
+            "cannot split outer length {n} into parts {parts:?}"
+        )));
+    }
+    fn ranges<T: Clone>(v: &[T], parts: &[usize]) -> Vec<Vec<T>> {
+        // Equal chunks — the identical-extent fast case.
+        let chunk = parts[0];
+        if parts.iter().all(|&p| p == chunk) {
+            return v.chunks(chunk).map(<[T]>::to_vec).collect();
+        }
+        let mut out = Vec::with_capacity(parts.len());
+        let mut off = 0usize;
+        for &p in parts {
+            out.push(v[off..off + p].to_vec());
+            off += p;
+        }
+        out
+    }
+    match ft {
+        FractalTensor::Leaves(v) => ranges(v, parts)
+            .into_iter()
+            .map(FractalTensor::from_tensors)
+            .collect(),
+        FractalTensor::Nested(v) => ranges(v, parts)
+            .into_iter()
+            .map(FractalTensor::nested)
+            .collect(),
+    }
+}
+
 /// Splits a fused output back into `k` equal per-request chunks along the
-/// outermost list.
+/// outermost list — the identical-extent fast case of
+/// [`split_outer_parts`].
 pub fn split_outer(ft: &FractalTensor, k: usize) -> ft_core::Result<Vec<FractalTensor>> {
     let n = ft.len();
     if k == 0 || !n.is_multiple_of(k) {
@@ -198,17 +120,7 @@ pub fn split_outer(ft: &FractalTensor, k: usize) -> ft_core::Result<Vec<FractalT
             "cannot split outer length {n} into {k} chunks"
         )));
     }
-    let chunk = n / k;
-    match ft {
-        FractalTensor::Leaves(v) => v
-            .chunks(chunk)
-            .map(|c| FractalTensor::from_tensors(c.to_vec()))
-            .collect(),
-        FractalTensor::Nested(v) => v
-            .chunks(chunk)
-            .map(|c| FractalTensor::nested(c.to_vec()))
-            .collect(),
-    }
+    split_outer_parts(ft, &vec![n / k; k])
 }
 
 #[cfg(test)]
@@ -292,29 +204,59 @@ mod tests {
         assert!(ft_passes::compile(&fused).is_ok());
     }
 
+    fn seq(base: f32, outer: usize) -> FractalTensor {
+        FractalTensor::nested(
+            (0..outer)
+                .map(|i| {
+                    FractalTensor::from_tensors(vec![
+                        Tensor::full(&[1, 2], base + 2.0 * i as f32),
+                        Tensor::full(&[1, 2], base + 2.0 * i as f32 + 1.0),
+                    ])
+                    .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn concat_then_split_round_trips() {
-        let mk = |base: f32| {
-            FractalTensor::nested(vec![
-                FractalTensor::from_tensors(vec![
-                    Tensor::full(&[1, 2], base),
-                    Tensor::full(&[1, 2], base + 1.0),
-                ])
-                .unwrap(),
-                FractalTensor::from_tensors(vec![
-                    Tensor::full(&[1, 2], base + 2.0),
-                    Tensor::full(&[1, 2], base + 3.0),
-                ])
-                .unwrap(),
-            ])
-            .unwrap()
-        };
-        let a = mk(0.0);
-        let b = mk(10.0);
+        let a = seq(0.0, 2);
+        let b = seq(10.0, 2);
         let cat = concat_outer(&[&a, &b]).unwrap();
         assert_eq!(cat.prog_dims(), vec![4, 2]);
         let back = split_outer(&cat, 2).unwrap();
         assert_eq!(back, vec![a, b]);
         assert!(split_outer(&cat, 3).is_err());
+    }
+
+    /// Regression: the old `split_outer` hard-errored unless the fused
+    /// length divided evenly — unequal (ragged) members could not be split
+    /// back at all.
+    #[test]
+    fn ragged_concat_then_split_round_trips() {
+        let a = seq(0.0, 1);
+        let b = seq(10.0, 3);
+        let c = seq(100.0, 2);
+        let cat = concat_outer(&[&a, &b, &c]).unwrap();
+        assert_eq!(cat.len(), 6);
+        // The equal-chunk API cannot express this split.
+        assert!(split_outer(&cat, 4).is_err());
+        let back = split_outer_parts(&cat, &[1, 3, 2]).unwrap();
+        assert_eq!(back, vec![a, b, c]);
+        // Wrong totals and zero-length parts are rejected.
+        assert!(split_outer_parts(&cat, &[1, 3]).is_err());
+        assert!(split_outer_parts(&cat, &[1, 3, 1]).is_err());
+        assert!(split_outer_parts(&cat, &[0, 3, 3]).is_err());
+    }
+
+    #[test]
+    fn split_outer_parts_handles_flat_leaf_lists() {
+        let flat =
+            FractalTensor::from_tensors((0..5).map(|i| Tensor::full(&[1, 2], i as f32)).collect())
+                .unwrap();
+        let back = split_outer_parts(&flat, &[2, 3]).unwrap();
+        assert_eq!(back[0].len(), 2);
+        assert_eq!(back[1].len(), 3);
     }
 }

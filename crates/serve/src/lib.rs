@@ -21,7 +21,16 @@
 //!   inputs concatenated along the outer dimension, a single widened
 //!   wavefront on the pool, outputs split back per request. Shape
 //!   misalignment or a fused-execution failure falls back to per-request
-//!   execution; batching is an optimization, never a correctness risk.
+//!   execution; batching is an optimization, never a correctness risk,
+//! * shape-polymorphic serving ([`ServeConfig::poly`]): requests whose
+//!   program has a legal polymorphic outer axis are keyed by their
+//!   *structural* family ([`ft_core::StructKey`]) instead of their exact
+//!   shape, so one cached [`ft_passes::PolyPlan`] serves every outer
+//!   extent. The scheduler length-buckets queued family members
+//!   (factor-of-4 extent classes) and fuses them **ragged** — inputs of
+//!   different lengths concatenated with per-part extents recorded at
+//!   concat time, one launch at the summed extent, outputs split back
+//!   offset-aware ([`batch::split_outer_parts`]).
 //!
 //! Every failure is a typed [`ServeError`] delivered through the request's
 //! [`Ticket`]; an expired or failed request never poisons the pool or the
@@ -47,14 +56,17 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use ft_backend::{ExecError, Executor};
 
 pub use ft_backend::FaultPlan;
-use ft_core::{program_signature, BufferId, BufferKind, FractalTensor, Program, ProgramSig};
+use ft_core::{
+    poly_split, program_signature, BufferId, BufferKind, FractalTensor, Program, ProgramSig,
+    StructKey,
+};
 use ft_obs::{
     CompletionRecord, CompletionStatus, Counter, FuseDecision, Gauge, Histogram, Registry,
     TraceContext, TraceLog,
 };
-use ft_passes::{CompiledProgram, PlanCache};
+use ft_passes::{CompiledProgram, PlanCache, PolyCache, PolyPlan};
 use ft_pool::WorkerPool;
-use ft_verify::compile_verified;
+use ft_verify::{build_poly_verified, compile_verified};
 
 /// Errors a request can come back with.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,6 +193,13 @@ pub struct ServeConfig {
     /// runtime then replaces the poisoned pool and keeps serving.
     /// `None` (the default) keeps the zero-overhead unsupervised pool.
     pub launch_timeout: Option<Duration>,
+    /// Shape-polymorphic plan families: serve requests whose program has a
+    /// legal polymorphic outer axis from one cached
+    /// [`ft_passes::PolyPlan`] per *structure*, instantiated at each
+    /// request's extent at dispatch, and fuse queued family members into
+    /// ragged batches (length-bucketed, concat-with-offsets). Off, every
+    /// distinct shape compiles (and verifies) its own plan.
+    pub poly: bool,
 }
 
 impl Default for ServeConfig {
@@ -198,6 +217,7 @@ impl Default for ServeConfig {
             quarantine_cooldown: Duration::from_millis(500),
             shedding: true,
             launch_timeout: None,
+            poly: true,
         }
     }
 }
@@ -288,6 +308,28 @@ impl std::fmt::Debug for Ticket {
     }
 }
 
+/// Shape-polymorphism identity minted at admission: the shape-insensitive
+/// structural family key plus this request's concrete outer extent (the
+/// shape tuple resolved at launch). `bucket` is the factor-of-4 length
+/// class of the extent — the scheduler fuses queued family members of the
+/// same bucket into one ragged launch, so nearby lengths share a
+/// wavefront while a 1-row and a 4096-row request never do. Concat pads
+/// nothing (the launch runs at the *summed* extent), so bucketing costs
+/// no wasted compute; its only job is a latency guard — within a bucket a
+/// member's batch-mates are at most ~4x its own width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PolyMeta {
+    key: StructKey,
+    extent: usize,
+    bucket: u32,
+}
+
+/// The factor-of-4 length class used for ragged batch bucketing: extents
+/// {1,2} share class 0, {3..8} class 1, {9..32} class 2, and so on.
+fn extent_bucket(extent: usize) -> u32 {
+    extent.next_power_of_two().trailing_zeros() / 2
+}
+
 struct Pending {
     sig: ProgramSig,
     program: Arc<Program>,
@@ -300,6 +342,38 @@ struct Pending {
     /// Time spent in the admission queue, set when the scheduler pops the
     /// request into a group.
     queue_wait_us: f64,
+    /// Shape-polymorphism identity, `None` when the program has no legal
+    /// polymorphic outer axis (or [`ServeConfig::poly`] is off).
+    poly: Option<PolyMeta>,
+}
+
+/// What the scheduler coalesces on: shape-polymorphic requests group by
+/// structural family and length bucket (ragged fusion), everything else by
+/// exact program signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupKey {
+    Sig(ProgramSig),
+    Poly { key: StructKey, bucket: u32 },
+}
+
+fn group_key(p: &Pending) -> GroupKey {
+    match p.poly {
+        Some(m) => GroupKey::Poly {
+            key: m.key,
+            bucket: m.bucket,
+        },
+        None => GroupKey::Sig(p.sig),
+    }
+}
+
+/// The key a request's quarantine breaker lives under: poly requests share
+/// one breaker per structural family (they share the plan that would be
+/// failing), everything else breaks per exact signature.
+fn quarantine_sig(p: &Pending) -> ProgramSig {
+    match p.poly {
+        Some(m) => ProgramSig(m.key.0),
+        None => p.sig,
+    }
 }
 
 /// Pre-registered handles into the runtime's [`Registry`]: every hot-path
@@ -318,6 +392,7 @@ struct Metrics {
     batches: Counter,
     batched_requests: Counter,
     batch_fallbacks: Counter,
+    batch_ragged_fallback: Counter,
     scheduler_restarts: Counter,
     shed: Counter,
     retries: Counter,
@@ -348,6 +423,7 @@ impl Metrics {
             batches: reg.counter("serve.batches"),
             batched_requests: reg.counter("serve.batched_requests"),
             batch_fallbacks: reg.counter("serve.batch_fallbacks"),
+            batch_ragged_fallback: reg.counter("serve.batch_ragged_fallback"),
             scheduler_restarts: reg.counter("serve.scheduler_restarts"),
             shed: reg.counter("serve.shed"),
             retries: reg.counter("serve.retries"),
@@ -411,6 +487,11 @@ pub struct ServeStats {
     pub batched_requests: u64,
     /// Fused attempts that fell back to per-request execution.
     pub batch_fallbacks: u64,
+    /// The subset of `batch_fallbacks` caused specifically by a
+    /// mismatched outer extent (a request's batched input had the wrong
+    /// outer length for its slot in the fused launch) — the length-mix
+    /// signal, distinct from genuine shape errors.
+    pub batch_ragged_fallbacks: u64,
     /// Times the supervisor respawned a panicked scheduler.
     pub scheduler_restarts: u64,
     /// Requests rejected at admission because their deadline was already
@@ -438,11 +519,15 @@ pub struct ServeStats {
     pub max_batch: usize,
     /// Deepest the admission queue has been.
     pub peak_queue_depth: usize,
-    /// Plan-cache hits (requests that skipped compile + verify).
+    /// Plan-cache hits (requests that skipped compile + verify), summed
+    /// over the exact-shape cache and the shape-polymorphic family cache.
     pub cache_hits: u64,
-    /// Plan-cache misses (cold compiles, including fused variants).
+    /// Plan-cache misses (cold compiles, including fused variants and
+    /// family builds).
     pub cache_misses: u64,
-    /// Distinct plans cached.
+    /// Distinct plans cached: exact-shape entries plus polymorphic
+    /// families. One family counts once no matter how many extents it has
+    /// served.
     pub cached_plans: usize,
     /// Median end-to-end latency of successful requests, microseconds.
     /// Computed over **every** completed request (log-bucket histogram,
@@ -518,6 +603,12 @@ struct Inner {
     space: Condvar,
     shutdown: AtomicBool,
     cache: PlanCache,
+    /// Shape-polymorphic plan families, keyed by structural family
+    /// ([`StructKey`]); one verified entry serves every outer extent.
+    poly_cache: PolyCache,
+    /// Memoized admission-time poly analysis, keyed by exact signature
+    /// (same sig ⇒ same split outcome).
+    poly_meta: Mutex<HashMap<ProgramSig, Option<PolyMeta>>>,
     batch_info: Mutex<HashMap<ProgramSig, Option<Arc<BatchInfo>>>>,
     /// Current pool + executor; replaced under the write lock when a
     /// stall poisons the pool.
@@ -610,6 +701,8 @@ impl Runtime {
             space: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: PlanCache::new(),
+            poly_cache: PolyCache::new(),
+            poly_meta: Mutex::new(HashMap::new()),
             batch_info: Mutex::new(HashMap::new()),
             engine: RwLock::new(Engine { pool, exec }),
             pool_threads: threads,
@@ -716,6 +809,7 @@ impl Runtime {
             .or(self.inner.cfg.default_deadline)
             .map(|d| submitted + d);
         let state = Arc::new(TicketState::default());
+        let poly = poly_meta_for(&self.inner, sig, &request.program);
         let pending = Pending {
             sig,
             program: request.program,
@@ -725,6 +819,7 @@ impl Runtime {
             ticket: Arc::clone(&state),
             ctx,
             queue_wait_us: 0.0,
+            poly,
         };
         let depth = {
             let mut queue = self.inner.queue.lock();
@@ -756,7 +851,7 @@ impl Runtime {
             // the estimate matches the queue the request would join.
             if let Some(dl) = pending.deadline {
                 if self.inner.cfg.shedding {
-                    if let Some(estimated_us) = estimate_wait_us(&self.inner, queue.len()) {
+                    if let Some(estimated_us) = estimate_wait_us(&self.inner, &queue, &pending) {
                         if submitted + Duration::from_micros(estimated_us) > dl {
                             drop(queue);
                             self.inner.metrics.shed.inc();
@@ -799,6 +894,7 @@ impl Runtime {
             batches: m.batches.get(),
             batched_requests: m.batched_requests.get(),
             batch_fallbacks: m.batch_fallbacks.get(),
+            batch_ragged_fallbacks: m.batch_ragged_fallback.get(),
             scheduler_restarts: m.scheduler_restarts.get(),
             shed: m.shed.get(),
             retries: m.retries.get(),
@@ -811,9 +907,9 @@ impl Runtime {
             pool_workers,
             max_batch: self.inner.max_batch.load(Ordering::Relaxed) as usize,
             peak_queue_depth: self.inner.peak_queue_depth.load(Ordering::Relaxed) as usize,
-            cache_hits: self.inner.cache.hits(),
-            cache_misses: self.inner.cache.misses(),
-            cached_plans: self.inner.cache.len(),
+            cache_hits: self.inner.cache.hits() + self.inner.poly_cache.hits(),
+            cache_misses: self.inner.cache.misses() + self.inner.poly_cache.misses(),
+            cached_plans: self.inner.cache.len() + self.inner.poly_cache.len(),
             latency_p50_us: lat.quantile(0.50),
             latency_p95_us: lat.quantile(0.95),
             latency_p99_us: lat.quantile(0.99),
@@ -891,6 +987,7 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("threads", &self.threads())
             .field("cache", &self.inner.cache)
+            .field("poly_cache", &self.inner.poly_cache)
             .finish()
     }
 }
@@ -899,27 +996,43 @@ impl std::fmt::Debug for Runtime {
 // Scheduler.
 // ---------------------------------------------------------------------
 
-/// Queue-wait estimate (µs) for a request joining a queue of `depth`,
-/// from the live exec-time and batch-size histograms. `None` until
-/// enough launches have completed to predict from — a cold runtime never
-/// sheds.
-fn estimate_wait_us(inner: &Inner, depth: usize) -> Option<u64> {
+/// Queue-wait estimate (µs) for `pending` joining `queue`, from the live
+/// exec-time and batch-size histograms. `None` until enough launches have
+/// completed to predict from — a cold runtime never sheds.
+///
+/// The queue is partitioned around the incoming request: work that would
+/// be *co-scheduled* with it (same [`GroupKey`]) drains deterministically
+/// at `max_batch` requests per fused launch, so a burst of same-plan
+/// traffic at capacity costs `ceil((same+1)/max_batch)` launches — not
+/// one launch per queued request, which is what the old depth-only
+/// estimate charged and why batched traffic was over-shed. Unrelated
+/// queued work drains at the *observed* batch-size mix (solo launches
+/// record a batch size of 1, so the mean reflects real occupancy).
+fn estimate_wait_us(inner: &Inner, queue: &VecDeque<Pending>, pending: &Pending) -> Option<u64> {
     const MIN_HISTORY: u64 = 8;
     let exec = &inner.metrics.exec_us;
     if exec.count() < MIN_HISTORY {
         return None;
     }
     let per_launch_us = exec.mean();
-    // Batching drains several queued requests per launch; divide depth by
-    // the observed mean batch size (≥ 1) so fused serving isn't
-    // over-shed.
-    let mean_batch = inner.metrics.batch_size.mean().max(1.0);
-    let launches_ahead = (depth as f64 / mean_batch).ceil();
-    // +1: the request's own launch must also finish before its deadline.
-    // The x2 safety margin makes shedding deliberately conservative: a
+    let key = group_key(pending);
+    let same = queue.iter().filter(|q| group_key(q) == key).count();
+    let other = queue.len() - same;
+    let (same_launches, other_launches) = if inner.cfg.batching {
+        let max_batch = inner.cfg.max_batch.max(1) as f64;
+        let mean_batch = inner.metrics.batch_size.mean().max(1.0);
+        (
+            // +1: the incoming request rides one of its group's launches.
+            ((same + 1) as f64 / max_batch).ceil(),
+            (other as f64 / mean_batch).ceil(),
+        )
+    } else {
+        ((same + 1) as f64, other as f64)
+    };
+    // The x2 safety margin keeps shedding deliberately conservative: a
     // shed request costs nothing, while an admitted-then-late request
     // burns pool time that on-deadline requests needed.
-    Some(((launches_ahead + 1.0) * per_launch_us * 2.0) as u64)
+    Some(((same_launches + other_launches) * per_launch_us * 2.0) as u64)
 }
 
 /// Fails one stranded in-flight entry with `err`, emitting the metrics
@@ -992,15 +1105,17 @@ fn scheduler_loop(inner: &Arc<Inner>) {
             }
             let mut group = Vec::new();
             if let Some(first) = queue.pop_front() {
-                let sig = first.sig;
+                let key = group_key(&first);
                 group.push(first);
                 if inner.cfg.batching {
-                    // Pull every queued same-plan request (up to max_batch)
-                    // regardless of position: batching is keyed on the plan,
-                    // not adjacency.
+                    // Pull every queued same-group request (up to
+                    // max_batch) regardless of position: batching is keyed
+                    // on the plan — exact signature, or structural family
+                    // + length bucket for shape-polymorphic requests — not
+                    // adjacency.
                     let mut i = 0;
                     while i < queue.len() && group.len() < inner.cfg.max_batch {
-                        if queue[i].sig == sig {
+                        if group_key(&queue[i]) == key {
                             if let Some(p) = queue.remove(i) {
                                 group.push(p);
                             }
@@ -1149,8 +1264,9 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
     // Quarantine gate: an open breaker fails the whole group fast — no
     // compile, no pool time. Once the cooldown elapses, exactly one
     // group proceeds as the half-open probe; its outcome decides
-    // between closing and re-opening.
-    let sig = live[0].sig;
+    // between closing and re-opening. Poly groups share one breaker per
+    // structural family (they share the plan).
+    let sig = quarantine_sig(&live[0]);
     if inner.cfg.quarantine_threshold > 0 {
         let now = Instant::now();
         let mut quarantine = inner.quarantine.lock();
@@ -1177,9 +1293,15 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
 
     // Plan acquisition: a cache hit skips compile AND verify. The time is
     // billed to every request in the group's phase breakdown (they share
-    // one acquisition).
+    // one acquisition). Poly-eligible groups acquire the structural
+    // *family* — one cached entry serves every outer extent — everything
+    // else the exact-shape compiled plan.
     let setup_start = Instant::now();
-    let acquired = acquire_plan(inner, &live[0].program);
+    let acquired = if live[0].poly.is_some() {
+        acquire_family(inner, &live[0].program).map(|(f, hit)| (Acquired::Family(f), hit))
+    } else {
+        acquire_plan(inner, &live[0].program).map(|(p, hit)| (Acquired::Plan(p), hit))
+    };
     let setup_us = setup_start.elapsed().as_secs_f64() * 1e6;
     let (plan, hit) = match acquired {
         Ok(v) => v,
@@ -1229,7 +1351,14 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
     let mut fallback_reason: Option<String> = None;
     let mut live = live;
     if live.len() > 1 {
-        if let Some(info) = batch_info_for(inner, &live[0]) {
+        // Ragged poly groups fuse through the family (members may differ
+        // in outer extent); fixed-shape groups through the re-extent
+        // batched program.
+        let fuse = match &plan {
+            Acquired::Family(family) => Some(FusePath::Poly(Arc::clone(family))),
+            Acquired::Plan(_) => batch_info_for(inner, &live[0]).map(FusePath::Fixed),
+        };
+        if let Some(fuse) = fuse {
             // Last deadline check before the batch geometry is fixed: a
             // request that expired while the group was being set up must
             // not widen the wavefront launch.
@@ -1243,7 +1372,11 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
             }
             if live.len() > 1 {
                 let batch_id = inner.next_batch_id.fetch_add(1, Ordering::Relaxed);
-                match run_fused(inner, &exec, &live, &info, batch_id) {
+                let attempt = match &fuse {
+                    FusePath::Poly(family) => run_fused_poly(inner, &exec, &live, family, batch_id),
+                    FusePath::Fixed(info) => run_fused(inner, &exec, &live, info, batch_id),
+                };
+                match attempt {
                     Ok(fused) => {
                         let k = live.len();
                         inner.metrics.batches.inc();
@@ -1273,7 +1406,16 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
                         inner.metrics.batch_fallbacks.inc();
                         ft_probe::counter("serve.batch_fallbacks", 1.0);
                         let reason = match fail {
-                            FusedFailure::Precondition(reason) => reason,
+                            FusedFailure::Precondition { reason, ragged } => {
+                                if ragged {
+                                    // Length-mix fallback (mismatched
+                                    // outer extent), distinct from genuine
+                                    // shape errors.
+                                    inner.metrics.batch_ragged_fallback.inc();
+                                    ft_probe::counter("serve.batch_ragged_fallback", 1.0);
+                                }
+                                reason
+                            }
                             FusedFailure::Exec(e) => {
                                 // Batch fault isolation: the fused launch
                                 // itself failed, so every member is re-run
@@ -1311,9 +1453,25 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
             continue;
         }
         let exec_start = Instant::now();
-        let result = exec.run(&plan, &p.inputs).map_err(ServeError::Exec);
+        let result = match (&plan, p.poly) {
+            (Acquired::Plan(compiled), _) => {
+                exec.run(compiled, &p.inputs).map_err(ServeError::Exec)
+            }
+            (Acquired::Family(family), Some(m)) => exec
+                .run_poly(family, m.extent, &p.inputs, None)
+                .map_err(ServeError::Exec),
+            // Unreachable by construction — a poly group only ever holds
+            // poly requests — but typed rather than panicking.
+            (Acquired::Family(_), None) => Err(ServeError::Input(
+                "request without shape metadata in a polymorphic group".into(),
+            )),
+        };
         let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
         inner.metrics.exec_us.record(exec_us);
+        // Solo launches count toward the realized batch-size mix too —
+        // without them the mean only reflects fused successes and the
+        // shedding estimator overestimates drain rates.
+        inner.metrics.batch_size.record(1.0);
         match &result {
             Ok(_) => note_plan_outcome(inner, sig, true),
             Err(ServeError::Exec(e)) => {
@@ -1342,6 +1500,20 @@ fn process_group(inner: &Inner, mut exec: Executor, group: Vec<Pending>) {
     }
 }
 
+/// The plan a group was acquired under: a fixed-shape compiled program,
+/// or a shape-polymorphic family instantiated per extent at dispatch.
+enum Acquired {
+    Plan(Arc<CompiledProgram>),
+    Family(Arc<PolyPlan>),
+}
+
+/// How a multi-request group fuses: through the family (ragged, members
+/// may differ in outer extent) or the fixed-shape re-extent path.
+enum FusePath {
+    Poly(Arc<PolyPlan>),
+    Fixed(Arc<BatchInfo>),
+}
+
 fn acquire_plan(
     inner: &Inner,
     program: &Program,
@@ -1356,6 +1528,52 @@ fn acquire_plan(
             ft_passes::compile(p).map_err(|e| ServeError::Compile(e.to_string()))
         }
     })
+}
+
+/// The shape-polymorphic family for `program`'s structure, from the
+/// family cache or built (and, per config, verified for extent
+/// invariance) cold. The `bool` is true on a cache hit.
+fn acquire_family(inner: &Inner, program: &Program) -> Result<(Arc<PolyPlan>, bool), ServeError> {
+    // Admission already proved the split exists; recomputing it here is
+    // one byte-serialization, far cheaper than a compile.
+    let split = poly_split(program).ok_or_else(|| {
+        ServeError::Compile("program lost its polymorphic outer axis".to_string())
+    })?;
+    let verify = inner.cfg.verify;
+    inner.poly_cache.get_or_build_with(program, &split, |p| {
+        if verify {
+            build_poly_verified(p)
+                .map(|(family, _report)| family)
+                .map_err(|e| ServeError::Compile(e.to_string()))
+        } else {
+            match PolyPlan::build(p) {
+                Ok(Some(family)) => Ok(family),
+                Ok(None) => Err(ServeError::Compile(
+                    "program lost its polymorphic outer axis".to_string(),
+                )),
+                Err(e) => Err(ServeError::Compile(e.to_string())),
+            }
+        }
+    })
+}
+
+/// The request's shape-polymorphism identity, memoized by exact signature
+/// (same sig ⇒ same split outcome). `None` when [`ServeConfig::poly`] is
+/// off or the program has no legal polymorphic outer axis.
+fn poly_meta_for(inner: &Inner, sig: ProgramSig, program: &Program) -> Option<PolyMeta> {
+    if !inner.cfg.poly {
+        return None;
+    }
+    if let Some(meta) = inner.poly_meta.lock().get(&sig) {
+        return *meta;
+    }
+    let meta = poly_split(program).map(|s| PolyMeta {
+        key: s.key,
+        extent: s.outer_extent,
+        bucket: extent_bucket(s.outer_extent),
+    });
+    inner.poly_meta.lock().insert(sig, meta);
+    meta
 }
 
 fn batch_info_for(inner: &Inner, pending: &Pending) -> Option<Arc<BatchInfo>> {
@@ -1382,11 +1600,23 @@ enum FusedFailure {
     /// The batch could not even be assembled (shape mismatch, divergent
     /// shared inputs, fused compile failure). Nothing executed; the
     /// fallback is ordinary per-request serving, not fault isolation.
-    Precondition(String),
+    /// `ragged` marks the specific sub-case of a mismatched *outer*
+    /// extent (inner dims fine) so the length-mix fallback counter stays
+    /// distinct from genuine shape errors.
+    Precondition { reason: String, ragged: bool },
     /// The widened launch itself failed (worker panic, guard trip,
     /// stall). The caller re-runs each member solo to isolate the
     /// faulty request.
     Exec(ExecError),
+}
+
+impl FusedFailure {
+    fn precondition(reason: impl Into<String>) -> Self {
+        FusedFailure::Precondition {
+            reason: reason.into(),
+            ragged: false,
+        }
+    }
 }
 
 /// One fused launch for `live` (all same-signature): concatenate batched
@@ -1405,7 +1635,7 @@ fn run_fused(
     let base = &live[0].program;
     let fused_prog = batch::batched_program(base, info, k);
     let (fused_plan, _) = acquire_plan(inner, &fused_prog)
-        .map_err(|e| FusedFailure::Precondition(format!("fused compile: {e}")))?;
+        .map_err(|e| FusedFailure::precondition(format!("fused compile: {e}")))?;
 
     let mut split_us = 0.0;
     let concat_start = Instant::now();
@@ -1421,7 +1651,7 @@ fn run_fused(
                 .map(|p| p.inputs.get(&id))
                 .collect::<Option<Vec<_>>>()
                 .ok_or_else(|| {
-                    FusedFailure::Precondition(format!("missing input '{}'", decl.name))
+                    FusedFailure::precondition(format!("missing input '{}'", decl.name))
                 })?;
             // Every per-request part must match the *base* declaration
             // exactly — the fused executor only sees the concatenated
@@ -1431,26 +1661,31 @@ fn run_fused(
             // here so the per-request fallback returns each caller the
             // same typed `ExecError::Input` the unbatched path would.
             for part in &parts {
-                if part.prog_dims() != decl.dims {
-                    return Err(FusedFailure::Precondition(format!(
-                        "input '{}' dims {:?} != declared {:?}",
-                        decl.name,
-                        part.prog_dims(),
-                        decl.dims
-                    )));
+                let got = part.prog_dims();
+                if got != decl.dims {
+                    // An outer-only mismatch (inner dims fine) is the
+                    // length-mix case — meter it apart from shape errors.
+                    let ragged = got.len() == decl.dims.len() && got.get(1..) == decl.dims.get(1..);
+                    return Err(FusedFailure::Precondition {
+                        reason: format!(
+                            "input '{}' dims {:?} != declared {:?}",
+                            decl.name, got, decl.dims
+                        ),
+                        ragged,
+                    });
                 }
             }
             let fused = batch::concat_outer(&parts)
-                .map_err(|e| FusedFailure::Precondition(format!("concat '{}': {e}", decl.name)))?;
+                .map_err(|e| FusedFailure::precondition(format!("concat '{}': {e}", decl.name)))?;
             fused_inputs.insert(id, fused);
         } else {
             // Shared buffers (weights) must be identical across the batch.
             let first = live[0].inputs.get(&id).ok_or_else(|| {
-                FusedFailure::Precondition(format!("missing input '{}'", decl.name))
+                FusedFailure::precondition(format!("missing input '{}'", decl.name))
             })?;
             for p in &live[1..] {
                 if p.inputs.get(&id) != Some(first) {
-                    return Err(FusedFailure::Precondition(format!(
+                    return Err(FusedFailure::precondition(format!(
                         "shared input '{}' differs across batch",
                         decl.name
                     )));
@@ -1475,7 +1710,123 @@ fn run_fused(
     for (id, ft) in fused_out {
         if info.batched.get(id.0).copied().unwrap_or(false) {
             let chunks = batch::split_outer(&ft, k)
-                .map_err(|e| FusedFailure::Precondition(format!("split output: {e}")))?;
+                .map_err(|e| FusedFailure::precondition(format!("split output: {e}")))?;
+            for (m, chunk) in per_request.iter_mut().zip(chunks) {
+                m.insert(id, chunk);
+            }
+        } else {
+            for m in per_request.iter_mut() {
+                m.insert(id, ft.clone());
+            }
+        }
+    }
+    split_us += split_start.elapsed().as_secs_f64() * 1e6;
+    Ok(FusedOutcome {
+        outputs: per_request,
+        exec_us,
+        split_us,
+    })
+}
+
+/// One **ragged** fused launch for a shape-polymorphic group: members may
+/// differ in outer extent. Batched inputs are concatenated along the
+/// outer axis with each member's extent recorded, the family is
+/// instantiated at the summed extent and run once, and outputs are split
+/// back offset-aware ([`batch::split_outer_parts`]) so every member gets
+/// exactly its own rows.
+fn run_fused_poly(
+    inner: &Inner,
+    exec: &Executor,
+    live: &[Pending],
+    family: &PolyPlan,
+    batch_id: u64,
+) -> Result<FusedOutcome, FusedFailure> {
+    let info = family.info();
+    let extents = live
+        .iter()
+        .map(|p| p.poly.map(|m| m.extent))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| {
+            FusedFailure::precondition("member without shape metadata in a polymorphic group")
+        })?;
+    let total: usize = extents.iter().sum();
+    let k = live.len();
+
+    let mut split_us = 0.0;
+    let concat_start = Instant::now();
+    // Inner dims are structural, so the group leader's declarations give
+    // the expected shape of every member's part once the outer extent is
+    // swapped for the member's own.
+    let base = &live[0].program;
+    let mut fused_inputs = HashMap::new();
+    for (bi, decl) in base.buffers.iter().enumerate() {
+        if decl.kind != BufferKind::Input {
+            continue;
+        }
+        let id = BufferId(bi);
+        if info.batched.get(bi).copied().unwrap_or(false) {
+            let mut parts = Vec::with_capacity(k);
+            for (p, &extent) in live.iter().zip(&extents) {
+                let part = p.inputs.get(&id).ok_or_else(|| {
+                    FusedFailure::precondition(format!("missing input '{}'", decl.name))
+                })?;
+                // Each part must carry exactly its request's extent over
+                // the shared inner dims — a wrong-length part would shift
+                // every later member's slice of the fused outputs.
+                let got = part.prog_dims();
+                if !(got.len() == decl.dims.len()
+                    && got.first() == Some(&extent)
+                    && got.get(1..) == decl.dims.get(1..))
+                {
+                    let ragged = got.len() == decl.dims.len() && got.get(1..) == decl.dims.get(1..);
+                    return Err(FusedFailure::Precondition {
+                        reason: format!(
+                            "input '{}' dims {:?} != request extent {} over {:?}",
+                            decl.name,
+                            got,
+                            extent,
+                            decl.dims.get(1..).unwrap_or_default()
+                        ),
+                        ragged,
+                    });
+                }
+                parts.push(part);
+            }
+            let fused = batch::concat_outer(&parts)
+                .map_err(|e| FusedFailure::precondition(format!("concat '{}': {e}", decl.name)))?;
+            fused_inputs.insert(id, fused);
+        } else {
+            // Shared buffers (weights) must be identical across the batch.
+            let first = live[0].inputs.get(&id).ok_or_else(|| {
+                FusedFailure::precondition(format!("missing input '{}'", decl.name))
+            })?;
+            for p in &live[1..] {
+                if p.inputs.get(&id) != Some(first) {
+                    return Err(FusedFailure::precondition(format!(
+                        "shared input '{}' differs across batch",
+                        decl.name
+                    )));
+                }
+            }
+            fused_inputs.insert(id, first.clone());
+        }
+    }
+    split_us += concat_start.elapsed().as_secs_f64() * 1e6;
+
+    let exec_start = Instant::now();
+    let fused_out = exec
+        .run_poly(family, total, &fused_inputs, Some(batch_id))
+        .map_err(FusedFailure::Exec)?;
+    let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
+    inner.metrics.exec_us.record(exec_us);
+
+    let split_start = Instant::now();
+    let mut per_request: Vec<HashMap<BufferId, FractalTensor>> =
+        (0..k).map(|_| HashMap::new()).collect();
+    for (id, ft) in fused_out {
+        if info.batched.get(id.0).copied().unwrap_or(false) {
+            let chunks = batch::split_outer_parts(&ft, &extents)
+                .map_err(|e| FusedFailure::precondition(format!("split output: {e}")))?;
             for (m, chunk) in per_request.iter_mut().zip(chunks) {
                 m.insert(id, chunk);
             }
@@ -1868,6 +2219,242 @@ mod tests {
             }
         }
         assert!(rt.take_completions().is_empty(), "drain is destructive");
+    }
+
+    /// One cached family serves every outer extent: N distinct-length
+    /// submissions of one structure cost exactly one compile+verify, and
+    /// a well-formed mixed-length group fuses ragged with bitwise-exact
+    /// per-member outputs.
+    #[test]
+    fn ragged_mixed_extent_requests_fuse_and_stay_exact() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            max_batch: 4,
+            ..ServeConfig::default()
+        });
+        let (d, l, h) = (2usize, 3, 8);
+        let ws =
+            FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 50).mul_scalar(0.2), 1).unwrap();
+        let mk = |outer: usize, seed: u64| {
+            let p = stacked_rnn_program(outer, d, l, h);
+            let mut inputs = HashMap::new();
+            inputs.insert(
+                BufferId(0),
+                FractalTensor::from_flat(&Tensor::randn(&[outer, l, 1, h], seed), 2).unwrap(),
+            );
+            inputs.insert(BufferId(1), ws.clone());
+            (p, inputs)
+        };
+        // Occupy the scheduler with a same-family request of another
+        // length bucket (extent 2): while its cold compile+verify runs,
+        // the ragged group below queues up and is popped together.
+        let (p0, in0) = mk(2, 59);
+        let warm = rt
+            .submit_wait(Request::new(p0.clone(), in0.clone()))
+            .unwrap();
+        // Extents 3 and 4 share one factor-of-4 length bucket; the three
+        // requests have three *different* exact signatures.
+        let cases: Vec<_> = [(3usize, 60u64), (4, 61), (3, 62)]
+            .iter()
+            .map(|&(o, s)| mk(o, s))
+            .collect();
+        let tickets: Vec<_> = cases
+            .iter()
+            .map(|(p, inputs)| {
+                rt.submit_wait(Request::new(p.clone(), inputs.clone()))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(warm.wait().unwrap(), reference(&p0, &in0));
+        for ((p, inputs), t) in cases.iter().zip(tickets) {
+            assert_eq!(
+                t.wait().unwrap(),
+                reference(p, inputs),
+                "ragged member output must be bitwise exact"
+            );
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(
+            stats.batch_ragged_fallbacks, 0,
+            "a well-formed ragged batch must fuse, not fall back"
+        );
+        assert_eq!(
+            stats.cached_plans, 1,
+            "one polymorphic family must serve extents 2, 3 and 4"
+        );
+        assert_eq!(stats.cache_misses, 1, "exactly one cold family build");
+    }
+
+    /// Satellite regression: a fused attempt aborted by a *mismatched
+    /// outer extent* (inner dims fine) is metered on the distinct
+    /// `serve.batch_ragged_fallback` counter, not lumped into generic
+    /// fallbacks.
+    #[test]
+    fn mismatched_extent_fallback_is_metered_distinctly() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            max_batch: 4,
+            ..ServeConfig::default()
+        });
+        let (n, d, l, h) = (2usize, 2, 3, 8);
+        let p = stacked_rnn_program(n, d, l, h);
+        let ws =
+            FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 99).mul_scalar(0.2), 1).unwrap();
+        let mk = |outer: usize, seed: u64| {
+            let mut inputs = HashMap::new();
+            inputs.insert(
+                BufferId(0),
+                FractalTensor::from_flat(&Tensor::randn(&[outer, l, 1, h], seed), 2).unwrap(),
+            );
+            inputs.insert(BufferId(1), ws.clone());
+            inputs
+        };
+        // Occupy the scheduler so the bad pair is popped as one group.
+        let warm = rt.submit_wait(Request::new(p.clone(), mk(n, 31))).unwrap();
+        let bad: Vec<_> = [mk(1, 32), mk(3, 33)]
+            .into_iter()
+            .map(|inputs| rt.submit_wait(Request::new(p.clone(), inputs)).unwrap())
+            .collect();
+        warm.wait().unwrap();
+        for t in bad {
+            assert!(matches!(
+                t.wait(),
+                Err(ServeError::Exec(ExecError::Input(_)))
+            ));
+        }
+        let stats = rt.stats();
+        assert!(
+            stats.batch_ragged_fallbacks >= 1,
+            "outer-extent mismatch must hit the ragged fallback counter"
+        );
+        assert!(stats.batch_fallbacks >= stats.batch_ragged_fallbacks);
+        let snap = rt.metrics().snapshot();
+        assert_eq!(
+            snap.counters["serve.batch_ragged_fallback"],
+            stats.batch_ragged_fallbacks
+        );
+    }
+
+    /// Satellite regression: the wait estimator partitions the queue. A
+    /// same-plan backlog drains `max_batch` per fused launch, so its
+    /// estimate is launches-not-requests; with batching off every request
+    /// is its own launch again.
+    #[test]
+    fn wait_estimator_accounts_for_batch_drain() {
+        let mk_pending = |inner: &Inner, program: &Arc<Program>| {
+            let sig = program_signature(program);
+            Pending {
+                sig,
+                program: Arc::clone(program),
+                inputs: HashMap::new(),
+                submitted: Instant::now(),
+                deadline: None,
+                ticket: Arc::new(TicketState::default()),
+                ctx: TraceContext {
+                    request_id: 0,
+                    session_id: None,
+                    plan_sig: String::new(),
+                    batch_id: None,
+                },
+                queue_wait_us: 0.0,
+                poly: poly_meta_for(inner, sig, program),
+            }
+        };
+        let program: Arc<Program> = Arc::new(stacked_rnn_program(2, 2, 3, 8));
+
+        let rt = Runtime::new(ServeConfig {
+            threads: 1,
+            max_batch: 8,
+            ..ServeConfig::default()
+        });
+        for _ in 0..8 {
+            rt.inner.metrics.exec_us.record(1_000.0);
+        }
+        let mut queue = VecDeque::new();
+        for _ in 0..7 {
+            queue.push_back(mk_pending(&rt.inner, &program));
+        }
+        let est = estimate_wait_us(&rt.inner, &queue, &mk_pending(&rt.inner, &program))
+            .expect("history is warm");
+        // 7 queued + the incoming one fit in ceil(8/8) = 1 fused launch:
+        // ~2x mean with the safety margin — not the ~16x a depth-only
+        // estimate charges (which is what over-shed batched traffic).
+        assert!(
+            est <= 4_000,
+            "batched same-plan backlog over-estimated: {est} µs"
+        );
+
+        // Unrelated queued work (a different family) still costs launches.
+        let other: Arc<Program> = Arc::new(stacked_rnn_program(2, 3, 4, 16));
+        let mut mixed = VecDeque::new();
+        for _ in 0..7 {
+            mixed.push_back(mk_pending(&rt.inner, &other));
+        }
+        let est_mixed = estimate_wait_us(&rt.inner, &mixed, &mk_pending(&rt.inner, &program))
+            .expect("history is warm");
+        assert!(
+            est_mixed > est,
+            "foreign backlog must cost more than a fusable one"
+        );
+
+        // Batching off: every request is its own launch again.
+        let rt_nb = Runtime::new(ServeConfig {
+            threads: 1,
+            batching: false,
+            ..ServeConfig::default()
+        });
+        for _ in 0..8 {
+            rt_nb.inner.metrics.exec_us.record(1_000.0);
+        }
+        let mut queue_nb = VecDeque::new();
+        for _ in 0..7 {
+            queue_nb.push_back(mk_pending(&rt_nb.inner, &program));
+        }
+        let est_nb = estimate_wait_us(&rt_nb.inner, &queue_nb, &mk_pending(&rt_nb.inner, &program))
+            .expect("history is warm");
+        assert!(
+            est_nb >= 10_000,
+            "unbatched backlog must charge one launch per request: {est_nb} µs"
+        );
+    }
+
+    /// Satellite regression: a same-plan burst that fused serving clears
+    /// well within its deadline is admitted, even when the per-launch
+    /// history is heavy — the old depth-only estimate shed it.
+    #[test]
+    fn batched_backlog_at_capacity_is_not_shed() {
+        let rt = Runtime::new(ServeConfig {
+            threads: 2,
+            max_batch: 8,
+            ..ServeConfig::default()
+        });
+        // Seed a heavy launch-time history (20 ms/launch): a depth-only
+        // estimator charges a 12-deep same-plan burst ~480 ms and sheds
+        // against a 300 ms deadline; the partitioned one charges
+        // ceil(12/8) = 2 launches (~80 ms) and admits.
+        for _ in 0..8 {
+            rt.inner.metrics.exec_us.record(20_000.0);
+        }
+        let (p, inputs) = rnn_case(17);
+        let tickets: Vec<_> = (0..12)
+            .map(|_| {
+                rt.submit_wait(
+                    Request::new(p.clone(), inputs.clone())
+                        .with_deadline(Duration::from_millis(300)),
+                )
+                .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(
+            stats.shed, 0,
+            "same-plan burst within deadline must not be shed"
+        );
+        assert_eq!(stats.completed, 12);
     }
 
     #[test]

@@ -223,6 +223,15 @@ pub enum VerifyError {
         /// What went wrong.
         detail: String,
     },
+    /// A shape-polymorphism invariant failed: the program has no
+    /// polymorphic outer axis, the schedule structure is not invariant
+    /// across extents, or the symbolic memory template drifted from the
+    /// instance shapes (legality over parameterized extents,
+    /// [`build_poly_verified`]).
+    Poly {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 /// Pass A's write table: `(buffer id, data-space index)` mapped to the
@@ -334,6 +343,9 @@ impl std::fmt::Display for VerifyError {
             VerifyError::UdfIllegal { block, detail } => {
                 write!(f, "block '{block}': illegal UDF after rewriting: {detail}")
             }
+            VerifyError::Poly { detail } => {
+                write!(f, "shape-polymorphic plan rejected: {detail}")
+            }
         }
     }
 }
@@ -367,6 +379,99 @@ pub fn compile_verified(
     let compiled = compile(program).map_err(|e| VerifyError::Compile(e.to_string()))?;
     let report = verify(&compiled)?;
     Ok((compiled, report))
+}
+
+/// Builds a shape-polymorphic plan family and verifies its legality over
+/// parameterized extents.
+///
+/// A [`ft_passes::PolyPlan`] claims one schedule serves *every* outer
+/// extent. This checks the claim at two extents before the family is
+/// trusted:
+///
+/// 1. the instance at the family's template extent passes the full
+///    legality suite ([`verify`]);
+/// 2. a probe instance at a second extent (template + 1 — deliberately
+///    coprime with the template, so accidental divisibility can't mask
+///    drift) passes the full suite too, **and** its schedule structure is
+///    identical to the template's: same groups and members, same composed
+///    operator vectors, same unimodular transforms. Anything the extent
+///    *did* leak into (a split boundary, a changed fusion decision) is
+///    rejected as [`VerifyError::Poly`] instead of surfacing as a wrong
+///    answer at some unlucky length in production;
+/// 3. the symbolic memory template's dispatch-time evaluation agreed with
+///    both instances' real shapes (the family's internal cross-check
+///    never fired).
+pub fn build_poly_verified(
+    program: &ft_core::Program,
+) -> Result<(ft_passes::PolyPlan, VerifyReport), VerifyError> {
+    let poly_err = |detail: String| VerifyError::Poly { detail };
+    let family = ft_passes::PolyPlan::build(program)
+        .map_err(|e| VerifyError::Compile(e.to_string()))?
+        .ok_or_else(|| poly_err("program has no polymorphic outer axis".into()))?;
+    let base_extent = family.template_extent();
+    let base = family
+        .instance(base_extent)
+        .map_err(|e| VerifyError::Compile(e.to_string()))?;
+    let report = verify(&base)?;
+
+    let probe_extent = base_extent + 1;
+    let probe = family
+        .instance(probe_extent)
+        .map_err(|e| VerifyError::Compile(e.to_string()))?;
+    check_extent_invariance(&base, &probe, base_extent, probe_extent)?;
+    verify(&probe)?;
+
+    if family.template_fallbacks() > 0 {
+        return Err(poly_err(format!(
+            "symbolic memory template disagreed with instance shapes \
+             ({} fallback(s) at extents {base_extent}/{probe_extent})",
+            family.template_fallbacks()
+        )));
+    }
+    Ok((family, report))
+}
+
+/// Everything about a schedule that must not depend on the polymorphic
+/// extent: group decomposition, membership, composed operators, and the
+/// reordering transforms themselves.
+fn check_extent_invariance(
+    base: &CompiledProgram,
+    probe: &CompiledProgram,
+    base_extent: usize,
+    probe_extent: usize,
+) -> Result<(), VerifyError> {
+    let poly_err = |detail: String| VerifyError::Poly { detail };
+    if base.groups.len() != probe.groups.len() {
+        return Err(poly_err(format!(
+            "launch-group count varies with the outer extent: \
+             {} at L={base_extent} vs {} at L={probe_extent}",
+            base.groups.len(),
+            probe.groups.len()
+        )));
+    }
+    for (gi, (a, b)) in base.groups.iter().zip(&probe.groups).enumerate() {
+        if a.members != b.members {
+            return Err(poly_err(format!(
+                "group {gi} membership varies with the outer extent: \
+                 {:?} at L={base_extent} vs {:?} at L={probe_extent}",
+                a.members, b.members
+            )));
+        }
+        if a.ops != b.ops {
+            return Err(poly_err(format!(
+                "group {gi} operator vector varies with the outer extent"
+            )));
+        }
+        if a.reordering.sequential_dims != b.reordering.sequential_dims
+            || a.reordering.t != b.reordering.t
+            || a.reordering.hyperplane != b.reordering.hyperplane
+        {
+            return Err(poly_err(format!(
+                "group {gi} reordering transform varies with the outer extent"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Verifies every scheduled group of a compiled program, returning
@@ -907,6 +1012,51 @@ mod tests {
         let (compiled, report) = compile_verified(&stacked_rnn_program(2, 2, 3, 4)).unwrap();
         assert_eq!(compiled.groups.len(), 1);
         assert!(report.groups == 1);
+    }
+
+    #[test]
+    fn poly_family_verifies_and_serves_extents() {
+        let (family, report) = build_poly_verified(&stacked_rnn_program(2, 2, 3, 4)).unwrap();
+        assert_eq!(report.groups, 1);
+        // Base + probe instances are already memoized; more stamp out fine.
+        assert!(family.cached_instances() >= 2);
+        let inst = family.instance(9).unwrap();
+        assert_eq!(inst.groups.len(), 1);
+        assert_eq!(family.template_fallbacks(), 0);
+    }
+
+    #[test]
+    fn poly_rejects_programs_without_a_polymorphic_axis() {
+        let mut p = stacked_rnn_program(2, 2, 3, 4);
+        for nest in &mut p.nests {
+            nest.ops[0] = ft_core::OpKind::ScanL;
+        }
+        match build_poly_verified(&p) {
+            Err(VerifyError::Poly { detail }) => {
+                assert!(detail.contains("no polymorphic outer axis"))
+            }
+            other => panic!("expected Poly rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extent_invariance_check_catches_structural_drift() {
+        let family = ft_passes::PolyPlan::build(&stacked_rnn_program(2, 2, 3, 4))
+            .unwrap()
+            .unwrap();
+        let base = family.instance(2).unwrap();
+        let probe = family.instance(3).unwrap();
+        // Identical structure passes.
+        check_extent_invariance(&base, &probe, 2, 3).unwrap();
+        // A schedule that leaks the extent into its transform is rejected.
+        let mut drifted = (*probe).clone();
+        let d = drifted.groups[0].reordering.t.rows();
+        drifted.groups[0].reordering.t = IntMat::identity(d);
+        drifted.groups[0].reordering.hyperplane = vec![9; d];
+        match check_extent_invariance(&base, &drifted, 2, 3) {
+            Err(VerifyError::Poly { detail }) => assert!(detail.contains("varies")),
+            other => panic!("expected Poly, got {other:?}"),
+        }
     }
 
     #[test]
