@@ -166,6 +166,15 @@ fn extract(baseline: &Value, current: &Value) -> Result<(Vec<MetricCmp>, Vec<Str
                     &["mixed_length", "ragged_vs_per_shape_throughput"][..],
                     false,
                 ),
+                // Steady-state decode throughput win from fusing concurrent
+                // session steps into one wavefront launch per tick. Absent
+                // from baselines older than stateful sessions; those skip
+                // the pair.
+                (
+                    "serve.sessions.continuous_vs_solo",
+                    &["sessions", "continuous_vs_solo_tokens_per_sec"][..],
+                    false,
+                ),
             ];
             for (name, path, log_scale) in pairs {
                 let dig = |mut v: &Value| -> Option<f64> {

@@ -44,11 +44,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ft_core::builders::stacked_rnn_program;
+use ft_core::builders::{rnn_decode_step_program, stacked_rnn_program};
 use ft_core::{BufferId, FractalTensor, Program};
 use ft_etdg::RegionRead;
-use ft_serve::{FaultPlan, Request, Runtime, ServeConfig, ServeError};
+use ft_serve::{
+    FaultPlan, Request, Runtime, ServeConfig, ServeError, SessionSpec, StateBinding, StateOp,
+};
 use ft_tensor::Tensor;
+use ft_workloads::decode;
 use serde_json::{json, Value};
 
 const THREADS: &[usize] = &[1, 2, 4, 8];
@@ -845,6 +848,175 @@ fn run_overload(smoke: bool) -> Value {
     })
 }
 
+/// (depth, hidden) of the RNN decode step the session scenario serves.
+/// Small enough that per-launch overhead dominates a solo step — exactly
+/// the regime continuous batching exists to amortize.
+const SESSION_DH: (usize, usize) = (2, 16);
+
+/// One mode of the stateful-session scenario: `sessions` client threads
+/// each drive their own pinned-state decode loop on a shared runtime.
+/// `continuous` fuses concurrent decode steps from different sessions
+/// into one wavefront launch per tick (the continuous-batching path);
+/// solo mode dispatches every step alone.
+fn session_mode(continuous: bool, sessions: usize, warmup: usize, steps: usize) -> Value {
+    let (d, h) = SESSION_DH;
+    let rt = Arc::new(
+        Runtime::try_new(ServeConfig {
+            threads: 4,
+            batching: continuous,
+            max_batch: sessions.max(8),
+            ..ServeConfig::default()
+        })
+        .expect("serve runtime construction"),
+    );
+    let program = Arc::new(rnn_decode_step_program(d, h));
+    let ws = FractalTensor::from_flat(&Tensor::randn(&[d, h, h], 8).mul_scalar(0.2), 1).unwrap();
+    let ids: Vec<u64> = (0..sessions)
+        .map(|_| {
+            rt.open_session(SessionSpec {
+                program: Arc::clone(&program),
+                bindings: vec![StateBinding {
+                    state: BufferId(2),
+                    op: StateOp::Carry {
+                        output: BufferId(3),
+                    },
+                }],
+                capacity: 0,
+                init: decode::rnn_state_init(d, h),
+            })
+            .expect("open session")
+        })
+        .collect();
+
+    // One closed-loop driver keeps every session in flight at once: each
+    // round submits the next decode step for all sessions, then waits the
+    // round's futures. Continuous batching fuses the in-flight steps into
+    // one wavefront launch per round; solo dispatch pays one launch per
+    // session per round. Tokens are pre-generated so the timed loop
+    // measures serving, not client-side RNG.
+    let tokens: Vec<Vec<FractalTensor>> = (0..sessions)
+        .map(|c| {
+            (0..warmup + steps)
+                .map(|t| {
+                    FractalTensor::from_tensors(vec![Tensor::randn(
+                        &[1, h],
+                        (c * 10_000 + t) as u64,
+                    )])
+                    .unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    let round = |t: usize| {
+        let futures: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(c, &sid)| {
+                let mut inputs = HashMap::with_capacity(2);
+                inputs.insert(BufferId(0), tokens[c][t].clone());
+                inputs.insert(BufferId(1), ws.clone());
+                rt.decode_step(sid, inputs).unwrap()
+            })
+            .collect();
+        for f in futures {
+            f.wait().unwrap();
+        }
+    };
+    for t in 0..warmup {
+        round(t);
+    }
+    let warm = rt.stats();
+    let start = Instant::now();
+    for t in 0..steps {
+        round(warmup + t);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    let pinned_bytes = stats.pinned_bytes;
+    for sid in ids {
+        rt.close_session(sid).unwrap();
+    }
+
+    let tokens = (sessions * steps) as u64;
+    let timed_batches = stats.batches - warm.batches;
+    let timed_batched = stats.batched_requests - warm.batched_requests;
+    let row = json!({
+        "mode": if continuous { "continuous" } else { "solo" },
+        "sessions": sessions as u64,
+        "steps_per_session": steps as u64,
+        "tokens": tokens,
+        "tokens_per_sec": tokens as f64 / elapsed,
+        "p50_ms": stats.latency_p50_us / 1e3,
+        "p99_ms": stats.latency_p99_us / 1e3,
+        "mean_batch": if timed_batches > 0 {
+            timed_batched as f64 / timed_batches as f64
+        } else {
+            0.0
+        },
+        // The in-place advance contract: zero deep copies per decode step
+        // once the plan cache is warm (CI gates on this staying 0).
+        "state_copies_after_warmup": stats.state_copies - warm.state_copies,
+        "pinned_bytes": pinned_bytes,
+        "pinned_bytes_after_close": rt.stats().pinned_bytes,
+        "decode_steps": stats.decode_steps,
+        "cache_misses_after_warmup": stats.cache_misses - warm.cache_misses,
+        "batch_fallbacks_after_warmup": stats.batch_fallbacks - warm.batch_fallbacks,
+        "retries_after_warmup": stats.retries - warm.retries,
+    });
+    eprintln!(
+        "sessions {:10} n={sessions} {:8.0} tok/s   p50 {:7.3} ms   mean batch {:.2}   state copies {}",
+        if continuous { "continuous" } else { "solo" },
+        row["tokens_per_sec"].as_f64().unwrap_or(0.0),
+        stats.latency_p50_us / 1e3,
+        row["mean_batch"].as_f64().unwrap_or(0.0),
+        stats.state_copies - warm.state_copies,
+    );
+    row
+}
+
+/// Stateful-session scenario: steady-state autoregressive decode across
+/// concurrent pinned-state sessions, continuous batching vs solo
+/// dispatch. The headline ratio is the serving win the session layer
+/// exists for; the zero state-copies counter is the in-place contract.
+fn run_sessions(smoke: bool) -> Value {
+    let sessions = 16;
+    let warmup = if smoke { 4 } else { 8 };
+    let steps = if smoke { 24 } else { 96 };
+    // Each mode runs three times and the median-throughput run is
+    // reported — a single rep is too noisy to gate on.
+    let reps = 3;
+    let median = |mode: bool| {
+        let mut rows: Vec<Value> = (0..reps)
+            .map(|_| session_mode(mode, sessions, warmup, steps))
+            .collect();
+        rows.sort_by(|a, b| {
+            let ta = a["tokens_per_sec"].as_f64().unwrap_or(0.0);
+            let tb = b["tokens_per_sec"].as_f64().unwrap_or(0.0);
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows.swap_remove(reps / 2)
+    };
+    let continuous = median(true);
+    let solo = median(false);
+    let ratio = match (
+        continuous["tokens_per_sec"].as_f64(),
+        solo["tokens_per_sec"].as_f64(),
+    ) {
+        (Some(yes), Some(no)) if no > 0.0 => yes / no,
+        _ => 0.0,
+    };
+    eprintln!("continuous vs solo decode throughput: {ratio:.2}x");
+    json!({
+        "workload": format!(
+            "rnn_decode_step d={} h={} (per step)",
+            SESSION_DH.0, SESSION_DH.1
+        ),
+        "continuous": continuous,
+        "solo": solo,
+        "continuous_vs_solo_tokens_per_sec": ratio,
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -940,6 +1112,7 @@ fn main() {
         })
         .collect();
     let mixed_length = run_mixed_length(smoke);
+    let sessions = run_sessions(smoke);
     let chaos = run_chaos(smoke);
     let overload = run_overload(smoke);
 
@@ -959,6 +1132,7 @@ fn main() {
         "batched_vs_unbatched_throughput": batched_vs_unbatched.unwrap_or(0.0),
         "load": load,
         "mixed_length": mixed_length,
+        "sessions": sessions,
         "chaos": chaos,
         "overload": overload,
     });

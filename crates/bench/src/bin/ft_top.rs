@@ -18,8 +18,9 @@
 //! Each frame shows request throughput (delta of `serve.completed`),
 //! exact-bucket latency percentiles, the point-in-time queue depth gauge,
 //! the realized batch-size distribution, worker busy/idle share over the
-//! interval, and arena high-water/growth — the signals the dynamic
-//! batcher's behavior is legible from.
+//! interval, arena high-water/growth, and the session row (active
+//! sessions, pinned state bytes, decode tokens/sec) — the signals the
+//! dynamic batcher's behavior is legible from.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -239,6 +240,16 @@ fn render(now: &View, prev: &View, dt: f64, source: &str, frame: String) {
         now.counter("serve.quarantine_trips"),
         now.counter("serve.quarantine_rejected"),
         now.counter("serve.quarantine_probes"),
+    );
+    let decoded = delta(now, prev, "serve.decode_steps");
+    let tps = if dt > 0.0 { decoded as f64 / dt } else { 0.0 };
+    println!(
+        "  sessions   active {:<4} pinned {:<9} B  {:8.1} tok/s   state copies {:<4} evictions {}",
+        now.gauge("serve.sessions_active"),
+        now.gauge("serve.pinned_bytes"),
+        tps,
+        now.counter("serve.state_copies"),
+        now.counter("serve.session_evictions"),
     );
     println!(
         "  pool       workers {:<3} spawn failures {:<3} replacements {}",

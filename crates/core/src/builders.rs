@@ -74,3 +74,67 @@ pub fn stacked_rnn_program(n: usize, d: usize, l: usize, h: usize) -> Program {
     p.add_nest(nest).expect("stacked RNN nest is well-formed");
     p
 }
+
+/// One autoregressive *decode step* of the stacked RNN: the time scan of
+/// [`stacked_rnn_program`] unrolled to a single step, with the carried
+/// hidden stack lifted into an explicit input/output pair so a serving
+/// session can pin it across requests.
+///
+/// ```text
+/// hs_next = ws.scanl x, (s_in, (w, s)) =>  -- layers (scanl over d)
+///   y = s_in @ w + s                       -- same UDF cell
+/// ```
+///
+/// Buffers: `x` `[1]/[1,h]` is the step's token (layer 0's input),
+/// `ws` `[d]/[h,h]` the shared layer weights, `hs` `[1,d]/[1,h]` the
+/// hidden state after the previous step, and `hs_next` `[1,d]/[1,h]` the
+/// advanced state. A loop feeding `hs_next` back as `hs` for `l` steps is
+/// bitwise-identical to `stacked_rnn_program(1, d, l, h)`: `hs_next`
+/// after step `t` equals `ysss[0][·][t]`. The outer axis is a pure
+/// extent-1 `map`, so decode steps from different sessions batch into one
+/// wavefront launch (each rides its own outer row).
+pub fn rnn_decode_step_program(d: usize, h: usize) -> Program {
+    let mut p = Program::new("rnn_decode_step");
+    let x = p.input("x", &[1], &[1, h]);
+    let ws = p.input("ws", &[d], &[h, h]);
+    let hs = p.input("hs", &[1, d], &[1, h]);
+    let hs_next = p.output("hs_next", &[1, d], &[1, h]);
+
+    let mut b = UdfBuilder::new("rnn_cell", 3);
+    let (xi, w, s) = (b.input(0), b.input(1), b.input(2));
+    let xw = b.matmul(xi, w);
+    let y = b.add(xw, s);
+    let udf = b.build(&[y]);
+
+    let nest = Nest {
+        name: "rnn_decode_step".into(),
+        ops: vec![OpKind::Map, OpKind::ScanL],
+        extents: vec![1, d],
+        reads: vec![
+            // Layer input: the previous layer's freshly advanced output;
+            // layer 0 reads the step's token instead (edge e12 collapsed
+            // to one timestep).
+            Read::carried(
+                hs_next,
+                AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::shifted(1, -1)]),
+                CarriedInit::Buffer(x, AccessSpec::new(vec![AxisExpr::var(0)])),
+            ),
+            // w: the layer's weight matrix.
+            Read::plain(ws, AccessSpec::new(vec![AxisExpr::var(1)])),
+            // s: this layer's hidden state from the previous step — the
+            // time-scan carry (edge e13) made explicit as pinned state.
+            Read::plain(
+                hs,
+                AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(1)]),
+            ),
+        ],
+        writes: vec![Write {
+            buffer: hs_next,
+            access: AccessSpec::identity(2),
+        }],
+        udf,
+    };
+    p.add_nest(nest)
+        .expect("RNN decode-step nest is well-formed");
+    p
+}

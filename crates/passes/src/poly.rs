@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ft_affine::Lin;
 use ft_core::poly::with_outer_extent;
@@ -361,6 +361,10 @@ pub struct PolyPlan {
     template: MemoryTemplate,
     /// Concrete instances by outer extent.
     instances: RwLock<HashMap<usize, Arc<CompiledProgram>>>,
+    /// Per-extent build claims: concurrent read-misses for one extent
+    /// serialize on the extent's claim lock so exactly one caller compiles
+    /// while different extents still build in parallel.
+    building: Mutex<HashMap<usize, Arc<Mutex<()>>>>,
     /// Instances built (not served from the instance memo).
     instantiations: AtomicU64,
     /// Instantiations whose template cross-check failed (fell back to the
@@ -384,6 +388,7 @@ impl PolyPlan {
             split,
             template,
             instances: RwLock::new(HashMap::new()),
+            building: Mutex::new(HashMap::new()),
             instantiations: AtomicU64::new(0),
             template_fallbacks: AtomicU64::new(0),
         };
@@ -448,6 +453,41 @@ impl PolyPlan {
                 return Ok(Arc::clone(p));
             }
         }
+        // Read miss: claim the extent so concurrent missers for one `l`
+        // cost exactly one compile (and one counter bump) while other
+        // extents keep building in parallel. A poisoned claim table or
+        // claim lock degrades to unserialized builds — the memo insert in
+        // `build_instance` still keeps a single canonical instance.
+        let claim = match self.building.lock() {
+            Ok(mut b) => Arc::clone(b.entry(l).or_default()),
+            Err(_) => Arc::new(Mutex::new(())),
+        };
+        let held = match claim.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Double-check under the claim: the racer that held it before us
+        // may have published the instance already.
+        let published = self
+            .instances
+            .read()
+            .ok()
+            .and_then(|m| m.get(&l).map(Arc::clone));
+        let out = match published {
+            Some(p) => Ok(p),
+            None => self.build_instance(l),
+        };
+        drop(held);
+        if let Ok(mut b) = self.building.lock() {
+            b.remove(&l);
+        }
+        out
+    }
+
+    /// Compiles and publishes the instance at `l`. The caller holds the
+    /// extent's build claim; errors leave no memo entry, so later callers
+    /// retry the compile.
+    fn build_instance(&self, l: usize) -> Result<Arc<CompiledProgram>> {
         let inst_program = with_outer_extent(&self.program, &self.split.info, l);
         let (etdg, plan, groups) = compile_scheduled(&inst_program)?;
         let memory = {

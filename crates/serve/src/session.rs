@@ -1,0 +1,321 @@
+//! Stateful sessions: pinned decode state carried across requests.
+//!
+//! An autoregressive decode loop re-reads and advances the same state —
+//! a KV cache, an RNN hidden stack — on every step. Round-tripping that
+//! state through admission as fresh tensors would copy it twice per
+//! token; a session instead *pins* it server-side. The runtime injects
+//! the pinned handles into each step's inputs (handle clones whose
+//! leaves share storage — the `Tensor` is copy-on-write) and advances
+//! them **in place** when the step completes: a [`StateOp::Carry`] swaps
+//! the whole handle for the step's output, a [`StateOp::Append`]
+//! replaces exactly one row of the reserved-capacity cache, and a
+//! [`StateOp::AppendFill`] flips one row to a cached constant leaf (the
+//! attention-mask case). The well-formed path performs **zero deep
+//! copies per step**; the one defensive re-materialization fallback is
+//! counted on `serve.state_copies` so the CI gate catches any
+//! regression that reintroduces per-step copying.
+//!
+//! Errors here are typed [`SessionError`]s. They indict the *session* —
+//! a strike counter that evicts the offender — and are invisible to the
+//! plan's quarantine breaker: a malformed client hammering append
+//! overflows can never quarantine a plan other sessions depend on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ft_core::{BufferId, FractalTensor, Program};
+use ft_tensor::Tensor;
+
+/// How one state buffer advances after each successful decode step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateOp {
+    /// The whole state handle is replaced by the step's `output` buffer
+    /// (RNN hidden carry). A pointer swap, never a data copy.
+    Carry {
+        /// The output buffer whose handle becomes the next state.
+        output: BufferId,
+    },
+    /// Row `step` of the `[1, C]` state cache is replaced by the step's
+    /// single-leaf `[1]` output (KV-cache append into reserved headroom).
+    Append {
+        /// The output buffer providing the appended row.
+        output: BufferId,
+    },
+    /// Row `step` is overwritten with a cached constant leaf built once
+    /// at open (attention-mask flip: a position becomes visible as the
+    /// cache fills).
+    AppendFill {
+        /// The value the flipped row is filled with.
+        value: f32,
+    },
+}
+
+/// Binds one state (input) buffer to its per-step update rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateBinding {
+    /// The `BufferKind::Input` declaration the session injects each step.
+    pub state: BufferId,
+    /// How the state advances after a successful step.
+    pub op: StateOp,
+}
+
+/// Everything needed to open a session: the decode-step program, the
+/// state bindings, the reserved append capacity, and the initial state.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The decode-step program every step of this session runs.
+    pub program: Arc<Program>,
+    /// The state buffers the session pins, with their update rules.
+    pub bindings: Vec<StateBinding>,
+    /// Append headroom: step `capacity` and beyond are refused with
+    /// [`SessionError::Overflow`] instead of corrupting the cache.
+    /// Ignored (may be 0) when no binding appends.
+    pub capacity: usize,
+    /// Initial value for every bound state buffer, shaped exactly as the
+    /// program declares it.
+    pub init: HashMap<BufferId, FractalTensor>,
+}
+
+/// Typed session errors — the class the quarantine breaker ignores. A
+/// session error charges the offending session a strike (eviction after
+/// repeats), never the shared plan's circuit breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// No session with this id (never opened, closed, or evicted).
+    NotFound(u64),
+    /// The session already has a step in flight; decode steps are
+    /// strictly sequential per session.
+    Busy(u64),
+    /// The session's append cache is full: step `capacity` was requested
+    /// past the reserved headroom.
+    Overflow {
+        /// The offending session.
+        session: u64,
+        /// Its reserved append capacity.
+        capacity: usize,
+    },
+    /// A state buffer or update output failed its shape contract.
+    StateShape(String),
+    /// The session was evicted after repeated session errors.
+    Evicted(u64),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NotFound(id) => write!(f, "session {id} not found"),
+            SessionError::Busy(id) => write!(f, "session {id} already has a step in flight"),
+            SessionError::Overflow { session, capacity } => write!(
+                f,
+                "session {session} overflowed its append capacity {capacity}"
+            ),
+            SessionError::StateShape(m) => write!(f, "session state shape violation: {m}"),
+            SessionError::Evicted(id) => write!(f, "session {id} evicted after repeated errors"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One live session: its pinned state, progress, and health.
+pub(crate) struct SessionEntry {
+    /// The decode-step program every step runs.
+    pub(crate) program: Arc<Program>,
+    pub(crate) bindings: Vec<StateBinding>,
+    pub(crate) capacity: usize,
+    /// The pinned state handles, injected into every step's inputs.
+    pub(crate) state: HashMap<BufferId, FractalTensor>,
+    /// Cached constant rows for [`StateOp::AppendFill`], built once.
+    fill_rows: HashMap<BufferId, Tensor>,
+    /// Steps successfully completed (also the next append row).
+    pub(crate) step: usize,
+    /// Whether a decode step is currently in flight.
+    pub(crate) inflight: bool,
+    /// Consecutive session errors; eviction at the strike limit.
+    pub(crate) strikes: u32,
+    /// Bytes pinned by this session's state (constant over its life:
+    /// every update is shape-preserving).
+    pub(crate) pinned_bytes: u64,
+}
+
+/// Total bytes held by a state handle (f32 leaves).
+fn state_bytes(ft: &FractalTensor) -> u64 {
+    let leaves: u64 = ft.prog_dims().iter().product::<usize>() as u64;
+    leaves * ft.leaf_shape().numel() as u64 * 4
+}
+
+/// Replaces row `row` of a `[1, C]`-shaped state cache in place. A pure
+/// handle move — the old row's storage is dropped, the new leaf's is
+/// shared, nothing is copied.
+fn set_row(state: &mut FractalTensor, row: usize, leaf: Tensor) -> Result<(), SessionError> {
+    let rows = match state {
+        FractalTensor::Nested(groups) if groups.len() == 1 => match &mut groups[0] {
+            FractalTensor::Leaves(rows) => rows,
+            _ => {
+                return Err(SessionError::StateShape(
+                    "append cache must be [1, C] over leaves".into(),
+                ))
+            }
+        },
+        _ => {
+            return Err(SessionError::StateShape(
+                "append cache must be a [1, C] nest".into(),
+            ))
+        }
+    };
+    match rows.get_mut(row) {
+        Some(slot) => {
+            *slot = leaf;
+            Ok(())
+        }
+        None => Err(SessionError::StateShape(format!(
+            "append row {row} outside cache of {} rows",
+            rows.len()
+        ))),
+    }
+}
+
+/// Extracts the single `[1]` output leaf of an append source. The
+/// well-formed path is a cheap handle clone; any other structure with
+/// exactly one leaf is deep-materialized as a defensive fallback and
+/// reported through `copies` so `serve.state_copies` (and its CI gate)
+/// records the regression.
+fn single_leaf(out: &FractalTensor, copies: &mut u64) -> Result<Tensor, SessionError> {
+    if let FractalTensor::Leaves(v) = out {
+        if let [leaf] = v.as_slice() {
+            return Ok(leaf.clone());
+        }
+    }
+    let dims = out.prog_dims();
+    if dims.iter().product::<usize>() != 1 {
+        return Err(SessionError::StateShape(format!(
+            "append output must hold exactly one leaf, got dims {dims:?}"
+        )));
+    }
+    let leaf = out
+        .leaf_at(&vec![0; dims.len()])
+        .map_err(|e| SessionError::StateShape(e.to_string()))?
+        .to_contiguous();
+    *copies += 1;
+    Ok(leaf)
+}
+
+impl SessionEntry {
+    /// Builds a session from its spec: checks every bound state's initial
+    /// value against the program's declaration, caches the fill rows,
+    /// and sums the pinned footprint.
+    pub(crate) fn open(spec: SessionSpec) -> Result<SessionEntry, SessionError> {
+        let mut state = HashMap::new();
+        let mut fill_rows = HashMap::new();
+        let mut pinned = 0u64;
+        for b in &spec.bindings {
+            let decl = spec
+                .program
+                .buffers
+                .get(b.state.0)
+                .ok_or_else(|| SessionError::StateShape(format!("no buffer {}", b.state.0)))?;
+            let init = spec.init.get(&b.state).ok_or_else(|| {
+                SessionError::StateShape(format!("missing initial state for '{}'", decl.name))
+            })?;
+            if init.prog_dims() != decl.dims || init.leaf_shape() != decl.leaf_shape {
+                return Err(SessionError::StateShape(format!(
+                    "initial state for '{}' is {:?}/{:?}, declared {:?}/{:?}",
+                    decl.name,
+                    init.prog_dims(),
+                    init.leaf_shape(),
+                    decl.dims,
+                    decl.leaf_shape
+                )));
+            }
+            if let StateOp::AppendFill { value } = b.op {
+                fill_rows.insert(b.state, Tensor::full(decl.leaf_shape.dims(), value));
+            }
+            pinned += state_bytes(init);
+            state.insert(b.state, init.clone());
+        }
+        Ok(SessionEntry {
+            program: spec.program,
+            bindings: spec.bindings,
+            capacity: spec.capacity,
+            state,
+            fill_rows,
+            step: 0,
+            inflight: false,
+            strikes: 0,
+            pinned_bytes: pinned,
+        })
+    }
+
+    /// Whether any binding consumes append capacity (gates the admission
+    /// overflow check).
+    pub(crate) fn appends(&self) -> bool {
+        self.bindings
+            .iter()
+            .any(|b| !matches!(b.op, StateOp::Carry { .. }))
+    }
+
+    /// Advances the pinned state from a successful step's outputs:
+    /// carries swap handles, appends replace row `step` in place.
+    /// Returns the number of deep copies performed — zero on the
+    /// well-formed path. Errors leave `step` unadvanced (the state may
+    /// be partially updated; the caller strikes and eventually evicts
+    /// the session, it never resubmits from a half-advanced cache).
+    pub(crate) fn advance(
+        &mut self,
+        outputs: &HashMap<BufferId, FractalTensor>,
+    ) -> Result<u64, SessionError> {
+        let row = self.step;
+        let mut copies = 0u64;
+        for b in &self.bindings {
+            let missing = |id: BufferId| {
+                SessionError::StateShape(format!("step produced no output buffer {}", id.0))
+            };
+            match b.op {
+                StateOp::Carry { output } => {
+                    let out = outputs.get(&output).ok_or_else(|| missing(output))?;
+                    let cur = self.state.get(&b.state).ok_or_else(|| missing(b.state))?;
+                    if out.prog_dims() != cur.prog_dims() || out.leaf_shape() != cur.leaf_shape() {
+                        return Err(SessionError::StateShape(format!(
+                            "carry output {:?}/{:?} does not match state {:?}/{:?}",
+                            out.prog_dims(),
+                            out.leaf_shape(),
+                            cur.prog_dims(),
+                            cur.leaf_shape()
+                        )));
+                    }
+                    self.state.insert(b.state, out.clone());
+                }
+                StateOp::Append { output } => {
+                    let out = outputs.get(&output).ok_or_else(|| missing(output))?;
+                    let leaf = single_leaf(out, &mut copies)?;
+                    let cache = self
+                        .state
+                        .get_mut(&b.state)
+                        .ok_or_else(|| missing(b.state))?;
+                    if leaf.shape() != &cache.leaf_shape() {
+                        return Err(SessionError::StateShape(format!(
+                            "append row shape {:?} does not match cache leaf {:?}",
+                            leaf.shape(),
+                            cache.leaf_shape()
+                        )));
+                    }
+                    set_row(cache, row, leaf)?;
+                }
+                StateOp::AppendFill { .. } => {
+                    let leaf = self
+                        .fill_rows
+                        .get(&b.state)
+                        .cloned()
+                        .ok_or_else(|| missing(b.state))?;
+                    let cache = self
+                        .state
+                        .get_mut(&b.state)
+                        .ok_or_else(|| missing(b.state))?;
+                    set_row(cache, row, leaf)?;
+                }
+            }
+        }
+        self.step += 1;
+        Ok(copies)
+    }
+}

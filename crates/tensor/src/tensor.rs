@@ -551,7 +551,27 @@ impl std::fmt::Debug for Tensor {
 
 impl PartialEq for Tensor {
     fn eq(&self, other: &Self) -> bool {
-        self.shape == other.shape && self.iter().eq(other.iter())
+        if self.shape != other.shape {
+            return false;
+        }
+        // Identity fast path: two views with the same geometry over one
+        // shared buffer are equal without reading a single element. This
+        // is the hot case for serving, where a weight handle is cloned
+        // across every request of a fused batch and the batcher verifies
+        // the shared inputs match — O(1) here instead of an elementwise
+        // walk per batch member.
+        if Arc::ptr_eq(&self.data, &other.data)
+            && self.offset == other.offset
+            && self.strides == other.strides
+        {
+            return true;
+        }
+        // Contiguous views compare as flat slices (memcmp-speed);
+        // strided views fall back to the index-computing iterator.
+        if let (Some(a), Some(b)) = (self.contiguous_slice(), other.contiguous_slice()) {
+            return a == b;
+        }
+        self.iter().eq(other.iter())
     }
 }
 

@@ -232,6 +232,15 @@ pub enum VerifyError {
         /// What went wrong.
         detail: String,
     },
+    /// A stateful-session binding violates the pinned-region rules
+    /// ([`verify_session_bindings`]): a state buffer that is not an
+    /// extern-placed input, an update target that is not an output, a
+    /// carry whose shapes disagree, or an append cache without the
+    /// declared capacity.
+    Session {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 /// Pass A's write table: `(buffer id, data-space index)` mapped to the
@@ -345,6 +354,9 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::Poly { detail } => {
                 write!(f, "shape-polymorphic plan rejected: {detail}")
+            }
+            VerifyError::Session { detail } => {
+                write!(f, "session state binding rejected: {detail}")
             }
         }
     }
@@ -469,6 +481,154 @@ fn check_extent_invariance(
             return Err(poly_err(format!(
                 "group {gi} reordering transform varies with the outer extent"
             )));
+        }
+    }
+    Ok(())
+}
+
+/// How one stateful-session state buffer advances after a successful
+/// decode step ([`verify_session_bindings`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateRule {
+    /// `state := output` — the whole buffer is replaced by the step's
+    /// output handle (RNN hidden carry).
+    Carry {
+        /// The output buffer whose handle becomes the next state.
+        output: ft_core::BufferId,
+    },
+    /// `state[step] := output` — one row of the reserved-capacity cache
+    /// is replaced by the step's single-leaf output (KV-cache append).
+    Append {
+        /// The output buffer providing the appended row.
+        output: ft_core::BufferId,
+    },
+    /// `state[step] := constant` — one row is overwritten with a cached
+    /// constant leaf (attention-mask flip as the cache fills).
+    Fill,
+}
+
+/// One session state binding: the input buffer holding pinned state and
+/// the rule advancing it each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionBinding {
+    /// The `BufferKind::Input` declaration the session injects each step.
+    pub state: ft_core::BufferId,
+    /// How the state advances from the step's outputs.
+    pub rule: StateRule,
+}
+
+/// Checks the pinned-region rules for a decode-step program's session
+/// state bindings, before any state is pinned.
+///
+/// The aliasing rule is placement-based: session state must live in
+/// `BufferKind::Input` declarations, which the executor places *extern*
+/// (borrowed from the caller) — never inside the transient arena — so a
+/// pinned region held across requests can never overlap the arena's
+/// first-fit reuse of per-launch scratch. A state buffer declared as an
+/// intermediate would be arena-placed and aliasable; it is rejected
+/// here. On top of placement, the shape contracts: carries must be
+/// shape-preserving (`dims` and leaf shape equal), appends need a
+/// `[1, C]` cache with `C >= capacity` and a single-leaf `[1]` output
+/// row of the same leaf shape, and no two bindings may share a state or
+/// an output buffer.
+pub fn verify_session_bindings(
+    program: &ft_core::Program,
+    bindings: &[SessionBinding],
+    capacity: usize,
+) -> Result<(), VerifyError> {
+    use ft_core::BufferKind;
+    let err = |detail: String| VerifyError::Session { detail };
+    let decl = |id: ft_core::BufferId, role: &str| {
+        program
+            .buffers
+            .get(id.0)
+            .ok_or_else(|| err(format!("{role} buffer {} is not declared", id.0)))
+    };
+    if bindings.is_empty() {
+        return Err(err("session has no state bindings".into()));
+    }
+    let mut seen_states = HashSet::new();
+    let mut seen_outputs = HashSet::new();
+    for b in bindings {
+        let state = decl(b.state, "state")?;
+        if state.kind != BufferKind::Input {
+            return Err(err(format!(
+                "state buffer '{}' must be an input (extern-placed, outside \
+                 the transient arena); {:?} declarations are arena-placed \
+                 and could alias per-launch scratch",
+                state.name, state.kind
+            )));
+        }
+        if !seen_states.insert(b.state) {
+            return Err(err(format!("state buffer '{}' is bound twice", state.name)));
+        }
+        let output = match b.rule {
+            StateRule::Carry { output } | StateRule::Append { output } => {
+                let out = decl(output, "update")?;
+                if out.kind != BufferKind::Output {
+                    return Err(err(format!(
+                        "update source '{}' must be an output buffer, not {:?}",
+                        out.name, out.kind
+                    )));
+                }
+                if output == b.state {
+                    return Err(err(format!(
+                        "state '{}' cannot be its own update source",
+                        state.name
+                    )));
+                }
+                if !seen_outputs.insert(output) {
+                    return Err(err(format!(
+                        "output '{}' feeds two state bindings",
+                        out.name
+                    )));
+                }
+                Some(out)
+            }
+            StateRule::Fill => None,
+        };
+        match b.rule {
+            StateRule::Carry { .. } => {
+                let out = output.unwrap_or(state);
+                if out.dims != state.dims || out.leaf_shape != state.leaf_shape {
+                    return Err(err(format!(
+                        "carry '{}' <- '{}' is not shape-preserving: \
+                         {:?}/{:?} vs {:?}/{:?}",
+                        state.name,
+                        out.name,
+                        state.dims,
+                        state.leaf_shape,
+                        out.dims,
+                        out.leaf_shape
+                    )));
+                }
+            }
+            StateRule::Append { .. } | StateRule::Fill => {
+                if capacity == 0 {
+                    return Err(err(format!(
+                        "append state '{}' needs capacity >= 1",
+                        state.name
+                    )));
+                }
+                let cache_ok =
+                    state.dims.len() == 2 && state.dims[0] == 1 && state.dims[1] >= capacity;
+                if !cache_ok {
+                    return Err(err(format!(
+                        "append state '{}' must be declared [1, C] with \
+                         C >= capacity {capacity}, got {:?}",
+                        state.name, state.dims
+                    )));
+                }
+                if let Some(out) = output {
+                    if out.dims != [1] || out.leaf_shape != state.leaf_shape {
+                        return Err(err(format!(
+                            "append row '{}' must be a single-leaf [1] output \
+                             with the cache's leaf shape {:?}, got {:?}/{:?}",
+                            out.name, state.leaf_shape, out.dims, out.leaf_shape
+                        )));
+                    }
+                }
+            }
         }
     }
     Ok(())

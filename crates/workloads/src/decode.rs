@@ -1,0 +1,486 @@
+//! Autoregressive decode-step workloads for stateful serving.
+//!
+//! One-shot workloads recompute attention over the whole sequence every
+//! request. A decode loop instead carries state across steps: the KV
+//! cache grows by one row per token and the online-softmax merge folds
+//! the new token in — the scan/fold recurrence structure the ETDG already
+//! expresses, evaluated incrementally. This module holds the *single
+//! decode step* as a FractalTensor program whose state enters and leaves
+//! through explicit buffers, so a serving session
+//! (`ft_serve::Runtime::open_session`) can pin them across requests and
+//! advance them in place:
+//!
+//! * [`attention_decode_step_program`] — one token of single-head
+//!   attention against a fixed-capacity KV cache. The cache and its
+//!   visibility mask are state (`Append`/`AppendFill` bindings); the
+//!   step's projected key/value rows come back as outputs for the append.
+//! * the stacked-RNN decode step lives in
+//!   [`ft_core::builders::rnn_decode_step_program`] (it is the paper's
+//!   running example with the time scan unrolled); this module adds its
+//!   state initializer.
+//!
+//! Every program keeps a pure extent-1 `map` as its outer axis, so decode
+//! steps from *different* sessions batch into one wavefront launch — the
+//! serving layer's continuous-batching tick.
+
+use std::collections::HashMap;
+
+use ft_core::adt::FractalTensor;
+use ft_core::expr::UdfBuilder;
+use ft_core::program::{CarriedInit, Nest, OpKind, Program, Read, Write};
+use ft_core::{AccessSpec, AxisExpr, BufferId};
+use ft_tensor::Tensor;
+
+/// Additive mask for cache rows not yet written: large enough that
+/// `exp(score + MASKED)` underflows to exactly `0.0` for any realistic
+/// score, small enough to stay finite (a `-inf` mask would put `inf - inf
+/// = NaN` on the online-softmax rescale path).
+pub const MASKED: f32 = -1.0e9;
+
+/// Buffer ids of [`attention_decode_step_program`]'s declarations.
+pub mod buffers {
+    use ft_core::BufferId;
+    /// The step's token `[1]` of `[1, h]`.
+    pub const X: BufferId = BufferId(0);
+    /// Query projection `[1]` of `[h, h]` (shared across sessions).
+    pub const WQ: BufferId = BufferId(1);
+    /// Key projection `[1]` of `[h, h]` (shared).
+    pub const WK: BufferId = BufferId(2);
+    /// Value projection `[1]` of `[h, h]` (shared).
+    pub const WV: BufferId = BufferId(3);
+    /// Pinned key cache `[1, C]` of `[1, h]` — session state (`Append`).
+    pub const KC: BufferId = BufferId(4);
+    /// Pinned value cache `[1, C]` of `[1, h]` — session state (`Append`).
+    pub const VC: BufferId = BufferId(5);
+    /// Pinned visibility mask `[1, C]` of `[1, 1]` — session state
+    /// (`AppendFill(0.0)`): [`super::MASKED`] on unwritten rows, `0` once
+    /// the row is filled.
+    pub const MASK: BufferId = BufferId(6);
+    /// Projected query `[1]` of `[1, h]` (intermediate).
+    pub const QB: BufferId = BufferId(7);
+    /// The step's projected key row `[1]` of `[1, h]` — appended to
+    /// [`KC`] by the session after the step.
+    pub const K_STEP: BufferId = BufferId(8);
+    /// The step's projected value row `[1]` of `[1, h]` — appended to
+    /// [`VC`].
+    pub const V_STEP: BufferId = BufferId(9);
+    /// Online-softmax running max `[1, C]` of `[1, 1]` (intermediate).
+    pub const M: BufferId = BufferId(10);
+    /// Running denominator `[1, C]` of `[1, 1]` (intermediate).
+    pub const S: BufferId = BufferId(11);
+    /// Unnormalized output `[1, C]` of `[1, h]` (intermediate).
+    pub const O: BufferId = BufferId(12);
+    /// The attended token `[1]` of `[1, h]`.
+    pub const OUT: BufferId = BufferId(13);
+}
+
+/// One single-head attention decode step against a capacity-`cap` KV
+/// cache, head dimension `h`.
+///
+/// Three nests: **project** (`q/k/v = x @ wq/wk/wv`), **scan** — the
+/// Listing 3 online-softmax reduce over the cache, with the additive mask
+/// washing out rows the session hasn't appended yet (`exp(MASKED)`
+/// underflows to zero) — and **merge**, which folds the step's *own*
+/// key/value in last, so the token always attends over `cache ∪ {self}`.
+/// The merge also rescues the step-0 edge case: with every cache row
+/// masked the scan's running max sits near [`MASKED`], the merge's
+/// rescale `exp(m - m2)` underflows to zero, and the output is exactly
+/// the self-attention term.
+pub fn attention_decode_step_program(h: usize, cap: usize) -> Program {
+    let scale = 1.0 / (h as f32).sqrt();
+    let mut p = Program::new("attention_decode_step");
+    let x = p.input("x", &[1], &[1, h]);
+    let wq = p.input("wq", &[1], &[h, h]);
+    let wk = p.input("wk", &[1], &[h, h]);
+    let wv = p.input("wv", &[1], &[h, h]);
+    let kc = p.input("kc", &[1, cap], &[1, h]);
+    let vc = p.input("vc", &[1, cap], &[1, h]);
+    let mask = p.input("mask", &[1, cap], &[1, 1]);
+    let qb = p.intermediate("qb", &[1], &[1, h]);
+    let k_step = p.output("k_step", &[1], &[1, h]);
+    let v_step = p.output("v_step", &[1], &[1, h]);
+    let mb = p.intermediate("m", &[1, cap], &[1, 1]);
+    let sb = p.intermediate("s", &[1, cap], &[1, 1]);
+    let ob = p.intermediate("o", &[1, cap], &[1, h]);
+    let out = p.output("out", &[1], &[1, h]);
+
+    // Projections: q for this step's attention, k/v as outputs the
+    // session appends into its pinned cache.
+    let mut bld = UdfBuilder::new("decode_project", 4);
+    let (xi, wqi, wki, wvi) = (bld.input(0), bld.input(1), bld.input(2), bld.input(3));
+    let q = bld.matmul(xi, wqi);
+    let k = bld.matmul(xi, wki);
+    let v = bld.matmul(xi, wvi);
+    let udf = bld.build(&[q, k, v]);
+    let shared = |buf| Read::plain(buf, AccessSpec::new(vec![AxisExpr::constant(0)]));
+    p.add_nest(Nest {
+        name: "decode_project".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![1],
+        reads: vec![
+            Read::plain(x, AccessSpec::new(vec![AxisExpr::var(0)])),
+            shared(wq),
+            shared(wk),
+            shared(wv),
+        ],
+        writes: vec![
+            Write {
+                buffer: qb,
+                access: AccessSpec::identity(1),
+            },
+            Write {
+                buffer: k_step,
+                access: AccessSpec::identity(1),
+            },
+            Write {
+                buffer: v_step,
+                access: AccessSpec::identity(1),
+            },
+        ],
+        udf,
+    })
+    .expect("decode project nest is well-formed");
+
+    // Online softmax over the cache (inputs: q, k, v, mask, m, s, o
+    // previous). Scores are [1, 1], so the block-wise row_max/row_sum of
+    // the full FlashAttention step collapse to elementwise ops.
+    let mut bld = UdfBuilder::new("decode_scan", 7);
+    let (qi, ki, vi, mski, mp, sp, op) = (
+        bld.input(0),
+        bld.input(1),
+        bld.input(2),
+        bld.input(3),
+        bld.input(4),
+        bld.input(5),
+        bld.input(6),
+    );
+    let t1 = bld.matmul_t(qi, ki);
+    let t1s = bld.scale(t1, scale);
+    let sm = bld.add(t1s, mski);
+    let mt = bld.max(sm, mp);
+    let d1 = bld.sub(sm, mt);
+    let pe = bld.exp(d1);
+    let d2 = bld.sub(mp, mt);
+    let alpha = bld.exp(d2);
+    let s_scaled = bld.mul(sp, alpha);
+    let st = bld.add(s_scaled, pe);
+    let o_scaled = bld.mul_col_bc(op, alpha);
+    let pv = bld.mul_col_bc(vi, pe);
+    let ot = bld.add(o_scaled, pv);
+    let udf = bld.build(&[mt, st, ot]);
+    let carried = |buf, init| {
+        Read::carried(
+            buf,
+            AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::shifted(1, -1)]),
+            init,
+        )
+    };
+    let row = |buf| {
+        Read::plain(
+            buf,
+            AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::var(1)]),
+        )
+    };
+    p.add_nest(Nest {
+        name: "decode_scan".into(),
+        ops: vec![OpKind::Map, OpKind::Reduce],
+        extents: vec![1, cap],
+        reads: vec![
+            Read::plain(qb, AccessSpec::new(vec![AxisExpr::var(0)])),
+            row(kc),
+            row(vc),
+            row(mask),
+            carried(mb, CarriedInit::Fill(f32::NEG_INFINITY)),
+            carried(sb, CarriedInit::Zero),
+            carried(ob, CarriedInit::Zero),
+        ],
+        writes: vec![
+            Write {
+                buffer: mb,
+                access: AccessSpec::identity(2),
+            },
+            Write {
+                buffer: sb,
+                access: AccessSpec::identity(2),
+            },
+            Write {
+                buffer: ob,
+                access: AccessSpec::identity(2),
+            },
+        ],
+        udf,
+    })
+    .expect("decode scan nest is well-formed");
+
+    // Merge the step's own key/value as the final online-softmax fold,
+    // then normalize: out = (o·α + v_step·p) / (s·α + p).
+    let mut bld = UdfBuilder::new("decode_merge", 6);
+    let (qi, ksi, vsi, mi, si, oi) = (
+        bld.input(0),
+        bld.input(1),
+        bld.input(2),
+        bld.input(3),
+        bld.input(4),
+        bld.input(5),
+    );
+    let t1 = bld.matmul_t(qi, ksi);
+    let t1s = bld.scale(t1, scale);
+    let m2 = bld.max(t1s, mi);
+    let d1 = bld.sub(t1s, m2);
+    let pe = bld.exp(d1);
+    let d2 = bld.sub(mi, m2);
+    let alpha = bld.exp(d2);
+    let s_scaled = bld.mul(si, alpha);
+    let s2 = bld.add(s_scaled, pe);
+    let o_scaled = bld.mul_col_bc(oi, alpha);
+    let pv = bld.mul_col_bc(vsi, pe);
+    let o2 = bld.add(o_scaled, pv);
+    let norm = bld.div_col_bc(o2, s2);
+    let udf = bld.build(&[norm]);
+    let first = |buf| Read::plain(buf, AccessSpec::new(vec![AxisExpr::var(0)]));
+    let last = |buf| {
+        Read::plain(
+            buf,
+            AccessSpec::new(vec![AxisExpr::var(0), AxisExpr::constant(cap as i64 - 1)]),
+        )
+    };
+    p.add_nest(Nest {
+        name: "decode_merge".into(),
+        ops: vec![OpKind::Map],
+        extents: vec![1],
+        reads: vec![
+            first(qb),
+            first(k_step),
+            first(v_step),
+            last(mb),
+            last(sb),
+            last(ob),
+        ],
+        writes: vec![Write {
+            buffer: out,
+            access: AccessSpec::identity(1),
+        }],
+        udf,
+    })
+    .expect("decode merge nest is well-formed");
+    p
+}
+
+/// Initial pinned state for an attention decode session of capacity
+/// `cap`: zeroed key/value caches and a fully-[`MASKED`] visibility mask,
+/// keyed by the state buffer ids ([`buffers::KC`], [`buffers::VC`],
+/// [`buffers::MASK`]).
+pub fn attention_state_init(h: usize, cap: usize) -> HashMap<BufferId, FractalTensor> {
+    let rows = |leaf: Tensor| {
+        FractalTensor::nested(vec![FractalTensor::from_tensors(
+            (0..cap).map(|_| leaf.clone()).collect(),
+        )
+        .expect("rows")])
+        .expect("cache")
+    };
+    let mut m = HashMap::new();
+    m.insert(buffers::KC, rows(Tensor::zeros(&[1, h])));
+    m.insert(buffers::VC, rows(Tensor::zeros(&[1, h])));
+    m.insert(buffers::MASK, rows(Tensor::full(&[1, 1], MASKED)));
+    m
+}
+
+/// Deterministic projection weights `(wq, wk, wv)`, shaped as the
+/// program's shared `[1]/[h, h]` inputs. Sessions sharing one serving
+/// batch must pass equal weights (the fused path requires shared inputs
+/// to match across the batch).
+pub fn attention_weights(h: usize, seed: u64) -> (FractalTensor, FractalTensor, FractalTensor) {
+    let w = |s| {
+        FractalTensor::from_tensors(vec![Tensor::randn(&[h, h], s).mul_scalar(0.3)])
+            .expect("weight")
+    };
+    (w(seed), w(seed + 1), w(seed + 2))
+}
+
+/// Initial pinned state for an RNN decode session
+/// ([`ft_core::builders::rnn_decode_step_program`]): a zeroed `[1, d]`
+/// hidden stack keyed by its state buffer (`BufferId(2)`).
+pub fn rnn_state_init(d: usize, h: usize) -> HashMap<BufferId, FractalTensor> {
+    let hs = FractalTensor::nested(vec![FractalTensor::from_tensors(
+        (0..d).map(|_| Tensor::zeros(&[1, h])).collect(),
+    )
+    .expect("layers")])
+    .expect("stack");
+    HashMap::from([(BufferId(2), hs)])
+}
+
+/// Eager reference: full-softmax attention of token `t` over tokens
+/// `0..=t`. `tokens` are the raw `[1, h]` token leaves in order; the
+/// result is the `[1, h]` attended output of the last one.
+pub fn reference_decode_step(tokens: &[Tensor], wq: &Tensor, wk: &Tensor, wv: &Tensor) -> Tensor {
+    let h = wq.dims()[1];
+    let scale = 1.0 / (h as f32).sqrt();
+    let t = tokens.len() - 1;
+    let q = tokens[t].matmul(wq).expect("q");
+    let keys: Vec<Tensor> = tokens.iter().map(|x| x.matmul(wk).expect("k")).collect();
+    let vals: Vec<Tensor> = tokens.iter().map(|x| x.matmul(wv).expect("v")).collect();
+    let km = Tensor::concat(&keys, 0).expect("keys");
+    let vm = Tensor::concat(&vals, 0).expect("vals");
+    let scores = q.matmul_transb(&km).expect("qk").mul_scalar(scale);
+    scores
+        .softmax_rows()
+        .expect("softmax")
+        .matmul(&vm)
+        .expect("av")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_backend::execute;
+    use ft_core::builders::{rnn_decode_step_program, stacked_rnn_program};
+    use ft_core::interp::run_program;
+    use ft_passes::compile;
+    use ft_tensor::assert_allclose;
+
+    fn token(h: usize, seed: u64) -> Tensor {
+        Tensor::randn(&[1, h], seed)
+    }
+
+    /// Drives the decode program directly (no serving layer), advancing
+    /// the cache state by hand exactly as a session would: append the
+    /// step's k/v outputs at row `t`, flip the mask row to visible.
+    fn decode_loop(h: usize, cap: usize, steps: usize, threads: usize) -> Vec<Tensor> {
+        let p = attention_decode_step_program(h, cap);
+        let compiled = compile(&p).expect("decode step compiles");
+        let (wq, wk, wv) = attention_weights(h, 9);
+        let mut state = attention_state_init(h, cap);
+        let mut outs = Vec::new();
+        for t in 0..steps {
+            let mut inputs = state.clone();
+            inputs.insert(
+                buffers::X,
+                FractalTensor::from_tensors(vec![token(h, 100 + t as u64)]).unwrap(),
+            );
+            inputs.insert(buffers::WQ, wq.clone());
+            inputs.insert(buffers::WK, wk.clone());
+            inputs.insert(buffers::WV, wv.clone());
+            let got = execute(&compiled, &inputs, threads).expect("step");
+            outs.push(got[&buffers::OUT].leaf_at(&[0]).unwrap().to_contiguous());
+            let set_row = |ft: &mut FractalTensor, leaf: Tensor| {
+                let FractalTensor::Nested(groups) = ft else {
+                    panic!("cache shape")
+                };
+                let FractalTensor::Leaves(rows) = &mut groups[0] else {
+                    panic!("cache shape")
+                };
+                rows[t] = leaf;
+            };
+            set_row(
+                state.get_mut(&buffers::KC).unwrap(),
+                got[&buffers::K_STEP].leaf_at(&[0]).unwrap().clone(),
+            );
+            set_row(
+                state.get_mut(&buffers::VC).unwrap(),
+                got[&buffers::V_STEP].leaf_at(&[0]).unwrap().clone(),
+            );
+            set_row(
+                state.get_mut(&buffers::MASK).unwrap(),
+                Tensor::zeros(&[1, 1]),
+            );
+        }
+        outs
+    }
+
+    #[test]
+    fn decode_loop_matches_eager_full_softmax() {
+        let (h, cap, steps) = (8usize, 6usize, 5usize);
+        let (wq, wk, wv) = attention_weights(h, 9);
+        let (wq, wk, wv) = (
+            wq.leaf_at(&[0]).unwrap().clone(),
+            wk.leaf_at(&[0]).unwrap().clone(),
+            wv.leaf_at(&[0]).unwrap().clone(),
+        );
+        let outs = decode_loop(h, cap, steps, 2);
+        let tokens: Vec<Tensor> = (0..steps).map(|t| token(h, 100 + t as u64)).collect();
+        for t in 0..steps {
+            let want = reference_decode_step(&tokens[..=t], &wq, &wk, &wv);
+            assert_allclose(&outs[t], &want, 1e-4);
+        }
+    }
+
+    #[test]
+    fn decode_loop_is_thread_count_invariant() {
+        let (h, cap, steps) = (8usize, 6usize, 4usize);
+        let solo = decode_loop(h, cap, steps, 1);
+        for threads in [2usize, 8] {
+            let multi = decode_loop(h, cap, steps, threads);
+            assert_eq!(solo, multi, "decode must be bitwise at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_compiled_step() {
+        let (h, cap) = (8usize, 4usize);
+        let p = attention_decode_step_program(h, cap);
+        let (wq, wk, wv) = attention_weights(h, 21);
+        let mut inputs = attention_state_init(h, cap);
+        inputs.insert(
+            buffers::X,
+            FractalTensor::from_tensors(vec![token(h, 300)]).unwrap(),
+        );
+        inputs.insert(buffers::WQ, wq);
+        inputs.insert(buffers::WK, wk);
+        inputs.insert(buffers::WV, wv);
+        let interp = run_program(&p, &inputs).expect("interpreter");
+        let compiled = compile(&p).expect("compiles");
+        let exec = execute(&compiled, &inputs, 2).expect("executor");
+        assert_allclose(
+            &interp[&buffers::OUT].to_flat().unwrap(),
+            &exec[&buffers::OUT].to_flat().unwrap(),
+            1e-5,
+        );
+    }
+
+    /// The RNN decode step fed back on itself for `l` steps reproduces
+    /// the one-shot stacked RNN bitwise (same UDF cell, same order).
+    #[test]
+    fn rnn_decode_step_matches_stacked_rnn() {
+        let (d, l, h) = (3usize, 4, 8);
+        let step = rnn_decode_step_program(d, h);
+        let compiled = compile(&step).expect("step compiles");
+        let ws = FractalTensor::from_tensors(
+            (0..d)
+                .map(|j| Tensor::randn(&[h, h], 60 + j as u64).mul_scalar(0.2))
+                .collect(),
+        )
+        .unwrap();
+        let tokens: Vec<Tensor> = (0..l).map(|t| token(h, 500 + t as u64)).collect();
+        let mut hs = rnn_state_init(d, h)[&BufferId(2)].clone();
+        let mut per_step = Vec::new();
+        for tok in &tokens {
+            let mut inputs = HashMap::new();
+            inputs.insert(
+                BufferId(0),
+                FractalTensor::from_tensors(vec![tok.clone()]).unwrap(),
+            );
+            inputs.insert(BufferId(1), ws.clone());
+            inputs.insert(BufferId(2), hs.clone());
+            let got = execute(&compiled, &inputs, 2).expect("step");
+            hs = got[&BufferId(3)].clone();
+            per_step.push(hs.clone());
+        }
+        let one_shot = stacked_rnn_program(1, d, l, h);
+        let oneshot_compiled = compile(&one_shot).expect("one-shot compiles");
+        let xss = FractalTensor::nested(vec![FractalTensor::from_tensors(tokens.clone()).unwrap()])
+            .unwrap();
+        let mut ref_inputs = HashMap::new();
+        ref_inputs.insert(BufferId(0), xss);
+        ref_inputs.insert(BufferId(1), ws);
+        let ysss = &execute(&oneshot_compiled, &ref_inputs, 2).expect("one-shot")[&BufferId(2)];
+        for (t, hs_t) in per_step.iter().enumerate() {
+            for j in 0..d {
+                assert_eq!(
+                    hs_t.leaf_at(&[0, j]).unwrap(),
+                    ysss.leaf_at(&[0, j, t]).unwrap(),
+                    "step {t} layer {j} must match the one-shot scan bitwise"
+                );
+            }
+        }
+    }
+}

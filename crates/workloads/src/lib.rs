@@ -23,12 +23,17 @@
 //! | [`attention`] | FlashAttention (Listing 3) |
 //! | [`bigbird`] | BigBird blocked sparse attention (Listing 4) |
 //! | [`retnet`] | RetNet retention — the §7 "emerging models" extension |
+//!
+//! [`decode`] additionally holds the *autoregressive decode-step* variants
+//! (single-token attention against a pinned KV cache, single-step stacked
+//! RNN) that back `ft-serve`'s stateful sessions.
 
 #![forbid(unsafe_code)]
 
 pub mod attention;
 pub mod b2b;
 pub mod bigbird;
+pub mod decode;
 pub mod dilated;
 pub mod grid;
 pub mod lstm;
